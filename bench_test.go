@@ -1,0 +1,529 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/harness"
+	"repro/internal/ids"
+	"repro/internal/interest"
+	"repro/internal/mobility"
+	"repro/internal/msc"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/snsbase"
+	"repro/internal/vtime"
+)
+
+// reportModeled attaches the modeled duration (the paper's scale) to a
+// benchmark result.
+func reportModeled(b *testing.B, total time.Duration, n int) {
+	b.Helper()
+	b.ReportMetric(total.Seconds()/float64(n), "modeled-s/op")
+}
+
+// --- Table 8: the headline experiment -------------------------------
+
+func benchSNSColumn(b *testing.B, site snsbase.SiteProfile, handset snsbase.HandsetProfile) {
+	b.Helper()
+	var modeled time.Duration
+	for i := 0; i < b.N; i++ {
+		row, err := harness.RunSNSColumn(harness.Table8Options{}, site, handset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		modeled += row.Total()
+	}
+	reportModeled(b, modeled, b.N)
+}
+
+// BenchmarkTable8_FacebookN810 reruns the Facebook-on-N810 column
+// (paper: 94 s total).
+func BenchmarkTable8_FacebookN810(b *testing.B) {
+	benchSNSColumn(b, snsbase.Facebook(), snsbase.NokiaN810())
+}
+
+// BenchmarkTable8_FacebookN95 reruns the Facebook-on-N95 column
+// (paper: 157 s total).
+func BenchmarkTable8_FacebookN95(b *testing.B) {
+	benchSNSColumn(b, snsbase.Facebook(), snsbase.NokiaN95())
+}
+
+// BenchmarkTable8_Hi5N810 reruns the Hi5-on-N810 column (paper: 120 s
+// total).
+func BenchmarkTable8_Hi5N810(b *testing.B) {
+	benchSNSColumn(b, snsbase.Hi5(), snsbase.NokiaN810())
+}
+
+// BenchmarkTable8_Hi5N95 reruns the Hi5-on-N95 column (paper: 181 s
+// total).
+func BenchmarkTable8_Hi5N95(b *testing.B) {
+	benchSNSColumn(b, snsbase.Hi5(), snsbase.NokiaN95())
+}
+
+// BenchmarkTable8_PeerHoodCommunity reruns the PeerHood Community
+// column (paper: 45 s total, join 0 s).
+func BenchmarkTable8_PeerHoodCommunity(b *testing.B) {
+	var modeled time.Duration
+	for i := 0; i < b.N; i++ {
+		row, err := harness.RunPHCColumn(harness.Table8Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.Join != 0 && row.Join > time.Second {
+			b.Fatalf("join = %v, expected ~0", row.Join)
+		}
+		modeled += row.Total()
+	}
+	reportModeled(b, modeled, b.N)
+}
+
+// --- Ablations -------------------------------------------------------
+
+// BenchmarkAblationWarmCache compares the PeerHood search cost cold
+// (discovery runs while the user waits — the paper's 11 s) vs warm
+// (the daemon's background rounds already populated the cache).
+func BenchmarkAblationWarmCache(b *testing.B) {
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			var modeled time.Duration
+			for i := 0; i < b.N; i++ {
+				row, err := harness.RunPHCColumn(harness.Table8Options{WarmCache: warm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled += row.Search
+			}
+			reportModeled(b, modeled, b.N)
+		})
+	}
+}
+
+// BenchmarkAblationLatencyScale shows the modeled Table 8 result is
+// (approximately) invariant under the latency scale — the measurement
+// methodology, not the scale, produces the numbers.
+func BenchmarkAblationLatencyScale(b *testing.B) {
+	for _, factor := range []float64{1e-2, 2e-2} {
+		b.Run(fmt.Sprintf("scale-%g", factor), func(b *testing.B) {
+			var modeled time.Duration
+			for i := 0; i < b.N; i++ {
+				row, err := harness.RunPHCColumn(harness.Table8Options{Scale: vtime.NewScale(factor)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled += row.Total()
+			}
+			reportModeled(b, modeled, b.N)
+		})
+	}
+}
+
+// BenchmarkAblationSemantics measures dynamic group discovery over a
+// synonym-rich population with and without the taught-semantics layer
+// (the thesis's future work): the semantics layer pays a lookup cost
+// but collapses fragmented groups.
+func BenchmarkAblationSemantics(b *testing.B) {
+	synonyms := [][2]string{
+		{"biking", "cycling"}, {"football", "soccer"}, {"movies", "cinema"},
+	}
+	nearby := make([]core.Member, 0, 60)
+	for i := 0; i < 60; i++ {
+		pair := synonyms[i%len(synonyms)]
+		term := pair[i/len(synonyms)%2]
+		nearby = append(nearby, core.Member{
+			Device:    ids.DeviceIDf("d%02d", i),
+			ID:        ids.MemberID(fmt.Sprintf("m%02d", i)),
+			Interests: []string{term},
+		})
+	}
+	active := core.Member{Device: "self", ID: "self", Interests: []string{"biking", "football", "movies"}}
+
+	b.Run("baseline", func(b *testing.B) {
+		var groups, members int
+		for i := 0; i < b.N; i++ {
+			gs := core.DiscoverGroups(active, nearby, nil)
+			groups = len(gs)
+			members = 0
+			for _, g := range gs {
+				members += len(g.Members)
+			}
+		}
+		b.ReportMetric(float64(groups), "groups")
+		b.ReportMetric(float64(members), "members")
+	})
+	b.Run("semantics", func(b *testing.B) {
+		sem := interest.NewSemantics()
+		for _, pair := range synonyms {
+			sem.Teach(pair[0], pair[1])
+		}
+		var groups, members int
+		for i := 0; i < b.N; i++ {
+			gs := core.DiscoverGroups(active, nearby, sem)
+			groups = len(gs)
+			members = 0
+			for _, g := range gs {
+				members += len(g.Members)
+			}
+		}
+		b.ReportMetric(float64(groups), "groups")
+		b.ReportMetric(float64(members), "members")
+	})
+}
+
+// --- Figure 6: the dynamic group discovery algorithm -----------------
+
+// BenchmarkFigure6Discovery measures the pure algorithm's cost as the
+// neighborhood grows (the "performance testing during the dynamic
+// group discovery" the conclusion names as future work).
+func BenchmarkFigure6Discovery(b *testing.B) {
+	pool := []string{"football", "music", "movies", "chess", "cooking", "photography", "hiking", "poker"}
+	for _, n := range []int{5, 50, 500} {
+		b.Run(fmt.Sprintf("neighbors-%d", n), func(b *testing.B) {
+			nearby := make([]core.Member, n)
+			for i := range nearby {
+				nearby[i] = core.Member{
+					Device:    ids.DeviceIDf("d%04d", i),
+					ID:        ids.MemberID(fmt.Sprintf("m%04d", i)),
+					Interests: []string{pool[i%len(pool)], pool[(i+3)%len(pool)]},
+				}
+			}
+			active := core.Member{Device: "self", ID: "self", Interests: pool[:4]}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if gs := core.DiscoverGroups(active, nearby, nil); len(gs) == 0 {
+					b.Fatal("no groups formed")
+				}
+			}
+		})
+	}
+}
+
+// --- Table 3: PeerHood functionality ---------------------------------
+
+// benchWorld builds a small Bluetooth neighborhood for protocol
+// benchmarks.
+type benchWorld struct {
+	env    *radio.Environment
+	net    *netsim.Network
+	peers  []*benchPeer
+	active *benchPeer
+	client *community.Client
+	ctx    context.Context
+}
+
+type benchPeer struct {
+	daemon *peerhood.Daemon
+	server *community.Server
+	store  *profile.Store
+}
+
+func newBenchWorld(b *testing.B, peerCount int) *benchWorld {
+	b.Helper()
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := netsim.New(env, 1)
+	b.Cleanup(net.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	b.Cleanup(cancel)
+	w := &benchWorld{env: env, net: net, ctx: ctx}
+
+	mk := func(dev ids.DeviceID, member ids.MemberID, at geo.Point) *benchPeer {
+		if err := env.Add(dev, mobility.Static{At: at}, radio.Bluetooth); err != nil {
+			b.Fatal(err)
+		}
+		daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(daemon.Stop)
+		store := profile.NewStore(nil)
+		if err := store.CreateAccount(member, "pw"); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Login(member, "pw"); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.AddInterest(member, "football"); err != nil {
+			b.Fatal(err)
+		}
+		server, err := community.NewServer(peerhood.NewLibrary(daemon), store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := server.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(server.Stop)
+		return &benchPeer{daemon: daemon, server: server, store: store}
+	}
+	for i := 0; i < peerCount; i++ {
+		w.peers = append(w.peers, mk(
+			ids.DeviceIDf("peer-%02d", i),
+			ids.MemberID(fmt.Sprintf("member-%02d", i)),
+			geo.Pt(float64(i%3+1), float64(i/3)),
+		))
+	}
+	w.active = mk("active", "active", geo.Pt(0, 0))
+	if err := w.active.daemon.RefreshNow(ctx); err != nil {
+		b.Fatal(err)
+	}
+	client, err := community.NewClient(peerhood.NewLibrary(w.active.daemon), w.active.store, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(client.Close)
+	w.client = client
+	return w
+}
+
+// BenchmarkTable3DiscoveryRound measures one full PeerHood discovery
+// round (inquiry + SDP for every neighbor) — rows 1 and 2 of Table 3.
+func BenchmarkTable3DiscoveryRound(b *testing.B) {
+	w := newBenchWorld(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.active.daemon.RefreshNow(w.ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Connect measures connection establishment to a
+// registered service — rows 3 and 4 of Table 3.
+func BenchmarkTable3Connect(b *testing.B) {
+	w := newBenchWorld(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := w.active.daemon.Connect(w.ctx, "peer-00", community.ServiceName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+// --- Table 6: per-operation costs ------------------------------------
+
+// BenchmarkTable6Dispatch measures the server's request dispatch for
+// every Table 6 operation, without the network.
+func BenchmarkTable6Dispatch(b *testing.B) {
+	w := newBenchWorld(b, 1)
+	server := w.peers[0].server
+	member := string(ids.MemberID("member-00"))
+	reqs := []community.Request{
+		{Op: community.OpGetOnlineMemberList},
+		{Op: community.OpGetInterestList},
+		{Op: community.OpGetInterestedMemberList, Args: []string{"football"}},
+		{Op: community.OpGetProfile, Args: []string{member, "active"}},
+		{Op: community.OpCheckMemberID, Args: []string{member}},
+		{Op: community.OpGetTrustedFriend, Args: []string{member}},
+		{Op: community.OpCheckTrusted, Args: []string{member, "active"}},
+	}
+	for _, req := range reqs {
+		b.Run(req.Op, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if resp := server.Handle(req); resp.Status == community.StatusBadRequest {
+					b.Fatalf("bad request: %+v", resp)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable6RoundTrip measures a full request/response over the
+// simulated Bluetooth link (PS_GETONLINEMEMBERLIST end to end).
+func BenchmarkTable6RoundTrip(b *testing.B) {
+	w := newBenchWorld(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		members, err := w.client.OnlineMembers(w.ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(members) == 0 {
+			b.Fatal("no members")
+		}
+	}
+}
+
+// --- Figures 11–17: the MSC operations -------------------------------
+
+// BenchmarkMSCOperations measures each client operation the figures
+// document, end to end over the simulated network.
+func BenchmarkMSCOperations(b *testing.B) {
+	ops := []struct {
+		name string
+		run  func(w *benchWorld) error
+	}{
+		{"Figure11_GetMemberList", func(w *benchWorld) error {
+			_, err := w.client.OnlineMembers(w.ctx)
+			return err
+		}},
+		{"Figure12_GetInterestsList", func(w *benchWorld) error {
+			_, err := w.client.InterestsList(w.ctx)
+			return err
+		}},
+		{"Figure13_ViewMemberProfile", func(w *benchWorld) error {
+			_, err := w.client.ViewProfile(w.ctx, "member-00")
+			return err
+		}},
+		{"Figure14_PutProfileComment", func(w *benchWorld) error {
+			return w.client.CommentProfile(w.ctx, "member-00", "bench comment")
+		}},
+		{"Figure15_ViewTrustedFriends", func(w *benchWorld) error {
+			_, err := w.client.TrustedFriendsOf(w.ctx, "member-00")
+			return err
+		}},
+		{"Figure17_SendMessage", func(w *benchWorld) error {
+			return w.client.SendMessage(w.ctx, "member-00", "bench", "body")
+		}},
+	}
+	for _, op := range ops {
+		b.Run(op.name, func(b *testing.B) {
+			w := newBenchWorld(b, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op.run(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("Figure16_ViewSharedContent", func(b *testing.B) {
+		w := newBenchWorld(b, 3)
+		if err := w.peers[0].store.AddTrusted("member-00", "active"); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.peers[0].server.ShareContent("member-00", "file.bin", []byte("data")); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.client.SharedContentOf(w.ctx, "member-00"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Micro-benchmarks on the substrate -------------------------------
+
+// BenchmarkWireCodec measures the community frame codec.
+func BenchmarkWireCodec(b *testing.B) {
+	req := community.Request{
+		Op:   community.OpMsg,
+		Args: []string{"receiver", "sender", "subject line", "a message body with some length to it"},
+	}
+	b.Run("marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := community.MarshalRequest(req); len(out) == 0 {
+				b.Fatal("empty frame")
+			}
+		}
+	})
+	frame := community.MarshalRequest(req)
+	b.Run("unmarshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := community.UnmarshalRequest(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMSCRender measures chart rendering (Figures 11–17 output).
+func BenchmarkMSCRender(b *testing.B) {
+	rec := msc.NewRecorder("bench")
+	for i := 0; i < 20; i++ {
+		rec.Record("client", fmt.Sprintf("server%d", i%3), "PS_GETPROFILE")
+		rec.Record(fmt.Sprintf("server%d", i%3), "client", "OK")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := rec.String(); len(out) == 0 {
+			b.Fatal("empty chart")
+		}
+	}
+}
+
+// BenchmarkSemanticsCanon measures the union-find lookup under a large
+// taught vocabulary.
+func BenchmarkSemanticsCanon(b *testing.B) {
+	sem := interest.NewSemantics()
+	for i := 0; i < 1000; i++ {
+		sem.Teach(fmt.Sprintf("term-%d", i), fmt.Sprintf("term-%d", (i+1)%1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sem.Canon(fmt.Sprintf("term-%d", i%1000)) == "" {
+			b.Fatal("empty canon")
+		}
+	}
+}
+
+// BenchmarkAblationTechnology runs the PeerHood Community column over
+// each access technology: Bluetooth (the thesis's configuration), WLAN
+// (faster scan, longer range) and GPRS bridged through the operator
+// proxy (unlimited range, highest latency).
+func BenchmarkAblationTechnology(b *testing.B) {
+	for _, tech := range radio.AllTechnologies() {
+		b.Run(tech.String(), func(b *testing.B) {
+			var modeled time.Duration
+			for i := 0; i < b.N; i++ {
+				row, err := harness.RunPHCColumn(harness.Table8Options{Technology: tech})
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled += row.Total()
+			}
+			reportModeled(b, modeled, b.N)
+		})
+	}
+}
+
+// BenchmarkFutureWorkDiscoveryScale measures the full-stack dynamic
+// group discovery cycle as the neighborhood grows — the experiment the
+// thesis's conclusion proposes as future work.
+func BenchmarkFutureWorkDiscoveryScale(b *testing.B) {
+	for _, peers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("peers-%d", peers), func(b *testing.B) {
+			var modeled time.Duration
+			for i := 0; i < b.N; i++ {
+				points, err := harness.RunDiscoveryScale(vtime.Scale{}, []int{peers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled += points[0].Search
+			}
+			reportModeled(b, modeled, b.N)
+		})
+	}
+}
+
+// BenchmarkChurn measures group-membership churn per modeled minute at
+// pedestrian speed — the "instantaneous social network" property.
+func BenchmarkChurn(b *testing.B) {
+	for _, speed := range []float64{0.5, 1.5} {
+		b.Run(fmt.Sprintf("speed-%.1fmps", speed), func(b *testing.B) {
+			var perMin float64
+			for i := 0; i < b.N; i++ {
+				points, err := harness.RunChurn(harness.ChurnConfig{Window: time.Minute}, []float64{speed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				perMin += points[0].EventsPerMinute
+			}
+			b.ReportMetric(perMin/float64(b.N), "events/modeled-min")
+		})
+	}
+}

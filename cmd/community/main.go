@@ -1,0 +1,497 @@
+// Command community is the interactive PeerHood Community terminal
+// application — the reproduction of the thesis's main user screen
+// (Figure 10). It boots a simulated neighborhood of peers around you,
+// logs you in, and exposes the features of Table 7 as menu choices.
+//
+// Usage:
+//
+//	community [-peers N] [-seed S]
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/interest"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+func main() {
+	peers := flag.Int("peers", 3, "number of simulated peers around you")
+	seed := flag.Int64("seed", 7, "world seed")
+	storePath := flag.String("store", "", "profile store file: loaded on start if present, saved on quit")
+	flag.Parse()
+	if err := run(*peers, *seed, *storePath, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "community:", err)
+		os.Exit(1)
+	}
+}
+
+type app struct {
+	out    io.Writer
+	in     *bufio.Scanner
+	ctx    context.Context
+	client *community.Client
+	server *community.Server
+	store  *profile.Store
+	me     ids.MemberID
+	sem    *interest.Semantics
+}
+
+func run(peers int, seed int64, storePath string, in io.Reader, out io.Writer) error {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-3)))
+	net := netsim.New(env, seed)
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+
+	peerSpecs := []struct {
+		member    ids.MemberID
+		interests []string
+	}{
+		{"bob", []string{"football", "movies"}},
+		{"carol", []string{"music", "football"}},
+		{"dave", []string{"chess", "cooking"}},
+		{"erin", []string{"photography", "music"}},
+		{"frank", []string{"football", "chess"}},
+	}
+	if peers > len(peerSpecs) {
+		peers = len(peerSpecs)
+	}
+
+	mkNode := func(member ids.MemberID, at geo.Point, interests []string) (*peerhood.Daemon, *community.Server, *profile.Store, error) {
+		dev := ids.DeviceID("dev-" + string(member))
+		if err := env.Add(dev, mobility.Static{At: at}, radio.Bluetooth); err != nil {
+			return nil, nil, nil, err
+		}
+		daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		store := profile.NewStore(nil)
+		if err := store.CreateAccount(member, "pw"); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := store.Login(member, "pw"); err != nil {
+			return nil, nil, nil, err
+		}
+		for _, term := range interests {
+			if err := store.AddInterest(member, term); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		server, err := community.NewServer(peerhood.NewLibrary(daemon), store)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := server.Start(); err != nil {
+			return nil, nil, nil, err
+		}
+		return daemon, server, store, nil
+	}
+
+	for i := 0; i < peers; i++ {
+		spec := peerSpecs[i]
+		daemon, server, store, err := mkNode(spec.member, geo.Pt(float64(2+i), float64(i%3)), spec.interests)
+		if err != nil {
+			return err
+		}
+		defer daemon.Stop()
+		defer server.Stop()
+		// Every peer trusts you and shares something, so the trusted
+		// features have something to show.
+		if err := store.AddTrusted(spec.member, "you"); err != nil {
+			return err
+		}
+		if err := server.ShareContent(spec.member, string(spec.member)+"-mixtape.mp3", []byte("music bytes from "+spec.member)); err != nil {
+			return err
+		}
+	}
+
+	daemon, server, store, err := mkNode("you", geo.Pt(0, 0), []string{"football", "music"})
+	if err != nil {
+		return err
+	}
+	defer daemon.Stop()
+	defer server.Stop()
+
+	// Persistence: a previously saved store replaces the fresh one, so
+	// your profile, inbox and trusted friends survive across sessions.
+	if storePath != "" {
+		if _, statErr := os.Stat(storePath); statErr == nil {
+			if err := store.LoadFile(storePath); err != nil {
+				return err
+			}
+			if err := store.Login("you", "pw"); err != nil {
+				return fmt.Errorf("stored profile does not contain user 'you': %w", err)
+			}
+			fmt.Fprintf(out, "(profile store loaded from %s)\n", storePath)
+		}
+		defer func() {
+			if err := store.SaveFile(storePath); err != nil {
+				fmt.Fprintln(os.Stderr, "saving store:", err)
+			} else {
+				fmt.Fprintf(out, "(profile store saved to %s)\n", storePath)
+			}
+		}()
+	}
+
+	sem := interest.NewSemantics()
+	// Taught synonyms persist alongside the profile store.
+	if storePath != "" {
+		semPath := storePath + ".sem"
+		if _, statErr := os.Stat(semPath); statErr == nil {
+			if err := sem.LoadFile(semPath); err != nil {
+				return err
+			}
+		}
+		defer func() {
+			if err := sem.SaveFile(semPath); err != nil {
+				fmt.Fprintln(os.Stderr, "saving semantics:", err)
+			}
+		}()
+	}
+	client, err := community.NewClient(peerhood.NewLibrary(daemon), store, sem)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	fmt.Fprintln(out, "PeerHood Community — social networking on mobile environment")
+	fmt.Fprintln(out, "Scanning the neighborhood (Bluetooth inquiry)...")
+	if err := daemon.RefreshNow(ctx); err != nil {
+		return err
+	}
+	if _, err := client.RefreshGroups(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Logged in as 'you'. %d PeerHood devices nearby.\n\n", len(peerhood.NewLibrary(daemon).GetDeviceList()))
+
+	a := &app{
+		out: out, in: bufio.NewScanner(in), ctx: ctx,
+		client: client, server: server, store: store, me: "you", sem: sem,
+	}
+	return a.menuLoop(daemon)
+}
+
+// menuLoop renders Figure 10's main user screen until quit/EOF.
+func (a *app) menuLoop(daemon *peerhood.Daemon) error {
+	for {
+		fmt.Fprint(a.out, `
+*********** PeerHood Community ***********
+ 1. View Online Members
+ 2. View Interests List
+ 3. View My Groups
+ 4. View Member Profile
+ 5. Comment Member Profile
+ 6. Send Message
+ 7. Read My Inbox
+ 8. View Members Trusted Friends
+ 9. View Members Shared Content
+10. Fetch Shared Content
+11. Add Personal Interest
+12. Teach Interest Synonym
+13. Join Group Manually
+14. Leave Group Manually
+15. Rescan Neighborhood
+ 0. Log out and quit
+Choice: `)
+		choice, ok := a.readLine()
+		if !ok {
+			return nil
+		}
+		var err error
+		switch strings.TrimSpace(choice) {
+		case "1":
+			err = a.viewMembers()
+		case "2":
+			err = a.viewInterests()
+		case "3":
+			err = a.viewGroups()
+		case "4":
+			err = a.viewProfile()
+		case "5":
+			err = a.commentProfile()
+		case "6":
+			err = a.sendMessage()
+		case "7":
+			err = a.readInbox()
+		case "8":
+			err = a.viewTrusted()
+		case "9":
+			err = a.viewShared()
+		case "10":
+			err = a.fetchShared()
+		case "11":
+			err = a.addInterest()
+		case "12":
+			err = a.teachSynonym()
+		case "13":
+			err = a.joinGroup()
+		case "14":
+			err = a.leaveGroup()
+		case "15":
+			fmt.Fprintln(a.out, "scanning...")
+			if err = daemon.RefreshNow(a.ctx); err == nil {
+				_, err = a.client.RefreshGroups(a.ctx)
+			}
+		case "0", "q", "quit", "exit":
+			a.store.Logout()
+			fmt.Fprintln(a.out, "Logged out. Goodbye!")
+			return nil
+		default:
+			fmt.Fprintln(a.out, "unknown choice")
+		}
+		if err != nil {
+			fmt.Fprintln(a.out, "error:", err)
+		}
+	}
+}
+
+func (a *app) readLine() (string, bool) {
+	if !a.in.Scan() {
+		return "", false
+	}
+	return a.in.Text(), true
+}
+
+func (a *app) prompt(label string) (string, bool) {
+	fmt.Fprint(a.out, label)
+	return a.readLine()
+}
+
+func (a *app) viewMembers() error {
+	members, err := a.client.OnlineMembers(a.ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "%d online members:\n", len(members))
+	for _, m := range members {
+		fmt.Fprintf(a.out, "  %-10s on %s\n", m.Member, m.Device)
+	}
+	return nil
+}
+
+func (a *app) viewInterests() error {
+	interests, err := a.client.InterestsList(a.ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "interests in the neighborhood: %s\n", strings.Join(interests, ", "))
+	return nil
+}
+
+func (a *app) viewGroups() error {
+	if _, err := a.client.RefreshGroups(a.ctx); err != nil {
+		return err
+	}
+	groups := a.client.Groups()
+	if len(groups) == 0 {
+		fmt.Fprintln(a.out, "no dynamic groups right now")
+		return nil
+	}
+	for _, g := range groups {
+		fmt.Fprintf(a.out, "  %-14s %v\n", g.Interest, g.MemberIDs())
+	}
+	return nil
+}
+
+func (a *app) viewProfile() error {
+	who, ok := a.prompt("member id: ")
+	if !ok {
+		return nil
+	}
+	p, err := a.client.ViewProfile(a.ctx, ids.MemberID(strings.TrimSpace(who)))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "profile of %s:\n  name: %s\n  location: %s\n  about: %s\n  interests: %s\n",
+		p.Member, p.FullName, p.Location, p.About, strings.Join(p.Interests, ", "))
+	fmt.Fprintf(a.out, "  trusted friends: %v\n  comments:\n", p.Trusted)
+	for _, cm := range p.Comments {
+		fmt.Fprintf(a.out, "    %s: %s\n", cm.From, cm.Text)
+	}
+	return nil
+}
+
+func (a *app) commentProfile() error {
+	who, ok := a.prompt("member id: ")
+	if !ok {
+		return nil
+	}
+	text, ok := a.prompt("comment: ")
+	if !ok {
+		return nil
+	}
+	if err := a.client.CommentProfile(a.ctx, ids.MemberID(strings.TrimSpace(who)), text); err != nil {
+		return err
+	}
+	fmt.Fprintln(a.out, "comment written")
+	return nil
+}
+
+func (a *app) sendMessage() error {
+	who, ok := a.prompt("to: ")
+	if !ok {
+		return nil
+	}
+	subject, ok := a.prompt("subject: ")
+	if !ok {
+		return nil
+	}
+	body, ok := a.prompt("message: ")
+	if !ok {
+		return nil
+	}
+	if err := a.client.SendMessage(a.ctx, ids.MemberID(strings.TrimSpace(who)), subject, body); err != nil {
+		return err
+	}
+	fmt.Fprintln(a.out, "message sent")
+	return nil
+}
+
+func (a *app) readInbox() error {
+	p, err := a.store.Get(a.me)
+	if err != nil {
+		return err
+	}
+	if len(p.Inbox) == 0 {
+		fmt.Fprintln(a.out, "inbox empty")
+		return nil
+	}
+	for i, m := range p.Inbox {
+		status := " "
+		if !m.Read {
+			status = "*"
+		}
+		fmt.Fprintf(a.out, "%s [%d] from %s: %s — %s\n", status, i, m.From, m.Subject, m.Body)
+		_ = a.store.MarkRead(a.me, i)
+	}
+	return nil
+}
+
+func (a *app) viewTrusted() error {
+	who, ok := a.prompt("member id: ")
+	if !ok {
+		return nil
+	}
+	trusted, err := a.client.TrustedFriendsOf(a.ctx, ids.MemberID(strings.TrimSpace(who)))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "trusted friends: %v\n", trusted)
+	return nil
+}
+
+func (a *app) viewShared() error {
+	who, ok := a.prompt("member id: ")
+	if !ok {
+		return nil
+	}
+	items, err := a.client.SharedContentOf(a.ctx, ids.MemberID(strings.TrimSpace(who)))
+	if errors.Is(err, community.ErrNotTrusted) {
+		fmt.Fprintln(a.out, "NOT_TRUSTED_YET — that member has not accepted you as a trusted friend")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, item := range items {
+		fmt.Fprintf(a.out, "  %-30s %6d bytes\n", item.Name, item.Size)
+	}
+	return nil
+}
+
+func (a *app) fetchShared() error {
+	who, ok := a.prompt("member id: ")
+	if !ok {
+		return nil
+	}
+	name, ok := a.prompt("content name: ")
+	if !ok {
+		return nil
+	}
+	data, err := a.client.FetchShared(a.ctx, ids.MemberID(strings.TrimSpace(who)), strings.TrimSpace(name))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "fetched %d bytes: %q\n", len(data), truncate(string(data), 60))
+	return nil
+}
+
+func (a *app) addInterest() error {
+	term, ok := a.prompt("new interest: ")
+	if !ok {
+		return nil
+	}
+	if err := a.store.AddInterest(a.me, term); err != nil {
+		return err
+	}
+	_, err := a.client.RefreshGroups(a.ctx)
+	return err
+}
+
+func (a *app) teachSynonym() error {
+	first, ok := a.prompt("term: ")
+	if !ok {
+		return nil
+	}
+	second, ok := a.prompt("means the same as: ")
+	if !ok {
+		return nil
+	}
+	a.sem.Teach(first, second)
+	fmt.Fprintf(a.out, "taught: %q == %q\n", strings.TrimSpace(first), strings.TrimSpace(second))
+	_, err := a.client.RefreshGroups(a.ctx)
+	return err
+}
+
+func (a *app) joinGroup() error {
+	term, ok := a.prompt("group interest: ")
+	if !ok {
+		return nil
+	}
+	mgr, err := a.client.Manager()
+	if err != nil {
+		return err
+	}
+	mgr.JoinManually(term)
+	_, err = a.client.RefreshGroups(a.ctx)
+	return err
+}
+
+func (a *app) leaveGroup() error {
+	term, ok := a.prompt("group interest: ")
+	if !ok {
+		return nil
+	}
+	mgr, err := a.client.Manager()
+	if err != nil {
+		return err
+	}
+	mgr.LeaveManually(term)
+	_, err = a.client.RefreshGroups(a.ctx)
+	return err
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,66 @@
+// Command groupscale runs the scaling experiment the thesis's
+// conclusion proposes as future work: "performance testing during the
+// dynamic group discovery in the social network on mobile environment
+// can be done in order to analyze the efficiency of such dynamic group
+// discovery". It measures the full cold-start search time (Bluetooth
+// inquiry + SDP + interest gathering + group formation) as the
+// neighborhood grows, and prints the series.
+//
+// Usage:
+//
+//	groupscale [-peers 1,2,4,8,16] [-scale FACTOR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/vtime"
+)
+
+func main() {
+	peersFlag := flag.String("peers", "1,2,4,8,16", "comma-separated peer counts")
+	scale := flag.Float64("scale", 1e-2, "latency scale: real seconds per modeled second")
+	churn := flag.Bool("churn", false, "also measure group churn vs. walking speed")
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*peersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "groupscale: bad peer count %q\n", f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	fmt.Println("Dynamic group discovery scaling (the thesis's proposed future work):")
+	fmt.Println("cold-start search time as the neighborhood grows. The 10.24 s")
+	fmt.Println("Bluetooth inquiry dominates; the per-peer gathering cost is small.")
+	fmt.Println()
+	points, err := harness.RunDiscoveryScale(vtime.NewScale(*scale), counts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "groupscale:", err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatDiscoveryScale(points))
+
+	if !*churn {
+		return
+	}
+	fmt.Println()
+	fmt.Println("Group churn vs. walking speed (membership events per modeled")
+	fmt.Println("minute around a stationary observer — the 'instantaneous social")
+	fmt.Println("network' property):")
+	fmt.Println()
+	churnPoints, err := harness.RunChurn(harness.ChurnConfig{Scale: vtime.NewScale(*scale)}, []float64{0, 0.5, 1.5, 3})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "groupscale:", err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatChurn(churnPoints))
+}

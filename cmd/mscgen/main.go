@@ -1,0 +1,170 @@
+// Command mscgen regenerates the message sequence charts of the
+// thesis's Figures 11–17 from live traffic: it stands up a three-device
+// PeerHood Community neighborhood, performs each documented operation
+// with an MSC recorder attached, and prints the resulting charts.
+//
+// Usage:
+//
+//	mscgen [-figure N] [-format ascii|mermaid]   # N in 11..17; default: all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/msc"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+type node struct {
+	client *community.Client
+	server *community.Server
+	store  *profile.Store
+	daemon *peerhood.Daemon
+}
+
+func main() {
+	figure := flag.Int("figure", 0, "render only this figure (11..17); 0 = all")
+	format := flag.String("format", "ascii", "output format: ascii or mermaid")
+	flag.Parse()
+	if *format != "ascii" && *format != "mermaid" {
+		fmt.Fprintln(os.Stderr, "mscgen: -format must be ascii or mermaid")
+		os.Exit(2)
+	}
+	if err := run(*figure, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "mscgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure int, format string) error {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-3)))
+	net := netsim.New(env, 1)
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	mk := func(member ids.MemberID, at geo.Point, interests ...string) (*node, error) {
+		dev := ids.DeviceID("dev-" + string(member))
+		if err := env.Add(dev, mobility.Static{At: at}, radio.Bluetooth); err != nil {
+			return nil, err
+		}
+		daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		if err != nil {
+			return nil, err
+		}
+		lib := peerhood.NewLibrary(daemon)
+		store := profile.NewStore(nil)
+		if err := store.CreateAccount(member, "pw"); err != nil {
+			return nil, err
+		}
+		if err := store.Login(member, "pw"); err != nil {
+			return nil, err
+		}
+		for _, term := range interests {
+			if err := store.AddInterest(member, term); err != nil {
+				return nil, err
+			}
+		}
+		server, err := community.NewServer(lib, store)
+		if err != nil {
+			return nil, err
+		}
+		if err := server.Start(); err != nil {
+			return nil, err
+		}
+		client, err := community.NewClient(lib, store, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &node{client: client, server: server, store: store, daemon: daemon}, nil
+	}
+
+	alice, err := mk("alice", geo.Pt(0, 0), "football")
+	if err != nil {
+		return err
+	}
+	bob, err := mk("bob", geo.Pt(4, 0), "football", "movies")
+	if err != nil {
+		return err
+	}
+	if _, err := mk("carol", geo.Pt(0, 4), "music"); err != nil {
+		return err
+	}
+	if err := alice.daemon.RefreshNow(ctx); err != nil {
+		return err
+	}
+	// Bob trusts alice and shares a file, so Figures 15/16 have content.
+	if err := bob.store.AddTrusted("bob", "alice"); err != nil {
+		return err
+	}
+	if err := bob.server.ShareContent("bob", "england-football.mp4", []byte("highlights")); err != nil {
+		return err
+	}
+
+	type chart struct {
+		num   int
+		title string
+		op    func() error
+	}
+	charts := []chart{
+		{11, "Get Member List", func() error {
+			_, err := alice.client.OnlineMembers(ctx)
+			return err
+		}},
+		{12, "Get Interests List", func() error {
+			_, err := alice.client.InterestsList(ctx)
+			return err
+		}},
+		{13, "View Member Profile", func() error {
+			_, err := alice.client.ViewProfile(ctx, "bob")
+			return err
+		}},
+		{14, "Put Profile Comment", func() error {
+			return alice.client.CommentProfile(ctx, "bob", "nice profile!")
+		}},
+		{15, "View Members Trusted Friends", func() error {
+			_, err := alice.client.TrustedFriendsOf(ctx, "bob")
+			return err
+		}},
+		{16, "View Members Shared Content", func() error {
+			_, err := alice.client.SharedContentOf(ctx, "bob")
+			return err
+		}},
+		{17, "Send Message", func() error {
+			return alice.client.SendMessage(ctx, "bob", "hello", "see you at the match")
+		}},
+	}
+
+	for _, c := range charts {
+		if figure != 0 && figure != c.num {
+			continue
+		}
+		rec := msc.NewRecorder(fmt.Sprintf("Figure %d: %s", c.num, c.title))
+		alice.client.SetRecorder(rec)
+		if err := c.op(); err != nil {
+			return fmt.Errorf("figure %d: %w", c.num, err)
+		}
+		alice.client.SetRecorder(nil)
+		if format == "mermaid" {
+			if err := rec.RenderMermaid(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := rec.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

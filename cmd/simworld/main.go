@@ -1,0 +1,192 @@
+// Command simworld runs a mobile social-networking scenario and
+// narrates it: pedestrians with interest profiles walk around a campus
+// quad while one observer's PeerHood daemon discovers them and the
+// community client forms, grows, shrinks and dissolves dynamic interest
+// groups (the behaviour of Figures 2 and 5).
+//
+// Usage:
+//
+//	simworld [-people N] [-minutes M] [-seed S] [-size METERS]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+var interestPool = []string{
+	"football", "music", "movies", "chess", "photography", "cooking",
+}
+
+func main() {
+	people := flag.Int("people", 8, "number of walking peers")
+	minutes := flag.Int("minutes", 5, "modeled minutes to simulate")
+	seed := flag.Int64("seed", 42, "scenario seed")
+	size := flag.Float64("size", 60, "square campus side in meters")
+	flag.Parse()
+	if err := run(*people, *minutes, *seed, *size); err != nil {
+		fmt.Fprintln(os.Stderr, "simworld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(people, minutes int, seed int64, size float64) error {
+	scale := vtime.NewScale(1e-2)
+	env := radio.NewEnvironment(radio.WithScale(scale))
+	net := netsim.New(env, seed)
+	defer net.Close()
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(size, size))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Observer in the middle of the quad.
+	if err := env.Add("observer", mobility.Static{At: region.Center()}, radio.Bluetooth); err != nil {
+		return err
+	}
+	observerDaemon, err := peerhood.NewDaemon(peerhood.Config{Device: "observer", Network: net})
+	if err != nil {
+		return err
+	}
+	defer observerDaemon.Stop()
+	observerStore := profile.NewStore(nil)
+	if err := observerStore.CreateAccount("you", "pw"); err != nil {
+		return err
+	}
+	if err := observerStore.Login("you", "pw"); err != nil {
+		return err
+	}
+	for _, t := range []string{"football", "music", "photography"} {
+		if err := observerStore.AddInterest("you", t); err != nil {
+			return err
+		}
+	}
+	observerLib := peerhood.NewLibrary(observerDaemon)
+	observerServer, err := community.NewServer(observerLib, observerStore)
+	if err != nil {
+		return err
+	}
+	if err := observerServer.Start(); err != nil {
+		return err
+	}
+	defer observerServer.Stop()
+	client, err := community.NewClient(observerLib, observerStore, nil)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Walking peers.
+	var cleanup []func()
+	defer func() {
+		for _, fn := range cleanup {
+			fn()
+		}
+	}()
+	for i := 0; i < people; i++ {
+		member := ids.MemberID(fmt.Sprintf("peer-%02d", i))
+		dev := ids.DeviceID("dev-" + string(member))
+		walk := mobility.NewPedestrian(region, seed+int64(i))
+		if err := env.Add(dev, walk, radio.Bluetooth); err != nil {
+			return err
+		}
+		daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		if err != nil {
+			return err
+		}
+		store := profile.NewStore(nil)
+		if err := store.CreateAccount(member, "pw"); err != nil {
+			return err
+		}
+		if err := store.Login(member, "pw"); err != nil {
+			return err
+		}
+		// Deterministic interest mix: each peer takes two pool entries.
+		for k := 0; k < 2; k++ {
+			term := interestPool[(i+k*3)%len(interestPool)]
+			if err := store.AddInterest(member, term); err != nil {
+				return err
+			}
+		}
+		server, err := community.NewServer(peerhood.NewLibrary(daemon), store)
+		if err != nil {
+			return err
+		}
+		if err := server.Start(); err != nil {
+			return err
+		}
+		cleanup = append(cleanup, server.Stop, daemon.Stop)
+	}
+
+	fmt.Printf("simworld: %d pedestrians on a %.0fx%.0f m quad, observer in the middle,\n",
+		people, size, size)
+	fmt.Printf("Bluetooth range %.0f m, %d modeled minutes (seed %d)\n\n",
+		env.PHY(radio.Bluetooth).Range, minutes, seed)
+
+	mgr, err := client.Manager()
+	if err != nil {
+		return err
+	}
+	_ = mgr
+
+	deadline := time.Duration(minutes) * time.Minute
+	for env.Elapsed() < deadline {
+		if err := observerDaemon.RefreshNow(ctx); err != nil {
+			return err
+		}
+		events, err := client.RefreshGroups(ctx)
+		if err != nil {
+			return err
+		}
+		stamp := env.Elapsed().Round(time.Second)
+		for _, ev := range events {
+			switch ev.Type {
+			case core.EventGroupFormed:
+				fmt.Printf("[%6s] group %q formed\n", stamp, ev.Interest)
+			case core.EventGroupDissolved:
+				fmt.Printf("[%6s] group %q dissolved\n", stamp, ev.Interest)
+			case core.EventMemberJoined:
+				fmt.Printf("[%6s] %s joined %q\n", stamp, ev.Member, ev.Interest)
+			case core.EventMemberLeft:
+				fmt.Printf("[%6s] %s left %q\n", stamp, ev.Member, ev.Interest)
+			}
+		}
+	}
+
+	stats := observerDaemon.Stats()
+	fmt.Printf("\ndaemon stats: %d discovery rounds, %d SDP queries sent, %d served, %d connects, %d monitor events\n",
+		stats.DiscoveryRounds, stats.SDPQueriesSent, stats.SDPQueriesServed, stats.ConnectsRouted, stats.MonitorEvents)
+	counters := net.Counters()
+	fmt.Printf("network: %d/%d dials connected, %d messages (%d bytes) delivered, %d link failures\n",
+		counters.ConnsEstablished, counters.DialsAttempted,
+		counters.MessagesDelivered, counters.BytesDelivered, counters.LinkFailures)
+	fmt.Println("\neveryone ever sighted (PeerHood's stored neighborhood information):")
+	for _, s := range observerDaemon.History() {
+		fmt.Printf("  %-16s rounds=%-3d first=%-8s last=%s\n",
+			s.Device, s.Rounds, s.FirstSeen.Round(time.Second), s.LastSeen.Round(time.Second))
+	}
+	fmt.Println("\nfinal groups:")
+	groups := client.Groups()
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Interest < groups[j].Interest })
+	if len(groups) == 0 {
+		fmt.Println("  (none — nobody with shared interests in range)")
+	}
+	for _, g := range groups {
+		fmt.Printf("  %-14s %v\n", g.Interest, g.MemberIDs())
+	}
+	return nil
+}

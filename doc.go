@@ -1,0 +1,11 @@
+// Package repro reproduces "Social Networking on Mobile Environment on
+// top of PeerHood" (Karki, Lappeenranta University of Technology,
+// 2008): the PeerHood network-management middleware, the dynamic
+// group discovery algorithm, the PeerHood Community reference
+// application, and the evaluation against centralized social
+// networking sites.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory), runnable programs under cmd/ and examples/, and
+// the per-table/figure benchmarks in bench_test.go at this root.
+package repro

@@ -1,0 +1,164 @@
+// Bus: the "mobile community" scenario of §5.1 — "and in mobile
+// community like in bus or airplane while travelling". The bus itself
+// moves, but the passengers move *together*, so their relative
+// positions are stable and the social network persists for the whole
+// ride; a passenger who gets off at a stop drops out of every group —
+// the thesis's "instantaneous social network" whose "long distance
+// traveling members could never be together again".
+//
+//	go run ./examples/bus
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// busSpeed is a city bus cruising along the x axis.
+const busSpeed = 10.0 // m/s
+
+// seatOffsets places passengers around the bus origin (a 10 m vehicle,
+// everyone inside Bluetooth range of everyone).
+var seatOffsets = []geo.Vector{
+	{DX: 0, DY: 0}, {DX: 2, DY: 1}, {DX: 4, DY: 0}, {DX: 6, DY: 1}, {DX: 8, DY: 0},
+}
+
+var passengers = []struct {
+	member    ids.MemberID
+	interests []string
+}{
+	{"teemu", []string{"football", "podcasts"}},
+	{"sanna", []string{"football", "knitting"}},
+	{"mikko", []string{"podcasts", "chess"}},
+	{"laura", []string{"knitting", "football"}},
+	{"pekka", []string{"chess", "football"}},
+}
+
+func main() {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-2)))
+	net := netsim.New(env, 5)
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Everyone rides the bus: same velocity, different seats.
+	peers := make(map[ids.MemberID]*peer, len(passengers))
+	for i, spec := range passengers {
+		dev := ids.DeviceID("phone-" + string(spec.member))
+		ride := mobility.Linear{
+			Start:    geo.Pt(0, 0).Add(seatOffsets[i]),
+			Velocity: geo.Vec(busSpeed, 0),
+		}
+		must(env.Add(dev, ride, radio.Bluetooth))
+		peers[spec.member] = newPeer(net, dev, spec.member, spec.interests...)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.stop()
+		}
+	}()
+
+	teemu := peers["teemu"]
+	must(teemu.daemon.RefreshNow(ctx))
+	_, err := teemu.client.RefreshGroups(ctx)
+	must(err)
+
+	fmt.Println("on the bus, teemu's groups:")
+	printGroups(teemu)
+
+	// The ride: the bus covers kilometers, yet nothing changes —
+	// relative positions are constant, so the social network survives
+	// the mobility. (This is the scenario where an infrastructure
+	// network would churn constantly.)
+	rideFor(env, 2*time.Minute)
+	must(teemu.daemon.RefreshNow(ctx))
+	events, err := teemu.client.RefreshGroups(ctx)
+	must(err)
+	pos, _ := env.Position("phone-teemu")
+	fmt.Printf("\nafter 2 minutes (bus has moved to x=%.0f m): %d group events — the network rode along\n",
+		pos.X, len(events))
+
+	// Passengers chat while riding.
+	must(teemu.client.SendMessage(ctx, "sanna", "halftime", "did you see the goal?"))
+	sannaProfile, err := peers["sanna"].store.Get("sanna")
+	must(err)
+	fmt.Printf("sanna's inbox on the moving bus: %d message(s)\n", len(sannaProfile.Inbox))
+
+	// Laura gets off at her stop: her phone stays where she alighted
+	// while the bus drives on.
+	stopPos, err := env.Position("phone-laura")
+	must(err)
+	must(env.SetModel("phone-laura", mobility.Static{At: stopPos}))
+	fmt.Println("\nlaura gets off at the stop...")
+	rideFor(env, 30*time.Second) // bus drives 300 m away
+	must(teemu.daemon.RefreshNow(ctx))
+	events, err = teemu.client.RefreshGroups(ctx)
+	must(err)
+	for _, ev := range events {
+		fmt.Printf("  event: %s %s %s\n", ev.Type, ev.Interest, ev.Member)
+	}
+	fmt.Println("\nteemu's groups after laura left:")
+	printGroups(teemu)
+}
+
+func rideFor(env *radio.Environment, modeled time.Duration) {
+	env.Clock().Sleep(env.Scale().ToReal(modeled))
+}
+
+func printGroups(p *peer) {
+	groups := p.client.Groups()
+	if len(groups) == 0 {
+		fmt.Println("  (none)")
+	}
+	for _, g := range groups {
+		fmt.Printf("  %-10s %v\n", g.Interest, g.MemberIDs())
+	}
+}
+
+type peer struct {
+	daemon *peerhood.Daemon
+	store  *profile.Store
+	server *community.Server
+	client *community.Client
+}
+
+func newPeer(net *netsim.Network, dev ids.DeviceID, member ids.MemberID, interests ...string) *peer {
+	daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+	must(err)
+	store := profile.NewStore(nil)
+	must(store.CreateAccount(member, "pw"))
+	must(store.Login(member, "pw"))
+	for _, term := range interests {
+		must(store.AddInterest(member, term))
+	}
+	server, err := community.NewServer(peerhood.NewLibrary(daemon), store)
+	must(err)
+	must(server.Start())
+	client, err := community.NewClient(peerhood.NewLibrary(daemon), store, nil)
+	must(err)
+	return &peer{daemon: daemon, store: store, server: server, client: client}
+}
+
+func (p *peer) stop() {
+	p.client.Close()
+	p.server.Stop()
+	p.daemon.Stop()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Campus: the "instant local community" scenario of §5.1 — "social
+// networking on top of PeerHood is very much feasible in instant local
+// communities like in university or pub". Students walk a campus quad;
+// a stationary student's device continuously re-forms interest groups
+// as people drift through Bluetooth range, with active monitoring
+// noticing every appearance and disappearance.
+//
+//	go run ./examples/campus
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+const (
+	quadSide       = 50.0 // meters
+	studentCount   = 6
+	modeledMinutes = 4
+)
+
+var courses = [][]string{
+	{"football", "networking"},
+	{"music", "football"},
+	{"photography", "music"},
+	{"networking", "chess"},
+	{"football", "photography"},
+	{"chess", "music"},
+}
+
+func main() {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-2)))
+	net := netsim.New(env, 2008)
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	quad := geo.NewRect(geo.Pt(0, 0), geo.Pt(quadSide, quadSide))
+
+	// The observing student sits at the quad's center with PeerHood
+	// monitoring turned on.
+	must(env.Add("my-laptop", mobility.Static{At: quad.Center()}, radio.Bluetooth))
+	me := newPeer(net, "my-laptop", "me", "football", "music", "networking")
+	defer me.stop()
+
+	// Walking students.
+	for i := 0; i < studentCount; i++ {
+		member := ids.MemberID(fmt.Sprintf("student-%d", i))
+		dev := ids.DeviceID("phone-" + string(member))
+		must(env.Add(dev, mobility.NewPedestrian(quad, int64(100+i)), radio.Bluetooth))
+		s := newPeer(net, dev, member, courses[i%len(courses)]...)
+		defer s.stop()
+	}
+
+	// Active monitoring: log every student entering/leaving my range.
+	for i := 0; i < studentCount; i++ {
+		dev := ids.DeviceID(fmt.Sprintf("phone-student-%d", i))
+		cancelMon := me.daemon.Monitor(dev, func(ev peerhood.MonitorEvent) {
+			verb := "disappeared from"
+			if ev.Appeared {
+				verb = "appeared in"
+			}
+			fmt.Printf("[%6s] monitor: %s %s range\n", env.Elapsed().Round(time.Second), ev.Device, verb)
+		})
+		defer cancelMon()
+	}
+	must(me.daemon.Start()) // background discovery + monitor loops
+
+	fmt.Printf("campus quad %gx%g m, %d walking students, observing for %d modeled minutes\n\n",
+		quadSide, quadSide, studentCount, modeledMinutes)
+
+	groupEvents := 0
+	for env.Elapsed() < modeledMinutes*time.Minute {
+		events, err := me.client.RefreshGroups(ctx)
+		must(err)
+		stamp := env.Elapsed().Round(time.Second)
+		for _, ev := range events {
+			groupEvents++
+			switch ev.Type {
+			case core.EventGroupFormed:
+				fmt.Printf("[%6s] + group %q\n", stamp, ev.Interest)
+			case core.EventGroupDissolved:
+				fmt.Printf("[%6s] - group %q\n", stamp, ev.Interest)
+			case core.EventMemberJoined:
+				fmt.Printf("[%6s]   %s joined %q\n", stamp, ev.Member, ev.Interest)
+			case core.EventMemberLeft:
+				fmt.Printf("[%6s]   %s left %q\n", stamp, ev.Member, ev.Interest)
+			}
+		}
+		env.Clock().Sleep(env.Scale().ToReal(5 * time.Second))
+	}
+
+	fmt.Printf("\n%d group events in %d modeled minutes; final groups:\n", groupEvents, modeledMinutes)
+	for _, g := range me.client.Groups() {
+		fmt.Printf("  %-12s %v\n", g.Interest, g.MemberIDs())
+	}
+	if len(me.client.Groups()) == 0 {
+		fmt.Println("  (nobody with shared interests in range right now)")
+	}
+}
+
+type peer struct {
+	daemon *peerhood.Daemon
+	store  *profile.Store
+	server *community.Server
+	client *community.Client
+}
+
+func newPeer(net *netsim.Network, dev ids.DeviceID, member ids.MemberID, interests ...string) *peer {
+	daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+	must(err)
+	store := profile.NewStore(nil)
+	must(store.CreateAccount(member, "pw"))
+	must(store.Login(member, "pw"))
+	for _, term := range interests {
+		must(store.AddInterest(member, term))
+	}
+	server, err := community.NewServer(peerhood.NewLibrary(daemon), store)
+	must(err)
+	must(server.Start())
+	client, err := community.NewClient(peerhood.NewLibrary(daemon), store, nil)
+	must(err)
+	return &peer{daemon: daemon, store: store, server: server, client: client}
+}
+
+func (p *peer) stop() {
+	p.client.Close()
+	p.server.Stop()
+	p.daemon.Stop()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

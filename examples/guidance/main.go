@@ -1,0 +1,98 @@
+// Guidance: the §4.4 location-aware guidance system on top of PeerHood.
+// Guidance points stand at known places in a building; a traveler's PTD
+// discovers the point in Bluetooth range and asks it for the shortest
+// walking route to a destination — no maps on the device, no
+// infrastructure network, just proximity services.
+//
+//	go run ./examples/guidance
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/apps/guidance"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+func main() {
+	env := radio.NewEnvironment(radio.WithScale(vtime.DefaultScale()))
+	net := netsim.New(env, 4)
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// The building's walkway graph, shared by every guidance point.
+	m := guidance.NewMap()
+	places := map[string]geo.Point{
+		"entrance":  geo.Pt(0, 0),
+		"lobby":     geo.Pt(25, 0),
+		"stairs":    geo.Pt(50, 0),
+		"cafeteria": geo.Pt(25, 30),
+		"room6604":  geo.Pt(75, 10),
+	}
+	for name, at := range places {
+		m.AddPlace(name, at)
+	}
+	for _, e := range [][2]string{
+		{"entrance", "lobby"}, {"lobby", "stairs"}, {"lobby", "cafeteria"},
+		{"stairs", "room6604"}, {"cafeteria", "room6604"},
+	} {
+		must(m.Connect(e[0], e[1]))
+	}
+
+	// Guidance points at the entrance and the lobby.
+	for _, place := range []string{"entrance", "lobby"} {
+		dev := ids.DeviceID("gp-" + place)
+		must(env.Add(dev, mobility.Static{At: places[place]}, radio.Bluetooth))
+		daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		must(err)
+		defer daemon.Stop()
+		point, err := guidance.NewPoint(peerhood.NewLibrary(daemon), m, place)
+		must(err)
+		defer point.Stop()
+	}
+
+	// A traveler arrives at the entrance.
+	must(env.Add("visitor-ptd", mobility.Static{At: places["entrance"]}, radio.Bluetooth))
+	daemon, err := peerhood.NewDaemon(peerhood.Config{Device: "visitor-ptd", Network: net})
+	must(err)
+	defer daemon.Stop()
+	lib := peerhood.NewLibrary(daemon)
+	must(daemon.RefreshNow(ctx))
+
+	traveler := guidance.NewTraveler(lib)
+	fmt.Println("visitor at the entrance, looking for room 6604...")
+	path, err := traveler.Directions(ctx, "room6604")
+	must(err)
+	length, err := m.RouteLength(path)
+	must(err)
+	fmt.Printf("guidance point says: %s  (%.0f m walk)\n", strings.Join(path, " -> "), length)
+
+	// Walk to the lobby and ask again: the nearer point answers with
+	// the remaining route.
+	must(env.SetModel("visitor-ptd", mobility.Static{At: places["lobby"]}))
+	must(daemon.RefreshNow(ctx))
+	path, err = traveler.Directions(ctx, "room6604")
+	must(err)
+	fmt.Printf("from the lobby: %s\n", strings.Join(path, " -> "))
+
+	if _, err := traveler.Directions(ctx, "swimming pool"); err != nil {
+		fmt.Println("asking for an unknown place:", err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

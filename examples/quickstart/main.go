@@ -1,0 +1,110 @@
+// Quickstart: the smallest complete PeerHood Community setup — two
+// devices in Bluetooth range, one shared interest, a dynamic group
+// forms, a message flows.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+func main() {
+	// 1. A world: two devices five meters apart, Bluetooth radios,
+	//    running 1000x faster than real time.
+	env := radio.NewEnvironment(radio.WithScale(vtime.DefaultScale()))
+	net := netsim.New(env, 1)
+	defer net.Close()
+	must(env.Add("alice-phone", mobility.Static{At: geo.Pt(0, 0)}, radio.Bluetooth))
+	must(env.Add("bob-phone", mobility.Static{At: geo.Pt(5, 0)}, radio.Bluetooth))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// 2. Each device runs a PeerHood daemon, a profile store with a
+	//    logged-in user, and the community server.
+	alice := newPeer(net, "alice-phone", "alice", "football", "music")
+	defer alice.stop()
+	bob := newPeer(net, "bob-phone", "bob", "football", "chess")
+	defer bob.stop()
+
+	// 3. Alice's daemon scans the neighborhood (a Bluetooth inquiry —
+	//    about 11 modeled seconds, 11 real milliseconds here).
+	must(alice.daemon.RefreshNow(ctx))
+	fmt.Println("devices nearby:", alice.lib.GetDeviceList())
+
+	// 4. Dynamic group discovery: the shared "football" interest forms
+	//    a group automatically — no create, no invite, no join.
+	events, err := alice.client.RefreshGroups(ctx)
+	must(err)
+	for _, ev := range events {
+		fmt.Printf("group event: %s %s %s\n", ev.Type, ev.Interest, ev.Member)
+	}
+	for _, g := range alice.client.Groups() {
+		fmt.Printf("group %q members: %v\n", g.Interest, g.MemberIDs())
+	}
+
+	// 5. Social features: view bob's profile, comment it, message him.
+	p, err := alice.client.ViewProfile(ctx, "bob")
+	must(err)
+	fmt.Printf("bob's interests: %v\n", p.Interests)
+	must(alice.client.CommentProfile(ctx, "bob", "found you via the football group!"))
+	must(alice.client.SendMessage(ctx, "bob", "hello", "kickabout at five?"))
+
+	bobProfile, err := bob.store.Get("bob")
+	must(err)
+	fmt.Printf("bob's inbox: %d message(s); first subject: %q\n",
+		len(bobProfile.Inbox), bobProfile.Inbox[0].Subject)
+	fmt.Printf("bob's profile comments: %q\n", bobProfile.Comments[0].Text)
+}
+
+type peer struct {
+	daemon *peerhood.Daemon
+	lib    *peerhood.Library
+	store  *profile.Store
+	server *community.Server
+	client *community.Client
+}
+
+func newPeer(net *netsim.Network, dev ids.DeviceID, member ids.MemberID, interests ...string) *peer {
+	daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+	must(err)
+	lib := peerhood.NewLibrary(daemon)
+	store := profile.NewStore(nil)
+	must(store.CreateAccount(member, "password"))
+	must(store.Login(member, "password"))
+	for _, term := range interests {
+		must(store.AddInterest(member, term))
+	}
+	server, err := community.NewServer(lib, store)
+	must(err)
+	must(server.Start())
+	client, err := community.NewClient(lib, store, nil)
+	must(err)
+	return &peer{daemon: daemon, lib: lib, store: store, server: server, client: client}
+}
+
+func (p *peer) stop() {
+	p.client.Close()
+	p.server.Stop()
+	p.daemon.Stop()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

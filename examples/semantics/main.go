@@ -1,0 +1,127 @@
+// Semantics: the thesis's future-work feature in action. §5.2.6 notes
+// the disadvantage of exact-match grouping: "users interested in riding
+// bicycle can put biking or cycling as their interest. Even though both
+// have same meaning, the application is not that much intelligent to
+// know both interest are same and it creates two different dynamic
+// groups rather than one single group." The conclusion proposes
+// "semantics teaching to the environment" as future work; this example
+// runs both worlds side by side.
+//
+//	go run ./examples/semantics
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/interest"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+var riders = []struct {
+	member ids.MemberID
+	term   string
+}{
+	{"anna", "biking"},
+	{"ben", "cycling"},
+	{"cem", "bike riding"},
+	{"dina", "cycling"},
+}
+
+func main() {
+	env := radio.NewEnvironment(radio.WithScale(vtime.DefaultScale()))
+	net := netsim.New(env, 3)
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// The observer is also a cyclist — she wrote "biking".
+	must(env.Add("observer", mobility.Static{At: geo.Pt(0, 0)}, radio.Bluetooth))
+	sem := interest.NewSemantics()
+	me := newPeer(net, "observer", "me", sem, "biking")
+	defer me.stop()
+
+	for i, r := range riders {
+		dev := ids.DeviceID("phone-" + string(r.member))
+		must(env.Add(dev, mobility.Static{At: geo.Pt(float64(i+1), 1)}, radio.Bluetooth))
+		p := newPeer(net, dev, r.member, nil, r.term)
+		defer p.stop()
+	}
+
+	must(me.daemon.RefreshNow(ctx))
+
+	// Without semantics: exact string matching, like the reference
+	// implementation. Only the literal "biking" users group with us.
+	_, err := me.client.RefreshGroups(ctx)
+	must(err)
+	fmt.Println("WITHOUT semantics teaching (the thesis's reference implementation):")
+	printGroups(me)
+	fmt.Println("  -> ben, cem and dina are invisible: same meaning, different words")
+
+	// Teach the environment, as the conclusion proposes.
+	sem.Teach("biking", "cycling")
+	sem.Teach("cycling", "bike riding")
+	fmt.Println("\nteaching: biking == cycling == bike riding")
+
+	_, err = me.client.RefreshGroups(ctx)
+	must(err)
+	fmt.Println("\nWITH semantics teaching (the proposed future work):")
+	printGroups(me)
+	fmt.Printf("  -> one group under the canonical term %q\n", sem.Canon("cycling"))
+}
+
+func printGroups(p *peer) {
+	groups := p.client.Groups()
+	if len(groups) == 0 {
+		fmt.Println("  (no groups)")
+	}
+	for _, g := range groups {
+		fmt.Printf("  group %-12q members: %v\n", g.Interest, g.MemberIDs())
+	}
+}
+
+type peer struct {
+	daemon *peerhood.Daemon
+	store  *profile.Store
+	server *community.Server
+	client *community.Client
+}
+
+func newPeer(net *netsim.Network, dev ids.DeviceID, member ids.MemberID, sem *interest.Semantics, interests ...string) *peer {
+	daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+	must(err)
+	store := profile.NewStore(nil)
+	must(store.CreateAccount(member, "pw"))
+	must(store.Login(member, "pw"))
+	for _, term := range interests {
+		must(store.AddInterest(member, term))
+	}
+	server, err := community.NewServer(peerhood.NewLibrary(daemon), store)
+	must(err)
+	must(server.Start())
+	client, err := community.NewClient(peerhood.NewLibrary(daemon), store, sem)
+	must(err)
+	return &peer{daemon: daemon, store: store, server: server, client: client}
+}
+
+func (p *peer) stop() {
+	p.client.Close()
+	p.server.Stop()
+	p.daemon.Stop()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

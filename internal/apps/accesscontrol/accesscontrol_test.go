@@ -1,0 +1,195 @@
+package accesscontrol
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+const secret = "room-6604-secret"
+
+type fixture struct {
+	env  *radio.Environment
+	net  *netsim.Network
+	door *Door
+	key  *Key
+	ctx  context.Context
+
+	doorLib *peerhood.Library
+	keyLib  *peerhood.Library
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	if err := env.Add("door-dev", mobility.Static{At: geo.Pt(0, 0)}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Add("phone", mobility.Static{At: geo.Pt(3, 0)}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	mkLib := func(dev ids.DeviceID) *peerhood.Library {
+		d, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Stop)
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return peerhood.NewLibrary(d)
+	}
+	doorLib := mkLib("door-dev")
+	keyLib := mkLib("phone")
+
+	door, err := NewDoor(doorLib, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(door.Stop)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	if err := keyLib.Daemon().RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		env: env, net: net, door: door,
+		key: NewKey(keyLib, secret), ctx: ctx,
+		doorLib: doorLib, keyLib: keyLib,
+	}
+}
+
+func TestDiscoverDoor(t *testing.T) {
+	f := setup(t)
+	doors := f.key.NearbyDoors()
+	if len(doors) != 1 || doors[0] != "door-dev" {
+		t.Fatalf("NearbyDoors = %v", doors)
+	}
+}
+
+func TestUnlockAuthorized(t *testing.T) {
+	f := setup(t)
+	f.door.Authorize("phone")
+	if err := f.key.Unlock(f.ctx, "door-dev"); err != nil {
+		t.Fatal(err)
+	}
+	if f.door.State() != Unlocked {
+		t.Fatal("door should be unlocked")
+	}
+	if err := f.key.Lock(f.ctx, "door-dev"); err != nil {
+		t.Fatal(err)
+	}
+	if f.door.State() != Locked {
+		t.Fatal("door should be locked")
+	}
+}
+
+func TestUnlockUnauthorizedDenied(t *testing.T) {
+	f := setup(t)
+	if err := f.key.Unlock(f.ctx, "door-dev"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("err = %v, want ErrAccessDenied", err)
+	}
+	if f.door.State() != Locked {
+		t.Fatal("door must stay locked")
+	}
+}
+
+func TestWrongSecretDenied(t *testing.T) {
+	f := setup(t)
+	f.door.Authorize("phone")
+	badKey := NewKey(f.keyLib, "wrong-secret")
+	if err := badKey.Unlock(f.ctx, "door-dev"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("err = %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	f := setup(t)
+	f.door.Authorize("phone")
+	f.door.Revoke("phone")
+	if err := f.key.Unlock(f.ctx, "door-dev"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("err = %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestAutoLockWhenKeyLeaves(t *testing.T) {
+	f := setup(t)
+	f.door.Authorize("phone")
+	if err := f.key.Unlock(f.ctx, "door-dev"); err != nil {
+		t.Fatal(err)
+	}
+	// The key holder walks away beyond Bluetooth range.
+	if err := f.env.SetModel("phone", mobility.Static{At: geo.Pt(500, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.door.State() != Locked && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if f.door.State() != Locked {
+		t.Fatal("door did not auto-lock after the key left range")
+	}
+	transcript := strings.Join(f.door.Transcript(), "\n")
+	if !strings.Contains(transcript, "auto-locked") {
+		t.Fatalf("transcript = %q, want auto-lock entry", transcript)
+	}
+}
+
+func TestUnlockOutOfRangeFails(t *testing.T) {
+	f := setup(t)
+	f.door.Authorize("phone")
+	if err := f.env.SetModel("phone", mobility.Static{At: geo.Pt(500, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.key.Unlock(f.ctx, "door-dev"); !errors.Is(err, ErrDoorGone) {
+		t.Fatalf("err = %v, want ErrDoorGone", err)
+	}
+}
+
+func TestCredentialBinding(t *testing.T) {
+	// The credential is bound to the holder device: one holder's token
+	// never works for another device.
+	a := credentialFor(secret, "phone")
+	b := credentialFor(secret, "other")
+	if a == b {
+		t.Fatal("credentials must differ per device")
+	}
+	if credentialFor("other-secret", "phone") == a {
+		t.Fatal("credentials must differ per secret")
+	}
+}
+
+func TestDoorStateString(t *testing.T) {
+	if Locked.String() != "locked" || Unlocked.String() != "unlocked" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestBadRequest(t *testing.T) {
+	f := setup(t)
+	conn, err := f.keyLib.Connect(f.ctx, "door-dev", ServiceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("GIBBERISH")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv(f.ctx)
+	if err != nil || string(resp) != "BAD_REQUEST" {
+		t.Fatalf("resp = %q, %v", resp, err)
+	}
+}

@@ -1,0 +1,201 @@
+package fitness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+func TestZoneFor(t *testing.T) {
+	tests := []struct {
+		hr, age int
+		want    Zone
+	}{
+		{60, 30, ZoneRest},     // 60/190 = 0.32
+		{110, 30, ZoneFatBurn}, // 0.58
+		{150, 30, ZoneCardio},  // 0.79
+		{175, 30, ZonePeak},    // 0.92
+	}
+	for _, tt := range tests {
+		if got := ZoneFor(tt.hr, tt.age); got != tt.want {
+			t.Errorf("ZoneFor(%d, %d) = %v, want %v", tt.hr, tt.age, got, tt.want)
+		}
+	}
+}
+
+func TestZoneMonotonicInHR(t *testing.T) {
+	prev := ZoneRest
+	for hr := 40; hr <= 200; hr += 5 {
+		z := ZoneFor(hr, 25)
+		if z < prev {
+			t.Fatalf("zone decreased at hr=%d", hr)
+		}
+		prev = z
+	}
+}
+
+func TestZoneStrings(t *testing.T) {
+	for _, z := range []Zone{ZoneRest, ZoneFatBurn, ZoneCardio, ZonePeak} {
+		if s := z.String(); s == "" || strings.HasPrefix(s, "zone(") {
+			t.Errorf("missing String for zone %d", int(z))
+		}
+	}
+	if !strings.HasPrefix(Zone(9).String(), "zone(") {
+		t.Error("unknown zone String wrong")
+	}
+}
+
+type fixture struct {
+	env     *radio.Environment
+	coach   *Coach
+	athlete *Athlete
+	ctx     context.Context
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	// Coach and athlete carry Bluetooth and WLAN, so the stream can
+	// fail over mid-exercise.
+	for _, d := range []ids.DeviceID{"gym-coach", "runner-watch"} {
+		if err := env.Add(d, mobility.Static{At: geo.Pt(0, 0)}, radio.Bluetooth, radio.WLAN); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.SetModel("runner-watch", mobility.Static{At: geo.Pt(5, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	mkDaemon := func(dev ids.DeviceID) *peerhood.Daemon {
+		d, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Stop)
+		return d
+	}
+	coachDaemon := mkDaemon("gym-coach")
+	athleteDaemon := mkDaemon("runner-watch")
+
+	coach, err := NewCoach(peerhood.NewLibrary(coachDaemon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coach.Stop)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	if err := athleteDaemon.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	athlete := NewAthlete(peerhood.NewLibrary(athleteDaemon), 30)
+	t.Cleanup(athlete.Close)
+	return &fixture{env: env, coach: coach, athlete: athlete, ctx: ctx}
+}
+
+func TestInstantFeedback(t *testing.T) {
+	f := setup(t)
+	fb, err := f.athlete.Report(f.ctx, []int{148, 152, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.AverageHR != 150 {
+		t.Errorf("average = %d, want 150", fb.AverageHR)
+	}
+	if fb.Zone != ZoneCardio {
+		t.Errorf("zone = %v, want cardio", fb.Zone)
+	}
+	if fb.Encouragement == "" {
+		t.Error("no encouragement — the whole point of the system")
+	}
+	if got := f.coach.SamplesSeen("runner-watch"); got != 3 {
+		t.Errorf("SamplesSeen = %d, want 3", got)
+	}
+}
+
+func TestStreamingAccumulates(t *testing.T) {
+	f := setup(t)
+	for i := 0; i < 5; i++ {
+		if _, err := f.athlete.Report(f.ctx, []int{120, 125}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.coach.SamplesSeen("runner-watch"); got != 10 {
+		t.Fatalf("SamplesSeen = %d, want 10", got)
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	f := setup(t)
+	if _, err := f.athlete.Report(f.ctx, nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := f.athlete.Report(f.ctx, []int{-5}); err == nil {
+		t.Fatal("negative heart rate accepted")
+	}
+}
+
+func TestNoCoach(t *testing.T) {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	if err := env.Add("solo", mobility.Static{}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	d, err := peerhood.NewDaemon(peerhood.Config{Device: "solo", Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	athlete := NewAthlete(peerhood.NewLibrary(d), 30)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := athlete.Report(ctx, []int{100}); !errors.Is(err, ErrNoCoach) {
+		t.Fatalf("err = %v, want ErrNoCoach", err)
+	}
+}
+
+// TestStreamSurvivesTechnologySwitch: the athlete runs out of Bluetooth
+// range mid-exercise; the seamless connection fails over to WLAN and
+// feedback keeps flowing (the §4.4 claim that PeerHood apps "retain
+// existing connection and communicate with all the moving devices").
+func TestStreamSurvivesTechnologySwitch(t *testing.T) {
+	f := setup(t)
+	if _, err := f.athlete.Report(f.ctx, []int{140}); err != nil {
+		t.Fatal(err)
+	}
+	// Run to 50 m: outside Bluetooth (10 m), inside WLAN (91 m).
+	if err := f.env.SetModel("runner-watch", mobility.Static{At: geo.Pt(50, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		fb, err := f.athlete.Report(f.ctx, []int{142})
+		lastErr = err
+		if err == nil && fb.AverageHR == 142 {
+			return // stream survived the switch
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("stream never recovered after leaving Bluetooth range: %v", lastErr)
+}
+
+func TestParseFeedbackMalformed(t *testing.T) {
+	for _, bad := range []string{"", "NOPE", "FEEDBACK x 1 hi", "FEEDBACK 1 x hi", "FEEDBACK 1 2"} {
+		if _, err := parseFeedback(bad); err == nil {
+			t.Errorf("parseFeedback(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package guidance
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// campusMap builds the test walkway graph:
+//
+//	entrance - lobby - corridor - room6604
+//	              \
+//	               cafeteria
+func campusMap(t *testing.T) *Map {
+	t.Helper()
+	m := NewMap()
+	m.AddPlace("entrance", geo.Pt(0, 0))
+	m.AddPlace("lobby", geo.Pt(20, 0))
+	m.AddPlace("corridor", geo.Pt(40, 0))
+	m.AddPlace("room6604", geo.Pt(60, 0))
+	m.AddPlace("cafeteria", geo.Pt(20, 20))
+	for _, e := range [][2]string{
+		{"entrance", "lobby"}, {"lobby", "corridor"},
+		{"corridor", "room6604"}, {"lobby", "cafeteria"},
+	} {
+		if err := m.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestRouteShortestPath(t *testing.T) {
+	m := campusMap(t)
+	path, err := m.Route("entrance", "room6604")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"entrance", "lobby", "corridor", "room6604"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	m := campusMap(t)
+	path, err := m.Route("lobby", "lobby")
+	if err != nil || len(path) != 1 || path[0] != "lobby" {
+		t.Fatalf("path = %v, %v", path, err)
+	}
+}
+
+func TestRouteUnknownAndUnreachable(t *testing.T) {
+	m := campusMap(t)
+	if _, err := m.Route("entrance", "mars"); !errors.Is(err, ErrUnknownPlace) {
+		t.Fatalf("err = %v, want ErrUnknownPlace", err)
+	}
+	m.AddPlace("island", geo.Pt(999, 999)) // no edges
+	if _, err := m.Route("entrance", "island"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	m := NewMap()
+	m.AddPlace("a", geo.Pt(0, 0))
+	if err := m.Connect("a", "missing"); !errors.Is(err, ErrUnknownPlace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGuidanceOverPeerHood(t *testing.T) {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	m := campusMap(t)
+
+	// A guidance point in the lobby; a traveler standing next to it.
+	if err := env.Add("gp-lobby", mobility.Static{At: geo.Pt(20, 0)}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Add("traveler-ptd", mobility.Static{At: geo.Pt(22, 0)}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	mkLib := func(dev ids.DeviceID) *peerhood.Library {
+		d, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Stop)
+		return peerhood.NewLibrary(d)
+	}
+	gpLib := mkLib("gp-lobby")
+	travelerLib := mkLib("traveler-ptd")
+
+	point, err := NewPoint(gpLib, m, "lobby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(point.Stop)
+	if point.Place() != "lobby" {
+		t.Fatalf("Place = %q", point.Place())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	if err := travelerLib.Daemon().RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	traveler := NewTraveler(travelerLib)
+	path, err := traveler.Directions(ctx, "room6604")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != "lobby" || path[2] != "room6604" {
+		t.Fatalf("directions = %v", path)
+	}
+
+	if _, err := traveler.Directions(ctx, "mars"); !errors.Is(err, ErrUnknownPlace) {
+		t.Fatalf("err = %v, want ErrUnknownPlace", err)
+	}
+}
+
+func TestNoGuidancePointInRange(t *testing.T) {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	if err := env.Add("lonely", mobility.Static{At: geo.Pt(0, 0)}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	d, err := peerhood.NewDaemon(peerhood.Config{Device: "lonely", Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	traveler := NewTraveler(peerhood.NewLibrary(d))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := traveler.Directions(ctx, "anywhere"); !errors.Is(err, ErrNoGuidance) {
+		t.Fatalf("err = %v, want ErrNoGuidance", err)
+	}
+}
+
+func TestNewPointUnknownPlace(t *testing.T) {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	if err := env.Add("gp", mobility.Static{}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	d, err := peerhood.NewDaemon(peerhood.Config{Device: "gp", Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if _, err := NewPoint(peerhood.NewLibrary(d), NewMap(), "nowhere"); !errors.Is(err, ErrUnknownPlace) {
+		t.Fatalf("err = %v, want ErrUnknownPlace", err)
+	}
+}
+
+// TestRoutePicksShorterDistanceNotFewerHops: with a long direct
+// corridor and a shorter two-hop detour, Dijkstra takes the detour.
+func TestRoutePicksShorterDistanceNotFewerHops(t *testing.T) {
+	m := NewMap()
+	m.AddPlace("start", geo.Pt(0, 0))
+	m.AddPlace("end", geo.Pt(100, 0))
+	m.AddPlace("mid", geo.Pt(50, 5)) // slight dogleg: ~100.5 m total
+	// Direct corridor loops far around: model as a waypoint way off axis.
+	m.AddPlace("detour", geo.Pt(50, 200)) // start->detour->end ≈ 412 m
+	for _, e := range [][2]string{{"start", "detour"}, {"detour", "end"}, {"start", "mid"}, {"mid", "end"}} {
+		if err := m.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := m.Route("start", "end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != "mid" {
+		t.Fatalf("path = %v, want via mid", path)
+	}
+	length, err := m.RouteLength(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length < 100 || length > 101 {
+		t.Fatalf("length = %.1f, want ≈100.5", length)
+	}
+}
+
+func TestRouteLengthValidation(t *testing.T) {
+	m := campusMap(t)
+	if _, err := m.RouteLength([]string{"entrance", "mars"}); err == nil {
+		t.Fatal("unknown place accepted")
+	}
+	if _, err := m.RouteLength([]string{"entrance", "room6604"}); err == nil {
+		t.Fatal("unconnected hop accepted")
+	}
+	length, err := m.RouteLength([]string{"entrance", "lobby"})
+	if err != nil || length != 20 {
+		t.Fatalf("length = %v, %v", length, err)
+	}
+	if zero, err := m.RouteLength([]string{"lobby"}); err != nil || zero != 0 {
+		t.Fatalf("single-place length = %v, %v", zero, err)
+	}
+}

@@ -1,0 +1,552 @@
+package community
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/interest"
+	"repro/internal/msc"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+)
+
+// Errors returned by the client.
+var (
+	ErrNotLoggedIn   = profile.ErrNotLoggedIn
+	ErrMemberUnknown = fmt.Errorf("community: member not found in the neighborhood")
+	ErrNotTrusted    = fmt.Errorf("community: not a trusted friend")
+	ErrRemote        = fmt.Errorf("community: remote error")
+	ErrClientClosed  = fmt.Errorf("community: client closed")
+)
+
+// MemberInfo locates an online member in the neighborhood.
+type MemberInfo struct {
+	Member ids.MemberID
+	Device ids.DeviceID
+}
+
+// Client is the application client of §5.2.3.2: it connects to the
+// PeerHoodCommunity servers of all nearby devices, fans requests out
+// "simultaneously" as the MSCs show, aggregates the answers, and keeps
+// the local dynamic-group view updated.
+type Client struct {
+	lib   *peerhood.Library
+	store *profile.Store
+	sem   *interest.Semantics
+	mgr   *core.Manager
+
+	mu       sync.Mutex
+	conns    map[ids.DeviceID]*peerhood.RobustConn
+	resolved map[ids.MemberID]ids.DeviceID
+	rec      *msc.Recorder
+	closed   bool
+}
+
+// NewClient builds a client for the logged-in user of the device's
+// store. sem may be nil to disable interest semantics.
+func NewClient(lib *peerhood.Library, store *profile.Store, sem *interest.Semantics) (*Client, error) {
+	if lib == nil || store == nil {
+		return nil, fmt.Errorf("community: client needs a library and a store")
+	}
+	c := &Client{
+		lib:      lib,
+		store:    store,
+		sem:      sem,
+		conns:    make(map[ids.DeviceID]*peerhood.RobustConn),
+		resolved: make(map[ids.MemberID]ids.DeviceID),
+	}
+	return c, nil
+}
+
+// SetRecorder attaches an MSC recorder to capture the message sequences
+// of every operation; nil disables recording.
+func (c *Client) SetRecorder(rec *msc.Recorder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec = rec
+}
+
+func (c *Client) recorder() *msc.Recorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec
+}
+
+// name identifies this client on MSC charts.
+func (c *Client) name() string { return "client@" + string(c.lib.Device()) }
+
+func serverName(dev ids.DeviceID) string { return "server@" + string(dev) }
+
+// Close releases cached connections; subsequent operations fail with
+// ErrClientClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = make(map[ids.DeviceID]*peerhood.RobustConn)
+}
+
+// Manager returns the dynamic-group manager, creating it lazily for the
+// logged-in member.
+func (c *Client) Manager() (*core.Manager, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mgr != nil {
+		return c.mgr, nil
+	}
+	p, err := c.store.ActiveProfile()
+	if err != nil {
+		return nil, err
+	}
+	self := core.Member{Device: c.lib.Device(), ID: p.Member, Interests: p.Interests}
+	c.mgr = core.NewManager(self, c.sem)
+	return c.mgr, nil
+}
+
+// activeMember returns the logged-in member ID.
+func (c *Client) activeMember() (ids.MemberID, error) {
+	m := c.store.Active()
+	if m == "" {
+		return "", ErrNotLoggedIn
+	}
+	return m, nil
+}
+
+// conn returns a cached robust connection to a device's community
+// server, dialing on first use.
+func (c *Client) conn(ctx context.Context, dev ids.DeviceID) (*peerhood.RobustConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if rc, ok := c.conns[dev]; ok {
+		c.mu.Unlock()
+		return rc, nil
+	}
+	c.mu.Unlock()
+	rc, err := c.lib.ConnectRobust(ctx, dev, ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		rc.Close()
+		return nil, ErrClientClosed
+	}
+	if existing, ok := c.conns[dev]; ok {
+		rc.Close()
+		return existing, nil
+	}
+	c.conns[dev] = rc
+	return rc, nil
+}
+
+// dropConn forgets a dead connection.
+func (c *Client) dropConn(dev ids.DeviceID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rc, ok := c.conns[dev]; ok {
+		rc.Close()
+		delete(c.conns, dev)
+	}
+}
+
+// call performs one request/response with a device, recording the MSC
+// arrows.
+func (c *Client) call(ctx context.Context, dev ids.DeviceID, req Request) (Response, error) {
+	rc, err := c.conn(ctx, dev)
+	if err != nil {
+		return Response{}, err
+	}
+	rec := c.recorder()
+	rec.Record(c.name(), serverName(dev), req.Op)
+	raw, err := rc.Call(ctx, MarshalRequest(req))
+	if err != nil {
+		c.dropConn(dev)
+		return Response{}, fmt.Errorf("community: calling %s on %s: %w", req.Op, dev, err)
+	}
+	resp, err := UnmarshalResponse(raw)
+	if err != nil {
+		return Response{}, err
+	}
+	rec.Record(serverName(dev), c.name(), resp.Status)
+	return resp, nil
+}
+
+// deviceResponse pairs a device with its answer.
+type deviceResponse struct {
+	Device   ids.DeviceID
+	Response Response
+	Err      error
+}
+
+// fanout sends one request to every neighborhood device offering the
+// community service, in parallel ("simultaneously", Figures 11–17), and
+// returns the answers sorted by device.
+func (c *Client) fanout(ctx context.Context, req Request) []deviceResponse {
+	devices := c.lib.DevicesOffering(ServiceName)
+	out := make([]deviceResponse, len(devices))
+	var wg sync.WaitGroup
+	for i, dev := range devices {
+		i, dev := i, dev
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.call(ctx, dev, req)
+			out[i] = deviceResponse{Device: dev, Response: resp, Err: err}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// OnlineMembers implements Figure 11 (Get Member List): ask every
+// connected server for its online member and merge the answers.
+func (c *Client) OnlineMembers(ctx context.Context) ([]MemberInfo, error) {
+	if _, err := c.activeMember(); err != nil {
+		return nil, err
+	}
+	var members []MemberInfo
+	for _, dr := range c.fanout(ctx, Request{Op: OpGetOnlineMemberList}) {
+		if dr.Err != nil || dr.Response.Status != StatusOK {
+			continue
+		}
+		for _, f := range dr.Response.Fields {
+			members = append(members, MemberInfo{Member: ids.MemberID(f), Device: dr.Device})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Member < members[j].Member })
+	return members, nil
+}
+
+// InterestsList implements Figure 12 (Get Interests List): gather
+// interests from every server, merge with the local ones, deduplicate.
+func (c *Client) InterestsList(ctx context.Context) ([]string, error) {
+	member, err := c.activeMember()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var all []string
+	add := func(term string) {
+		canon := c.sem.Canon(term)
+		if canon == "" || seen[canon] {
+			return
+		}
+		seen[canon] = true
+		all = append(all, canon)
+	}
+	p, err := c.store.Get(member)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range p.Interests {
+		add(t)
+	}
+	for _, dr := range c.fanout(ctx, Request{Op: OpGetInterestList}) {
+		if dr.Err != nil || dr.Response.Status != StatusOK {
+			continue
+		}
+		for _, t := range dr.Response.Fields {
+			add(t)
+		}
+	}
+	sort.Strings(all)
+	return all, nil
+}
+
+// InterestedMembers implements PS_GETINTERESTEDMEMBERLIST: the online
+// members sharing one interest. With a semantics layer attached, the
+// query expands to the whole taught synonym class, so asking for
+// "biking" also finds members who wrote "cycling".
+func (c *Client) InterestedMembers(ctx context.Context, term string) ([]MemberInfo, error) {
+	if _, err := c.activeMember(); err != nil {
+		return nil, err
+	}
+	variants := []string{interest.Normalize(term)}
+	if c.sem != nil {
+		if class := c.sem.Class(term); len(class) > 0 {
+			variants = class
+		}
+	}
+	seen := make(map[ids.MemberID]bool)
+	var members []MemberInfo
+	for _, variant := range variants {
+		for _, dr := range c.fanout(ctx, Request{Op: OpGetInterestedMemberList, Args: []string{variant}}) {
+			if dr.Err != nil || dr.Response.Status != StatusOK {
+				continue
+			}
+			for _, f := range dr.Response.Fields {
+				m := ids.MemberID(f)
+				if seen[m] {
+					continue
+				}
+				seen[m] = true
+				members = append(members, MemberInfo{Member: m, Device: dr.Device})
+			}
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Member < members[j].Member })
+	return members, nil
+}
+
+// resolveDevice finds which neighborhood device hosts a member, via
+// PS_CHECKMEMBERID. Successful resolutions are cached; a cached entry
+// is re-verified with a single request (instead of a full fan-out) and
+// dropped if the device no longer hosts the member.
+func (c *Client) resolveDevice(ctx context.Context, member ids.MemberID) (ids.DeviceID, error) {
+	c.mu.Lock()
+	cached, ok := c.resolved[member]
+	c.mu.Unlock()
+	if ok {
+		resp, err := c.call(ctx, cached, Request{Op: OpCheckMemberID, Args: []string{string(member)}})
+		if err == nil && resp.Status == StatusSuccess {
+			return cached, nil
+		}
+		c.mu.Lock()
+		delete(c.resolved, member)
+		c.mu.Unlock()
+	}
+	for _, dr := range c.fanout(ctx, Request{Op: OpCheckMemberID, Args: []string{string(member)}}) {
+		if dr.Err == nil && dr.Response.Status == StatusSuccess {
+			c.mu.Lock()
+			c.resolved[member] = dr.Device
+			c.mu.Unlock()
+			return dr.Device, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q", ErrMemberUnknown, member)
+}
+
+// ViewProfile implements Figure 13 (View Member Profile): the request
+// goes to all connected servers; the desired one answers with the
+// profile (and records us as a visitor), the others with
+// NO_MEMBERS_YET.
+func (c *Client) ViewProfile(ctx context.Context, member ids.MemberID) (RemoteProfile, error) {
+	requester, err := c.activeMember()
+	if err != nil {
+		return RemoteProfile{}, err
+	}
+	req := Request{Op: OpGetProfile, Args: []string{string(member), string(requester)}}
+	for _, dr := range c.fanout(ctx, req) {
+		if dr.Err != nil || dr.Response.Status != StatusOK {
+			continue
+		}
+		return decodeProfile(dr.Response.Fields)
+	}
+	return RemoteProfile{}, fmt.Errorf("%w: %q", ErrMemberUnknown, member)
+}
+
+// CommentProfile implements Figure 14 (Put Profile Comment).
+func (c *Client) CommentProfile(ctx context.Context, member ids.MemberID, text string) error {
+	requester, err := c.activeMember()
+	if err != nil {
+		return err
+	}
+	req := Request{Op: OpAddProfileComment, Args: []string{string(member), string(requester), text}}
+	for _, dr := range c.fanout(ctx, req) {
+		if dr.Err == nil && dr.Response.Status == StatusWritten {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrMemberUnknown, member)
+}
+
+// TrustedFriendsOf implements Figure 15 (View Members Trusted Friends).
+func (c *Client) TrustedFriendsOf(ctx context.Context, member ids.MemberID) ([]ids.MemberID, error) {
+	if _, err := c.activeMember(); err != nil {
+		return nil, err
+	}
+	req := Request{Op: OpGetTrustedFriend, Args: []string{string(member)}}
+	for _, dr := range c.fanout(ctx, req) {
+		if dr.Err != nil || dr.Response.Status != StatusOK {
+			continue
+		}
+		out := make([]ids.MemberID, 0, len(dr.Response.Fields))
+		for _, f := range dr.Response.Fields {
+			out = append(out, ids.MemberID(f))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrMemberUnknown, member)
+}
+
+// SharedContentOf implements Figure 16 (View Members Shared Content):
+// first PS_CHECKTRUSTED, then PS_GETSHAREDCONTENT if trusted.
+func (c *Client) SharedContentOf(ctx context.Context, member ids.MemberID) ([]profile.ContentItem, error) {
+	requester, err := c.activeMember()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := c.resolveDevice(ctx, member)
+	if err != nil {
+		return nil, err
+	}
+	check, err := c.call(ctx, dev, Request{Op: OpCheckTrusted, Args: []string{string(member), string(requester)}})
+	if err != nil {
+		return nil, err
+	}
+	if check.Status == StatusNotTrustedYet {
+		return nil, fmt.Errorf("%w: %s has not accepted %s", ErrNotTrusted, member, requester)
+	}
+	if check.Status != StatusOK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, check.Status)
+	}
+	resp, err := c.call(ctx, dev, Request{Op: OpSharedContent, Args: []string{string(member), string(requester)}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Status)
+	}
+	if len(resp.Fields)%2 != 0 {
+		return nil, fmt.Errorf("community: malformed shared-content list")
+	}
+	var items []profile.ContentItem
+	for i := 0; i < len(resp.Fields); i += 2 {
+		size, err := strconv.ParseInt(resp.Fields[i+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("community: bad content size %q", resp.Fields[i+1])
+		}
+		items = append(items, profile.ContentItem{Name: resp.Fields[i], Size: size})
+	}
+	return items, nil
+}
+
+// FetchShared transfers one shared item from a trusted friend.
+func (c *Client) FetchShared(ctx context.Context, member ids.MemberID, name string) ([]byte, error) {
+	requester, err := c.activeMember()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := c.resolveDevice(ctx, member)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(ctx, dev, Request{Op: OpFetchShared, Args: []string{string(member), string(requester), name}})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		if len(resp.Fields) != 1 {
+			return nil, fmt.Errorf("community: malformed fetch response")
+		}
+		return []byte(resp.Fields[0]), nil
+	case StatusNotTrustedYet:
+		return nil, fmt.Errorf("%w: fetching %q from %s", ErrNotTrusted, name, member)
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Status)
+	}
+}
+
+// SendMessage implements Figure 17 (Send Message): locate the
+// receiver's device, deliver PS_MSG, and on SUCCESSFULLY_WRITTEN record
+// the copy in the local outbox.
+func (c *Client) SendMessage(ctx context.Context, to ids.MemberID, subject, body string) error {
+	sender, err := c.activeMember()
+	if err != nil {
+		return err
+	}
+	dev, err := c.resolveDevice(ctx, to)
+	if err != nil {
+		return err
+	}
+	resp, err := c.call(ctx, dev, Request{Op: OpMsg, Args: []string{string(to), string(sender), subject, body}})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusWritten {
+		return fmt.Errorf("%w: %s", ErrRemote, resp.Status)
+	}
+	return c.store.RecordSent(sender, profile.Message{From: sender, To: to, Subject: subject, Body: body})
+}
+
+// NearbyMembers gathers a core.Member snapshot for every online
+// neighborhood member: who they are and what they are interested in.
+func (c *Client) NearbyMembers(ctx context.Context) ([]core.Member, error) {
+	if _, err := c.activeMember(); err != nil {
+		return nil, err
+	}
+	type answer struct {
+		member    ids.MemberID
+		interests []string
+		ok        bool
+	}
+	devices := c.lib.DevicesOffering(ServiceName)
+	answers := make([]answer, len(devices))
+	var wg sync.WaitGroup
+	for i, dev := range devices {
+		i, dev := i, dev
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			who, err := c.call(ctx, dev, Request{Op: OpGetOnlineMemberList})
+			if err != nil || who.Status != StatusOK || len(who.Fields) == 0 {
+				return
+			}
+			interests, err := c.call(ctx, dev, Request{Op: OpGetInterestList})
+			if err != nil || interests.Status != StatusOK {
+				return
+			}
+			answers[i] = answer{
+				member:    ids.MemberID(who.Fields[0]),
+				interests: interests.Fields,
+				ok:        true,
+			}
+		}()
+	}
+	wg.Wait()
+	var out []core.Member
+	for i, a := range answers {
+		if a.ok {
+			out = append(out, core.Member{Device: devices[i], ID: a.member, Interests: a.interests})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// RefreshGroups implements the dynamic group discovery cycle of
+// Figure 6 end-to-end: gather nearby members over PeerHood and update
+// the group manager, returning the membership events.
+func (c *Client) RefreshGroups(ctx context.Context) ([]core.Event, error) {
+	mgr, err := c.Manager()
+	if err != nil {
+		return nil, err
+	}
+	// Keep the manager's view of our interests current.
+	p, err := c.store.ActiveProfile()
+	if err != nil {
+		return nil, err
+	}
+	mgr.SetInterests(p.Interests)
+	nearby, err := c.NearbyMembers(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rec := c.recorder()
+	rec.Record(c.name(), c.name(), "dynamic group discovery")
+	return mgr.Update(nearby), nil
+}
+
+// Groups returns the current dynamic groups.
+func (c *Client) Groups() []core.Group {
+	c.mu.Lock()
+	mgr := c.mgr
+	c.mu.Unlock()
+	if mgr == nil {
+		return nil
+	}
+	return mgr.Groups()
+}

@@ -1,0 +1,382 @@
+package community
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/interest"
+	"repro/internal/mobility"
+	"repro/internal/msc"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/profile"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// testScale compresses modeled time 10000x.
+var testScale = vtime.NewScale(1e-4)
+
+// node is one complete PTD: radio presence, PeerHood daemon, profile
+// store with a logged-in member, community server and client.
+type node struct {
+	dev    ids.DeviceID
+	member ids.MemberID
+	daemon *peerhood.Daemon
+	lib    *peerhood.Library
+	store  *profile.Store
+	server *Server
+	client *Client
+}
+
+// testWorld wires a full PeerHood Community deployment for tests.
+type testWorld struct {
+	env   *radio.Environment
+	net   *netsim.Network
+	nodes map[ids.MemberID]*node
+}
+
+func newTestWorld(t *testing.T) *testWorld {
+	t.Helper()
+	env := radio.NewEnvironment(radio.WithScale(testScale))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	return &testWorld{env: env, net: net, nodes: make(map[ids.MemberID]*node)}
+}
+
+// addNode creates a device at a position with a logged-in member and
+// running community server.
+func (w *testWorld) addNode(t *testing.T, member ids.MemberID, at geo.Point, interests ...string) *node {
+	t.Helper()
+	return w.addNodeSem(t, member, at, nil, interests...)
+}
+
+func (w *testWorld) addNodeSem(t *testing.T, member ids.MemberID, at geo.Point, sem *interest.Semantics, interests ...string) *node {
+	t.Helper()
+	dev := ids.DeviceID("dev-" + string(member))
+	if err := w.env.Add(dev, mobility.Static{At: at}, radio.Bluetooth, radio.WLAN); err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := peerhood.NewDaemon(peerhood.Config{Device: dev, Network: w.net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(daemon.Stop)
+	lib := peerhood.NewLibrary(daemon)
+
+	store := profile.NewStore(nil)
+	if err := store.CreateAccount(member, "pw-"+string(member)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Login(member, "pw-"+string(member)); err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range interests {
+		if err := store.AddInterest(member, term); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	server, err := NewServer(lib, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Stop)
+
+	client, err := NewClient(lib, store, sem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	n := &node{dev: dev, member: member, daemon: daemon, lib: lib, store: store, server: server, client: client}
+	w.nodes[member] = n
+	return n
+}
+
+// refreshAll runs one discovery round on every daemon so neighbor
+// tables include everyone's services.
+func (w *testWorld) refreshAll(t *testing.T, ctx context.Context) {
+	t.Helper()
+	for _, n := range w.nodes {
+		if err := n.daemon.RefreshNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// pair builds the canonical two-device scenario: alice and bob in
+// Bluetooth range, both interested in football.
+func pair(t *testing.T) (*testWorld, *node, *node, context.Context) {
+	t.Helper()
+	w := newTestWorld(t)
+	alice := w.addNode(t, "alice", geo.Pt(0, 0), "football", "music")
+	bob := w.addNode(t, "bob", geo.Pt(5, 0), "football", "movies")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+	return w, alice, bob, ctx
+}
+
+// TestFigure7_WorkingPrinciple walks the whole Figure 7 sequence:
+// server registers service, daemon discovers neighborhood, client
+// connects, information is exchanged, connection terminates.
+func TestFigure7_WorkingPrinciple(t *testing.T) {
+	_, alice, _, ctx := pair(t)
+
+	// The daemon discovered bob's device and its registered service.
+	devices := alice.lib.GetDeviceList()
+	if len(devices) != 1 || devices[0] != "dev-bob" {
+		t.Fatalf("device list = %v", devices)
+	}
+	svcs, err := alice.lib.GetServiceList("dev-bob")
+	if err != nil || len(svcs) != 1 || svcs[0].Name != ServiceName {
+		t.Fatalf("services = %+v, %v", svcs, err)
+	}
+	// Information exchange.
+	members, err := alice.client.OnlineMembers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0].Member != "bob" || members[0].Device != "dev-bob" {
+		t.Fatalf("members = %+v", members)
+	}
+	// Termination.
+	alice.client.Close()
+}
+
+// TestTable6_AllOperations drives every request of Table 6 end-to-end.
+func TestTable6_AllOperations(t *testing.T) {
+	_, alice, bob, ctx := pair(t)
+
+	t.Run("PS_GETONLINEMEMBERLIST", func(t *testing.T) {
+		members, err := alice.client.OnlineMembers(ctx)
+		if err != nil || len(members) != 1 || members[0].Member != "bob" {
+			t.Fatalf("members = %+v, %v", members, err)
+		}
+	})
+
+	t.Run("PS_GETINTERESTLIST", func(t *testing.T) {
+		interests, err := alice.client.InterestsList(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"football", "movies", "music"}
+		if len(interests) != len(want) {
+			t.Fatalf("interests = %v, want %v", interests, want)
+		}
+		for i := range want {
+			if interests[i] != want[i] {
+				t.Fatalf("interests = %v, want %v", interests, want)
+			}
+		}
+	})
+
+	t.Run("PS_GETINTERESTEDMEMBERLIST", func(t *testing.T) {
+		members, err := alice.client.InterestedMembers(ctx, "football")
+		if err != nil || len(members) != 1 || members[0].Member != "bob" {
+			t.Fatalf("members = %+v, %v", members, err)
+		}
+		none, err := alice.client.InterestedMembers(ctx, "knitting")
+		if err != nil || len(none) != 0 {
+			t.Fatalf("knitting members = %+v, %v", none, err)
+		}
+	})
+
+	t.Run("PS_GETPROFILE", func(t *testing.T) {
+		if err := bob.store.SetInfo("bob", "Bob B.", "Lappeenranta", "likes football"); err != nil {
+			t.Fatal(err)
+		}
+		p, err := alice.client.ViewProfile(ctx, "bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Member != "bob" || p.FullName != "Bob B." || p.Location != "Lappeenranta" {
+			t.Fatalf("profile = %+v", p)
+		}
+		if len(p.Interests) != 2 {
+			t.Fatalf("interests = %v", p.Interests)
+		}
+		// Viewing recorded bob-side (Figure 13's visitor write).
+		bp, _ := bob.store.Get("bob")
+		if len(bp.Visitors) != 1 || bp.Visitors[0].By != "alice" {
+			t.Fatalf("visitors = %+v", bp.Visitors)
+		}
+	})
+
+	t.Run("PS_ADDPROFILECOMMENT", func(t *testing.T) {
+		if err := alice.client.CommentProfile(ctx, "bob", "great profile!"); err != nil {
+			t.Fatal(err)
+		}
+		bp, _ := bob.store.Get("bob")
+		if len(bp.Comments) != 1 || bp.Comments[0].From != "alice" || bp.Comments[0].Text != "great profile!" {
+			t.Fatalf("comments = %+v", bp.Comments)
+		}
+	})
+
+	t.Run("PS_CHECKMEMBERID", func(t *testing.T) {
+		dev, err := alice.client.resolveDevice(ctx, "bob")
+		if err != nil || dev != "dev-bob" {
+			t.Fatalf("resolve = %v, %v", dev, err)
+		}
+		if _, err := alice.client.resolveDevice(ctx, "stranger"); !errors.Is(err, ErrMemberUnknown) {
+			t.Fatalf("resolve stranger = %v", err)
+		}
+	})
+
+	t.Run("PS_MSG", func(t *testing.T) {
+		if err := alice.client.SendMessage(ctx, "bob", "hi", "see you at the match"); err != nil {
+			t.Fatal(err)
+		}
+		bp, _ := bob.store.Get("bob")
+		if len(bp.Inbox) != 1 || bp.Inbox[0].From != "alice" || bp.Inbox[0].Subject != "hi" {
+			t.Fatalf("inbox = %+v", bp.Inbox)
+		}
+		ap, _ := alice.store.Get("alice")
+		if len(ap.Outbox) != 1 || ap.Outbox[0].To != "bob" {
+			t.Fatalf("outbox = %+v", ap.Outbox)
+		}
+	})
+
+	t.Run("PS_SHAREDCONTENT", func(t *testing.T) {
+		if err := bob.server.ShareContent("bob", "match.mp4", []byte("video-bytes")); err != nil {
+			t.Fatal(err)
+		}
+		// Not trusted yet.
+		if _, err := alice.client.SharedContentOf(ctx, "bob"); !errors.Is(err, ErrNotTrusted) {
+			t.Fatalf("untrusted access = %v, want ErrNotTrusted", err)
+		}
+		// Bob accepts alice.
+		if err := bob.store.AddTrusted("bob", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		items, err := alice.client.SharedContentOf(ctx, "bob")
+		if err != nil || len(items) != 1 || items[0].Name != "match.mp4" || items[0].Size != 11 {
+			t.Fatalf("items = %+v, %v", items, err)
+		}
+	})
+}
+
+// TestMSCFigures verifies each MSC-documented operation records the
+// expected message sequence.
+func TestMSCFigures(t *testing.T) {
+	// Three devices so the "all connected servers simultaneously"
+	// fan-out with NO_MEMBERS_YET from non-owners is visible.
+	w := newTestWorld(t)
+	alice := w.addNode(t, "alice", geo.Pt(0, 0), "football")
+	w.addNode(t, "bob", geo.Pt(5, 0), "football")
+	w.addNode(t, "carol", geo.Pt(0, 5), "football")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	runOp := func(t *testing.T, title string, op func() error, wantLabels ...string) {
+		t.Helper()
+		rec := msc.NewRecorder(title)
+		alice.client.SetRecorder(rec)
+		defer alice.client.SetRecorder(nil)
+		if err := op(); err != nil {
+			t.Fatal(err)
+		}
+		events := rec.Events()
+		seen := make(map[string]int)
+		for _, ev := range events {
+			seen[ev.Label]++
+		}
+		for _, label := range wantLabels {
+			if seen[label] == 0 {
+				t.Fatalf("MSC %q missing label %q; events: %+v", title, label, events)
+			}
+		}
+	}
+
+	t.Run("Figure11_GetMemberList", func(t *testing.T) {
+		runOp(t, "Get Member List", func() error {
+			_, err := alice.client.OnlineMembers(ctx)
+			return err
+		}, OpGetOnlineMemberList, StatusOK)
+		// Fanout reached both servers.
+		rec := msc.NewRecorder("again")
+		alice.client.SetRecorder(rec)
+		defer alice.client.SetRecorder(nil)
+		if _, err := alice.client.OnlineMembers(ctx); err != nil {
+			t.Fatal(err)
+		}
+		reqCount := 0
+		for _, ev := range rec.Events() {
+			if ev.Label == OpGetOnlineMemberList {
+				reqCount++
+			}
+		}
+		if reqCount != 2 {
+			t.Fatalf("request sent to %d servers, want 2", reqCount)
+		}
+	})
+
+	t.Run("Figure12_GetInterestsList", func(t *testing.T) {
+		runOp(t, "Get Interests List", func() error {
+			_, err := alice.client.InterestsList(ctx)
+			return err
+		}, OpGetInterestList, StatusOK)
+	})
+
+	t.Run("Figure13_ViewMemberProfile", func(t *testing.T) {
+		runOp(t, "View Member Profile", func() error {
+			_, err := alice.client.ViewProfile(ctx, "bob")
+			return err
+		}, OpGetProfile, StatusOK, StatusNoMembersYet)
+	})
+
+	t.Run("Figure14_PutProfileComment", func(t *testing.T) {
+		runOp(t, "Put Profile Comment", func() error {
+			return alice.client.CommentProfile(ctx, "bob", "hello")
+		}, OpAddProfileComment, StatusWritten, StatusNoMembersYet)
+	})
+
+	t.Run("Figure15_ViewTrustedFriends", func(t *testing.T) {
+		runOp(t, "View Members Trusted Friends", func() error {
+			_, err := alice.client.TrustedFriendsOf(ctx, "bob")
+			return err
+		}, OpGetTrustedFriend, StatusOK, StatusNoMembersYet)
+	})
+
+	t.Run("Figure16_ViewSharedContent_NotTrusted", func(t *testing.T) {
+		rec := msc.NewRecorder("View Members Shared Content")
+		alice.client.SetRecorder(rec)
+		defer alice.client.SetRecorder(nil)
+		_, err := alice.client.SharedContentOf(ctx, "bob")
+		if !errors.Is(err, ErrNotTrusted) {
+			t.Fatalf("err = %v, want ErrNotTrusted", err)
+		}
+		var sawCheck, sawDenied bool
+		for _, ev := range rec.Events() {
+			if ev.Label == OpCheckTrusted {
+				sawCheck = true
+			}
+			if ev.Label == StatusNotTrustedYet {
+				sawDenied = true
+			}
+		}
+		if !sawCheck || !sawDenied {
+			t.Fatalf("trust check sequence missing: %+v", rec.Events())
+		}
+	})
+
+	t.Run("Figure17_SendMessage", func(t *testing.T) {
+		runOp(t, "Send Message", func() error {
+			return alice.client.SendMessage(ctx, "bob", "subj", "body")
+		}, OpMsg, StatusWritten)
+	})
+}

@@ -1,0 +1,179 @@
+package community
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/msc"
+)
+
+// TestManyClientsOneServer: several neighbors comment and message one
+// member concurrently; every write must land exactly once.
+func TestManyClientsOneServer(t *testing.T) {
+	w := newTestWorld(t)
+	target := w.addNode(t, "celebrity", geo.Pt(0, 0), "football")
+	const fans = 5
+	var nodes []*node
+	for i := 0; i < fans; i++ {
+		n := w.addNode(t, ids.MemberID(fmt.Sprintf("fan-%d", i)), geo.Pt(float64(i%3+1), float64(i/3)), "football")
+		nodes = append(nodes, n)
+	}
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, fans*2)
+	for i, n := range nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := n.client.CommentProfile(ctx, "celebrity", fmt.Sprintf("comment-%d", i)); err != nil {
+				errs <- fmt.Errorf("fan %d comment: %w", i, err)
+			}
+			if err := n.client.SendMessage(ctx, "celebrity", fmt.Sprintf("subject-%d", i), "hi"); err != nil {
+				errs <- fmt.Errorf("fan %d message: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	p, err := target.store.Get("celebrity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Comments) != fans {
+		t.Errorf("comments = %d, want %d", len(p.Comments), fans)
+	}
+	if len(p.Inbox) != fans {
+		t.Errorf("inbox = %d, want %d", len(p.Inbox), fans)
+	}
+	// Each fan's comment arrived exactly once.
+	seen := make(map[string]int)
+	for _, c := range p.Comments {
+		seen[c.Text]++
+	}
+	for i := 0; i < fans; i++ {
+		if seen[fmt.Sprintf("comment-%d", i)] != 1 {
+			t.Errorf("comment-%d delivered %d times", i, seen[fmt.Sprintf("comment-%d", i)])
+		}
+	}
+}
+
+// TestConcurrentOpsOnOneClient drives one client from several
+// goroutines — the UI, the group refresher and the monitor all share
+// it in the real application.
+func TestConcurrentOpsOnOneClient(t *testing.T) {
+	_, alice, _, ctx := pair(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	for i := 0; i < 10; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			if _, err := alice.client.OnlineMembers(ctx); err != nil {
+				errs <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := alice.client.InterestsList(ctx); err != nil {
+				errs <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := alice.client.RefreshGroups(ctx); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestResolveDeviceCaching: the first resolution fans PS_CHECKMEMBERID
+// out to every server; later ones verify the cached device with a
+// single request.
+func TestResolveDeviceCaching(t *testing.T) {
+	w := newTestWorld(t)
+	alice := w.addNode(t, "alice", geo.Pt(0, 0), "x")
+	w.addNode(t, "bob", geo.Pt(4, 0), "x")
+	w.addNode(t, "carol", geo.Pt(0, 4), "x")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	countChecks := func(op func() error) int {
+		rec := msc.NewRecorder("count")
+		alice.client.SetRecorder(rec)
+		defer alice.client.SetRecorder(nil)
+		if err := op(); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, ev := range rec.Events() {
+			if ev.Label == OpCheckMemberID {
+				n++
+			}
+		}
+		return n
+	}
+
+	first := countChecks(func() error { return alice.client.SendMessage(ctx, "bob", "s", "b") })
+	second := countChecks(func() error { return alice.client.SendMessage(ctx, "bob", "s2", "b2") })
+	if first != 2 {
+		t.Fatalf("first resolution sent %d checks, want 2 (full fan-out)", first)
+	}
+	if second != 1 {
+		t.Fatalf("cached resolution sent %d checks, want 1", second)
+	}
+}
+
+// TestResolveDeviceCacheInvalidation: when the cached device stops
+// hosting the member (logout), resolution falls back to the fan-out.
+func TestResolveDeviceCacheInvalidation(t *testing.T) {
+	w := newTestWorld(t)
+	alice := w.addNode(t, "alice", geo.Pt(0, 0), "x")
+	bob := w.addNode(t, "bob", geo.Pt(4, 0), "x")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	if err := alice.client.SendMessage(ctx, "bob", "s", "b"); err != nil {
+		t.Fatal(err)
+	}
+	bob.store.Logout()
+	if err := alice.client.SendMessage(ctx, "bob", "s2", "b2"); !errors.Is(err, ErrMemberUnknown) {
+		t.Fatalf("err = %v, want ErrMemberUnknown after logout", err)
+	}
+	// Bob logs back in; the stale negative state must not stick.
+	if err := bob.store.Login("bob", "pw-bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.client.SendMessage(ctx, "bob", "s3", "b3"); err != nil {
+		t.Fatalf("send after re-login: %v", err)
+	}
+}
+
+func TestClientClosedRefusesOperations(t *testing.T) {
+	_, alice, _, ctx := pair(t)
+	alice.client.Close()
+	if _, err := alice.client.OnlineMembers(ctx); err != nil {
+		// Fanout swallows per-device errors, so the result is simply
+		// empty; SendMessage surfaces the closed error via resolve.
+		t.Logf("OnlineMembers after close: %v", err)
+	}
+	if err := alice.client.SendMessage(ctx, "bob", "s", "b"); !errors.Is(err, ErrMemberUnknown) && !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("SendMessage after close = %v, want closed/unknown", err)
+	}
+}

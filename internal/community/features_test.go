@@ -1,0 +1,380 @@
+package community
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/interest"
+	"repro/internal/mobility"
+	"repro/internal/msc"
+)
+
+// TestTable7_Features exercises every feature row of Table 7 through
+// the public client/server API.
+func TestTable7_Features(t *testing.T) {
+	w := newTestWorld(t)
+	alice := w.addNode(t, "alice", geo.Pt(0, 0), "football")
+	bob := w.addNode(t, "bob", geo.Pt(5, 0), "football", "chess")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	t.Run("AddEditProfile", func(t *testing.T) {
+		if err := alice.store.SetInfo("alice", "Alice", "LUT", "hi"); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := alice.store.Get("alice")
+		if p.FullName != "Alice" {
+			t.Fatal("profile edit failed")
+		}
+	})
+
+	t.Run("AddEditPersonalInterest", func(t *testing.T) {
+		if err := alice.store.AddInterest("alice", "music"); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.store.RemoveInterest("alice", "music"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("ViewAllMembers", func(t *testing.T) {
+		members, err := alice.client.OnlineMembers(ctx)
+		if err != nil || len(members) != 1 {
+			t.Fatalf("members = %+v, %v", members, err)
+		}
+	})
+
+	t.Run("ViewCommentOtherMembersProfile", func(t *testing.T) {
+		if _, err := alice.client.ViewProfile(ctx, "bob"); err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.client.CommentProfile(ctx, "bob", "hi bob"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("ViewOwnViewersAndComments", func(t *testing.T) {
+		// Bob looks at alice; alice sees the visit.
+		if _, err := bob.client.ViewProfile(ctx, "alice"); err != nil {
+			t.Fatal(err)
+		}
+		if err := bob.client.CommentProfile(ctx, "alice", "hello alice"); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := alice.store.Get("alice")
+		if len(p.Visitors) == 0 || p.Visitors[0].By != "bob" {
+			t.Fatalf("visitors = %+v", p.Visitors)
+		}
+		if len(p.Comments) == 0 || p.Comments[0].From != "bob" {
+			t.Fatalf("comments = %+v", p.Comments)
+		}
+	})
+
+	t.Run("SupportForMultipleProfiles", func(t *testing.T) {
+		if err := alice.store.CreateAccount("alice2", "pw2"); err != nil {
+			t.Fatal(err)
+		}
+		if got := alice.store.Members(); len(got) != 2 {
+			t.Fatalf("members on device = %v", got)
+		}
+	})
+
+	t.Run("SendReceiveMessages", func(t *testing.T) {
+		if err := alice.client.SendMessage(ctx, "bob", "s", "b"); err != nil {
+			t.Fatal(err)
+		}
+		bp, _ := bob.store.Get("bob")
+		if bp.UnreadCount() == 0 {
+			t.Fatal("bob has no unread messages")
+		}
+	})
+
+	t.Run("ViewAllRegisteredServices", func(t *testing.T) {
+		svcs, err := alice.lib.GetServiceList("dev-bob")
+		if err != nil || len(svcs) != 1 {
+			t.Fatalf("services = %+v, %v", svcs, err)
+		}
+		local := alice.lib.GetLocalServiceList()
+		if len(local) != 1 || local[0].Name != ServiceName {
+			t.Fatalf("local services = %+v", local)
+		}
+	})
+
+	t.Run("DynamicDiscoveryWithCommonInterest", func(t *testing.T) {
+		events, err := alice.client.RefreshGroups(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var formed bool
+		for _, ev := range events {
+			if ev.Type == core.EventGroupFormed && ev.Interest == "football" {
+				formed = true
+			}
+		}
+		if !formed {
+			t.Fatalf("football group not formed: %+v", events)
+		}
+	})
+
+	t.Run("ViewAllGroupsAndMembers", func(t *testing.T) {
+		groups := alice.client.Groups()
+		if len(groups) != 1 || groups[0].Interest != "football" {
+			t.Fatalf("groups = %+v", groups)
+		}
+		ids := groups[0].MemberIDs()
+		if len(ids) != 2 || ids[0] != "alice" || ids[1] != "bob" {
+			t.Fatalf("group members = %v", ids)
+		}
+	})
+
+	t.Run("JoinLeaveManually", func(t *testing.T) {
+		mgr, err := alice.client.Manager()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.JoinManually("chess")
+		if _, err := alice.client.RefreshGroups(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got := mgr.MembersOf("chess"); len(got) != 2 {
+			t.Fatalf("chess group = %v", got)
+		}
+		mgr.LeaveManually("chess")
+		if _, err := alice.client.RefreshGroups(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got := mgr.MembersOf("chess"); got != nil {
+			t.Fatalf("chess group after leave = %v", got)
+		}
+	})
+
+	t.Run("AddViewRemoveTrusted", func(t *testing.T) {
+		if err := bob.store.AddTrusted("bob", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		trusted, err := alice.client.TrustedFriendsOf(ctx, "bob")
+		if err != nil || len(trusted) != 1 || trusted[0] != "alice" {
+			t.Fatalf("trusted = %v, %v", trusted, err)
+		}
+		if err := bob.store.RemoveTrusted("bob", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		trusted, err = alice.client.TrustedFriendsOf(ctx, "bob")
+		if err != nil || len(trusted) != 0 {
+			t.Fatalf("trusted after remove = %v, %v", trusted, err)
+		}
+	})
+
+	t.Run("FileSharing", func(t *testing.T) {
+		data := []byte("shared file bytes")
+		if err := bob.server.ShareContent("bob", "notes.txt", data); err != nil {
+			t.Fatal(err)
+		}
+		if err := bob.store.AddTrusted("bob", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		items, err := alice.client.SharedContentOf(ctx, "bob")
+		if err != nil || len(items) != 1 {
+			t.Fatalf("items = %+v, %v", items, err)
+		}
+		got, err := alice.client.FetchShared(ctx, "bob", "notes.txt")
+		if err != nil || string(got) != string(data) {
+			t.Fatalf("fetch = %q, %v", got, err)
+		}
+		if _, err := alice.client.FetchShared(ctx, "bob", "missing.txt"); err == nil {
+			t.Fatal("fetching missing content succeeded")
+		}
+		if err := bob.server.UnshareContent("bob", "notes.txt"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := alice.client.FetchShared(ctx, "bob", "notes.txt"); err == nil {
+			t.Fatal("fetching unshared content succeeded")
+		}
+	})
+}
+
+// TestFetchSharedTrustEnforcedServerSide verifies a client cannot skip
+// the PS_CHECKTRUSTED step: the server re-checks on fetch.
+func TestFetchSharedTrustEnforcedServerSide(t *testing.T) {
+	_, alice, bob, ctx := pair(t)
+	if err := bob.server.ShareContent("bob", "secret.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.client.FetchShared(ctx, "bob", "secret.txt"); !errors.Is(err, ErrNotTrusted) {
+		t.Fatalf("untrusted fetch = %v, want ErrNotTrusted", err)
+	}
+}
+
+// TestGroupsReactToDeparture: the thesis's defining behaviour — "if any
+// remote device is unreachable, that remote device is considered as
+// disconnected and removed from all associated interest groups."
+func TestGroupsReactToDeparture(t *testing.T) {
+	w, alice, _, ctx := pair(t)
+	if _, err := alice.client.RefreshGroups(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(alice.client.Groups()) != 1 {
+		t.Fatal("precondition: football group formed")
+	}
+	// Bob walks far away.
+	if err := w.env.SetModel("dev-bob", mobility.Static{At: geo.Pt(1000, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Alice's daemon notices on its next round; groups then update.
+	if err := alice.daemon.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	events, err := alice.client.RefreshGroups(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dissolved bool
+	for _, ev := range events {
+		if ev.Type == core.EventGroupDissolved && ev.Interest == "football" {
+			dissolved = true
+		}
+	}
+	if !dissolved {
+		t.Fatalf("group not dissolved after departure: %+v", events)
+	}
+	if len(alice.client.Groups()) != 0 {
+		t.Fatal("groups remain after bob left")
+	}
+}
+
+// TestSemanticsEndToEnd reproduces the future-work feature over the
+// wire: alice teaches biking=cycling and then groups with bob.
+func TestSemanticsEndToEnd(t *testing.T) {
+	w := newTestWorld(t)
+	sem := interest.NewSemantics()
+	alice := w.addNodeSem(t, "alice", geo.Pt(0, 0), sem, "biking")
+	w.addNodeSem(t, "bob", geo.Pt(5, 0), nil, "cycling")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	// Baseline: no group (thesis's disadvantage).
+	if _, err := alice.client.RefreshGroups(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(alice.client.Groups()) != 0 {
+		t.Fatal("groups formed without semantics")
+	}
+	// Teach and retry.
+	sem.Teach("biking", "cycling")
+	if _, err := alice.client.RefreshGroups(ctx); err != nil {
+		t.Fatal(err)
+	}
+	groups := alice.client.Groups()
+	if len(groups) != 1 || groups[0].Interest != "biking" {
+		t.Fatalf("groups after teaching = %+v", groups)
+	}
+}
+
+// TestOperationsRequireLogin checks the client refuses to operate
+// logged out.
+func TestOperationsRequireLogin(t *testing.T) {
+	_, alice, _, ctx := pair(t)
+	alice.store.Logout()
+	if _, err := alice.client.OnlineMembers(ctx); !errors.Is(err, ErrNotLoggedIn) {
+		t.Fatalf("OnlineMembers = %v, want ErrNotLoggedIn", err)
+	}
+	if _, err := alice.client.InterestsList(ctx); !errors.Is(err, ErrNotLoggedIn) {
+		t.Fatalf("InterestsList = %v", err)
+	}
+	if err := alice.client.SendMessage(ctx, "bob", "s", "b"); !errors.Is(err, ErrNotLoggedIn) {
+		t.Fatalf("SendMessage = %v", err)
+	}
+	if err := alice.client.CommentProfile(ctx, "bob", "c"); !errors.Is(err, ErrNotLoggedIn) {
+		t.Fatalf("CommentProfile = %v", err)
+	}
+}
+
+// TestLoggedOutServerAnswersNoMembers: a device whose user logged out
+// still answers, with NO_MEMBERS_YET, exactly like the MSCs'
+// non-matching servers.
+func TestLoggedOutServerAnswersNoMembers(t *testing.T) {
+	_, alice, bob, ctx := pair(t)
+	bob.store.Logout()
+	members, err := alice.client.OnlineMembers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 0 {
+		t.Fatalf("members = %+v, want none while bob logged out", members)
+	}
+}
+
+// TestMSCRenderedChart generates the actual ASCII chart for Figure 13
+// and sanity-checks its shape.
+func TestMSCRenderedChart(t *testing.T) {
+	w := newTestWorld(t)
+	alice := w.addNode(t, "alice", geo.Pt(0, 0), "football")
+	w.addNode(t, "bob", geo.Pt(5, 0), "football")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	rec := mscRecorderForTest("View Member Profile")
+	alice.client.SetRecorder(rec)
+	if _, err := alice.client.ViewProfile(ctx, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	chart := rec.String()
+	for _, want := range []string{"MSC: View Member Profile", "client@dev-alice", "server@dev-bob", "PS_GETPROFILE"} {
+		if !strings.Contains(chart, want) {
+			t.Fatalf("chart missing %q:\n%s", want, chart)
+		}
+	}
+}
+
+// TestBadRequestHandling: the server answers garbage frames rather than
+// dying.
+func TestBadRequestHandling(t *testing.T) {
+	_, alice, _, _ := pair(t)
+	resp := alice.server.Handle(Request{Op: "PS_BOGUS"})
+	if resp.Status != StatusBadRequest {
+		t.Fatalf("bogus op status = %q", resp.Status)
+	}
+	for _, req := range []Request{
+		{Op: OpGetProfile},                                        // missing args
+		{Op: OpMsg, Args: []string{"a"}},                          // short args
+		{Op: OpGetInterestedMemberList, Args: []string{"a", "b"}}, // extra args
+	} {
+		if resp := alice.server.Handle(req); resp.Status != StatusBadRequest {
+			t.Fatalf("%s with wrong args: status = %q", req.Op, resp.Status)
+		}
+	}
+}
+
+// mscRecorderForTest builds a recorder without importing msc at every
+// call site.
+func mscRecorderForTest(title string) *msc.Recorder { return msc.NewRecorder(title) }
+
+// TestInterestedMembersSemanticExpansion: with taught synonyms, the
+// interested-member query finds members under any term of the class.
+func TestInterestedMembersSemanticExpansion(t *testing.T) {
+	w := newTestWorld(t)
+	sem := interest.NewSemantics()
+	alice := w.addNodeSem(t, "alice", geo.Pt(0, 0), sem, "biking")
+	w.addNodeSem(t, "bob", geo.Pt(4, 0), nil, "cycling")
+	ctx := testCtx(t)
+	w.refreshAll(t, ctx)
+
+	// Untaught: exact match only, bob invisible.
+	members, err := alice.client.InterestedMembers(ctx, "biking")
+	if err != nil || len(members) != 0 {
+		t.Fatalf("untaught query = %+v, %v", members, err)
+	}
+	sem.Teach("biking", "cycling")
+	members, err = alice.client.InterestedMembers(ctx, "biking")
+	if err != nil || len(members) != 1 || members[0].Member != "bob" {
+		t.Fatalf("taught query = %+v, %v", members, err)
+	}
+	// Works from either synonym.
+	members, err = alice.client.InterestedMembers(ctx, "cycling")
+	if err != nil || len(members) != 1 {
+		t.Fatalf("reverse query = %+v, %v", members, err)
+	}
+}

@@ -1,0 +1,89 @@
+package community
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// FuzzUnmarshalRequest checks the wire decoder never panics and that
+// every successfully decoded request re-encodes to an equivalent frame.
+func FuzzUnmarshalRequest(f *testing.F) {
+	f.Add([]byte("PS_GETONLINEMEMBERLIST"))
+	f.Add(MarshalRequest(Request{Op: OpMsg, Args: []string{"to", "from", "subj", "body"}}))
+	f.Add([]byte("op\x1farg1\x1farg2"))
+	f.Add([]byte("trailing-escape\\"))
+	f.Add([]byte{0x1f, 0x1f})
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := UnmarshalRequest(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalRequest(MarshalRequest(req))
+		if err != nil {
+			t.Fatalf("re-decode of valid request failed: %v", err)
+		}
+		if again.Op != req.Op || len(again.Args) != len(req.Args) {
+			t.Fatalf("round trip changed request: %+v -> %+v", req, again)
+		}
+		for i := range req.Args {
+			if again.Args[i] != req.Args[i] {
+				t.Fatalf("arg %d changed: %q -> %q", i, req.Args[i], again.Args[i])
+			}
+		}
+	})
+}
+
+// FuzzHandle feeds arbitrary decoded requests to a live server: the
+// dispatcher must never panic, and must answer something.
+func FuzzHandle(f *testing.F) {
+	f.Add("PS_GETPROFILE", "bob", "alice")
+	f.Add("PS_MSG", "a", "b")
+	f.Add("", "", "")
+	f.Add("PS_CHECKTRUSTED", "x", "\x00weird")
+	f.Fuzz(func(t *testing.T, op, a1, a2 string) {
+		// A store-only server: Handle never touches the network.
+		srv := &Server{store: newLoggedInStore(t), content: map[contentKey][]byte{}}
+		resp := srv.Handle(Request{Op: op, Args: []string{a1, a2}})
+		if resp.Status == "" {
+			t.Fatalf("empty status for op %q", op)
+		}
+	})
+}
+
+// FuzzUnmarshalResponse mirrors the request fuzzer for responses.
+func FuzzUnmarshalResponse(f *testing.F) {
+	f.Add(MarshalResponse(Response{Status: StatusOK, Fields: []string{"a", "b"}}))
+	f.Add([]byte("NO_MEMBERS_YET"))
+	f.Add([]byte("\x1f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := UnmarshalResponse(data)
+		if err != nil {
+			return
+		}
+		out := MarshalResponse(resp)
+		again, err := UnmarshalResponse(out)
+		if err != nil || again.Status != resp.Status {
+			t.Fatalf("round trip failed: %+v / %v", again, err)
+		}
+		if !bytes.Equal(out, MarshalResponse(again)) {
+			t.Fatal("re-encoding not stable")
+		}
+	})
+}
+
+// newLoggedInStore builds a store with one logged-in member for
+// dispatcher fuzzing.
+func newLoggedInStore(t *testing.T) *profile.Store {
+	t.Helper()
+	s := profile.NewStore(nil)
+	if err := s.CreateAccount("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Login("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

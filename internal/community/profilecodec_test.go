@@ -1,0 +1,124 @@
+package community
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/profile"
+)
+
+func TestProfileCodecRoundTrip(t *testing.T) {
+	p := profile.Profile{
+		Member:    "bob",
+		FullName:  "Bob B.",
+		Location:  "Lappeenranta",
+		About:     "likes football | and; weird=chars",
+		Interests: []string{"football", "movies"},
+		Comments: []profile.Comment{
+			{From: "alice", Text: "hi"},
+			{From: "carol", Text: "multi\nline\ncomment"},
+		},
+		Trusted: []ids.MemberID{"alice", "dave"},
+	}
+	out, err := decodeProfile(encodeProfile(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Member != "bob" || out.FullName != "Bob B." || out.Location != "Lappeenranta" {
+		t.Fatalf("header = %+v", out)
+	}
+	if len(out.Interests) != 2 || out.Interests[1] != "movies" {
+		t.Fatalf("interests = %v", out.Interests)
+	}
+	if len(out.Comments) != 2 || out.Comments[1].Text != "multi\nline\ncomment" {
+		t.Fatalf("comments = %+v", out.Comments)
+	}
+	if len(out.Trusted) != 2 || out.Trusted[0] != "alice" {
+		t.Fatalf("trusted = %v", out.Trusted)
+	}
+}
+
+func TestProfileCodecEmptySections(t *testing.T) {
+	out, err := decodeProfile(encodeProfile(profile.Profile{Member: "x"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Member != "x" || len(out.Interests) != 0 || len(out.Comments) != 0 || len(out.Trusted) != 0 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+// TestProfileCodecNeverPanics feeds decodeProfile arbitrary field
+// slices: it must return an error or a value, never panic or loop.
+func TestProfileCodecNeverPanics(t *testing.T) {
+	prop := func(fields []string) bool {
+		_, _ = decodeProfile(fields)
+		return true // reaching here means no panic
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileCodecTruncated(t *testing.T) {
+	full := encodeProfile(profile.Profile{
+		Member:    "m",
+		Interests: []string{"a", "b"},
+		Comments:  []profile.Comment{{From: "x", Text: "y"}},
+		Trusted:   []ids.MemberID{"t"},
+	})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeProfile(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeProfile(full); err != nil {
+		t.Fatalf("full encoding rejected: %v", err)
+	}
+}
+
+// TestProfileCodecHostileCounts: section counts larger than the field
+// list or negative must be rejected, not trusted.
+func TestProfileCodecHostileCounts(t *testing.T) {
+	for _, fields := range [][]string{
+		{"m", "", "", "", "999999"},
+		{"m", "", "", "", "-3"},
+		{"m", "", "", "", "not-a-number"},
+	} {
+		if _, err := decodeProfile(fields); err == nil {
+			t.Fatalf("hostile counts accepted: %v", fields)
+		}
+	}
+}
+
+// TestProfileRoundTripProperty: any profile the store can hold survives
+// the wire encoding.
+func TestProfileRoundTripProperty(t *testing.T) {
+	clean := func(s string) string {
+		if s == "" {
+			return "x"
+		}
+		return s
+	}
+	prop := func(name, loc, about, i1, i2, cfrom, ctext string) bool {
+		p := profile.Profile{
+			Member:    "member",
+			FullName:  name,
+			Location:  loc,
+			About:     about,
+			Interests: []string{clean(i1), clean(i2)},
+			Comments:  []profile.Comment{{From: ids.MemberID(clean(cfrom)), Text: ctext}},
+		}
+		out, err := decodeProfile(encodeProfile(p))
+		if err != nil {
+			return false
+		}
+		return out.FullName == name && out.Location == loc && out.About == about &&
+			len(out.Interests) == 2 && out.Interests[0] == clean(i1) &&
+			len(out.Comments) == 1 && out.Comments[0].Text == ctext
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

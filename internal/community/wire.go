@@ -1,0 +1,161 @@
+// Package community implements PeerHood Community, the thesis's
+// reference application (§5.2): a client/server social-networking
+// application where every device runs both sides. The server registers
+// the "PeerHoodCommunity" service in the PeerHood daemon and answers
+// the PS_* requests of Table 6; the client fans requests out to every
+// connected server exactly as the MSCs of Figures 11–17 show, and feeds
+// the gathered interests into the core group manager for dynamic group
+// discovery.
+package community
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ServiceName is the service the server registers into the PeerHood
+// daemon, as in Figure 8.
+const ServiceName = "PeerHoodCommunity"
+
+// Op codes, named exactly as Table 6 lists them (plus the trust checks
+// Figures 15 and 16 use).
+const (
+	OpGetOnlineMemberList     = "PS_GETONLINEMEMBERLIST"
+	OpGetInterestList         = "PS_GETINTERESTLIST"
+	OpGetInterestedMemberList = "PS_GETINTERESTEDMEMBERLIST"
+	OpGetProfile              = "PS_GETPROFILE"
+	OpAddProfileComment       = "PS_ADDPROFILECOMMENT"
+	OpCheckMemberID           = "PS_CHECKMEMBERID"
+	OpMsg                     = "PS_MSG"
+	OpSharedContent           = "PS_SHAREDCONTENT"
+	OpGetTrustedFriend        = "PS_GETTRUSTEDFRIEND"
+	OpCheckTrusted            = "PS_CHECKTRUSTED"
+	OpFetchShared             = "PS_FETCHSHARED"
+)
+
+// Status strings, named as the MSCs show them.
+const (
+	StatusOK            = "OK"
+	StatusNoMembersYet  = "NO_MEMBERS_YET"
+	StatusNotTrustedYet = "NOT_TRUSTED_YET"
+	StatusWritten       = "SUCCESSFULLY_WRITTEN"
+	StatusUnsuccessful  = "UNSUCCESSFULL" // sic, as in the thesis
+	StatusSuccess       = "SUCCESS"
+	StatusFailure       = "FAILURE"
+	StatusBadRequest    = "BAD_REQUEST"
+)
+
+// Request is one client operation.
+type Request struct {
+	Op   string
+	Args []string
+}
+
+// Response is one server answer: a status plus zero or more fields.
+type Response struct {
+	Status string
+	Fields []string
+}
+
+// The wire format packs op/status and fields into one frame using unit
+// separators, with backslash escaping so fields may contain anything —
+// the moral equivalent of the original application's fixed buffers, but
+// binary-safe.
+const (
+	fieldSep = '\x1f'
+	escape   = '\\'
+)
+
+var errMalformedFrame = errors.New("community: malformed frame")
+
+// escapeField protects separators inside a field.
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, "\x1f\\") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == fieldSep || c == escape {
+			b.WriteByte(escape)
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// splitFields reverses escapeField across a frame body.
+func splitFields(data string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		switch c {
+		case escape:
+			i++
+			if i >= len(data) {
+				return nil, fmt.Errorf("%w: trailing escape", errMalformedFrame)
+			}
+			cur.WriteByte(data[i])
+		case fieldSep:
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	fields = append(fields, cur.String())
+	return fields, nil
+}
+
+// marshalFrame packs a head token and fields.
+func marshalFrame(head string, fields []string) []byte {
+	parts := make([]string, 0, len(fields)+1)
+	parts = append(parts, escapeField(head))
+	for _, f := range fields {
+		parts = append(parts, escapeField(f))
+	}
+	return []byte(strings.Join(parts, string(fieldSep)))
+}
+
+// unmarshalFrame unpacks a frame into head and fields.
+func unmarshalFrame(data []byte) (head string, fields []string, err error) {
+	all, err := splitFields(string(data))
+	if err != nil {
+		return "", nil, err
+	}
+	if len(all) == 0 || all[0] == "" {
+		return "", nil, fmt.Errorf("%w: empty head", errMalformedFrame)
+	}
+	return all[0], all[1:], nil
+}
+
+// MarshalRequest encodes a request frame.
+func MarshalRequest(req Request) []byte {
+	return marshalFrame(req.Op, req.Args)
+}
+
+// UnmarshalRequest decodes a request frame.
+func UnmarshalRequest(data []byte) (Request, error) {
+	op, args, err := unmarshalFrame(data)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Op: op, Args: args}, nil
+}
+
+// MarshalResponse encodes a response frame.
+func MarshalResponse(resp Response) []byte {
+	return marshalFrame(resp.Status, resp.Fields)
+}
+
+// UnmarshalResponse decodes a response frame.
+func UnmarshalResponse(data []byte) (Response, error) {
+	status, fields, err := unmarshalFrame(data)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Status: status, Fields: fields}, nil
+}

@@ -1,0 +1,98 @@
+package community
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	tests := []Request{
+		{Op: OpGetOnlineMemberList},
+		{Op: OpGetProfile, Args: []string{"bob", "alice"}},
+		{Op: OpMsg, Args: []string{"bob", "alice", "subject with spaces", "body\nwith\nnewlines"}},
+		{Op: OpAddProfileComment, Args: []string{"bob", "alice", "tricky \x1f field \\ with separators"}},
+		{Op: OpCheckMemberID, Args: []string{""}},
+	}
+	for _, req := range tests {
+		got, err := UnmarshalRequest(MarshalRequest(req))
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if got.Op != req.Op || len(got.Args) != len(req.Args) {
+			t.Fatalf("round trip %+v -> %+v", req, got)
+		}
+		for i := range req.Args {
+			if got.Args[i] != req.Args[i] {
+				t.Fatalf("arg %d: %q != %q", i, got.Args[i], req.Args[i])
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := Response{Status: StatusOK, Fields: []string{"a", "", "c\x1fd", "e\\f"}}
+	got, err := UnmarshalResponse(MarshalResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusOK || len(got.Fields) != 4 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range resp.Fields {
+		if got.Fields[i] != resp.Fields[i] {
+			t.Fatalf("field %d: %q != %q", i, got.Fields[i], resp.Fields[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(op string, a, b, c string) bool {
+		if op == "" || strings.Contains(op, "\x00") {
+			op = "PS_TEST"
+		}
+		req := Request{Op: op, Args: []string{a, b, c}}
+		got, err := UnmarshalRequest(MarshalRequest(req))
+		if err != nil {
+			return false
+		}
+		return got.Op == req.Op && len(got.Args) == 3 &&
+			got.Args[0] == a && got.Args[1] == b && got.Args[2] == c
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	if _, err := UnmarshalRequest([]byte("")); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := UnmarshalRequest([]byte("op\\")); err == nil {
+		t.Error("trailing escape accepted")
+	}
+	if _, err := UnmarshalResponse([]byte("\x1ffield")); err == nil {
+		t.Error("empty status accepted")
+	}
+}
+
+func TestEmptyArgsPreserved(t *testing.T) {
+	req := Request{Op: "X", Args: []string{"", "", ""}}
+	got, err := UnmarshalRequest(MarshalRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Args) != 3 {
+		t.Fatalf("args = %v, want 3 empties", got.Args)
+	}
+}
+
+func TestNoArgsDecodesToNone(t *testing.T) {
+	got, err := UnmarshalRequest(MarshalRequest(Request{Op: "X"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Args) != 0 {
+		t.Fatalf("args = %v, want none", got.Args)
+	}
+}

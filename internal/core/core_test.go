@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/interest"
+)
+
+func member(id string, interests ...string) Member {
+	return Member{Device: ids.DeviceID("dev-" + id), ID: ids.MemberID(id), Interests: interests}
+}
+
+// TestFigure6_AlgorithmBasicMatch follows Figure 6 directly: one
+// personal interest matched against nearby members.
+func TestFigure6_AlgorithmBasicMatch(t *testing.T) {
+	active := member("alice", "football")
+	nearby := []Member{
+		member("bob", "football", "movies"),
+		member("carol", "movies"),
+	}
+	groups := DiscoverGroups(active, nearby, nil)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v, want 1", groups)
+	}
+	g := groups[0]
+	if g.Interest != "football" {
+		t.Fatalf("interest = %q", g.Interest)
+	}
+	if len(g.Members) != 2 || g.Members[0].ID != "alice" || g.Members[1].ID != "bob" {
+		t.Fatalf("members = %v", g.MemberIDs())
+	}
+	if !g.Has("bob") || g.Has("carol") {
+		t.Fatal("Has() wrong")
+	}
+	if g.GroupID() != "football" {
+		t.Fatalf("GroupID = %q", g.GroupID())
+	}
+}
+
+// TestFigure2_OneGroupPerInterest reproduces the concept of Figure 2:
+// the central user's three distinct interests form three distinct
+// dynamic groups around them.
+func TestFigure2_OneGroupPerInterest(t *testing.T) {
+	active := member("center", "football", "music", "movies")
+	nearby := []Member{
+		member("f1", "football"),
+		member("f2", "football"),
+		member("m1", "music"),
+		member("v1", "movies"),
+		member("v2", "movies"),
+		member("none", "knitting"),
+	}
+	groups := DiscoverGroups(active, nearby, nil)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3 (one per interest)", len(groups))
+	}
+	want := map[string]int{"football": 3, "movies": 3, "music": 2}
+	for _, g := range groups {
+		if n := want[g.Interest]; len(g.Members) != n {
+			t.Errorf("group %q has %d members, want %d", g.Interest, len(g.Members), n)
+		}
+	}
+}
+
+func TestDiscoverNoMatchNoGroup(t *testing.T) {
+	active := member("alice", "football")
+	nearby := []Member{member("bob", "chess")}
+	if groups := DiscoverGroups(active, nearby, nil); len(groups) != 0 {
+		t.Fatalf("groups = %+v, want none (no interest matches)", groups)
+	}
+}
+
+func TestDiscoverEmptyNeighborhood(t *testing.T) {
+	active := member("alice", "football")
+	if groups := DiscoverGroups(active, nil, nil); len(groups) != 0 {
+		t.Fatal("groups formed with nobody around")
+	}
+}
+
+func TestDiscoverActiveWithoutInterests(t *testing.T) {
+	active := member("alice")
+	nearby := []Member{member("bob", "football")}
+	if groups := DiscoverGroups(active, nearby, nil); len(groups) != 0 {
+		t.Fatal("groups formed without personal interests")
+	}
+}
+
+func TestDiscoverNormalizesCase(t *testing.T) {
+	active := member("alice", "Football")
+	nearby := []Member{member("bob", "  FOOTBALL ")}
+	groups := DiscoverGroups(active, nearby, nil)
+	if len(groups) != 1 || groups[0].Interest != "football" {
+		t.Fatalf("groups = %+v", groups)
+	}
+}
+
+func TestDiscoverSkipsSelfInNearby(t *testing.T) {
+	active := member("alice", "football")
+	nearby := []Member{member("alice", "football"), member("bob", "football")}
+	groups := DiscoverGroups(active, nearby, nil)
+	if len(groups) != 1 || len(groups[0].Members) != 2 {
+		t.Fatalf("self duplicated: %v", groups[0].MemberIDs())
+	}
+}
+
+// TestDiscoverSemanticsMergesSynonyms reproduces §5.2.6's biking/
+// cycling scenario: without semantics two groups would be impossible
+// to form (no exact match); with taught semantics one group forms.
+func TestDiscoverSemanticsMergesSynonyms(t *testing.T) {
+	active := member("alice", "biking")
+	nearby := []Member{member("bob", "cycling")}
+
+	if groups := DiscoverGroups(active, nearby, nil); len(groups) != 0 {
+		t.Fatal("baseline: biking and cycling must NOT match (thesis's noted disadvantage)")
+	}
+	sem := interest.NewSemantics()
+	sem.Teach("biking", "cycling")
+	groups := DiscoverGroups(active, nearby, sem)
+	if len(groups) != 1 {
+		t.Fatalf("with semantics: groups = %+v, want 1", groups)
+	}
+	if groups[0].Interest != "biking" { // canonical = lexicographically smaller
+		t.Fatalf("canonical interest = %q", groups[0].Interest)
+	}
+	if len(groups[0].Members) != 2 {
+		t.Fatal("both members should be in the merged group")
+	}
+}
+
+func TestDiscoverDeterministicOrder(t *testing.T) {
+	active := member("alice", "b-interest", "a-interest")
+	nearby := []Member{
+		member("zed", "a-interest", "b-interest"),
+		member("bob", "a-interest", "b-interest"),
+	}
+	groups := DiscoverGroups(active, nearby, nil)
+	if len(groups) != 2 || groups[0].Interest != "a-interest" || groups[1].Interest != "b-interest" {
+		t.Fatalf("group order: %+v", groups)
+	}
+	ids := groups[0].MemberIDs()
+	if ids[0] != "alice" || ids[1] != "bob" || ids[2] != "zed" {
+		t.Fatalf("member order: %v", ids)
+	}
+}
+
+// Property: every discovered group contains the active user plus at
+// least one other member, and every non-active member genuinely shares
+// the group's interest.
+func TestDiscoverInvariantsProperty(t *testing.T) {
+	interests := []string{"a", "b", "c", "d"}
+	prop := func(seed uint32) bool {
+		// Build a pseudo-random neighborhood from the seed.
+		nearby := make([]Member, 0, 5)
+		s := seed
+		pick := func() []string {
+			var out []string
+			for i, term := range interests {
+				if s&(1<<uint(i)) != 0 {
+					out = append(out, term)
+				}
+			}
+			s = s*1664525 + 1013904223
+			return out
+		}
+		active := member("active", pick()...)
+		for i := 0; i < 5; i++ {
+			nearby = append(nearby, member(fmt.Sprintf("m%d", i), pick()...))
+		}
+		groups := DiscoverGroups(active, nearby, nil)
+		for _, g := range groups {
+			if len(g.Members) < 2 {
+				return false
+			}
+			if g.Members[0].ID != active.ID {
+				return false
+			}
+			if !hasInterest(active, g.Interest) {
+				return false
+			}
+			for _, m := range g.Members[1:] {
+				if !hasInterest(m, g.Interest) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hasInterest reports whether the member lists the normalized interest.
+func hasInterest(m Member, term string) bool {
+	for _, t := range m.NormalizedInterests(nil) {
+		if t == term {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAllInterestsNearby(t *testing.T) {
+	active := member("alice", "football", "music")
+	nearby := []Member{
+		member("bob", "football", "chess"),
+		member("carol", "MUSIC"),
+	}
+	got := AllInterestsNearby(active, nearby, nil)
+	want := []string{"chess", "football", "music"}
+	if len(got) != len(want) {
+		t.Fatalf("AllInterestsNearby = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllInterestsNearby = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllInterestsNearbySemantics(t *testing.T) {
+	sem := interest.NewSemantics()
+	sem.Teach("biking", "cycling")
+	got := AllInterestsNearby(member("a", "biking"), []Member{member("b", "cycling")}, sem)
+	if len(got) != 1 || got[0] != "biking" {
+		t.Fatalf("AllInterestsNearby = %v, want [biking]", got)
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interest"
+)
+
+// ExampleDiscoverGroups runs the Figure 6 algorithm on the thesis's
+// canonical situation: a user surrounded by peers, grouped per shared
+// interest.
+func ExampleDiscoverGroups() {
+	active := core.Member{Device: "my-phone", ID: "me", Interests: []string{"football", "music"}}
+	nearby := []core.Member{
+		{Device: "dev-bob", ID: "bob", Interests: []string{"Football", "movies"}},
+		{Device: "dev-carol", ID: "carol", Interests: []string{"music"}},
+		{Device: "dev-dave", ID: "dave", Interests: []string{"chess"}},
+	}
+	for _, g := range core.DiscoverGroups(active, nearby, nil) {
+		fmt.Println(g.Interest, g.MemberIDs())
+	}
+	// Output:
+	// football [me bob]
+	// music [me carol]
+}
+
+// ExampleDiscoverGroups_semantics shows the future-work synonym layer
+// merging "biking" and "cycling" into one group.
+func ExampleDiscoverGroups_semantics() {
+	sem := interest.NewSemantics()
+	sem.Teach("biking", "cycling")
+	active := core.Member{ID: "me", Interests: []string{"biking"}}
+	nearby := []core.Member{{ID: "bob", Interests: []string{"cycling"}}}
+	for _, g := range core.DiscoverGroups(active, nearby, sem) {
+		fmt.Println(g.Interest, g.MemberIDs())
+	}
+	// Output:
+	// biking [me bob]
+}
+
+// ExampleManager shows group churn as the neighborhood changes.
+func ExampleManager() {
+	mgr := core.NewManager(core.Member{ID: "me", Interests: []string{"football"}}, nil)
+	bob := core.Member{ID: "bob", Interests: []string{"football"}}
+
+	show := func(ev core.Event) {
+		if ev.Member == "" {
+			fmt.Println(ev.Type, ev.Interest)
+			return
+		}
+		fmt.Println(ev.Type, ev.Interest, ev.Member)
+	}
+	for _, ev := range mgr.Update([]core.Member{bob}) {
+		show(ev)
+	}
+	for _, ev := range mgr.Update(nil) { // bob walks away
+		show(ev)
+	}
+	// Output:
+	// group-formed football
+	// member-joined football bob
+	// member-left football bob
+	// group-dissolved football
+}

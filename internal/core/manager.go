@@ -1,0 +1,278 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/interest"
+)
+
+// EventType classifies group-membership events.
+type EventType int
+
+// The four events the group manager emits as the neighborhood churns.
+const (
+	// EventGroupFormed fires when an interest group first gains a
+	// remote member.
+	EventGroupFormed EventType = iota + 1
+	// EventGroupDissolved fires when a group's last remote member
+	// leaves.
+	EventGroupDissolved
+	// EventMemberJoined fires per remote member entering a group.
+	EventMemberJoined
+	// EventMemberLeft fires per remote member leaving a group.
+	EventMemberLeft
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EventGroupFormed:
+		return "group-formed"
+	case EventGroupDissolved:
+		return "group-dissolved"
+	case EventMemberJoined:
+		return "member-joined"
+	case EventMemberLeft:
+		return "member-left"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one group-membership change.
+type Event struct {
+	Type     EventType
+	Interest string
+	// Member is set for joined/left events.
+	Member ids.MemberID
+}
+
+// Manager maintains the local device's view of its dynamic groups as
+// the PeerHood neighborhood changes (Figure 5): call Update with each
+// fresh neighbor snapshot and the manager re-runs discovery, diffs the
+// result and reports what changed. It also implements the manual
+// join/leave of Table 7.
+type Manager struct {
+	mu     sync.Mutex
+	self   Member
+	sem    *interest.Semantics
+	manual map[string]bool // interests joined manually (not personal)
+	left   map[string]bool // personal interests left manually
+	groups map[string]Group
+	subs   map[int]func(Event)
+	nextID int
+}
+
+// NewManager returns a manager for the active user. sem may be nil to
+// disable semantics.
+func NewManager(self Member, sem *interest.Semantics) *Manager {
+	return &Manager{
+		self:   self,
+		sem:    sem,
+		manual: make(map[string]bool),
+		left:   make(map[string]bool),
+		groups: make(map[string]Group),
+		subs:   make(map[int]func(Event)),
+	}
+}
+
+// Self returns the active user as currently configured.
+func (m *Manager) Self() Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.self
+}
+
+// SetInterests replaces the active user's personal interests; the next
+// Update reflects the change.
+func (m *Manager) SetInterests(terms []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.self.Interests = interest.NormalizeAll(terms)
+}
+
+// JoinManually subscribes the user to an interest group they do not
+// have as a personal interest ("Join/Leave Manually", Table 7).
+func (m *Manager) JoinManually(term string) {
+	c := m.sem.Canon(term)
+	if c == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.manual[c] = true
+	delete(m.left, c)
+}
+
+// LeaveManually unsubscribes from a group even if the interest is
+// personal; discovery skips it until joined again.
+func (m *Manager) LeaveManually(term string) {
+	c := m.sem.Canon(term)
+	if c == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.manual, c)
+	m.left[c] = true
+}
+
+// AdoptInterest adds another member's interest as a personal interest
+// ("add others interests as own interest", §5.1).
+func (m *Manager) AdoptInterest(term string) {
+	n := interest.Normalize(term)
+	if n == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.self.Interests {
+		if t == n {
+			return
+		}
+	}
+	m.self.Interests = append(m.self.Interests, n)
+	delete(m.left, m.sem.Canon(n))
+}
+
+// Subscribe registers an event callback; callbacks run synchronously
+// inside Update, after the lock is released, so they may query the
+// manager.
+func (m *Manager) Subscribe(fn func(Event)) (cancel func()) {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	m.subs[id] = fn
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.subs, id)
+		m.mu.Unlock()
+	}
+}
+
+// Update recomputes the group set from a fresh neighbor snapshot and
+// returns the membership events, oldest-change-first (formed before
+// joined, left before dissolved).
+func (m *Manager) Update(nearby []Member) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Effective interest list: personal + manual - left.
+	effective := m.self
+	var terms []string
+	for _, t := range m.self.Interests {
+		if !m.left[m.sem.Canon(t)] {
+			terms = append(terms, t)
+		}
+	}
+	for t := range m.manual {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	effective.Interests = terms
+
+	next := make(map[string]Group)
+	for _, g := range DiscoverGroups(effective, nearby, m.sem) {
+		next[g.Interest] = g
+	}
+
+	var events []Event
+	// Joined / formed.
+	for interestKey, g := range next {
+		old, existed := m.groups[interestKey]
+		if !existed {
+			events = append(events, Event{Type: EventGroupFormed, Interest: interestKey})
+		}
+		for _, mem := range g.Members {
+			if mem.ID == m.self.ID {
+				continue
+			}
+			if !existed || !old.Has(mem.ID) {
+				events = append(events, Event{Type: EventMemberJoined, Interest: interestKey, Member: mem.ID})
+			}
+		}
+	}
+	// Left / dissolved.
+	for interestKey, old := range m.groups {
+		g, still := next[interestKey]
+		for _, mem := range old.Members {
+			if mem.ID == m.self.ID {
+				continue
+			}
+			if !still || !g.Has(mem.ID) {
+				events = append(events, Event{Type: EventMemberLeft, Interest: interestKey, Member: mem.ID})
+			}
+		}
+		if !still {
+			events = append(events, Event{Type: EventGroupDissolved, Interest: interestKey})
+		}
+	}
+	sortEvents(events)
+	m.groups = next
+
+	subs := make([]func(Event), 0, len(m.subs))
+	for _, fn := range m.subs {
+		subs = append(subs, fn)
+	}
+	m.mu.Unlock()
+	for _, fn := range subs {
+		for _, ev := range events {
+			fn(ev)
+		}
+	}
+	m.mu.Lock()
+	return events
+}
+
+// Groups returns the current groups sorted by interest.
+func (m *Manager) Groups() []Group {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Group, 0, len(m.groups))
+	for _, g := range m.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Interest < out[j].Interest })
+	return out
+}
+
+// Group returns one group by interest term (canonicalized).
+func (m *Manager) Group(term string) (Group, bool) {
+	c := m.sem.Canon(term)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[c]
+	return g, ok
+}
+
+// MembersOf returns the member IDs in an interest group.
+func (m *Manager) MembersOf(term string) []ids.MemberID {
+	g, ok := m.Group(term)
+	if !ok {
+		return nil
+	}
+	return g.MemberIDs()
+}
+
+// sortEvents orders events deterministically: by interest, then type
+// (formed, joined, left, dissolved), then member.
+func sortEvents(events []Event) {
+	rank := map[EventType]int{
+		EventGroupFormed:    0,
+		EventMemberJoined:   1,
+		EventMemberLeft:     2,
+		EventGroupDissolved: 3,
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Interest != events[j].Interest {
+			return events[i].Interest < events[j].Interest
+		}
+		if rank[events[i].Type] != rank[events[j].Type] {
+			return rank[events[i].Type] < rank[events[j].Type]
+		}
+		return events[i].Member < events[j].Member
+	})
+}

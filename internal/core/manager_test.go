@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/interest"
+)
+
+func newMgr() *Manager {
+	return NewManager(member("alice", "football", "music"), nil)
+}
+
+func eventCount(events []Event, typ EventType) int {
+	n := 0
+	for _, ev := range events {
+		if ev.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+func TestManagerFirstUpdateFormsGroups(t *testing.T) {
+	m := newMgr()
+	events := m.Update([]Member{member("bob", "football")})
+	if eventCount(events, EventGroupFormed) != 1 || eventCount(events, EventMemberJoined) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	groups := m.Groups()
+	if len(groups) != 1 || groups[0].Interest != "football" {
+		t.Fatalf("groups = %+v", groups)
+	}
+	ms := m.MembersOf("football")
+	if len(ms) != 2 || ms[0] != "alice" || ms[1] != "bob" {
+		t.Fatalf("MembersOf = %v", ms)
+	}
+}
+
+func TestManagerMemberLeavesDissolvesGroup(t *testing.T) {
+	m := newMgr()
+	m.Update([]Member{member("bob", "football")})
+	events := m.Update(nil)
+	if eventCount(events, EventMemberLeft) != 1 || eventCount(events, EventGroupDissolved) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if len(m.Groups()) != 0 {
+		t.Fatal("group should be gone")
+	}
+	if m.MembersOf("football") != nil {
+		t.Fatal("MembersOf on dissolved group should be nil")
+	}
+}
+
+func TestManagerIncrementalJoinLeave(t *testing.T) {
+	m := newMgr()
+	m.Update([]Member{member("bob", "football")})
+	events := m.Update([]Member{member("bob", "football"), member("carol", "football")})
+	if eventCount(events, EventGroupFormed) != 0 {
+		t.Fatal("group should not re-form")
+	}
+	if eventCount(events, EventMemberJoined) != 1 || events[0].Member != "carol" && events[len(events)-1].Member != "carol" {
+		t.Fatalf("events = %+v", events)
+	}
+	events = m.Update([]Member{member("carol", "football")})
+	if eventCount(events, EventMemberLeft) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if eventCount(events, EventGroupDissolved) != 0 {
+		t.Fatal("group still has carol; must not dissolve")
+	}
+}
+
+func TestManagerNoChangeNoEvents(t *testing.T) {
+	m := newMgr()
+	snapshot := []Member{member("bob", "football")}
+	m.Update(snapshot)
+	if events := m.Update(snapshot); len(events) != 0 {
+		t.Fatalf("steady state emitted events: %+v", events)
+	}
+}
+
+func TestManagerManualJoin(t *testing.T) {
+	m := newMgr()
+	// carol's group: alice has no "chess" interest.
+	events := m.Update([]Member{member("carol", "chess")})
+	if len(events) != 0 {
+		t.Fatalf("no shared interest, but events = %+v", events)
+	}
+	m.JoinManually("chess")
+	events = m.Update([]Member{member("carol", "chess")})
+	if eventCount(events, EventGroupFormed) != 1 {
+		t.Fatalf("manual join should form group: %+v", events)
+	}
+	if got := m.MembersOf("chess"); len(got) != 2 {
+		t.Fatalf("MembersOf(chess) = %v", got)
+	}
+}
+
+func TestManagerManualLeave(t *testing.T) {
+	m := newMgr()
+	m.Update([]Member{member("bob", "football")})
+	m.LeaveManually("football")
+	events := m.Update([]Member{member("bob", "football")})
+	if eventCount(events, EventGroupDissolved) != 1 {
+		t.Fatalf("manual leave should dissolve: %+v", events)
+	}
+	// Rejoin restores.
+	m.JoinManually("football")
+	events = m.Update([]Member{member("bob", "football")})
+	if eventCount(events, EventGroupFormed) != 1 {
+		t.Fatalf("rejoin should re-form: %+v", events)
+	}
+}
+
+func TestManagerAdoptInterest(t *testing.T) {
+	m := newMgr()
+	m.AdoptInterest("Chess")
+	self := m.Self()
+	found := false
+	for _, term := range self.Interests {
+		if term == "chess" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("interests = %v, want chess adopted", self.Interests)
+	}
+	m.AdoptInterest("chess") // idempotent
+	if len(m.Self().Interests) != 3 {
+		t.Fatalf("interests = %v", m.Self().Interests)
+	}
+	m.AdoptInterest("  ") // no-op
+	if len(m.Self().Interests) != 3 {
+		t.Fatal("blank adopt changed interests")
+	}
+}
+
+func TestManagerSetInterests(t *testing.T) {
+	m := newMgr()
+	m.Update([]Member{member("bob", "football")})
+	m.SetInterests([]string{"chess"})
+	events := m.Update([]Member{member("bob", "football")})
+	if eventCount(events, EventGroupDissolved) != 1 {
+		t.Fatalf("dropping the interest should dissolve its group: %+v", events)
+	}
+}
+
+func TestManagerSubscribe(t *testing.T) {
+	m := newMgr()
+	var got []Event
+	cancel := m.Subscribe(func(ev Event) { got = append(got, ev) })
+	m.Update([]Member{member("bob", "football")})
+	if len(got) != 2 {
+		t.Fatalf("callback got %d events, want 2", len(got))
+	}
+	cancel()
+	m.Update(nil)
+	if len(got) != 2 {
+		t.Fatal("callback fired after cancel")
+	}
+}
+
+func TestManagerSubscriberMayQueryManager(t *testing.T) {
+	m := newMgr()
+	var groupsSeen int
+	m.Subscribe(func(ev Event) {
+		groupsSeen = len(m.Groups()) // must not deadlock
+	})
+	m.Update([]Member{member("bob", "football")})
+	if groupsSeen != 1 {
+		t.Fatalf("subscriber saw %d groups", groupsSeen)
+	}
+}
+
+func TestManagerSemantics(t *testing.T) {
+	sem := interest.NewSemantics()
+	sem.Teach("biking", "cycling")
+	m := NewManager(member("alice", "biking"), sem)
+	events := m.Update([]Member{member("bob", "cycling")})
+	if eventCount(events, EventGroupFormed) != 1 {
+		t.Fatalf("semantics should merge: %+v", events)
+	}
+	if _, ok := m.Group("cycling"); !ok {
+		t.Fatal("Group lookup should canonicalize through semantics")
+	}
+}
+
+func TestManagerGroupLookupMiss(t *testing.T) {
+	m := newMgr()
+	if _, ok := m.Group("nothing"); ok {
+		t.Fatal("missing group reported present")
+	}
+}
+
+func TestManagerManualJoinBlankIgnored(t *testing.T) {
+	m := newMgr()
+	m.JoinManually("   ")
+	m.LeaveManually("")
+	if events := m.Update(nil); len(events) != 0 {
+		t.Fatalf("blank manual ops caused events: %+v", events)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	for _, tt := range []struct {
+		typ  EventType
+		want string
+	}{
+		{EventGroupFormed, "group-formed"},
+		{EventGroupDissolved, "group-dissolved"},
+		{EventMemberJoined, "member-joined"},
+		{EventMemberLeft, "member-left"},
+		{EventType(0), "unknown"},
+	} {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	m := NewManager(member("alice", "a", "b"), nil)
+	events := m.Update([]Member{member("bob", "a", "b")})
+	// Per interest: formed before joined; interests alphabetical.
+	if len(events) != 4 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Interest != "a" || events[0].Type != EventGroupFormed ||
+		events[1].Type != EventMemberJoined ||
+		events[2].Interest != "b" || events[2].Type != EventGroupFormed {
+		t.Fatalf("ordering wrong: %+v", events)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// TrustLevel is the privacy tier a viewer holds toward a profile owner
+// (§5.1): "the social networking middleware impose a concept of trust
+// levels and determine the authority for accessing different available
+// features depending upon the trust levels."
+type TrustLevel int
+
+// Trust tiers, weakest first.
+const (
+	// TrustNone: a stranger — may only see the interest groups and who
+	// is in them.
+	TrustNone TrustLevel = iota + 1
+	// TrustMember: a fellow social-network member — may additionally
+	// view/comment profiles, see trusted-friends lists and exchange
+	// messages.
+	TrustMember
+	// TrustFriend: an accepted trusted friend — may additionally see
+	// and transfer shared content.
+	TrustFriend
+)
+
+// String implements fmt.Stringer.
+func (l TrustLevel) String() string {
+	switch l {
+	case TrustNone:
+		return "none"
+	case TrustMember:
+		return "member"
+	case TrustFriend:
+		return "trusted-friend"
+	default:
+		return fmt.Sprintf("trustlevel(%d)", int(l))
+	}
+}
+
+// Permission names a gated capability of the reference application.
+type Permission int
+
+// The capabilities Table 7 exposes, in roughly increasing sensitivity.
+const (
+	PermViewGroups Permission = iota + 1
+	PermViewMembers
+	PermViewProfile
+	PermCommentProfile
+	PermSendMessage
+	PermViewTrustedList
+	PermViewShared
+	PermFetchShared
+)
+
+// String implements fmt.Stringer.
+func (p Permission) String() string {
+	switch p {
+	case PermViewGroups:
+		return "view-groups"
+	case PermViewMembers:
+		return "view-members"
+	case PermViewProfile:
+		return "view-profile"
+	case PermCommentProfile:
+		return "comment-profile"
+	case PermSendMessage:
+		return "send-message"
+	case PermViewTrustedList:
+		return "view-trusted-list"
+	case PermViewShared:
+		return "view-shared"
+	case PermFetchShared:
+		return "fetch-shared"
+	default:
+		return fmt.Sprintf("permission(%d)", int(p))
+	}
+}
+
+// minLevel maps each permission to the weakest level that holds it.
+var minLevel = map[Permission]TrustLevel{
+	PermViewGroups:      TrustNone,
+	PermViewMembers:     TrustNone,
+	PermViewProfile:     TrustMember,
+	PermCommentProfile:  TrustMember,
+	PermSendMessage:     TrustMember,
+	PermViewTrustedList: TrustMember,
+	PermViewShared:      TrustFriend,
+	PermFetchShared:     TrustFriend,
+}
+
+// Allows reports whether the level grants the permission.
+func (l TrustLevel) Allows(p Permission) bool {
+	min, ok := minLevel[p]
+	if !ok {
+		return false
+	}
+	return l >= min
+}
+
+// LevelFor computes the viewer's level toward an owner: trusted friends
+// get TrustFriend, any authenticated member gets TrustMember, everyone
+// else TrustNone.
+func LevelFor(isMember, isTrustedFriend bool) TrustLevel {
+	switch {
+	case isTrustedFriend:
+		return TrustFriend
+	case isMember:
+		return TrustMember
+	default:
+		return TrustNone
+	}
+}

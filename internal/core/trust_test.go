@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrustMatrix(t *testing.T) {
+	// §5.1: "non trusted users can view or see only the interest groups
+	// and members of different groups. Trusted users are allowed to
+	// see/transfer the shared files, comment profiles etc."
+	tests := []struct {
+		level TrustLevel
+		perm  Permission
+		want  bool
+	}{
+		{TrustNone, PermViewGroups, true},
+		{TrustNone, PermViewMembers, true},
+		{TrustNone, PermViewProfile, false},
+		{TrustNone, PermCommentProfile, false},
+		{TrustNone, PermSendMessage, false},
+		{TrustNone, PermViewShared, false},
+		{TrustMember, PermViewGroups, true},
+		{TrustMember, PermViewProfile, true},
+		{TrustMember, PermCommentProfile, true},
+		{TrustMember, PermSendMessage, true},
+		{TrustMember, PermViewTrustedList, true},
+		{TrustMember, PermViewShared, false},
+		{TrustMember, PermFetchShared, false},
+		{TrustFriend, PermViewShared, true},
+		{TrustFriend, PermFetchShared, true},
+		{TrustFriend, PermViewProfile, true},
+	}
+	for _, tt := range tests {
+		if got := tt.level.Allows(tt.perm); got != tt.want {
+			t.Errorf("%v.Allows(%v) = %v, want %v", tt.level, tt.perm, got, tt.want)
+		}
+	}
+}
+
+func TestTrustMonotonic(t *testing.T) {
+	// A higher level never loses a permission a lower level has.
+	perms := []Permission{
+		PermViewGroups, PermViewMembers, PermViewProfile, PermCommentProfile,
+		PermSendMessage, PermViewTrustedList, PermViewShared, PermFetchShared,
+	}
+	levels := []TrustLevel{TrustNone, TrustMember, TrustFriend}
+	for i := 1; i < len(levels); i++ {
+		for _, p := range perms {
+			if levels[i-1].Allows(p) && !levels[i].Allows(p) {
+				t.Errorf("%v allows %v but %v does not", levels[i-1], p, levels[i])
+			}
+		}
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	if LevelFor(false, false) != TrustNone {
+		t.Error("stranger should be TrustNone")
+	}
+	if LevelFor(true, false) != TrustMember {
+		t.Error("member should be TrustMember")
+	}
+	if LevelFor(true, true) != TrustFriend {
+		t.Error("trusted friend should be TrustFriend")
+	}
+	if LevelFor(false, true) != TrustFriend {
+		t.Error("trust wins even if membership flag is stale")
+	}
+}
+
+func TestUnknownPermissionDenied(t *testing.T) {
+	if TrustFriend.Allows(Permission(99)) {
+		t.Fatal("unknown permission should be denied")
+	}
+}
+
+func TestTrustStrings(t *testing.T) {
+	for _, l := range []TrustLevel{TrustNone, TrustMember, TrustFriend} {
+		if s := l.String(); s == "" || strings.HasPrefix(s, "trustlevel(") {
+			t.Errorf("missing String for level %d", int(l))
+		}
+	}
+	if !strings.HasPrefix(TrustLevel(42).String(), "trustlevel(") {
+		t.Error("unknown level String wrong")
+	}
+	perms := []Permission{
+		PermViewGroups, PermViewMembers, PermViewProfile, PermCommentProfile,
+		PermSendMessage, PermViewTrustedList, PermViewShared, PermFetchShared,
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		s := p.String()
+		if s == "" || strings.HasPrefix(s, "permission(") {
+			t.Errorf("missing String for permission %d", int(p))
+		}
+		if seen[s] {
+			t.Errorf("duplicate permission string %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Permission(42).String(), "permission(") {
+		t.Error("unknown permission String wrong")
+	}
+}

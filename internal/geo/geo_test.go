@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-3, -4}, Point{0, 0}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.DistanceTo(tt.q); !almostEqual(got, tt.want) {
+				t.Fatalf("DistanceTo = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by int16) bool {
+		p := Point{float64(ax), float64(ay)}
+		q := Point{float64(bx), float64(by)}
+		return almostEqual(p.DistanceTo(q), q.DistanceTo(p))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return a.DistanceTo(c) <= a.DistanceTo(b)+b.DistanceTo(c)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := Point{1, 2}
+	v := Vector{3, -1}
+	q := p.Add(v)
+	if q != (Point{4, 1}) {
+		t.Fatalf("Add = %v", q)
+	}
+	if got := q.Sub(p); got != v {
+		t.Fatalf("Sub = %v, want %v", got, v)
+	}
+}
+
+func TestVectorUnit(t *testing.T) {
+	v := Vector{3, 4}
+	u := v.Unit()
+	if !almostEqual(u.Length(), 1) {
+		t.Fatalf("unit length = %v", u.Length())
+	}
+	if zero := (Vector{}).Unit(); zero != (Vector{}) {
+		t.Fatalf("zero Unit = %v, want zero vector", zero)
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	v := Vector{1, -2}.Scale(3)
+	if v != (Vector{3, -6}) {
+		t.Fatalf("Scale = %v", v)
+	}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := NewRect(Point{10, 10}, Point{0, 0}) // corners in any order
+	if !r.Contains(Point{5, 5}) {
+		t.Error("center should be contained")
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 10}) {
+		t.Error("boundary should be contained")
+	}
+	if r.Contains(Point{-1, 5}) {
+		t.Error("outside point should not be contained")
+	}
+	if got := r.Clamp(Point{-5, 20}); got != (Point{0, 10}) {
+		t.Fatalf("Clamp = %v, want (0, 10)", got)
+	}
+}
+
+func TestRectClampAlwaysInsideProperty(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{100, 50})
+	prop := func(x, y int16) bool {
+		return r.Contains(r.Clamp(Point{float64(x), float64(y)}))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectDimensions(t *testing.T) {
+	r := NewRect(Point{1, 2}, Point{5, 10})
+	if r.Width() != 4 || r.Height() != 8 {
+		t.Fatalf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if got := r.Center(); got != (Point{3, 6}) {
+		t.Fatalf("Center = %v", got)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1.25, -2}).String(); got != "(1.2, -2.0)" && got != "(1.3, -2.0)" {
+		t.Fatalf("String = %q", got)
+	}
+}

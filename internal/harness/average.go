@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// averageRows averages per-operation durations across repeated trials
+// of the same column. All trials must describe the same column.
+func averageRows(trials []Table8Row) (Table8Row, error) {
+	if len(trials) == 0 {
+		return Table8Row{}, fmt.Errorf("harness: no trials to average")
+	}
+	out := trials[0]
+	var search, join, list, prof time.Duration
+	for _, tr := range trials {
+		if tr.SocialNetwork != out.SocialNetwork || tr.AccessedThrough != out.AccessedThrough {
+			return Table8Row{}, fmt.Errorf("harness: mixed columns in average: %q vs %q",
+				tr.SocialNetwork, out.SocialNetwork)
+		}
+		search += tr.Search
+		join += tr.Join
+		list += tr.MemberList
+		prof += tr.Profile
+	}
+	n := time.Duration(len(trials))
+	out.Search = search / n
+	out.Join = join / n
+	out.MemberList = list / n
+	out.Profile = prof / n
+	return out, nil
+}
+
+// RunTable8Averaged repeats the whole Table 8 experiment `trials` times
+// and returns per-column averages, mirroring the thesis's "average time
+// was calculated" methodology.
+func RunTable8Averaged(opts Table8Options, trials int) ([]Table8Row, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	perColumn := make([][]Table8Row, 0)
+	for t := 0; t < trials; t++ {
+		rows, err := RunTable8(opts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: trial %d: %w", t+1, err)
+		}
+		if len(perColumn) == 0 {
+			perColumn = make([][]Table8Row, len(rows))
+		}
+		if len(rows) != len(perColumn) {
+			return nil, fmt.Errorf("harness: trial %d returned %d rows, want %d", t+1, len(rows), len(perColumn))
+		}
+		for i, r := range rows {
+			perColumn[i] = append(perColumn[i], r)
+		}
+	}
+	out := make([]Table8Row, 0, len(perColumn))
+	for _, col := range perColumn {
+		avg, err := averageRows(col)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, avg)
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/scenario"
+	"repro/internal/vtime"
+)
+
+// ChurnPoint measures group stability for one peer speed: how often the
+// observer's dynamic groups change as peers move faster. This probes
+// the thesis's "instantaneous social network" property — the faster the
+// neighborhood moves, the shorter-lived its groups.
+type ChurnPoint struct {
+	// SpeedMps is the peers' walking speed in meters per second.
+	SpeedMps float64
+	// Duration is the modeled observation window.
+	Duration time.Duration
+	// Events counts group-membership changes observed.
+	Events int
+	// EventsPerMinute normalizes events over the window.
+	EventsPerMinute float64
+}
+
+// ChurnConfig parameterizes the churn experiment.
+type ChurnConfig struct {
+	// Scale is the latency scale (default 1e-2).
+	Scale vtime.Scale
+	// Peers walking around the observer (default 6).
+	Peers int
+	// Region side in meters (default 40: a courtyard around a 10 m
+	// Bluetooth cell, so peers cross in and out).
+	RegionSide float64
+	// Window is the modeled observation time per speed (default 3 min).
+	Window time.Duration
+	// Seed fixes the trajectories.
+	Seed int64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Scale.Factor() == 1 {
+		c.Scale = vtime.NewScale(1e-2)
+	}
+	if c.Peers <= 0 {
+		c.Peers = 6
+	}
+	if c.RegionSide <= 0 {
+		c.RegionSide = 40
+	}
+	if c.Window <= 0 {
+		c.Window = 3 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 2008
+	}
+	return c
+}
+
+// RunChurn measures group churn at each peer speed.
+func RunChurn(cfg ChurnConfig, speeds []float64) ([]ChurnPoint, error) {
+	cfg = cfg.withDefaults()
+	out := make([]ChurnPoint, 0, len(speeds))
+	for _, speed := range speeds {
+		point, err := runChurnPoint(cfg, speed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: churn at %.1f m/s: %w", speed, err)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+func runChurnPoint(cfg ChurnConfig, speed float64) (ChurnPoint, error) {
+	if speed < 0 {
+		return ChurnPoint{}, fmt.Errorf("negative speed")
+	}
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(cfg.RegionSide, cfg.RegionSide))
+	builder := scenario.NewBuilder().WithScale(cfg.Scale).WithSeed(cfg.Seed)
+	builder.AddPeer(scenario.PeerSpec{
+		Member:    "observer",
+		Position:  region.Center(),
+		Interests: []string{"football"},
+	})
+	for i := 0; i < cfg.Peers; i++ {
+		var model mobility.Model
+		if speed == 0 {
+			// Static peers scattered across the region.
+			model = mobility.Static{At: geo.Pt(
+				region.Min.X+float64(i+1)*region.Width()/float64(cfg.Peers+1),
+				region.Center().Y,
+			)}
+		} else {
+			model = mobility.NewRandomWaypoint(region, speed, speed, 2*time.Second, cfg.Seed+int64(i))
+		}
+		builder.AddPeer(scenario.PeerSpec{
+			Member:    ids.MemberID(fmt.Sprintf("walker-%02d", i)),
+			Mobility:  model,
+			Interests: []string{"football"},
+		})
+	}
+	d, err := builder.Build()
+	if err != nil {
+		return ChurnPoint{}, err
+	}
+	defer d.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	observer := d.MustPeer("observer")
+
+	// Warm up: the initial group formation is not churn.
+	if err := observer.Daemon.RefreshNow(ctx); err != nil {
+		return ChurnPoint{}, err
+	}
+	if _, err := observer.Client.RefreshGroups(ctx); err != nil {
+		return ChurnPoint{}, err
+	}
+
+	events := 0
+	start := d.Env.Elapsed()
+	for d.Env.Elapsed()-start < cfg.Window {
+		if err := observer.Daemon.RefreshNow(ctx); err != nil {
+			return ChurnPoint{}, err
+		}
+		evs, err := observer.Client.RefreshGroups(ctx)
+		if err != nil {
+			return ChurnPoint{}, err
+		}
+		for _, ev := range evs {
+			if ev.Type == core.EventMemberJoined || ev.Type == core.EventMemberLeft {
+				events++
+			}
+		}
+	}
+	window := d.Env.Elapsed() - start
+	return ChurnPoint{
+		SpeedMps:        speed,
+		Duration:        window,
+		Events:          events,
+		EventsPerMinute: float64(events) / window.Minutes(),
+	}, nil
+}
+
+// FormatChurn renders the series as a table.
+func FormatChurn(points []ChurnPoint) string {
+	header := []string{"Peer speed", "Window", "Membership events", "Events/min"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f m/s", p.SpeedMps),
+			p.Duration.Round(time.Second).String(),
+			fmt.Sprintf("%d", p.Events),
+			fmt.Sprintf("%.1f", p.EventsPerMinute),
+		})
+	}
+	return FormatTable(header, rows)
+}

@@ -1,0 +1,132 @@
+// Package harness builds the experiment worlds and runs the thesis's
+// evaluation: the ComLab testbed of Tables 4/5 and the timing
+// comparison of Table 8 (search / join / member list / profile across
+// Facebook and Hi5 on two handsets versus PeerHood Community over
+// Bluetooth).
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// TestbedMachine describes one machine of the thesis's Table 5.
+type TestbedMachine struct {
+	Name      string
+	Device    ids.DeviceID
+	Processor string
+	MemoryMB  float64
+	OS        string
+	Position  geo.Point
+}
+
+// Testbed is the hardware environment of the reference implementation.
+type Testbed struct {
+	Machines []TestbedMachine
+	// PeerHoodVersion and Compiler mirror Table 4.
+	PeerHoodVersion string
+	Compiler        string
+}
+
+// ComLabTestbed returns the test environment of Tables 4 and 5: two
+// desktop PCs and an IBM ThinkPad T40, all within Bluetooth range in
+// room 6604 (Appendix 1).
+func ComLabTestbed() Testbed {
+	return Testbed{
+		PeerHoodVersion: "0.2",
+		Compiler:        "GNU C++ 4.2.3-2ubuntu7",
+		Machines: []TestbedMachine{
+			{
+				Name:      "Desktop PC1",
+				Device:    "desktop-pc1",
+				Processor: "AMD Athlon 64 3000+",
+				MemoryMB:  1005.0,
+				OS:        "Ubuntu 8.04 (hardy)",
+				Position:  geo.Pt(0, 0),
+			},
+			{
+				Name:      "Desktop PC2",
+				Device:    "desktop-pc2",
+				Processor: "Intel Pentium III 1200 MHz",
+				MemoryMB:  757.5,
+				OS:        "Ubuntu 8.04 (hardy)",
+				Position:  geo.Pt(4, 0),
+			},
+			{
+				Name:      "IBM ThinkPad T40",
+				Device:    "thinkpad-t40",
+				Processor: "Intel Pentium M 1600 MHz",
+				MemoryMB:  1536,
+				OS:        "Ubuntu 7.04 (feisty)",
+				Position:  geo.Pt(2, 3),
+			},
+		},
+	}
+}
+
+// BuildWorld places the testbed's machines in a fresh radio
+// environment with Bluetooth radios (the thesis tested with Bluetooth
+// only) and returns the environment and network.
+func (tb Testbed) BuildWorld(scale vtime.Scale, seed int64) (*radio.Environment, *netsim.Network, error) {
+	env := radio.NewEnvironment(radio.WithScale(scale))
+	net := netsim.New(env, seed)
+	for _, m := range tb.Machines {
+		if err := env.Add(m.Device, mobility.Static{At: m.Position}, radio.Bluetooth); err != nil {
+			return nil, nil, fmt.Errorf("harness: placing %s: %w", m.Name, err)
+		}
+	}
+	return env, net, nil
+}
+
+// FormatDuration renders a modeled duration the way the thesis reports
+// them: whole seconds.
+func FormatDuration(d time.Duration) string {
+	return fmt.Sprintf("%.0f s", d.Seconds())
+}
+
+// FormatTable renders rows of cells as an aligned text table with a
+// header row.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

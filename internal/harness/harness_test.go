@@ -1,0 +1,356 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/snsbase"
+	"repro/internal/vtime"
+)
+
+func TestComLabTestbedMatchesTable5(t *testing.T) {
+	tb := ComLabTestbed()
+	if len(tb.Machines) != 3 {
+		t.Fatalf("machines = %d, want 3 (2 desktops + laptop)", len(tb.Machines))
+	}
+	if tb.PeerHoodVersion != "0.2" {
+		t.Errorf("PeerHood version = %q, want 0.2 (Table 4)", tb.PeerHoodVersion)
+	}
+	names := map[string]bool{}
+	for _, m := range tb.Machines {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"Desktop PC1", "Desktop PC2", "IBM ThinkPad T40"} {
+		if !names[want] {
+			t.Errorf("missing machine %q", want)
+		}
+	}
+}
+
+func TestBuildWorldAllInBluetoothRange(t *testing.T) {
+	tb := ComLabTestbed()
+	env, net, err := tb.BuildWorld(vtime.DefaultScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	devs := env.Devices()
+	if len(devs) != 3 {
+		t.Fatalf("devices = %v", devs)
+	}
+	// Room 6604: every machine must reach every other over Bluetooth.
+	for _, a := range devs {
+		for _, b := range devs {
+			if a != b && !env.Reachable(a, b, radio.Bluetooth) {
+				t.Fatalf("%s cannot reach %s over Bluetooth", a, b)
+			}
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"A", "Long Header"}, [][]string{{"x", "y"}, {"longer", "z"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A") || !strings.Contains(lines[0], "Long Header") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(11 * time.Second); got != "11 s" {
+		t.Fatalf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(500 * time.Millisecond); got != "0 s" && got != "1 s" {
+		t.Fatalf("FormatDuration = %q", got)
+	}
+}
+
+// TestTable8SNSColumnShape runs one SNS column and checks it lands in
+// the right regime (tens of seconds, search dominant).
+func TestTable8SNSColumnShape(t *testing.T) {
+	row, err := runSNSColumn(Table8Options{}.withDefaults(), snsbase.Facebook(), snsbase.NokiaN810())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Search < 20*time.Second || row.Search > 150*time.Second {
+		t.Errorf("search = %v, want tens of seconds (paper: 58 s)", row.Search)
+	}
+	if row.Join <= 0 {
+		t.Errorf("join = %v, want > 0 on an SNS (paper: 17 s)", row.Join)
+	}
+	if row.Total() < 40*time.Second {
+		t.Errorf("total = %v, want ~minute-scale (paper: 94 s)", row.Total())
+	}
+}
+
+// TestTable8PHCColumnShape runs the PeerHood column and checks the
+// thesis's claims: join is zero, search ≈ one Bluetooth inquiry.
+func TestTable8PHCColumnShape(t *testing.T) {
+	row, err := RunPHCColumn(Table8Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Join > time.Second {
+		t.Errorf("join = %v, want ~0 (already in the group)", row.Join)
+	}
+	// Search is dominated by the 10.24 s Bluetooth inquiry (paper: 11 s).
+	if row.Search < 8*time.Second || row.Search > 30*time.Second {
+		t.Errorf("search = %v, want ≈11 s", row.Search)
+	}
+	if row.Total() > 60*time.Second {
+		t.Errorf("total = %v, want well under a minute (paper: 45 s)", row.Total())
+	}
+}
+
+// TestTable8FullShape runs the whole table and verifies the paper's
+// headline: PeerHood Community beats every SNS column.
+func TestTable8FullShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 8 run in -short mode")
+	}
+	rows, err := RunTable8(Table8Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	phc := rows[4]
+	if phc.SocialNetwork != "PeerHood Community" {
+		t.Fatalf("last row = %+v, want PHC", phc)
+	}
+	for _, sns := range rows[:4] {
+		if phc.Total() >= sns.Total() {
+			t.Errorf("PHC total %v not faster than %s on %s (%v)",
+				phc.Total(), sns.SocialNetwork, sns.AccessedThrough, sns.Total())
+		}
+		if sns.Join <= 0 {
+			t.Errorf("%s join should cost time", sns.SocialNetwork)
+		}
+	}
+	// Device ordering: N95 slower than N810 per site.
+	if rows[0].Total() >= rows[1].Total() {
+		t.Errorf("Facebook N810 (%v) should beat N95 (%v)", rows[0].Total(), rows[1].Total())
+	}
+	if rows[2].Total() >= rows[3].Total() {
+		t.Errorf("Hi5 N810 (%v) should beat N95 (%v)", rows[2].Total(), rows[3].Total())
+	}
+	// Render the table for humans.
+	out := FormatTable8(rows)
+	for _, want := range []string{"SNS (Facebook)", "SNS (Hi5)", "PeerHood Community", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestTable8WarmCacheAblation: with the daemon pre-warmed, search
+// collapses toward zero — the benefit of PeerHood's continuous
+// background discovery.
+func TestTable8WarmCacheAblation(t *testing.T) {
+	cold, err := RunPHCColumn(Table8Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunPHCColumn(Table8Options{WarmCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Search >= cold.Search {
+		t.Fatalf("warm search (%v) should beat cold search (%v)", warm.Search, cold.Search)
+	}
+	if warm.Search > 5*time.Second {
+		t.Fatalf("warm search = %v, want small", warm.Search)
+	}
+}
+
+func TestRunTable8AveragedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("averaged Table 8 in -short mode")
+	}
+	rows, err := RunTable8Averaged(Table8Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[4].Join > time.Second {
+		t.Fatalf("averaged PHC join = %v, want ~0", rows[4].Join)
+	}
+}
+
+func TestAverageRowsValidation(t *testing.T) {
+	if _, err := averageRows(nil); err == nil {
+		t.Fatal("empty average accepted")
+	}
+	a := Table8Row{SocialNetwork: "A", Search: 10 * time.Second}
+	b := Table8Row{SocialNetwork: "A", Search: 20 * time.Second}
+	avg, err := averageRows([]Table8Row{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Search != 15*time.Second {
+		t.Fatalf("avg search = %v, want 15s", avg.Search)
+	}
+	mixed := Table8Row{SocialNetwork: "B"}
+	if _, err := averageRows([]Table8Row{a, mixed}); err == nil {
+		t.Fatal("mixed columns accepted")
+	}
+}
+
+// TestTable8TechnologyAblation runs the PeerHood column over each
+// technology: WLAN's short scan beats Bluetooth's 10.24 s inquiry on
+// search, while GPRS (bridged through the operator proxy) pays the
+// highest per-operation latency.
+func TestTable8TechnologyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("technology ablation in -short mode")
+	}
+	run := func(tech radio.Technology) Table8Row {
+		t.Helper()
+		row, err := RunPHCColumn(Table8Options{Technology: tech})
+		if err != nil {
+			t.Fatalf("%v column: %v", tech, err)
+		}
+		return row
+	}
+	bt := run(radio.Bluetooth)
+	wlan := run(radio.WLAN)
+	gprs := run(radio.GPRS)
+
+	if wlan.Search >= bt.Search {
+		t.Errorf("WLAN search (%v) should beat Bluetooth (%v): 2 s scan vs 10.24 s inquiry", wlan.Search, bt.Search)
+	}
+	if gprs.Profile <= bt.Profile {
+		t.Errorf("GPRS profile view (%v) should cost more than Bluetooth (%v): double cellular hop", gprs.Profile, bt.Profile)
+	}
+	for _, row := range []Table8Row{bt, wlan, gprs} {
+		if row.Join > time.Second {
+			t.Errorf("join should stay ~0 on every technology, got %v", row.Join)
+		}
+	}
+}
+
+// TestDiscoveryScale runs the future-work scaling experiment: the
+// inquiry dominates, and the post-inquiry gather cost grows with the
+// neighborhood but stays a small fraction of the total.
+func TestDiscoveryScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling experiment in -short mode")
+	}
+	points, err := RunDiscoveryScale(vtime.Scale{}, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Groups != 1 {
+			t.Errorf("%d peers formed %d groups, want 1", p.Peers, p.Groups)
+		}
+		// The 10.24 s inquiry must dominate the search at every size.
+		if p.Search < 10*time.Second {
+			t.Errorf("%d peers: search %v below inquiry time", p.Peers, p.Search)
+		}
+		if p.Gather > p.Search/2 {
+			t.Errorf("%d peers: gather %v should stay well under half of search %v", p.Peers, p.Gather, p.Search)
+		}
+	}
+	// Gather cost must not shrink as the neighborhood grows (weak
+	// monotonicity with slack for scheduling noise).
+	if points[2].Gather+time.Second < points[0].Gather {
+		t.Errorf("gather shrank with more peers: %v -> %v", points[0].Gather, points[2].Gather)
+	}
+	t.Logf("\n%s", FormatDiscoveryScale(points))
+}
+
+func TestDiscoveryScaleValidation(t *testing.T) {
+	if _, err := RunDiscoveryScale(vtime.Scale{}, []int{0}); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+}
+
+func TestFormatTable8CSV(t *testing.T) {
+	rows := []Table8Row{{
+		SocialNetwork:   "SNS (Facebook)",
+		AccessedThrough: "Nokia N810",
+		InterestGroup:   "England Football",
+		Search:          58 * time.Second,
+		Join:            17 * time.Second,
+		MemberList:      8 * time.Second,
+		Profile:         11 * time.Second,
+	}}
+	out := FormatTable8CSV(rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "social_network,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "SNS (Facebook),Nokia N810,England Football,58.0,17.0,8.0,11.0,94.0" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("plain = %q", got)
+	}
+	if got := csvEscape(`a,b"c`); got != `"a,b""c"` {
+		t.Errorf("escaped = %q", got)
+	}
+}
+
+// TestChurnGrowsWithSpeed: static peers produce a stable network;
+// walkers churn it, and faster walkers churn it more (with slack, since
+// random-waypoint paths are irregular).
+func TestChurnGrowsWithSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn experiment in -short mode")
+	}
+	points, err := RunChurn(ChurnConfig{}, []float64{0, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, walking := points[0], points[1]
+	if static.Events != 0 {
+		t.Errorf("static peers churned %d times, want 0", static.Events)
+	}
+	if walking.Events == 0 {
+		t.Errorf("walking peers produced no churn")
+	}
+	t.Logf("\n%s", FormatChurn(points))
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := RunChurn(ChurnConfig{Window: time.Second, Peers: 1}, []float64{-1}); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+}
+
+func TestFormatSeriesTables(t *testing.T) {
+	scaleOut := FormatDiscoveryScale([]ScalePoint{{Peers: 4, Search: 15 * time.Second, Gather: 5 * time.Second, Groups: 1}})
+	for _, want := range []string{"Peers", "15.0 s", "5.0 s"} {
+		if !strings.Contains(scaleOut, want) {
+			t.Errorf("scale table missing %q:\n%s", want, scaleOut)
+		}
+	}
+	churnOut := FormatChurn([]ChurnPoint{{SpeedMps: 1.5, Duration: 3 * time.Minute, Events: 30, EventsPerMinute: 10}})
+	for _, want := range []string{"Peer speed", "1.5 m/s", "10.0"} {
+		if !strings.Contains(churnOut, want) {
+			t.Errorf("churn table missing %q:\n%s", want, churnOut)
+		}
+	}
+}

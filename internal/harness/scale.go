@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+	"repro/internal/vtime"
+)
+
+// ScalePoint is one measurement of the discovery-scaling experiment:
+// how long the full dynamic-group-discovery cycle takes (one discovery
+// round + interest gathering + group formation) as the neighborhood
+// grows. The thesis's conclusion names this as future work —
+// "performance testing during the dynamic group discovery in the social
+// network on mobile environment ... to analyze the efficiency".
+type ScalePoint struct {
+	Peers int
+	// Search is the full cold-start search time (inquiry + SDP +
+	// interest gathering + grouping).
+	Search time.Duration
+	// Gather is the post-inquiry part only (SDP + interests +
+	// grouping), the part that actually scales with peers.
+	Gather time.Duration
+	// Groups formed.
+	Groups int
+}
+
+// RunDiscoveryScale measures the discovery cycle for each peer count.
+// All peers share one interest so a single group forms with everyone.
+func RunDiscoveryScale(scale vtime.Scale, peerCounts []int) ([]ScalePoint, error) {
+	if scale.Factor() == 1 {
+		scale = vtime.NewScale(1e-2)
+	}
+	out := make([]ScalePoint, 0, len(peerCounts))
+	for _, n := range peerCounts {
+		point, err := runScalePoint(scale, n)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scale point %d: %w", n, err)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+func runScalePoint(scale vtime.Scale, peers int) (ScalePoint, error) {
+	if peers < 1 {
+		return ScalePoint{}, fmt.Errorf("need at least one peer")
+	}
+	builder := scenario.NewBuilder().WithScale(scale).WithSeed(int64(peers))
+	// Peers on a tight grid, all inside one Bluetooth cell.
+	for i := 0; i < peers; i++ {
+		builder.AddPeer(scenario.PeerSpec{
+			Member:    ids.MemberID(fmt.Sprintf("peer-%03d", i)),
+			Position:  geo.Pt(float64(i%4), float64(i/4)),
+			Interests: []string{"football"},
+		})
+	}
+	builder.AddPeer(scenario.PeerSpec{
+		Member:    "active",
+		Device:    "active-dev",
+		Position:  geo.Pt(1.5, 1.5),
+		Interests: []string{"football"},
+	})
+	d, err := builder.Build()
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	defer d.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	active := d.MustPeer("active")
+
+	sw := vtime.NewStopwatch(d.Env.Clock(), d.Env.Scale())
+	if err := active.Daemon.RefreshNow(ctx); err != nil {
+		return ScalePoint{}, err
+	}
+	if _, err := active.Client.RefreshGroups(ctx); err != nil {
+		return ScalePoint{}, err
+	}
+	total := sw.Elapsed()
+	groups := active.Client.Groups()
+	if len(groups) == 0 {
+		return ScalePoint{}, fmt.Errorf("no groups formed with %d peers", peers)
+	}
+	inquiry := d.Env.PHY(radio.Bluetooth).InquiryDuration
+	gather := total - inquiry
+	if gather < 0 {
+		gather = 0
+	}
+	return ScalePoint{Peers: peers, Search: total, Gather: gather, Groups: len(groups)}, nil
+}
+
+// FormatDiscoveryScale renders the series as a table.
+func FormatDiscoveryScale(points []ScalePoint) string {
+	header := []string{"Peers", "Search (cold)", "Post-inquiry gather", "Groups"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Peers),
+			fmt.Sprintf("%.1f s", p.Search.Seconds()),
+			fmt.Sprintf("%.1f s", p.Gather.Seconds()),
+			fmt.Sprintf("%d", p.Groups),
+		})
+	}
+	return FormatTable(header, rows)
+}

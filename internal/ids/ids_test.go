@@ -1,0 +1,77 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceIDValid(t *testing.T) {
+	tests := []struct {
+		id   DeviceID
+		want bool
+	}{
+		{"bt-00", true},
+		{"laptop", true},
+		{"", false},
+		{"has\nnewline", false},
+		{"has\ttab", false},
+		{"has\x00nul", false},
+	}
+	for _, tt := range tests {
+		if got := tt.id.Valid(); got != tt.want {
+			t.Errorf("DeviceID(%q).Valid() = %v, want %v", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestMemberIDValid(t *testing.T) {
+	if !MemberID("alice").Valid() {
+		t.Error("alice should be valid")
+	}
+	if MemberID("").Valid() {
+		t.Error("empty member ID should be invalid")
+	}
+}
+
+func TestServiceNameValid(t *testing.T) {
+	if !ServiceName("PeerHoodCommunity").Valid() {
+		t.Error("PeerHoodCommunity should be valid")
+	}
+	if ServiceName("a\rb").Valid() {
+		t.Error("carriage return should be invalid")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if DeviceID("d").String() != "d" {
+		t.Error("DeviceID.String mismatch")
+	}
+	if MemberID("m").String() != "m" {
+		t.Error("MemberID.String mismatch")
+	}
+	if ServiceName("s").String() != "s" {
+		t.Error("ServiceName.String mismatch")
+	}
+	if GroupID("g").String() != "g" {
+		t.Error("GroupID.String mismatch")
+	}
+}
+
+func TestDeviceIDf(t *testing.T) {
+	if got := DeviceIDf("bt-%02d", 3); got != "bt-03" {
+		t.Fatalf("DeviceIDf = %q, want bt-03", got)
+	}
+}
+
+func TestValidTokenPropertyNoControlChars(t *testing.T) {
+	// Any valid token stays valid after concatenation with another valid token.
+	prop := func(a, b string) bool {
+		if !validToken(a) || !validToken(b) {
+			return true // vacuous
+		}
+		return validToken(a + b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

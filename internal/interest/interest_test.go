@@ -1,0 +1,245 @@
+package interest
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"Football", "football"},
+		{"  England   Football ", "england football"},
+		{"BIKING", "biking"},
+		{"", ""},
+		{"   ", ""},
+		{"rock\tmusic", "rock music"},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	prop := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeAll(t *testing.T) {
+	in := []string{"Football", "football", "  FOOTBALL ", "Movies", "", "  "}
+	got := NormalizeAll(in)
+	if len(got) != 2 || got[0] != "football" || got[1] != "movies" {
+		t.Fatalf("NormalizeAll = %v", got)
+	}
+}
+
+func TestSemanticsTeachSame(t *testing.T) {
+	s := NewSemantics()
+	if s.Same("biking", "cycling") {
+		t.Fatal("untaught terms should differ")
+	}
+	s.Teach("biking", "cycling")
+	if !s.Same("biking", "cycling") {
+		t.Fatal("taught terms should be the same")
+	}
+	if !s.Same("Biking", " CYCLING  ") {
+		t.Fatal("Same should normalize")
+	}
+	if s.Same("biking", "football") {
+		t.Fatal("biking and football should differ")
+	}
+}
+
+func TestSemanticsTransitive(t *testing.T) {
+	s := NewSemantics()
+	s.Teach("biking", "cycling")
+	s.Teach("cycling", "bike riding")
+	if !s.Same("biking", "bike riding") {
+		t.Fatal("teaching should be transitive")
+	}
+	class := s.Class("biking")
+	if len(class) != 3 {
+		t.Fatalf("Class = %v, want 3 terms", class)
+	}
+}
+
+func TestSemanticsCanonDeterministic(t *testing.T) {
+	// Regardless of teach order, the representative is the
+	// lexicographically smallest term of the class.
+	a := NewSemantics()
+	a.Teach("zebra", "apple")
+	b := NewSemantics()
+	b.Teach("apple", "zebra")
+	if a.Canon("zebra") != "apple" || b.Canon("zebra") != "apple" {
+		t.Fatalf("canon = %q / %q, want apple", a.Canon("zebra"), b.Canon("zebra"))
+	}
+}
+
+func TestSemanticsNilSafe(t *testing.T) {
+	var s *Semantics
+	s.Teach("a", "b") // no panic
+	if s.Canon("Foo") != "foo" {
+		t.Fatalf("nil Canon = %q", s.Canon("Foo"))
+	}
+	if s.Same("a", "b") {
+		t.Fatal("nil semantics should never merge")
+	}
+	if !s.Same("a", "a") {
+		t.Fatal("a term is the same as itself")
+	}
+	if s.Class("x") != nil {
+		t.Fatal("nil Class should be nil")
+	}
+	got := s.CanonAll([]string{"A", "a", "B"})
+	if len(got) != 2 {
+		t.Fatalf("nil CanonAll = %v", got)
+	}
+}
+
+func TestSemanticsEmptyTermsIgnored(t *testing.T) {
+	s := NewSemantics()
+	s.Teach("", "cycling")
+	s.Teach("biking", "  ")
+	if s.Canon("") != "" {
+		t.Fatal("empty canon should be empty")
+	}
+	if len(s.Class("cycling")) != 1 {
+		t.Fatal("teaching with empty term should be a no-op")
+	}
+	if s.Same("", "") {
+		t.Fatal("empty terms are never the same interest")
+	}
+}
+
+func TestCanonAllMergesSynonyms(t *testing.T) {
+	s := NewSemantics()
+	s.Teach("biking", "cycling")
+	got := s.CanonAll([]string{"Cycling", "football", "BIKING", "football"})
+	if len(got) != 2 || got[0] != "biking" || got[1] != "football" {
+		t.Fatalf("CanonAll = %v", got)
+	}
+}
+
+func TestClassUntaught(t *testing.T) {
+	s := NewSemantics()
+	got := s.Class("solo")
+	if len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("Class(solo) = %v", got)
+	}
+}
+
+func TestSemanticsSameEquivalenceProperty(t *testing.T) {
+	s := NewSemantics()
+	terms := []string{"a", "b", "c", "d", "e"}
+	s.Teach("a", "b")
+	s.Teach("c", "d")
+	s.Teach("b", "c")
+	// Symmetry and transitivity over the taught set.
+	for _, x := range terms {
+		for _, y := range terms {
+			if s.Same(x, y) != s.Same(y, x) {
+				t.Fatalf("Same not symmetric for %q, %q", x, y)
+			}
+			for _, z := range terms {
+				if s.Same(x, y) && s.Same(y, z) && !s.Same(x, z) {
+					t.Fatalf("Same not transitive for %q, %q, %q", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestSemanticsManyTermsPathCompression(t *testing.T) {
+	s := NewSemantics()
+	prev := "t0"
+	for i := 1; i < 500; i++ {
+		cur := "t" + strings.Repeat("x", i%7) + string(rune('a'+i%26))
+		s.Teach(prev, cur)
+		prev = cur
+	}
+	root := s.Canon("t0")
+	if !s.Same("t0", prev) {
+		t.Fatal("long chain should be one class")
+	}
+	if s.Canon(prev) != root {
+		t.Fatal("roots differ across chain")
+	}
+}
+
+func TestClassesExportImport(t *testing.T) {
+	s := NewSemantics()
+	s.Teach("biking", "cycling")
+	s.Teach("cycling", "bike riding")
+	s.Teach("football", "soccer")
+	s.Canon("loner") // taught nothing; singleton must not export
+
+	classes := s.Classes()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v, want 2", classes)
+	}
+	if len(classes[0]) != 3 || classes[0][0] != "bike riding" {
+		t.Fatalf("first class = %v", classes[0])
+	}
+
+	fresh := NewSemantics()
+	fresh.TeachClasses(classes)
+	if !fresh.Same("biking", "bike riding") || !fresh.Same("football", "soccer") {
+		t.Fatal("import lost taught pairs")
+	}
+	if fresh.Same("biking", "football") {
+		t.Fatal("import merged unrelated classes")
+	}
+}
+
+func TestClassesNilSafe(t *testing.T) {
+	var s *Semantics
+	if s.Classes() != nil {
+		t.Fatal("nil Classes should be nil")
+	}
+	s.TeachClasses([][]string{{"a", "b"}}) // no panic
+}
+
+func TestSemanticsSaveLoadRoundTrip(t *testing.T) {
+	s := NewSemantics()
+	s.Teach("biking", "cycling")
+	path := t.TempDir() + "/sem.json"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewSemantics()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Same("biking", "cycling") {
+		t.Fatal("round trip lost the taught pair")
+	}
+	if err := loaded.LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSemanticsLoadInvalid(t *testing.T) {
+	s := NewSemantics()
+	if err := s.LoadFrom(strings.NewReader("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestSemanticsSaveEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewSemantics().SaveTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("empty save = %q", b.String())
+	}
+}

@@ -1,0 +1,52 @@
+package interest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SaveTo writes the taught synonym classes as JSON.
+func (s *Semantics) SaveTo(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	classes := s.Classes()
+	if classes == nil {
+		classes = [][]string{}
+	}
+	return enc.Encode(classes)
+}
+
+// LoadFrom merges previously saved synonym classes into the layer.
+func (s *Semantics) LoadFrom(r io.Reader) error {
+	var classes [][]string
+	if err := json.NewDecoder(r).Decode(&classes); err != nil {
+		return fmt.Errorf("interest: loading semantics: %w", err)
+	}
+	s.TeachClasses(classes)
+	return nil
+}
+
+// SaveFile writes the taught classes to a file.
+func (s *Semantics) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("interest: %w", err)
+	}
+	defer f.Close()
+	if err := s.SaveTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile merges taught classes from a file.
+func (s *Semantics) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("interest: %w", err)
+	}
+	defer f.Close()
+	return s.LoadFrom(f)
+}

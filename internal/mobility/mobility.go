@@ -1,0 +1,192 @@
+// Package mobility provides the movement models that drive device
+// positions in the radio environment. Mobility is what makes the social
+// network "mobile": peers appear inside and vanish from each other's
+// radio range, which is what triggers PeerHood's active monitoring and
+// the dynamic re-forming of interest groups.
+//
+// A Model is a deterministic function from elapsed simulation time to a
+// position, so scenarios are reproducible regardless of how often the
+// environment samples them.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Model yields a device's position at a given elapsed time since the
+// scenario started. Implementations must be safe for concurrent use and
+// deterministic: the same elapsed time always yields the same point.
+type Model interface {
+	Position(elapsed time.Duration) geo.Point
+}
+
+// Static is a device that never moves.
+type Static struct {
+	At geo.Point
+}
+
+// Position implements Model.
+func (s Static) Position(time.Duration) geo.Point { return s.At }
+
+// Linear moves with constant velocity from a starting point.
+type Linear struct {
+	Start    geo.Point
+	Velocity geo.Vector // meters per second
+}
+
+// Position implements Model.
+func (l Linear) Position(elapsed time.Duration) geo.Point {
+	return l.Start.Add(l.Velocity.Scale(elapsed.Seconds()))
+}
+
+// Waypoints follows a fixed polyline at constant speed and stops at the
+// final point.
+type Waypoints struct {
+	Points []geo.Point
+	Speed  float64 // meters per second, must be > 0
+}
+
+// Position implements Model.
+func (w Waypoints) Position(elapsed time.Duration) geo.Point {
+	if len(w.Points) == 0 {
+		return geo.Point{}
+	}
+	if len(w.Points) == 1 || w.Speed <= 0 {
+		return w.Points[0]
+	}
+	remaining := w.Speed * elapsed.Seconds()
+	for i := 0; i < len(w.Points)-1; i++ {
+		seg := w.Points[i+1].Sub(w.Points[i])
+		segLen := seg.Length()
+		if remaining <= segLen {
+			if segLen == 0 {
+				continue
+			}
+			return w.Points[i].Add(seg.Unit().Scale(remaining))
+		}
+		remaining -= segLen
+	}
+	return w.Points[len(w.Points)-1]
+}
+
+// RandomWaypoint implements the classic random-waypoint model: pick a
+// uniformly random destination in a region, walk to it at a uniformly
+// random speed, pause, repeat. It is deterministic for a given seed.
+type RandomWaypoint struct {
+	mu       sync.Mutex
+	region   geo.Rect
+	minSpeed float64
+	maxSpeed float64
+	pause    time.Duration
+	rng      *rand.Rand
+
+	// legs[i] covers [legs[i].start, legs[i].end) of elapsed time.
+	legs []leg
+}
+
+type leg struct {
+	start, end time.Duration
+	from, to   geo.Point
+	moving     bool
+}
+
+// NewRandomWaypoint returns a random-waypoint model inside region with
+// speeds drawn uniformly from [minSpeed, maxSpeed] m/s and the given
+// pause at each waypoint. The same seed reproduces the same trajectory.
+func NewRandomWaypoint(region geo.Rect, minSpeed, maxSpeed float64, pause time.Duration, seed int64) *RandomWaypoint {
+	if minSpeed <= 0 {
+		minSpeed = 0.1
+	}
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := geo.Pt(region.Min.X+rng.Float64()*region.Width(), region.Min.Y+rng.Float64()*region.Height())
+	return &RandomWaypoint{
+		region:   region,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    pause,
+		rng:      rng,
+		legs:     []leg{{start: 0, end: 0, from: start, to: start}},
+	}
+}
+
+// NewPedestrian returns a random-waypoint model tuned to walking humans
+// (0.5–1.5 m/s with short pauses), the situation the thesis describes:
+// people moving around a university, pub, bus or airport.
+func NewPedestrian(region geo.Rect, seed int64) *RandomWaypoint {
+	return NewRandomWaypoint(region, 0.5, 1.5, 5*time.Second, seed)
+}
+
+// Position implements Model. Legs are generated lazily and memoized so
+// arbitrary (including repeated or out-of-order) queries are consistent.
+func (r *RandomWaypoint) Position(elapsed time.Duration) geo.Point {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.legs[len(r.legs)-1].end <= elapsed {
+		r.appendLeg()
+	}
+	for i := len(r.legs) - 1; i >= 0; i-- {
+		lg := r.legs[i]
+		if elapsed >= lg.start && (elapsed < lg.end || lg.end == lg.start) {
+			if !lg.moving || lg.end == lg.start {
+				return lg.to
+			}
+			frac := float64(elapsed-lg.start) / float64(lg.end-lg.start)
+			return lg.from.Add(lg.to.Sub(lg.from).Scale(frac))
+		}
+	}
+	return r.legs[0].from
+}
+
+// appendLeg extends the trajectory with one pause leg and one movement
+// leg. Callers must hold r.mu.
+func (r *RandomWaypoint) appendLeg() {
+	last := r.legs[len(r.legs)-1]
+	at := last.to
+	if r.pause > 0 {
+		r.legs = append(r.legs, leg{start: last.end, end: last.end + r.pause, from: at, to: at})
+		last = r.legs[len(r.legs)-1]
+	}
+	dest := geo.Pt(r.region.Min.X+r.rng.Float64()*r.region.Width(), r.region.Min.Y+r.rng.Float64()*r.region.Height())
+	speed := r.minSpeed + r.rng.Float64()*(r.maxSpeed-r.minSpeed)
+	dist := at.DistanceTo(dest)
+	dur := time.Duration(dist / speed * float64(time.Second))
+	if dur <= 0 {
+		dur = time.Millisecond
+	}
+	r.legs = append(r.legs, leg{
+		start:  last.end,
+		end:    last.end + dur,
+		from:   at,
+		to:     dest,
+		moving: true,
+	})
+}
+
+// Orbit circles a center point, useful for keeping two devices drifting
+// in and out of a third device's range on a fixed period.
+type Orbit struct {
+	Center geo.Point
+	Radius float64
+	Period time.Duration // time for one full revolution
+	Phase  float64       // starting angle in radians
+}
+
+// Position implements Model.
+func (o Orbit) Position(elapsed time.Duration) geo.Point {
+	if o.Period <= 0 {
+		return geo.Pt(o.Center.X+o.Radius, o.Center.Y)
+	}
+	angle := o.Phase + 2*math.Pi*float64(elapsed)/float64(o.Period)
+	return geo.Pt(o.Center.X+o.Radius*math.Cos(angle), o.Center.Y+o.Radius*math.Sin(angle))
+}

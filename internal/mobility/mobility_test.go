@@ -1,0 +1,168 @@
+package mobility
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestStatic(t *testing.T) {
+	m := Static{At: geo.Pt(3, 4)}
+	for _, d := range []time.Duration{0, time.Second, time.Hour} {
+		if got := m.Position(d); got != (geo.Pt(3, 4)) {
+			t.Fatalf("Position(%v) = %v", d, got)
+		}
+	}
+}
+
+func TestLinear(t *testing.T) {
+	m := Linear{Start: geo.Pt(0, 0), Velocity: geo.Vec(2, 0)}
+	if got := m.Position(5 * time.Second); got != (geo.Pt(10, 0)) {
+		t.Fatalf("Position(5s) = %v, want (10, 0)", got)
+	}
+	if got := m.Position(0); got != (geo.Pt(0, 0)) {
+		t.Fatalf("Position(0) = %v, want origin", got)
+	}
+}
+
+func TestWaypointsFollowsPolyline(t *testing.T) {
+	m := Waypoints{
+		Points: []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(10, 10)},
+		Speed:  1,
+	}
+	tests := []struct {
+		elapsed time.Duration
+		want    geo.Point
+	}{
+		{0, geo.Pt(0, 0)},
+		{5 * time.Second, geo.Pt(5, 0)},
+		{10 * time.Second, geo.Pt(10, 0)},
+		{15 * time.Second, geo.Pt(10, 5)},
+		{time.Hour, geo.Pt(10, 10)}, // stops at the end
+	}
+	for _, tt := range tests {
+		got := m.Position(tt.elapsed)
+		if got.DistanceTo(tt.want) > 1e-9 {
+			t.Errorf("Position(%v) = %v, want %v", tt.elapsed, got, tt.want)
+		}
+	}
+}
+
+func TestWaypointsDegenerate(t *testing.T) {
+	if got := (Waypoints{}).Position(time.Second); got != (geo.Point{}) {
+		t.Errorf("empty Waypoints = %v", got)
+	}
+	one := Waypoints{Points: []geo.Point{geo.Pt(1, 1)}, Speed: 1}
+	if got := one.Position(time.Minute); got != (geo.Pt(1, 1)) {
+		t.Errorf("single waypoint = %v", got)
+	}
+	zeroSpeed := Waypoints{Points: []geo.Point{geo.Pt(1, 1), geo.Pt(2, 2)}, Speed: 0}
+	if got := zeroSpeed.Position(time.Minute); got != (geo.Pt(1, 1)) {
+		t.Errorf("zero speed = %v", got)
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	a := NewRandomWaypoint(region, 1, 2, time.Second, 42)
+	b := NewRandomWaypoint(region, 1, 2, time.Second, 42)
+	for i := 0; i < 50; i++ {
+		d := time.Duration(i) * 3 * time.Second
+		pa, pb := a.Position(d), b.Position(d)
+		if pa.DistanceTo(pb) > 1e-9 {
+			t.Fatalf("seeded models diverged at %v: %v vs %v", d, pa, pb)
+		}
+	}
+}
+
+func TestRandomWaypointStaysInRegion(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(50, 30))
+	m := NewRandomWaypoint(region, 1, 3, 2*time.Second, 7)
+	prop := func(secs uint16) bool {
+		p := m.Position(time.Duration(secs) * time.Second)
+		// Allow a hair of float slop at boundaries.
+		return p.X >= -1e-6 && p.X <= 50+1e-6 && p.Y >= -1e-6 && p.Y <= 30+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWaypointOutOfOrderQueriesConsistent(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	m := NewRandomWaypoint(region, 1, 2, time.Second, 9)
+	late := m.Position(500 * time.Second)
+	early := m.Position(10 * time.Second)
+	lateAgain := m.Position(500 * time.Second)
+	earlyAgain := m.Position(10 * time.Second)
+	if late.DistanceTo(lateAgain) > 1e-9 || early.DistanceTo(earlyAgain) > 1e-9 {
+		t.Fatal("repeated queries returned different positions")
+	}
+}
+
+func TestRandomWaypointNegativeElapsed(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	m := NewRandomWaypoint(region, 1, 1, 0, 1)
+	if got, want := m.Position(-time.Second), m.Position(0); got.DistanceTo(want) > 1e-9 {
+		t.Fatalf("negative elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	m := NewRandomWaypoint(region, 5, 5, 0, 3)
+	p0 := m.Position(0)
+	p1 := m.Position(60 * time.Second)
+	if p0.DistanceTo(p1) == 0 {
+		t.Fatal("random waypoint never moved in 60s")
+	}
+}
+
+func TestPedestrianSpeedRange(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	m := NewPedestrian(region, 11)
+	// Sample positions 1 s apart; displacement per second must not
+	// exceed the 1.5 m/s walking ceiling.
+	prev := m.Position(0)
+	for i := 1; i <= 300; i++ {
+		cur := m.Position(time.Duration(i) * time.Second)
+		if d := prev.DistanceTo(cur); d > 1.5+1e-6 {
+			t.Fatalf("pedestrian moved %.2f m in 1 s at t=%ds", d, i)
+		}
+		prev = cur
+	}
+}
+
+func TestOrbitPeriodicity(t *testing.T) {
+	o := Orbit{Center: geo.Pt(10, 10), Radius: 5, Period: 20 * time.Second}
+	p0 := o.Position(0)
+	pFull := o.Position(20 * time.Second)
+	if p0.DistanceTo(pFull) > 1e-6 {
+		t.Fatalf("orbit not periodic: %v vs %v", p0, pFull)
+	}
+	pHalf := o.Position(10 * time.Second)
+	if d := p0.DistanceTo(pHalf); d < 9.9 || d > 10.1 {
+		t.Fatalf("half period displacement = %v, want ~diameter 10", d)
+	}
+}
+
+func TestOrbitZeroPeriod(t *testing.T) {
+	o := Orbit{Center: geo.Pt(0, 0), Radius: 3, Period: 0}
+	if got := o.Position(time.Second); got != (geo.Pt(3, 0)) {
+		t.Fatalf("zero period Position = %v", got)
+	}
+}
+
+func TestOrbitStaysOnCircleProperty(t *testing.T) {
+	o := Orbit{Center: geo.Pt(5, 5), Radius: 7, Period: 13 * time.Second}
+	prop := func(ms uint16) bool {
+		p := o.Position(time.Duration(ms) * time.Millisecond)
+		d := p.DistanceTo(o.Center)
+		return d > 7-1e-6 && d < 7+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package msc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMermaid writes the chart as a Mermaid sequenceDiagram, ready to
+// embed in Markdown documentation:
+//
+//	sequenceDiagram
+//	    participant client
+//	    participant server
+//	    client->>server: PS_GETPROFILE
+//	    server->>client: OK
+func (r *Recorder) RenderMermaid(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	title := r.title
+	parts := append([]string(nil), r.participants...)
+	events := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("sequenceDiagram\n")
+	if title != "" {
+		fmt.Fprintf(&b, "    %%%% %s\n", title)
+	}
+	alias := make(map[string]string, len(parts))
+	for i, p := range parts {
+		a := fmt.Sprintf("P%d", i)
+		alias[p] = a
+		fmt.Fprintf(&b, "    participant %s as %s\n", a, sanitizeMermaid(p))
+	}
+	for _, ev := range events {
+		from, okF := alias[ev.From]
+		to, okT := alias[ev.To]
+		if !okF || !okT {
+			continue
+		}
+		if ev.From == ev.To {
+			fmt.Fprintf(&b, "    note over %s: %s\n", from, sanitizeMermaid(ev.Label))
+			continue
+		}
+		fmt.Fprintf(&b, "    %s->>%s: %s\n", from, to, sanitizeMermaid(ev.Label))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MermaidString renders the Mermaid form to a string.
+func (r *Recorder) MermaidString() string {
+	var b strings.Builder
+	_ = r.RenderMermaid(&b)
+	return b.String()
+}
+
+// sanitizeMermaid strips characters that would break the diagram
+// syntax.
+func sanitizeMermaid(s string) string {
+	s = strings.NewReplacer("\n", " ", ";", ",", ":", "-", "%", "pct").Replace(s)
+	if s == "" {
+		return "_"
+	}
+	return s
+}

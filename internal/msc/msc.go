@@ -1,0 +1,232 @@
+// Package msc records and renders message sequence charts, reproducing
+// Figures 11–17 of the thesis: every client/server exchange of the
+// reference application can be captured as an ordered set of arrows
+// between participants and rendered as ASCII art.
+package msc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Event is one arrow on the chart.
+type Event struct {
+	From  string
+	To    string
+	Label string
+}
+
+// Recorder collects events. The zero value is ready to use; a nil
+// *Recorder ignores all records, so instrumented code can leave
+// recording off cheaply.
+type Recorder struct {
+	mu           sync.Mutex
+	title        string
+	participants []string
+	events       []Event
+}
+
+// NewRecorder returns a recorder with a chart title.
+func NewRecorder(title string) *Recorder {
+	return &Recorder{title: title}
+}
+
+// Record appends an arrow. Participants are registered in order of
+// first appearance.
+func (r *Recorder) Record(from, to, label string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addParticipantLocked(from)
+	r.addParticipantLocked(to)
+	r.events = append(r.events, Event{From: from, To: to, Label: label})
+}
+
+// Recordf is Record with a formatted label.
+func (r *Recorder) Recordf(from, to, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(from, to, fmt.Sprintf(format, args...))
+}
+
+// AddParticipant pre-registers a lifeline so column order is
+// deterministic even when the first message order varies.
+func (r *Recorder) AddParticipant(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addParticipantLocked(name)
+}
+
+func (r *Recorder) addParticipantLocked(name string) {
+	for _, p := range r.participants {
+		if p == name {
+			return
+		}
+	}
+	r.participants = append(r.participants, name)
+}
+
+// Events returns a copy of the recorded arrows.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Participants returns the lifelines in column order.
+func (r *Recorder) Participants() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.participants...)
+}
+
+// Reset clears events but keeps participants and title.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// columnWidth spaces lifelines apart; labels longer than this spill
+// over gracefully.
+const columnWidth = 26
+
+// Render writes the chart as ASCII art:
+//
+//	alice                     bob
+//	  |---PS_GETPROFILE bob--->|
+//	  |<--PROFILE--------------|
+func (r *Recorder) Render(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	title := r.title
+	parts := append([]string(nil), r.participants...)
+	events := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+
+	col := make(map[string]int, len(parts))
+	for i, p := range parts {
+		col[p] = i
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "MSC: %s\n\n", title)
+	}
+	// Header: participant names centered over their lifelines.
+	for i, p := range parts {
+		b.WriteString(center(p, columnWidth))
+		if i < len(parts)-1 {
+			b.WriteString(" ")
+		}
+	}
+	b.WriteString("\n")
+
+	lifelineRow := func() string {
+		var row strings.Builder
+		for i := range parts {
+			row.WriteString(center("|", columnWidth))
+			if i < len(parts)-1 {
+				row.WriteString(" ")
+			}
+		}
+		return row.String()
+	}
+
+	for _, ev := range events {
+		b.WriteString(lifelineRow())
+		b.WriteString("\n")
+		b.WriteString(arrowRow(col[ev.From], col[ev.To], ev.Label, len(parts)))
+		b.WriteString("\n")
+	}
+	b.WriteString(lifelineRow())
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	_ = r.Render(&b)
+	return b.String()
+}
+
+// center pads s to width, centered.
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	right := width - len(s) - left
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", right)
+}
+
+// arrowRow draws one arrow between two lifeline columns, or a self-loop
+// marker when from == to.
+func arrowRow(from, to int, label string, nParts int) string {
+	// Matches center("|", columnWidth): the bar sits at the left-biased
+	// middle of its column block.
+	pos := func(i int) int { return i*(columnWidth+1) + (columnWidth-1)/2 }
+	row := []byte(strings.Repeat(" ", nParts*(columnWidth+1)))
+	put := func(i int, c byte) {
+		if i >= 0 && i < len(row) {
+			row[i] = c
+		}
+	}
+	for i := 0; i < nParts; i++ {
+		put(pos(i), '|')
+	}
+	if from == to {
+		// Self event: annotate beside the lifeline.
+		text := " (" + label + ")"
+		for i, c := range []byte(text) {
+			put(pos(from)+1+i, c)
+		}
+		return strings.TrimRight(string(row), " ")
+	}
+	lo, hi := pos(from), pos(to)
+	rightward := lo < hi
+	if !rightward {
+		lo, hi = hi, lo
+	}
+	for i := lo + 1; i < hi; i++ {
+		put(i, '-')
+	}
+	if rightward {
+		put(hi-1, '>')
+	} else {
+		put(lo+1, '<')
+	}
+	// Label in the middle of the arrow.
+	if label != "" {
+		span := hi - lo - 3
+		text := label
+		if len(text) > span && span > 0 {
+			text = text[:span]
+		}
+		start := lo + 1 + (hi-lo-1-len(text))/2
+		for i, c := range []byte(text) {
+			put(start+i, c)
+		}
+	}
+	return strings.TrimRight(string(row), " ")
+}

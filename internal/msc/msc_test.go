@@ -1,0 +1,167 @@
+package msc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder("Get Member List")
+	r.Record("client", "server1", "PS_GETONLINEMEMBERLIST")
+	r.Record("server1", "client", "bob")
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].From != "client" || events[0].To != "server1" || events[0].Label != "PS_GETONLINEMEMBERLIST" {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	parts := r.Participants()
+	if len(parts) != 2 || parts[0] != "client" || parts[1] != "server1" {
+		t.Fatalf("participants = %v", parts)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("a", "b", "x")
+	r.Recordf("a", "b", "x %d", 1)
+	r.AddParticipant("a")
+	r.Reset()
+	if r.Events() != nil || r.Participants() != nil {
+		t.Fatal("nil recorder should return nil slices")
+	}
+	if err := r.Render(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "" {
+		t.Fatal("nil recorder String should be empty")
+	}
+}
+
+func TestRenderContainsArrowsAndTitle(t *testing.T) {
+	r := NewRecorder("View Member Profile")
+	r.Record("client", "server", "PS_GETPROFILE")
+	r.Record("server", "client", "PROFILE")
+	out := r.String()
+	if !strings.Contains(out, "MSC: View Member Profile") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "client") || !strings.Contains(out, "server") {
+		t.Error("missing participants")
+	}
+	if !strings.Contains(out, "PS_GETPROFILE") {
+		t.Error("missing request label")
+	}
+	if !strings.Contains(out, ">") {
+		t.Error("missing rightward arrowhead")
+	}
+	if !strings.Contains(out, "<") {
+		t.Error("missing leftward arrowhead")
+	}
+}
+
+func TestRenderThreeParticipants(t *testing.T) {
+	r := NewRecorder("fanout")
+	r.AddParticipant("client")
+	r.AddParticipant("server1")
+	r.AddParticipant("server2")
+	r.Record("client", "server2", "REQ")
+	out := r.String()
+	lines := strings.Split(out, "\n")
+	var arrowLine string
+	for _, l := range lines {
+		if strings.Contains(l, ">") {
+			arrowLine = l
+		}
+	}
+	if arrowLine == "" {
+		t.Fatal("no arrow line")
+	}
+	// The arrow from column 0 to column 2 must pass through column 1's
+	// position (overwriting its lifeline with the arrow body or label).
+	if !strings.Contains(arrowLine, "REQ") {
+		t.Fatalf("label missing on %q", arrowLine)
+	}
+}
+
+func TestSelfEvent(t *testing.T) {
+	r := NewRecorder("self")
+	r.Record("client", "client", "store list")
+	out := r.String()
+	if !strings.Contains(out, "(store list)") {
+		t.Fatalf("self event not rendered: %q", out)
+	}
+}
+
+func TestRecordf(t *testing.T) {
+	r := NewRecorder("")
+	r.Recordf("a", "b", "PS_MSG %s", "bob")
+	if got := r.Events()[0].Label; got != "PS_MSG bob" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder("t")
+	r.Record("a", "b", "x")
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+	if len(r.Participants()) != 2 {
+		t.Fatal("Reset should keep participants")
+	}
+}
+
+func TestAddParticipantIdempotent(t *testing.T) {
+	r := NewRecorder("t")
+	r.AddParticipant("a")
+	r.AddParticipant("a")
+	if len(r.Participants()) != 1 {
+		t.Fatal("duplicate participant registered")
+	}
+}
+
+func TestLongLabelTruncatedNotPanic(t *testing.T) {
+	r := NewRecorder("t")
+	r.Record("a", "b", strings.Repeat("x", 500))
+	_ = r.String() // must not panic
+}
+
+func TestRenderMermaid(t *testing.T) {
+	r := NewRecorder("View Member Profile")
+	r.Record("client", "server", "PS_GETPROFILE")
+	r.Record("server", "client", "OK")
+	r.Record("client", "client", "render profile")
+	out := r.MermaidString()
+	for _, want := range []string{
+		"sequenceDiagram",
+		"%% View Member Profile",
+		"participant P0 as client",
+		"participant P1 as server",
+		"P0->>P1: PS_GETPROFILE",
+		"P1->>P0: OK",
+		"note over P0: render profile",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mermaid missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMermaidNilAndSanitize(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.MermaidString() != "" {
+		t.Error("nil recorder mermaid should be empty")
+	}
+	r := NewRecorder("")
+	r.Record("a", "b", "label:with;bad\nchars")
+	out := r.MermaidString()
+	if strings.Contains(out, "label:with;bad\nchars") {
+		t.Errorf("unsanitized label in %q", out)
+	}
+	if !strings.Contains(out, "label-with,bad chars") {
+		t.Errorf("sanitized label missing in %q", out)
+	}
+}

@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/radio"
+)
+
+// Conn is one end of a reliable, ordered, message-oriented connection.
+// Messages are delivered in order after the PHY transfer time; when the
+// radio link breaks (range exit, power off, partition) both ends fail
+// with ErrLinkLost.
+type Conn struct {
+	net    *Network
+	local  ids.DeviceID
+	remote ids.DeviceID
+	tech   radio.Technology
+	port   string
+
+	peer *Conn // other end
+
+	sendQ chan []byte
+	recvQ chan []byte
+
+	mu      sync.Mutex
+	err     error
+	closing bool
+	pending sync.WaitGroup // accepted sends not yet delivered or dropped
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// newConnPair wires up both ends and starts their pumps and the shared
+// link watchdog. It returns (dialer end, listener end).
+func newConnPair(n *Network, from, to ids.DeviceID, tech radio.Technology, port string) (*Conn, *Conn) {
+	a := &Conn{
+		net: n, local: from, remote: to, tech: tech, port: port,
+		sendQ:  make(chan []byte, sendQueueLen),
+		recvQ:  make(chan []byte, sendQueueLen),
+		closed: make(chan struct{}),
+	}
+	b := &Conn{
+		net: n, local: to, remote: from, tech: tech, port: port,
+		sendQ:  make(chan []byte, sendQueueLen),
+		recvQ:  make(chan []byte, sendQueueLen),
+		closed: make(chan struct{}),
+	}
+	a.peer, b.peer = b, a
+	go a.pump()
+	go b.pump()
+	go a.watchLink()
+	return a, b
+}
+
+// Local returns the device this end belongs to.
+func (c *Conn) Local() ids.DeviceID { return c.local }
+
+// Remote returns the device at the other end.
+func (c *Conn) Remote() ids.DeviceID { return c.remote }
+
+// Technology returns the radio technology carrying the connection.
+func (c *Conn) Technology() radio.Technology { return c.tech }
+
+// Port returns the service port this connection was dialed to.
+func (c *Conn) Port() string { return c.port }
+
+// Send enqueues a message for in-order delivery to the peer. It blocks
+// only if the transmit queue is full.
+func (c *Conn) Send(payload []byte) error {
+	msg := make([]byte, len(payload))
+	copy(msg, payload)
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return c.errOrClosed()
+	}
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		return c.errOrClosed()
+	default:
+	}
+	c.pending.Add(1)
+	c.mu.Unlock()
+	select {
+	case c.sendQ <- msg:
+		return nil
+	case <-c.closed:
+		c.pending.Done()
+		return c.errOrClosed()
+	}
+}
+
+// Recv returns the next message in order, blocking until one arrives,
+// the connection dies, or the context is done. Messages already
+// delivered before a link loss remain readable.
+func (c *Conn) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case msg := <-c.recvQ:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-c.recvQ:
+		return msg, nil
+	case <-c.closed:
+		// Drain anything that raced in before closure.
+		select {
+		case msg := <-c.recvQ:
+			return msg, nil
+		default:
+		}
+		return nil, c.errOrClosed()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Err returns the terminal error after the connection has died, or nil
+// while it is healthy.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Alive reports whether the connection is still usable.
+func (c *Conn) Alive() bool {
+	select {
+	case <-c.closed:
+		return false
+	default:
+		return true
+	}
+}
+
+// closeFlushTimeout bounds how long Close waits for in-flight messages
+// to drain when the peer is not reading.
+const closeFlushTimeout = 5 * time.Second
+
+// Close flushes messages already accepted by Send (so a server may
+// respond and close immediately, like shutdown(2) on TCP), then shuts
+// down both ends. Messages the peer has not yet read remain readable on
+// its side.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closing = true
+	c.mu.Unlock()
+	waitWithTimeout(&c.pending, closeFlushTimeout)
+	c.fail(ErrConnClosed)
+	c.peer.fail(ErrConnClosed)
+	return nil
+}
+
+// Abort tears both ends down immediately, discarding in-flight
+// messages.
+func (c *Conn) Abort() {
+	c.failBoth(ErrConnClosed)
+}
+
+func waitWithTimeout(wg *sync.WaitGroup, d time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+	}
+}
+
+func (c *Conn) errOrClosed() error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	return ErrConnClosed
+}
+
+// fail terminates this end with the given error (first error wins).
+func (c *Conn) fail(err error) {
+	c.once.Do(func() {
+		c.mu.Lock()
+		c.err = err
+		c.mu.Unlock()
+		close(c.closed)
+	})
+}
+
+// failBoth terminates both ends.
+func (c *Conn) failBoth(err error) {
+	c.fail(err)
+	c.peer.fail(err)
+}
+
+// pump moves messages from this end's transmit queue to the peer's
+// receive queue, one at a time, charging the PHY transfer time; the
+// serial processing is what models the link's limited bandwidth.
+func (c *Conn) pump() {
+	defer c.drainSendQ()
+	phy := c.net.env.PHY(c.tech)
+	for {
+		select {
+		case <-c.closed:
+			return
+		case msg := <-c.sendQ:
+			// Hold the sender's radio for the transfer: connections
+			// sharing one device radio contend for airtime.
+			tx := c.net.txLock(c.local, c.tech)
+			tx.Lock()
+			c.net.sleepModeled(phy.TransferTime(len(msg)))
+			tx.Unlock()
+			if !c.net.linkUp(c.local, c.remote, c.tech) {
+				c.pending.Done()
+				c.net.counters.linkFailures.Add(1)
+				c.failBoth(fmt.Errorf("%w: %s -> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
+				return
+			}
+			select {
+			case c.peer.recvQ <- msg:
+				c.net.counters.messagesDelivered.Add(1)
+				c.net.counters.bytesDelivered.Add(uint64(len(msg)))
+				c.pending.Done()
+			case <-c.closed:
+				c.pending.Done()
+				return
+			}
+		}
+	}
+}
+
+// drainSendQ releases accounting for messages abandoned when the pump
+// exits, so Close never waits on undeliverable traffic.
+func (c *Conn) drainSendQ() {
+	for {
+		select {
+		case <-c.sendQ:
+			c.pending.Done()
+		default:
+			return
+		}
+	}
+}
+
+// watchLink breaks the connection when the radio link dies while idle,
+// modeling PeerHood's observation that a monitored device has left.
+func (c *Conn) watchLink() {
+	interval := c.net.env.Scale().ToReal(linkCheckInterval)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-c.net.env.Clock().After(interval):
+			if !c.net.linkUp(c.local, c.remote, c.tech) {
+				c.net.counters.linkFailures.Add(1)
+				c.failBoth(fmt.Errorf("%w: %s <-> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package netsim
+
+import "sync/atomic"
+
+// Counters are monotonic totals of the network's activity, for
+// experiment reporting and tooling.
+type Counters struct {
+	// DialsAttempted counts Dial calls, successful or not.
+	DialsAttempted uint64
+	// ConnsEstablished counts successful dials.
+	ConnsEstablished uint64
+	// MessagesDelivered counts messages that reached a receive queue.
+	MessagesDelivered uint64
+	// BytesDelivered totals the payload bytes of delivered messages.
+	BytesDelivered uint64
+	// BroadcastsSent counts SendBroadcast calls.
+	BroadcastsSent uint64
+	// LinkFailures counts connections severed by ErrLinkLost.
+	LinkFailures uint64
+}
+
+type netCounters struct {
+	dialsAttempted    atomic.Uint64
+	connsEstablished  atomic.Uint64
+	messagesDelivered atomic.Uint64
+	bytesDelivered    atomic.Uint64
+	broadcastsSent    atomic.Uint64
+	linkFailures      atomic.Uint64
+}
+
+func (c *netCounters) snapshot() Counters {
+	return Counters{
+		DialsAttempted:    c.dialsAttempted.Load(),
+		ConnsEstablished:  c.connsEstablished.Load(),
+		MessagesDelivered: c.messagesDelivered.Load(),
+		BytesDelivered:    c.bytesDelivered.Load(),
+		BroadcastsSent:    c.broadcastsSent.Load(),
+		LinkFailures:      c.linkFailures.Load(),
+	}
+}
+
+// Counters returns a snapshot of the network's activity totals.
+func (n *Network) Counters() Counters { return n.counters.snapshot() }

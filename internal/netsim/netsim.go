@@ -1,0 +1,285 @@
+// Package netsim simulates the transport layer PeerHood's plugins use:
+// reliable ordered message streams between devices in the radio
+// environment, with per-technology latency and bandwidth, connection
+// setup cost, link breakage when devices leave radio range, broadcast
+// delivery for WLAN-style service discovery, and failure injection
+// (partitions, broadcast loss) for robustness tests.
+//
+// A Conn is the moral equivalent of the L2CAP channel the thesis's
+// BTPlugin offers ("ordered and reliable data delivery", §4.2.3): the
+// network never reorders or corrupts messages, but it does sever the
+// connection when the radio link dies.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/radio"
+)
+
+// Sentinel errors.
+var (
+	ErrUnreachable   = errors.New("netsim: peer unreachable")
+	ErrNoListener    = errors.New("netsim: no listener on port")
+	ErrPortInUse     = errors.New("netsim: port already in use")
+	ErrConnClosed    = errors.New("netsim: connection closed")
+	ErrLinkLost      = errors.New("netsim: radio link lost")
+	ErrNetworkClosed = errors.New("netsim: network closed")
+)
+
+// sendQueueLen bounds in-flight messages per direction; Send blocks
+// when the queue is full, which models transmit-buffer backpressure.
+const sendQueueLen = 256
+
+// linkCheckInterval is the modeled interval at which established
+// connections verify the radio link still holds, so idle connections
+// notice separation too.
+const linkCheckInterval = time.Second
+
+// Network binds the transport to a radio environment.
+type Network struct {
+	env *radio.Environment
+
+	mu          sync.Mutex
+	listeners   map[portKey]*Listener
+	subscribers map[portKey][]*BroadcastSub
+	partitioned map[devPair]bool
+	lossRate    float64
+	rng         *rand.Rand
+	closed      bool
+
+	counters netCounters
+
+	// txLocks serializes transmissions per (device, technology): a
+	// radio is a shared medium, so two connections sending from the
+	// same device over the same technology contend for airtime.
+	txMu    sync.Mutex
+	txLocks map[txKey]*sync.Mutex
+}
+
+type txKey struct {
+	dev  ids.DeviceID
+	tech radio.Technology
+}
+
+// txLock returns the transmit mutex for a device radio.
+func (n *Network) txLock(dev ids.DeviceID, tech radio.Technology) *sync.Mutex {
+	n.txMu.Lock()
+	defer n.txMu.Unlock()
+	key := txKey{dev: dev, tech: tech}
+	l, ok := n.txLocks[key]
+	if !ok {
+		l = &sync.Mutex{}
+		n.txLocks[key] = l
+	}
+	return l
+}
+
+type portKey struct {
+	dev  ids.DeviceID
+	port string
+}
+
+type devPair struct {
+	a, b ids.DeviceID
+}
+
+func normPair(a, b ids.DeviceID) devPair {
+	if a > b {
+		a, b = b, a
+	}
+	return devPair{a: a, b: b}
+}
+
+// New returns a network over the given environment.
+func New(env *radio.Environment, seed int64) *Network {
+	return &Network{
+		env:         env,
+		listeners:   make(map[portKey]*Listener),
+		subscribers: make(map[portKey][]*BroadcastSub),
+		partitioned: make(map[devPair]bool),
+		rng:         rand.New(rand.NewSource(seed)),
+		txLocks:     make(map[txKey]*sync.Mutex),
+	}
+}
+
+// Environment returns the underlying radio environment.
+func (n *Network) Environment() *radio.Environment { return n.env }
+
+// Close shuts the network down; existing connections break and new
+// operations fail.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for _, l := range n.listeners {
+		l.closeLocked()
+	}
+	n.listeners = make(map[portKey]*Listener)
+}
+
+// Partition severs all traffic between two devices regardless of radio
+// range (failure injection).
+func (n *Network) Partition(a, b ids.DeviceID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[normPair(a, b)] = true
+}
+
+// Heal removes a partition.
+func (n *Network) Heal(a, b ids.DeviceID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, normPair(a, b))
+}
+
+// SetBroadcastLoss sets the probability in [0, 1] that any single
+// broadcast delivery is dropped.
+func (n *Network) SetBroadcastLoss(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.lossRate = rate
+}
+
+// linkUp reports whether traffic may flow between two devices now.
+func (n *Network) linkUp(a, b ids.DeviceID, tech radio.Technology) bool {
+	n.mu.Lock()
+	part := n.partitioned[normPair(a, b)]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed || part {
+		return false
+	}
+	return n.env.Reachable(a, b, tech)
+}
+
+// sleepModeled sleeps a modeled duration on the environment's clock,
+// shrunk by its latency scale.
+func (n *Network) sleepModeled(d time.Duration) {
+	n.env.Clock().Sleep(n.env.Scale().ToReal(d))
+}
+
+// Listen opens a named port on a device. The returned listener accepts
+// connections dialed to (dev, port) over any technology.
+func (n *Network) Listen(dev ids.DeviceID, port string) (*Listener, error) {
+	if !n.env.Has(dev) {
+		return nil, fmt.Errorf("netsim: listen: %w: %q", radio.ErrUnknownDevice, dev)
+	}
+	if port == "" {
+		return nil, errors.New("netsim: listen: empty port")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrNetworkClosed
+	}
+	key := portKey{dev: dev, port: port}
+	if _, ok := n.listeners[key]; ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrPortInUse, port, dev)
+	}
+	l := &Listener{
+		net:      n,
+		key:      key,
+		incoming: make(chan *Conn, 16),
+		done:     make(chan struct{}),
+	}
+	n.listeners[key] = l
+	return l, nil
+}
+
+// Dial connects from one device to a port on another over the given
+// technology. It charges the PHY's connection-setup time and fails if
+// the peer is unreachable or nothing is listening.
+func (n *Network) Dial(ctx context.Context, from, to ids.DeviceID, tech radio.Technology, port string) (*Conn, error) {
+	n.counters.dialsAttempted.Add(1)
+	if !tech.Valid() {
+		return nil, fmt.Errorf("netsim: dial: invalid technology %v", tech)
+	}
+	if !n.linkUp(from, to, tech) {
+		return nil, fmt.Errorf("%w: %s -> %s over %v", ErrUnreachable, from, to, tech)
+	}
+	phy := n.env.PHY(tech)
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.env.Clock().After(n.env.Scale().ToReal(phy.ConnectSetup)):
+	}
+	// Re-check after setup: the peer may have walked away while paging.
+	if !n.linkUp(from, to, tech) {
+		return nil, fmt.Errorf("%w: %s -> %s over %v (lost during setup)", ErrUnreachable, from, to, tech)
+	}
+	n.mu.Lock()
+	l, ok := n.listeners[portKey{dev: to, port: port}]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrNetworkClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoListener, port, to)
+	}
+
+	local, remote := newConnPair(n, from, to, tech, port)
+	select {
+	case l.incoming <- remote:
+		n.counters.connsEstablished.Add(1)
+	case <-l.done:
+		local.Close()
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoListener, port, to)
+	case <-ctx.Done():
+		local.Close()
+		return nil, ctx.Err()
+	}
+	return local, nil
+}
+
+// Listener accepts inbound connections on a device port.
+type Listener struct {
+	net      *Network
+	key      portKey
+	incoming chan *Conn
+	done     chan struct{}
+	once     sync.Once
+}
+
+// Accept blocks until a connection arrives, the listener closes, or the
+// context is done.
+func (l *Listener) Accept(ctx context.Context) (*Conn, error) {
+	select {
+	case c := <-l.incoming:
+		return c, nil
+	case <-l.done:
+		return nil, ErrConnClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Addr returns the device and port this listener is bound to.
+func (l *Listener) Addr() (ids.DeviceID, string) { return l.key.dev, l.key.port }
+
+// Close stops accepting; established connections are unaffected.
+func (l *Listener) Close() {
+	l.net.mu.Lock()
+	defer l.net.mu.Unlock()
+	if l.net.listeners[l.key] == l {
+		delete(l.net.listeners, l.key)
+	}
+	l.closeLocked()
+}
+
+func (l *Listener) closeLocked() {
+	l.once.Do(func() { close(l.done) })
+}

@@ -1,0 +1,616 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// fastWorld builds an environment on the real clock with a tiny latency
+// scale so modeled seconds pass in microseconds.
+func fastWorld(t *testing.T) (*radio.Environment, *Network) {
+	t.Helper()
+	env := radio.NewEnvironment(WithTestScale())
+	net := New(env, 1)
+	t.Cleanup(net.Close)
+	return env, net
+}
+
+// WithTestScale compresses modeled time 10000x so a 10 s inquiry runs
+// in 1 ms of wall time.
+func WithTestScale() radio.Option {
+	return radio.WithScale(vtime.NewScale(1e-4))
+}
+
+func addStatic(t *testing.T, env *radio.Environment, id ids.DeviceID, at geo.Point, techs ...radio.Technology) {
+	t.Helper()
+	if err := env.Add(id, mobility.Static{At: at}, techs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dialPair(t *testing.T, net *Network, from, to ids.DeviceID, tech radio.Technology, port string) (*Conn, *Conn) {
+	t.Helper()
+	l, err := net.Listen(to, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	type res struct {
+		c   *Conn
+		err error
+	}
+	acceptCh := make(chan res, 1)
+	go func() {
+		c, err := l.Accept(ctx)
+		acceptCh <- res{c, err}
+	}()
+	dialer, err := net.Dial(ctx, from, to, tech, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-acceptCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { dialer.Close() })
+	return dialer, r.c
+}
+
+func TestDialAndExchange(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, server := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	if err := client.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("Recv = %q", got)
+	}
+	if err := server.Send([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	back, err := client.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != "world" {
+		t.Fatalf("Recv = %q", back)
+	}
+}
+
+func TestConnMetadata(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.WLAN)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.WLAN)
+	client, server := dialPair(t, net, "a", "b", radio.WLAN, "svc")
+	if client.Local() != "a" || client.Remote() != "b" {
+		t.Error("client metadata wrong")
+	}
+	if server.Local() != "b" || server.Remote() != "a" {
+		t.Error("server metadata wrong")
+	}
+	if client.Technology() != radio.WLAN || client.Port() != "svc" {
+		t.Error("tech/port metadata wrong")
+	}
+}
+
+func TestMessagesArriveInOrder(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, server := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+
+	const count = 100
+	go func() {
+		for i := 0; i < count; i++ {
+			if err := client.Send([]byte(fmt.Sprintf("msg-%03d", i))); err != nil {
+				return
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < count; i++ {
+		got, err := server.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("msg-%03d", i); string(got) != want {
+			t.Fatalf("out of order: got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "far", geo.Pt(1000, 0), radio.Bluetooth)
+	_, err := net.Dial(context.Background(), "a", "far", radio.Bluetooth, "svc")
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	_, err := net.Dial(context.Background(), "a", "b", radio.Bluetooth, "nobody")
+	if !errors.Is(err, ErrNoListener) {
+		t.Fatalf("err = %v, want ErrNoListener", err)
+	}
+}
+
+func TestDialInvalidTech(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	if _, err := net.Dial(context.Background(), "a", "a", radio.TechNone, "svc"); err == nil {
+		t.Fatal("expected error for TechNone")
+	}
+}
+
+func TestListenErrors(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	if _, err := net.Listen("ghost", "svc"); err == nil {
+		t.Error("listen on unknown device should fail")
+	}
+	if _, err := net.Listen("a", ""); err == nil {
+		t.Error("empty port should fail")
+	}
+	l, err := net.Listen("a", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := net.Listen("a", "svc"); !errors.Is(err, ErrPortInUse) {
+		t.Errorf("err = %v, want ErrPortInUse", err)
+	}
+}
+
+func TestListenerCloseFreesPort(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	l, err := net.Listen("a", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := net.Listen("a", "svc")
+	if err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestLinkLostWhenPeerWalksAway(t *testing.T) {
+	env := radio.NewEnvironment(WithTestScale())
+	net := New(env, 1)
+	defer net.Close()
+	addStatic(t, env, "fixed", geo.Pt(0, 0), radio.Bluetooth)
+	// Walker starts next to the fixed device and leaves the 10 m range
+	// after ~200 modeled seconds (~20 ms of wall time at this scale),
+	// leaving plenty of modeled time for connection setup first.
+	if err := env.Add("walker", mobility.Linear{Start: geo.Pt(0.5, 0), Velocity: geo.Vec(0.05, 0)}, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	client, server := dialPair(t, net, "fixed", "walker", radio.Bluetooth, "svc")
+	_ = server
+
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Alive() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if client.Alive() {
+		t.Fatal("connection should have died after walker left range")
+	}
+	if err := client.Err(); !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("Err = %v, want ErrLinkLost", err)
+	}
+	if err := client.Send([]byte("x")); !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("Send after loss = %v, want ErrLinkLost", err)
+	}
+}
+
+func TestPartitionBreaksTraffic(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, _ := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+	net.Partition("a", "b")
+	// Sending should fail once the pump notices.
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = client.Send([]byte("x")); err != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("Send under partition = %v, want ErrLinkLost", err)
+	}
+	net.Heal("a", "b")
+	// After healing, a new dial works.
+	l, err := net.Listen("b", "svc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { _, _ = l.Accept(ctx) }()
+	if _, err := net.Dial(ctx, "a", "b", radio.Bluetooth, "svc2"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+func TestCloseDeliversPendingMessages(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, server := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := client.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for delivery before closing.
+	msg, err := server.Recv(ctx)
+	if err != nil || string(msg) != "last words" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	client.Close()
+	if _, err := server.Recv(ctx); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("Recv after close = %v, want ErrConnClosed", err)
+	}
+	if server.Alive() {
+		t.Fatal("peer should observe close")
+	}
+}
+
+func TestRecvContextCancel(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, _ := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := client.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Recv = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestGPRSWorksAtAnyDistance(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "here", geo.Pt(0, 0), radio.GPRS)
+	addStatic(t, env, "faraway", geo.Pt(5e5, 0), radio.GPRS)
+	client, server := dialPair(t, net, "here", "faraway", radio.GPRS, "svc")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := client.Send([]byte("over the operator")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := server.Recv(ctx); err != nil || string(got) != "over the operator" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, server := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+	buf := []byte("original")
+	if err := client.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "MUTATED!")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := server.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("payload aliased sender buffer: %q", got)
+	}
+}
+
+func TestNetworkCloseStopsEverything(t *testing.T) {
+	env := radio.NewEnvironment(WithTestScale())
+	net := New(env, 1)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	net.Close()
+	if _, err := net.Listen("a", "svc"); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("Listen after close = %v, want ErrNetworkClosed", err)
+	}
+	if _, err := net.SendBroadcast("a", radio.Bluetooth, "p", nil); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("Broadcast after close = %v, want ErrNetworkClosed", err)
+	}
+}
+
+func TestBroadcastReachesOnlyInRangeSubscribers(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "src", geo.Pt(0, 0), radio.WLAN)
+	addStatic(t, env, "near", geo.Pt(10, 0), radio.WLAN)
+	addStatic(t, env, "far", geo.Pt(500, 0), radio.WLAN)
+
+	subNear, err := net.SubscribeBroadcast("near", "disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subNear.Close()
+	subFar, err := net.SubscribeBroadcast("far", "disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subFar.Close()
+
+	nDelivered, err := net.SendBroadcast("src", radio.WLAN, "disc", []byte("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nDelivered != 1 {
+		t.Fatalf("delivered = %d, want 1", nDelivered)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	b, err := subNear.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.From != "src" || string(b.Payload) != "probe" || b.Tech != radio.WLAN {
+		t.Fatalf("broadcast = %+v", b)
+	}
+	shortCtx, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, err := subFar.Recv(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("far subscriber got broadcast: %v", err)
+	}
+}
+
+func TestBroadcastLoss(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "src", geo.Pt(0, 0), radio.WLAN)
+	addStatic(t, env, "dst", geo.Pt(10, 0), radio.WLAN)
+	sub, err := net.SubscribeBroadcast("dst", "disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	net.SetBroadcastLoss(1) // drop everything
+	delivered, err := net.SendBroadcast("src", radio.WLAN, "disc", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered = %d under full loss", delivered)
+	}
+	net.SetBroadcastLoss(0)
+	delivered, err = net.SendBroadcast("src", radio.WLAN, "disc", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after loss cleared", delivered)
+	}
+}
+
+func TestBroadcastLossClamped(t *testing.T) {
+	_, net := fastWorld(t)
+	net.SetBroadcastLoss(-1)
+	net.SetBroadcastLoss(2)
+	// No panic and both clamp silently; behaviour checked above.
+}
+
+func TestSubscribeUnknownDevice(t *testing.T) {
+	_, net := fastWorld(t)
+	if _, err := net.SubscribeBroadcast("ghost", "p"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTransferTimeChargedOnWire(t *testing.T) {
+	// With identity scale and a manual clock, a send should not arrive
+	// until the transfer time has elapsed.
+	clk := vtime.NewManual(time.Unix(0, 0))
+	env := radio.NewEnvironment(radio.WithClock(clk), radio.WithScale(vtime.Identity()))
+	net := New(env, 1)
+	defer net.Close()
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+
+	l, err := net.Listen("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	acceptCh := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept(ctx)
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	dialDone := make(chan *Conn, 1)
+	go func() {
+		c, err := net.Dial(ctx, "a", "b", radio.Bluetooth, "svc")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dialDone <- c
+	}()
+	// Dial charges ConnectSetup (1.28 s) on the manual clock.
+	time.Sleep(10 * time.Millisecond) // let the dialer block on the clock
+	clk.Advance(2 * time.Second)
+	var client *Conn
+	select {
+	case client = <-dialDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("dial did not complete after advancing clock")
+	}
+	server := <-acceptCh
+
+	if err := client.Send(make([]byte, 700_000/8)); err != nil { // ~1 s at 700 kbps
+		t.Fatal(err)
+	}
+	// Nothing should arrive before we advance the clock.
+	shortCtx, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, err := server.Recv(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("message arrived before transfer time: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the pump block on the clock
+	clk.Advance(5 * time.Second)
+	got, err := server.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 700_000/8 {
+		t.Fatalf("payload length = %d", len(got))
+	}
+}
+
+// TestListenerBacklogQueues: more simultaneous dials than the accept
+// backlog must all eventually connect once the server drains them.
+func TestListenerBacklogQueues(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "server", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "client", geo.Pt(1, 0), radio.Bluetooth)
+	l, err := net.Listen("server", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	const dialers = 40 // backlog is 16
+	var wg sync.WaitGroup
+	errs := make(chan error, dialers)
+	for i := 0; i < dialers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial(ctx, "client", "server", radio.Bluetooth, "svc")
+			if err != nil {
+				errs <- err
+				return
+			}
+			conn.Close()
+		}()
+	}
+	accepted := 0
+	for accepted < dialers {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			t.Fatalf("accept %d: %v", accepted, err)
+		}
+		conn.Close()
+		accepted++
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastLossRateStatistical: at 50% loss, deliveries over many
+// sends land near half (seeded rng keeps this deterministic).
+func TestBroadcastLossRateStatistical(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "src", geo.Pt(0, 0), radio.WLAN)
+	addStatic(t, env, "dst", geo.Pt(10, 0), radio.WLAN)
+	sub, err := net.SubscribeBroadcast("dst", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	net.SetBroadcastLoss(0.5)
+	const sends = 400
+	delivered := 0
+	for i := 0; i < sends; i++ {
+		n, err := net.SendBroadcast("src", radio.WLAN, "p", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered += n
+		// Drain so the subscriber buffer never fills.
+		for drained := 0; drained < n; drained++ {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			if _, err := sub.Recv(ctx); err != nil {
+				cancel()
+				t.Fatal(err)
+			}
+			cancel()
+		}
+	}
+	if delivered < sends/4 || delivered > sends*3/4 {
+		t.Fatalf("delivered %d/%d at 50%% loss, want roughly half", delivered, sends)
+	}
+}
+
+func TestCountersTrackActivity(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	if c := net.Counters(); c != (Counters{}) {
+		t.Fatalf("fresh counters = %+v", c)
+	}
+	client, server := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+	if err := client.Send([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := server.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c := net.Counters()
+	if c.DialsAttempted != 1 || c.ConnsEstablished != 1 {
+		t.Errorf("dials = %d/%d, want 1/1", c.ConnsEstablished, c.DialsAttempted)
+	}
+	if c.MessagesDelivered != 1 || c.BytesDelivered != 5 {
+		t.Errorf("delivered = %d msgs / %d bytes, want 1/5", c.MessagesDelivered, c.BytesDelivered)
+	}
+	// A failed dial still counts as attempted.
+	if _, err := net.Dial(ctx, "a", "b", radio.Bluetooth, "nobody"); err == nil {
+		t.Fatal("dial to nobody succeeded")
+	}
+	c = net.Counters()
+	if c.DialsAttempted != 2 || c.ConnsEstablished != 1 {
+		t.Errorf("after failed dial: %d/%d, want 1 established of 2 attempts", c.ConnsEstablished, c.DialsAttempted)
+	}
+	if _, err := net.SendBroadcast("a", radio.Bluetooth, "p", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Counters().BroadcastsSent; got != 1 {
+		t.Errorf("broadcasts = %d, want 1", got)
+	}
+}

@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+func proxyWorld(t *testing.T) (*radio.Environment, *Network, *Proxy) {
+	t.Helper()
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := New(env, 1)
+	t.Cleanup(net.Close)
+	for _, id := range []string{"operator", "caller", "callee"} {
+		addStatic(t, env, ids.DeviceID(id), geo.Pt(0, 0), radio.GPRS)
+	}
+	proxy, err := NewProxy(net, "operator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Stop)
+	return env, net, proxy
+}
+
+func TestProxyBridgesTraffic(t *testing.T) {
+	_, net, proxy := proxyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	l, err := net.Listen("callee", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// The callee sees the proxy as its peer, like a NAT'd flow.
+		if conn.Remote() != "operator" {
+			t.Errorf("callee peer = %v, want operator", conn.Remote())
+		}
+		msg, err := conn.Recv(ctx)
+		if err != nil {
+			return
+		}
+		_ = conn.Send(append([]byte("pong:"), msg...))
+	}()
+
+	conn, err := net.DialViaProxy(ctx, "caller", "operator", "callee", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pong:ping" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if proxy.Relayed() != 1 {
+		t.Fatalf("Relayed = %d, want 1", proxy.Relayed())
+	}
+	if proxy.Device() != "operator" {
+		t.Fatalf("Device = %v", proxy.Device())
+	}
+}
+
+func TestProxyRefusesUnknownTarget(t *testing.T) {
+	_, net, _ := proxyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := net.DialViaProxy(ctx, "caller", "operator", "callee", "nobody-listens"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestProxyRefusesOutOfCoverageTarget(t *testing.T) {
+	env, net, _ := proxyWorld(t)
+	if err := env.SetCoverage("callee", false); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := net.DialViaProxy(ctx, "caller", "operator", "callee", "svc"); err == nil {
+		t.Fatal("dial to out-of-coverage callee succeeded")
+	}
+}
+
+func TestProxyStopBreaksBridge(t *testing.T) {
+	_, net, proxy := proxyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	l, err := net.Listen("callee", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			return
+		}
+		// Hold the conn open; never respond.
+		<-ctx.Done()
+		conn.Close()
+	}()
+	conn, err := net.DialViaProxy(ctx, "caller", "operator", "callee", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	proxy.Stop()
+	// The caller's leg to the proxy should die; either Send eventually
+	// errors or the conn reports dead.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := conn.Send([]byte("x")); err != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("bridge survived proxy shutdown")
+}
+
+func TestSplitPreamble(t *testing.T) {
+	dev, port, ok := splitPreamble("target|svc:foo")
+	if !ok || dev != "target" || port != "svc:foo" {
+		t.Fatalf("got %v %v %v", dev, port, ok)
+	}
+	for _, bad := range []string{"", "nosep", "|port", "dev|"} {
+		if _, _, ok := splitPreamble(bad); ok {
+			t.Errorf("splitPreamble(%q) should fail", bad)
+		}
+	}
+}

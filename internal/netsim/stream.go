@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+)
+
+// Stream adapts a message-oriented Conn to the io.ReadWriteCloser
+// byte-stream interface, so applications can layer bufio, JSON decoders
+// or any stream protocol over a PeerHood connection. Writes become one
+// message each; reads consume messages and buffer partial remainders —
+// the same framing freedom TCP gives over IP.
+type Stream struct {
+	conn *Conn
+	ctx  context.Context
+
+	mu      sync.Mutex
+	pending []byte
+}
+
+// NewStream wraps a connection. The context bounds every Read; use
+// context.Background for no deadline beyond connection lifetime.
+func NewStream(ctx context.Context, conn *Conn) *Stream {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Stream{conn: conn, ctx: ctx}
+}
+
+var _ io.ReadWriteCloser = (*Stream)(nil)
+
+// Read fills p with buffered bytes, receiving the next message when the
+// buffer is empty. A dead connection yields io.EOF once drained.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		msg, err := s.conn.Recv(s.ctx)
+		if err != nil {
+			if errors.Is(err, ErrConnClosed) || errors.Is(err, ErrLinkLost) {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		s.pending = msg
+	}
+	n := copy(p, s.pending)
+	s.pending = s.pending[n:]
+	return n, nil
+}
+
+// Write sends p as one message.
+func (s *Stream) Write(p []byte) (int, error) {
+	if err := s.conn.Send(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close closes the underlying connection.
+func (s *Stream) Close() error { return s.conn.Close() }

@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+)
+
+func streamPair(t *testing.T) (*Stream, *Stream) {
+	t.Helper()
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, server := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return NewStream(ctx, client), NewStream(ctx, server)
+}
+
+func TestStreamReadWrite(t *testing.T) {
+	a, b := streamPair(t)
+	if _, err := a.Write([]byte("hello stream")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello stream" {
+		t.Fatalf("read %q", buf[:n])
+	}
+}
+
+func TestStreamPartialReads(t *testing.T) {
+	a, b := streamPair(t)
+	if _, err := a.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 2)
+	var got []byte
+	for len(got) < 6 {
+		n, err := b.Read(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, small[:n]...)
+	}
+	if string(got) != "abcdef" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestStreamWithBufioLines(t *testing.T) {
+	a, b := streamPair(t)
+	go func() {
+		_, _ = a.Write([]byte("line one\nline "))
+		_, _ = a.Write([]byte("two\n"))
+	}()
+	r := bufio.NewReader(b)
+	l1, err := r.ReadString('\n')
+	if err != nil || l1 != "line one\n" {
+		t.Fatalf("l1 = %q, %v", l1, err)
+	}
+	l2, err := r.ReadString('\n')
+	if err != nil || l2 != "line two\n" {
+		t.Fatalf("l2 = %q, %v", l2, err)
+	}
+}
+
+func TestStreamWithJSONCodec(t *testing.T) {
+	a, b := streamPair(t)
+	type payload struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	go func() {
+		enc := json.NewEncoder(a)
+		_ = enc.Encode(payload{Name: "first", N: 1})
+		_ = enc.Encode(payload{Name: "second", N: 2})
+	}()
+	dec := json.NewDecoder(b)
+	var p payload
+	if err := dec.Decode(&p); err != nil || p.Name != "first" {
+		t.Fatalf("decode 1: %+v, %v", p, err)
+	}
+	if err := dec.Decode(&p); err != nil || p.N != 2 {
+		t.Fatalf("decode 2: %+v, %v", p, err)
+	}
+}
+
+func TestStreamEOFOnClose(t *testing.T) {
+	a, b := streamPair(t)
+	if _, err := a.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if n, err := b.Read(buf); err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("read after close = %v, want io.EOF", err)
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestStreamNilContext(t *testing.T) {
+	env, net := fastWorld(t)
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	client, server := dialPair(t, net, "a", "b", radio.Bluetooth, "svc")
+	s := NewStream(nil, client) //nolint:staticcheck // exercising the nil-context path
+	if _, err := s.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	peer := NewStream(context.Background(), server)
+	buf := make([]byte, 4)
+	if n, err := peer.Read(buf); err != nil || string(buf[:n]) != "ok" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+}

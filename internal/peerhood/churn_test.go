@@ -1,0 +1,168 @@
+package peerhood
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/radio"
+)
+
+// TestChurnNeighborTableConsistency flaps devices on and off while a
+// daemon runs background discovery: the neighbor table must always be a
+// subset of currently-existing devices and the daemon must not panic or
+// deadlock.
+func TestChurnNeighborTableConsistency(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "observer", geo.Pt(0, 0), radio.Bluetooth)
+	const flappers = 4
+	for i := 0; i < flappers; i++ {
+		w.addStatic(t, ids.DeviceIDf("flap-%d", i), geo.Pt(float64(i+1), 0), radio.Bluetooth)
+		w.daemon(t, ids.DeviceIDf("flap-%d", i))
+	}
+	observer := w.daemon(t, "observer")
+	if err := observer.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < flappers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev := ids.DeviceIDf("flap-%d", i)
+			on := true
+			for {
+				select {
+				case <-stop:
+					_ = w.env.SetPowered(dev, true)
+					return
+				default:
+					on = !on
+					_ = w.env.SetPowered(dev, on)
+					time.Sleep(time.Duration(1+i) * time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	// While churn runs, the neighbor table must stay internally sane.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, n := range observer.Neighbors() {
+			if !w.env.Has(n.Device) {
+				t.Fatalf("neighbor table contains unknown device %q", n.Device)
+			}
+			if n.Device == "observer" {
+				t.Fatal("daemon listed itself as a neighbor")
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// With everyone back on, a fresh round finds all flappers.
+	ctx := testCtx(t)
+	if err := observer.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(observer.Neighbors()); got != flappers {
+		t.Fatalf("neighbors after churn settled = %d, want %d", got, flappers)
+	}
+}
+
+// TestConcurrentConnectsToOneService hammers one service from many
+// goroutines at once.
+func TestConcurrentConnectsToOneService(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "server", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "client", geo.Pt(1, 0), radio.Bluetooth)
+	ds := w.daemon(t, "server")
+	dc := w.daemon(t, "client")
+	echoService(t, ds, "echo")
+	ctx := testCtx(t)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := dc.Connect(ctx, "server", "echo")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			msg := fmt.Sprintf("caller-%d", i)
+			if err := conn.Send([]byte(msg)); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := conn.Recv(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp) != "ok:"+msg {
+				errs <- fmt.Errorf("caller %d got %q", i, resp)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestManyMonitorsConcurrent registers and cancels monitors from many
+// goroutines while events fire.
+func TestManyMonitorsConcurrent(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(1, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	if err := da.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var fired sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cancel := da.Monitor("b", func(ev MonitorEvent) {
+				fired.Store(i, ev)
+			})
+			time.Sleep(time.Duration(i%5) * time.Millisecond)
+			if i%2 == 0 {
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.env.SetPowered("b", false); err != nil {
+		t.Fatal(err)
+	}
+	// At least the surviving odd monitors should hear about it.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		count := 0
+		fired.Range(func(_, _ any) bool { count++; return true })
+		if count > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no surviving monitor fired after disappearance")
+}

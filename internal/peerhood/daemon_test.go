@@ -1,0 +1,615 @@
+package peerhood
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// testScale compresses modeled time 10000x.
+var testScale = vtime.NewScale(1e-4)
+
+type world struct {
+	env *radio.Environment
+	net *netsim.Network
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	env := radio.NewEnvironment(radio.WithScale(testScale))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	return &world{env: env, net: net}
+}
+
+func (w *world) addStatic(t *testing.T, id ids.DeviceID, at geo.Point, techs ...radio.Technology) {
+	t.Helper()
+	if err := w.env.Add(id, mobility.Static{At: at}, techs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (w *world) daemon(t *testing.T, id ids.DeviceID) *Daemon {
+	t.Helper()
+	d, err := NewDaemon(Config{Device: id, Network: w.net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestNewDaemonValidation(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	if _, err := NewDaemon(Config{Device: "a"}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := NewDaemon(Config{Device: "", Network: w.net}); err == nil {
+		t.Error("empty device accepted")
+	}
+	if _, err := NewDaemon(Config{Device: "ghost", Network: w.net}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestNewDaemonNoRadios(t *testing.T) {
+	w := newWorld(t)
+	if err := w.env.Add("bare", mobility.Static{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDaemon(Config{Device: "bare", Network: w.net}); err == nil {
+		t.Error("device without radios accepted")
+	}
+}
+
+// TestTable3_DeviceDiscovery: "PeerHood detects other PeerHood-capable
+// devices which are within the range."
+func TestTable3_DeviceDiscovery(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	w.addStatic(t, "far", geo.Pt(1000, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	w.daemon(t, "b")
+	w.daemon(t, "far")
+
+	if err := da.RefreshNow(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	neighbors := da.Neighbors()
+	if len(neighbors) != 1 || neighbors[0].Device != "b" {
+		t.Fatalf("Neighbors = %+v, want only b", neighbors)
+	}
+	if len(neighbors[0].Technologies) != 1 || neighbors[0].Technologies[0] != radio.Bluetooth {
+		t.Fatalf("Technologies = %v", neighbors[0].Technologies)
+	}
+}
+
+// TestTable3_ServiceDiscovery: "PeerHood detects all the services and
+// its attributes available in any PeerHood-capable remote device."
+func TestTable3_ServiceDiscovery(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+
+	if _, err := db.RegisterService("PeerHoodCommunity", map[string]string{"member": "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.RefreshNow(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	svcs, err := da.ServicesOf("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svcs) != 1 || svcs[0].Name != "PeerHoodCommunity" || svcs[0].Attr("member") != "bob" {
+		t.Fatalf("ServicesOf(b) = %+v", svcs)
+	}
+	if got := da.DevicesOffering("PeerHoodCommunity"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("DevicesOffering = %v", got)
+	}
+	if got := da.DevicesOffering("Nothing"); len(got) != 0 {
+		t.Fatalf("DevicesOffering(Nothing) = %v", got)
+	}
+}
+
+// TestTable3_ServiceSharing: "PeerHood allows applications ... to use
+// and register services. The list of all local and remote services can
+// be obtained on request."
+func TestTable3_ServiceSharing(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	if _, err := da.RegisterService("svc1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := da.RegisterService("svc2", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	local := da.LocalServices()
+	if len(local) != 2 || local[0].Name != "svc1" || local[1].Name != "svc2" {
+		t.Fatalf("LocalServices = %+v", local)
+	}
+	if _, err := da.RegisterService("svc1", nil); !errors.Is(err, ErrServiceRegistered) {
+		t.Fatalf("duplicate register err = %v", err)
+	}
+	da.UnregisterService("svc1")
+	if got := da.LocalServices(); len(got) != 1 {
+		t.Fatalf("after unregister LocalServices = %+v", got)
+	}
+	// Unregister twice is harmless.
+	da.UnregisterService("svc1")
+	// Re-register after unregister works (port was freed).
+	if _, err := da.RegisterService("svc1", nil); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+}
+
+func TestRegisterServiceValidation(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	if _, err := da.RegisterService("bad|name", nil); err == nil {
+		t.Error("invalid service name accepted")
+	}
+}
+
+// TestTable3_ConnectionEstablishment and DataTransmission: connect two
+// PeerHood applications and exchange data.
+func TestTable3_ConnectAndTransmit(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	ctx := testCtx(t)
+
+	listener, err := db.RegisterService("echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := listener.Accept(ctx)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		msg, err := conn.Recv(ctx)
+		if err != nil {
+			return
+		}
+		_ = conn.Send(append([]byte("echo: "), msg...))
+	}()
+
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := da.Connect(ctx, "b", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo: hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestConnectNoRoute(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "far", geo.Pt(1000, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	w.daemon(t, "far")
+	if _, err := da.Connect(testCtx(t), "far", "svc"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+// TestTable3_ActiveMonitoring: "when the monitored device goes out of
+// range than application is notified of its disappearance. Also, the
+// application is notified when the monitored device approaches."
+func TestTable3_ActiveMonitoring(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	if err := da.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var events []MonitorEvent
+	cancel := da.Monitor("b", func(ev MonitorEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	defer cancel()
+
+	waitEvents := func(n int) []MonitorEvent {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			if len(events) >= n {
+				out := append([]MonitorEvent(nil), events...)
+				mu.Unlock()
+				return out
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]MonitorEvent(nil), events...)
+	}
+
+	// b walks out of range.
+	if err := w.env.SetPowered("b", false); err != nil {
+		t.Fatal(err)
+	}
+	evs := waitEvents(1)
+	if len(evs) < 1 || evs[0].Device != "b" || evs[0].Appeared {
+		t.Fatalf("events after disappearance = %+v, want disappeared(b)", evs)
+	}
+	// b comes back.
+	if err := w.env.SetPowered("b", true); err != nil {
+		t.Fatal(err)
+	}
+	evs = waitEvents(2)
+	if len(evs) < 2 || !evs[1].Appeared {
+		t.Fatalf("events after return = %+v, want appeared(b)", evs)
+	}
+}
+
+func TestMonitorCancelStopsEvents(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	if err := da.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	count := 0
+	cancel := da.Monitor("b", func(MonitorEvent) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	time.Sleep(5 * time.Millisecond) // let the monitor prime
+	cancel()
+	if err := w.env.SetPowered("b", false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 0 {
+		t.Fatalf("callback fired %d times after cancel", count)
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	d, err := NewDaemon(Config{Device: "a", Network: w.net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("second Start = %v, want ErrAlreadyRunning", err)
+	}
+	d.Stop()
+}
+
+// TestBackgroundDiscoveryPopulatesCache verifies the running daemon
+// keeps the neighbor table fresh without explicit refreshes — the
+// property that makes Table 8's search time near-zero after warmup.
+func TestBackgroundDiscoveryPopulatesCache(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	if _, err := db.RegisterService("PeerHoodCommunity", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if devs := da.DevicesOffering("PeerHoodCommunity"); len(devs) == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("daemon never discovered b's service in the background")
+}
+
+func TestDiscoveryDropsDepartedNeighbors(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	w.daemon(t, "b")
+	ctx := testCtx(t)
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(da.Neighbors()) != 1 {
+		t.Fatal("precondition: b discovered")
+	}
+	if err := w.env.SetPowered("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := da.Neighbors(); len(n) != 0 {
+		t.Fatalf("departed neighbor still cached: %+v", n)
+	}
+	if _, err := da.Neighbor("b"); !errors.Is(err, ErrUnknownNeighbor) {
+		t.Fatalf("Neighbor(b) = %v, want ErrUnknownNeighbor", err)
+	}
+}
+
+func TestMultiTechNeighbor(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth, radio.WLAN)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth, radio.WLAN)
+	da := w.daemon(t, "a")
+	w.daemon(t, "b")
+	if err := da.RefreshNow(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := da.Neighbor("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Technologies) != 2 || n.Technologies[0] != radio.Bluetooth || n.Technologies[1] != radio.WLAN {
+		t.Fatalf("Technologies = %v, want [bluetooth wlan]", n.Technologies)
+	}
+}
+
+// TestWLANOnlyNeighborDiscoveredOverWLAN: a neighbor beyond Bluetooth
+// range but inside WLAN range appears with WLAN only.
+func TestWLANOnlyNeighborDiscoveredOverWLAN(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth, radio.WLAN)
+	w.addStatic(t, "b", geo.Pt(50, 0), radio.Bluetooth, radio.WLAN) // beyond BT, inside WLAN
+	da := w.daemon(t, "a")
+	w.daemon(t, "b")
+	if err := da.RefreshNow(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := da.Neighbor("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Technologies) != 1 || n.Technologies[0] != radio.WLAN {
+		t.Fatalf("Technologies = %v, want [wlan]", n.Technologies)
+	}
+}
+
+func TestLibraryFacade(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	lib := NewLibrary(da)
+	ctx := testCtx(t)
+
+	if lib.Device() != "a" || lib.Daemon() != da {
+		t.Fatal("library bindings wrong")
+	}
+	remoteLib := NewLibrary(db)
+	listener, err := remoteLib.RegisterService("greet", map[string]string{"hello": "world"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := listener.Accept(ctx)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = conn.Send([]byte("hi"))
+	}()
+
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	devs := lib.GetDeviceList()
+	if len(devs) != 1 || devs[0] != "b" {
+		t.Fatalf("GetDeviceList = %v", devs)
+	}
+	svcs, err := lib.GetServiceList("b")
+	if err != nil || len(svcs) != 1 || svcs[0].Name != "greet" {
+		t.Fatalf("GetServiceList = %+v, %v", svcs, err)
+	}
+	if got := lib.DevicesOffering("greet"); len(got) != 1 {
+		t.Fatalf("DevicesOffering = %v", got)
+	}
+	if got := remoteLib.GetLocalServiceList(); len(got) != 1 {
+		t.Fatalf("GetLocalServiceList = %+v", got)
+	}
+	conn, err := lib.Connect(ctx, "b", "greet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg, err := conn.Recv(ctx)
+	if err != nil || string(msg) != "hi" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	remoteLib.UnregisterService("greet")
+	cancel := lib.Monitor("b", func(MonitorEvent) {})
+	cancel()
+}
+
+func TestStatsCounters(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	ctx := testCtx(t)
+
+	if got := da.Stats(); got != (Stats{}) {
+		t.Fatalf("fresh daemon stats = %+v, want zeros", got)
+	}
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s := da.Stats()
+	if s.DiscoveryRounds != 1 {
+		t.Errorf("DiscoveryRounds = %d, want 1", s.DiscoveryRounds)
+	}
+	if s.SDPQueriesSent != 1 {
+		t.Errorf("SDPQueriesSent = %d, want 1 (one neighbor)", s.SDPQueriesSent)
+	}
+	if got := db.Stats().SDPQueriesServed; got != 1 {
+		t.Errorf("b served %d SDP queries, want 1", got)
+	}
+
+	listener, err := db.RegisterService("svc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if conn, err := listener.Accept(ctx); err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := da.Connect(ctx, "b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if got := da.Stats().ConnectsRouted; got != 1 {
+		t.Errorf("ConnectsRouted = %d, want 1", got)
+	}
+
+	cancel := da.Monitor("b", func(MonitorEvent) {})
+	defer cancel()
+	if err := w.env.SetPowered("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := da.Stats().MonitorEvents; got != 1 {
+		t.Errorf("MonitorEvents = %d, want 1", got)
+	}
+}
+
+// TestHistoryOutlivesDepartures: §4.1 — the daemon "collects
+// information and stores it for possible future usage"; departed
+// devices vanish from the live table but stay in the history.
+func TestHistoryOutlivesDepartures(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	if _, err := db.RegisterService("svc", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.env.SetPowered("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(da.Neighbors()) != 0 {
+		t.Fatal("live table should be empty after departure")
+	}
+	hist := da.History()
+	if len(hist) != 1 {
+		t.Fatalf("history = %+v, want one sighting", hist)
+	}
+	s := hist[0]
+	if s.Device != "b" || s.Rounds != 2 {
+		t.Fatalf("sighting = %+v, want b seen in 2 rounds", s)
+	}
+	if len(s.Services) != 1 || s.Services[0] != "svc" {
+		t.Fatalf("sighting services = %v", s.Services)
+	}
+	if s.LastSeen < s.FirstSeen {
+		t.Fatalf("times inverted: %+v", s)
+	}
+	got, ok := da.Sighted("b")
+	if !ok || got.Device != "b" {
+		t.Fatalf("Sighted(b) = %+v, %v", got, ok)
+	}
+	if _, ok := da.Sighted("never-seen"); ok {
+		t.Fatal("Sighted should miss for unknown devices")
+	}
+}
+
+// TestHistoryAggregatesTechnologies: a device seen over different
+// technologies at different times accumulates both.
+func TestHistoryAggregatesTechnologies(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth, radio.WLAN)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth, radio.WLAN)
+	da := w.daemon(t, "a")
+	w.daemon(t, "b")
+	ctx := testCtx(t)
+	if err := da.RefreshNow(ctx); err != nil { // both techs in range
+		t.Fatal(err)
+	}
+	// Move b out of Bluetooth range but keep WLAN.
+	if err := w.env.SetModel("b", mobility.Static{At: geo.Pt(50, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := da.Sighted("b")
+	if !ok {
+		t.Fatal("b not in history")
+	}
+	if len(s.Technologies) != 2 {
+		t.Fatalf("technologies = %v, want both accumulated", s.Technologies)
+	}
+}

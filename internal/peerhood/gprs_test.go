@@ -1,0 +1,122 @@
+package peerhood
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+)
+
+// TestGPRSPluginBridgesThroughProxy: with a configured operator proxy,
+// a daemon's GPRS connections cross the bridge (§4.2.3's GPRSPlugin).
+func TestGPRSPluginBridgesThroughProxy(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "operator", geo.Pt(0, 0), radio.GPRS)
+	w.addStatic(t, "a", geo.Pt(100, 0), radio.GPRS)
+	w.addStatic(t, "b", geo.Pt(-100, 0), radio.GPRS)
+	proxy, err := netsim.NewProxy(w.net, "operator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Stop)
+
+	da, err := NewDaemon(Config{Device: "a", Network: w.net, GPRSProxy: "operator"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(da.Stop)
+	db := w.daemon(t, "b")
+	ctx := testCtx(t)
+
+	listener, err := db.RegisterService("echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := listener.Accept(ctx)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		msg, err := conn.Recv(ctx)
+		if err != nil {
+			return
+		}
+		_ = conn.Send(append([]byte("via-proxy:"), msg...))
+	}()
+
+	conn, err := da.Connect(ctx, "b", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "via-proxy:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if proxy.Relayed() != 1 {
+		t.Fatalf("Relayed = %d, want 1 (connection should cross the bridge)", proxy.Relayed())
+	}
+}
+
+// TestGPRSPluginProxyCoverage: bridged reachability requires both legs
+// in coverage.
+func TestGPRSPluginProxyCoverage(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "operator", geo.Pt(0, 0), radio.GPRS)
+	w.addStatic(t, "a", geo.Pt(1, 0), radio.GPRS)
+	w.addStatic(t, "b", geo.Pt(2, 0), radio.GPRS)
+	p := NewPlugin(radio.GPRS, w.net, "a", "operator")
+	if !p.Reachable("b") {
+		t.Fatal("should be reachable with full coverage")
+	}
+	if err := w.env.SetCoverage("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Reachable("b") {
+		t.Fatal("unreachable when callee leg has no coverage")
+	}
+	if err := w.env.SetCoverage("b", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.env.SetCoverage("operator", false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Reachable("b") {
+		t.Fatal("unreachable when the proxy itself has no coverage")
+	}
+}
+
+// TestGPRSPluginDirectWithoutProxy: no proxy configured means direct
+// cellular links (the default everywhere else in the suite).
+func TestGPRSPluginDirectWithoutProxy(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.GPRS)
+	w.addStatic(t, "b", geo.Pt(1e6, 0), radio.GPRS)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	ctx := testCtx(t)
+	listener, err := db.RegisterService("echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := listener.Accept(ctx)
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}()
+	conn, err := da.Connect(ctx, "b", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}

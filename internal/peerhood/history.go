@@ -1,0 +1,123 @@
+package peerhood
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/radio"
+)
+
+// Sighting is the accumulated record of one device across discovery
+// rounds — §4.1: "PeerHood monitors the immediate neighbors of a PTD,
+// collects information and stores it for possible future usage."
+// Unlike the neighbor table, history is never pruned when a device
+// leaves: it is the daemon's memory of everyone it has ever seen.
+type Sighting struct {
+	Device ids.DeviceID
+	// FirstSeen / LastSeen are modeled environment times.
+	FirstSeen time.Duration
+	LastSeen  time.Duration
+	// Rounds counts the discovery rounds that found the device.
+	Rounds int
+	// Technologies aggregates every technology the device was ever
+	// seen on, preference-ordered.
+	Technologies []radio.Technology
+	// Services aggregates every service name the device ever
+	// advertised.
+	Services []ids.ServiceName
+}
+
+// history accumulates sightings.
+type history struct {
+	mu   sync.Mutex
+	seen map[ids.DeviceID]*Sighting
+}
+
+func newHistory() *history {
+	return &history{seen: make(map[ids.DeviceID]*Sighting)}
+}
+
+// record merges one discovery-round observation.
+func (h *history) record(n *NeighborInfo) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.seen[n.Device]
+	if !ok {
+		s = &Sighting{Device: n.Device, FirstSeen: n.LastSeen}
+		h.seen[n.Device] = s
+	}
+	s.LastSeen = n.LastSeen
+	s.Rounds++
+	for _, tech := range n.Technologies {
+		if !containsTech(s.Technologies, tech) {
+			s.Technologies = append(s.Technologies, tech)
+		}
+	}
+	sortTechs(s.Technologies)
+	for _, svc := range n.Services {
+		if !containsService(s.Services, svc.Name) {
+			s.Services = append(s.Services, svc.Name)
+		}
+	}
+	sort.Slice(s.Services, func(i, j int) bool { return s.Services[i] < s.Services[j] })
+}
+
+func (h *history) snapshot() []Sighting {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Sighting, 0, len(h.seen))
+	for _, s := range h.seen {
+		cp := *s
+		cp.Technologies = append([]radio.Technology(nil), s.Technologies...)
+		cp.Services = append([]ids.ServiceName(nil), s.Services...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+func (h *history) lookup(dev ids.DeviceID) (Sighting, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.seen[dev]
+	if !ok {
+		return Sighting{}, false
+	}
+	cp := *s
+	cp.Technologies = append([]radio.Technology(nil), s.Technologies...)
+	cp.Services = append([]ids.ServiceName(nil), s.Services...)
+	return cp, true
+}
+
+func containsTech(ts []radio.Technology, t radio.Technology) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func containsService(ss []ids.ServiceName, s ids.ServiceName) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// History returns every device this daemon has ever sighted, sorted by
+// device ID. Departed devices stay in the history even after they leave
+// the live neighbor table.
+func (d *Daemon) History() []Sighting {
+	return d.history.snapshot()
+}
+
+// Sighted returns the accumulated record of one device, if it was ever
+// seen.
+func (d *Daemon) Sighted(dev ids.DeviceID) (Sighting, bool) {
+	return d.history.lookup(dev)
+}

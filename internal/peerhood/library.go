@@ -1,0 +1,85 @@
+package peerhood
+
+import (
+	"context"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// Library is the application-facing interface of PeerHood (§4.2.2). In
+// the original system it was a shared library talking to the daemon
+// process over a local socket; here it delegates to the in-process
+// daemon. Applications built "on top of PeerHood" (chapter 5) should
+// only need this type.
+type Library struct {
+	daemon *Daemon
+}
+
+// NewLibrary binds a library to a daemon.
+func NewLibrary(d *Daemon) *Library { return &Library{daemon: d} }
+
+// Daemon exposes the underlying daemon for advanced uses.
+func (l *Library) Daemon() *Daemon { return l.daemon }
+
+// Device returns the local device ID.
+func (l *Library) Device() ids.DeviceID { return l.daemon.Device() }
+
+// GetDeviceList returns the devices currently in the PeerHood
+// neighborhood, like the pGetDeviceList call in Figure 9.
+func (l *Library) GetDeviceList() []ids.DeviceID {
+	neighbors := l.daemon.Neighbors()
+	out := make([]ids.DeviceID, 0, len(neighbors))
+	for _, n := range neighbors {
+		out = append(out, n.Device)
+	}
+	return out
+}
+
+// GetServiceList returns the services a neighbor advertises.
+func (l *Library) GetServiceList(dev ids.DeviceID) ([]ServiceDescription, error) {
+	return l.daemon.ServicesOf(dev)
+}
+
+// GetLocalServiceList returns the services registered locally.
+func (l *Library) GetLocalServiceList() []ServiceDescription {
+	return l.daemon.LocalServices()
+}
+
+// DevicesOffering returns the neighbors advertising a service.
+func (l *Library) DevicesOffering(service ids.ServiceName) []ids.DeviceID {
+	return l.daemon.DevicesOffering(service)
+}
+
+// RegisterService registers a local service (Figure 8) and returns the
+// listener to accept connections on.
+func (l *Library) RegisterService(name ids.ServiceName, attrs map[string]string) (*netsim.Listener, error) {
+	return l.daemon.RegisterService(name, attrs)
+}
+
+// UnregisterService removes a local service.
+func (l *Library) UnregisterService(name ids.ServiceName) {
+	l.daemon.UnregisterService(name)
+}
+
+// Connect opens a connection to a service on a neighbor.
+func (l *Library) Connect(ctx context.Context, dev ids.DeviceID, service ids.ServiceName) (*netsim.Conn, error) {
+	return l.daemon.Connect(ctx, dev, service)
+}
+
+// ConnectRobust opens a connection with seamless-connectivity failover.
+func (l *Library) ConnectRobust(ctx context.Context, dev ids.DeviceID, service ids.ServiceName) (*RobustConn, error) {
+	return l.daemon.ConnectRobust(ctx, dev, service)
+}
+
+// Monitor watches a device for appearance/disappearance.
+func (l *Library) Monitor(dev ids.DeviceID, fn MonitorFunc) (cancel func()) {
+	return l.daemon.Monitor(dev, fn)
+}
+
+// Stats returns the daemon's activity counters.
+func (l *Library) Stats() Stats { return l.daemon.Stats() }
+
+// History returns every device the daemon has ever sighted (§4.1's
+// stored neighborhood information).
+func (l *Library) History() []Sighting { return l.daemon.History() }

@@ -1,0 +1,167 @@
+package peerhood
+
+import (
+	"context"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+)
+
+// discoveryPort is the well-known broadcast port WLAN discovery probes
+// are sent to, mirroring the thesis's "broadcast-based service
+// discovery" for the WLANPlugin.
+const discoveryPort = "peerhood.discovery"
+
+// Plugin adapts one network technology to the daemon, like the
+// BTPlugin/WLANPlugin/GPRSPlugin of §4.2.3. Implementations are
+// stateless beyond their bindings and safe for concurrent use.
+type Plugin interface {
+	// Technology identifies the plugin.
+	Technology() radio.Technology
+	// Discover performs one device inquiry and returns the reachable
+	// PeerHood-capable neighbors. It blocks for the technology's
+	// inquiry duration (scaled).
+	Discover(ctx context.Context) ([]ids.DeviceID, error)
+	// Dial opens a connection to a port on a neighbor.
+	Dial(ctx context.Context, to ids.DeviceID, port string) (*netsim.Conn, error)
+	// Reachable reports whether the peer is currently in range.
+	Reachable(to ids.DeviceID) bool
+}
+
+// NewPlugin returns the plugin for a technology, bound to a device and
+// network. For GPRS, a non-empty proxy device routes connections
+// through the operator bridge, as §4.2.3 describes.
+func NewPlugin(tech radio.Technology, net *netsim.Network, dev ids.DeviceID, gprsProxy ids.DeviceID) Plugin {
+	base := basePlugin{tech: tech, net: net, dev: dev}
+	switch tech {
+	case radio.WLAN:
+		return &wlanPlugin{basePlugin: base}
+	case radio.GPRS:
+		return &gprsPlugin{basePlugin: base, proxy: gprsProxy}
+	default:
+		return &base
+	}
+}
+
+// gprsPlugin routes connections through the operator proxy when one is
+// configured: "GPRSPlugin also operates over IP connections and uses
+// proxy device as a bridge or an intermediate device." Without a proxy
+// it degrades to a direct (still high-latency) cellular link.
+type gprsPlugin struct {
+	basePlugin
+	proxy ids.DeviceID
+}
+
+var _ Plugin = (*gprsPlugin)(nil)
+
+func (p *gprsPlugin) Dial(ctx context.Context, to ids.DeviceID, port string) (*netsim.Conn, error) {
+	if p.proxy == "" {
+		return p.basePlugin.Dial(ctx, to, port)
+	}
+	return p.net.DialViaProxy(ctx, p.dev, p.proxy, to, port)
+}
+
+func (p *gprsPlugin) Reachable(to ids.DeviceID) bool {
+	env := p.net.Environment()
+	if p.proxy == "" {
+		return env.Reachable(p.dev, to, radio.GPRS)
+	}
+	// Bridged reachability: both legs must be in coverage.
+	return env.Reachable(p.dev, p.proxy, radio.GPRS) && env.Reachable(p.proxy, to, radio.GPRS)
+}
+
+// basePlugin implements inquiry-based discovery: wait out the PHY's
+// inquiry window, then report who answered (everyone in range). This is
+// how Bluetooth inquiry behaves, and it is also the fallback for GPRS,
+// where "discovery" asks the operator proxy for registered peers; the
+// GPRS PHY's longer base latency models the proxy hop.
+type basePlugin struct {
+	tech radio.Technology
+	net  *netsim.Network
+	dev  ids.DeviceID
+}
+
+var _ Plugin = (*basePlugin)(nil)
+
+func (p *basePlugin) Technology() radio.Technology { return p.tech }
+
+func (p *basePlugin) Discover(ctx context.Context) ([]ids.DeviceID, error) {
+	env := p.net.Environment()
+	phy := env.PHY(p.tech)
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-env.Clock().After(env.Scale().ToReal(phy.InquiryDuration)):
+	}
+	return env.Neighbors(p.dev, p.tech), nil
+}
+
+func (p *basePlugin) Dial(ctx context.Context, to ids.DeviceID, port string) (*netsim.Conn, error) {
+	return p.net.Dial(ctx, p.dev, to, p.tech, port)
+}
+
+func (p *basePlugin) Reachable(to ids.DeviceID) bool {
+	return p.net.Environment().Reachable(p.dev, to, p.tech)
+}
+
+// wlanPlugin overrides discovery to also emit a broadcast probe, which
+// remote daemons can observe; the probe is what lets a sleeping daemon
+// learn about us without running its own inquiry.
+type wlanPlugin struct {
+	basePlugin
+}
+
+var _ Plugin = (*wlanPlugin)(nil)
+
+func (p *wlanPlugin) Discover(ctx context.Context) ([]ids.DeviceID, error) {
+	// Best effort: the probe costs one broadcast transfer; failures
+	// (e.g. powered off mid-probe) degrade to pure inquiry.
+	_, _ = p.net.SendBroadcast(p.dev, radio.WLAN, discoveryPort, []byte("PROBE "+string(p.dev)))
+	env := p.net.Environment()
+	phy := env.PHY(radio.WLAN)
+	// The broadcast already charged one transfer; wait out the rest of
+	// the scan window.
+	wait := phy.InquiryDuration - phy.TransferTime(len("PROBE ")+len(p.dev))
+	if wait < 0 {
+		wait = 0
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-env.Clock().After(env.Scale().ToReal(wait)):
+	}
+	return env.Neighbors(p.dev, radio.WLAN), nil
+}
+
+// pluginSet orders plugins by preference (Bluetooth first, as the
+// thesis prefers the "cost free" technology).
+type pluginSet []Plugin
+
+func newPluginSet(net *netsim.Network, dev ids.DeviceID, techs []radio.Technology, gprsProxy ids.DeviceID) pluginSet {
+	ordered := make([]radio.Technology, 0, len(techs))
+	seen := make(map[radio.Technology]bool)
+	for _, pref := range radio.AllTechnologies() {
+		for _, t := range techs {
+			if t == pref && !seen[t] {
+				ordered = append(ordered, t)
+				seen[t] = true
+			}
+		}
+	}
+	out := make(pluginSet, 0, len(ordered))
+	for _, t := range ordered {
+		out = append(out, NewPlugin(t, net, dev, gprsProxy))
+	}
+	return out
+}
+
+// forTech returns the plugin handling a technology, or nil.
+func (ps pluginSet) forTech(t radio.Technology) Plugin {
+	for _, p := range ps {
+		if p.Technology() == t {
+			return p
+		}
+	}
+	return nil
+}

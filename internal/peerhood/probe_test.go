@@ -1,0 +1,82 @@
+package peerhood
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+)
+
+// TestPassiveDiscoveryViaWLANProbe: a daemon that never runs its own
+// discovery round learns about a neighbor the moment that neighbor's
+// WLAN plugin broadcasts its discovery probe — the passive half of the
+// thesis's broadcast-based service discovery.
+func TestPassiveDiscoveryViaWLANProbe(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "prober", geo.Pt(0, 0), radio.WLAN)
+	w.addStatic(t, "sleeper", geo.Pt(10, 0), radio.WLAN)
+	prober := w.daemon(t, "prober")
+	sleeper := w.daemon(t, "sleeper")
+	ctx := testCtx(t)
+
+	if _, err := prober.RegisterService("chatty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeper.Neighbors()) != 0 {
+		t.Fatal("precondition: sleeper knows nobody")
+	}
+	// The prober runs one active round, which emits the WLAN broadcast.
+	if err := prober.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The sleeper never called RefreshNow, yet hears the probe and
+	// fetches the prober's services.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n, err := sleeper.Neighbor("prober"); err == nil {
+			if len(n.Services) != 1 || n.Services[0].Name != "chatty" {
+				t.Fatalf("passive neighbor services = %+v", n.Services)
+			}
+			if len(n.Technologies) != 1 || n.Technologies[0] != radio.WLAN {
+				t.Fatalf("passive neighbor technologies = %v", n.Technologies)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("sleeper never learned about the prober from its broadcast")
+}
+
+// TestPassiveDiscoveryIgnoresOwnProbe: a daemon must not add itself.
+func TestPassiveDiscoveryIgnoresOwnProbe(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "solo", geo.Pt(0, 0), radio.WLAN)
+	solo := w.daemon(t, "solo")
+	ctx := testCtx(t)
+	if err := solo.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := solo.Neighbors(); len(n) != 0 {
+		t.Fatalf("solo daemon has neighbors: %+v", n)
+	}
+}
+
+// TestPassiveDiscoveryBluetoothOnlyDaemonUnaffected: devices without a
+// WLAN radio neither subscribe nor crash.
+func TestPassiveDiscoveryBluetoothOnlyDaemonUnaffected(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "bt", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "wifi", geo.Pt(5, 0), radio.WLAN)
+	bt := w.daemon(t, "bt")
+	wifi := w.daemon(t, "wifi")
+	ctx := testCtx(t)
+	if err := wifi.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := bt.Neighbors(); len(n) != 0 {
+		t.Fatalf("bluetooth-only daemon learned from a WLAN probe: %+v", n)
+	}
+}

@@ -1,0 +1,225 @@
+package peerhood
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+)
+
+// RobustConn implements PeerHood's seamless connectivity (Table 3):
+// when it senses the established connection breaking it finds the best
+// possible alternative technology and re-dials, so the application
+// keeps talking to the same service.
+//
+// Semantics: each failover opens a fresh connection to the service, so
+// the server observes a new session; a message whose delivery raced the
+// link loss may be retransmitted. Request/response protocols (like
+// PeerHood Community's) tolerate both.
+type RobustConn struct {
+	daemon  *Daemon
+	dev     ids.DeviceID
+	service ids.ServiceName
+
+	mu       sync.Mutex
+	conn     *netsim.Conn
+	closed   bool
+	failures int
+}
+
+// maxFailovers bounds reconnection attempts per operation.
+const maxFailovers = 3
+
+// ConnectRobust opens a seamless connection to a service on a device.
+func (d *Daemon) ConnectRobust(ctx context.Context, dev ids.DeviceID, service ids.ServiceName) (*RobustConn, error) {
+	conn, err := d.Connect(ctx, dev, service)
+	if err != nil {
+		return nil, err
+	}
+	return &RobustConn{daemon: d, dev: dev, service: service, conn: conn}, nil
+}
+
+// Remote returns the peer device.
+func (r *RobustConn) Remote() ids.DeviceID { return r.dev }
+
+// Technology returns the technology currently carrying the connection.
+func (r *RobustConn) Technology() radio.Technology {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return radio.TechNone
+	}
+	return r.conn.Technology()
+}
+
+// Failovers reports how many times the connection has switched
+// technologies or re-dialed.
+func (r *RobustConn) Failovers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failures
+}
+
+// current returns the live conn, re-dialing if the previous one died.
+func (r *RobustConn) current(ctx context.Context) (*netsim.Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, netsim.ErrConnClosed
+	}
+	if r.conn != nil && r.conn.Alive() {
+		return r.conn, nil
+	}
+	conn, err := r.daemon.Connect(ctx, r.dev, r.service)
+	if err != nil {
+		return nil, fmt.Errorf("peerhood: seamless reconnect to %s: %w", r.dev, err)
+	}
+	r.conn = conn
+	r.failures++
+	return conn, nil
+}
+
+// Send transmits a message, failing over to another technology if the
+// link breaks.
+func (r *RobustConn) Send(ctx context.Context, payload []byte) error {
+	var lastErr error
+	for attempt := 0; attempt <= maxFailovers; attempt++ {
+		conn, err := r.current(ctx)
+		if err != nil {
+			return err
+		}
+		err = conn.Send(payload)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, netsim.ErrLinkLost) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// Recv receives the next message, failing over if the link breaks while
+// waiting. After a failover the message stream restarts from the new
+// session.
+func (r *RobustConn) Recv(ctx context.Context) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= maxFailovers; attempt++ {
+		conn, err := r.current(ctx)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := conn.Recv(ctx)
+		if err == nil {
+			return msg, nil
+		}
+		lastErr = err
+		if !errors.Is(err, netsim.ErrLinkLost) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Call sends a request and waits for one response, with failover
+// retrying the whole exchange — the shape every PeerHood Community
+// operation uses.
+func (r *RobustConn) Call(ctx context.Context, request []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= maxFailovers; attempt++ {
+		conn, err := r.current(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.Send(request); err != nil {
+			lastErr = err
+			if errors.Is(err, netsim.ErrLinkLost) {
+				continue
+			}
+			return nil, err
+		}
+		resp, err := conn.Recv(ctx)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, netsim.ErrLinkLost) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Close shuts the connection down.
+func (r *RobustConn) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.conn != nil {
+		r.conn.Close()
+	}
+}
+
+// TryUpgrade re-dials the service over a more preferred technology when
+// one has become reachable again — the other half of "finds the best
+// possible alternative": after falling back to WLAN or GPRS, the
+// connection returns to Bluetooth once the peer is back in range. It
+// reports whether an upgrade happened. The server observes the upgrade
+// as a new session, like any failover.
+func (r *RobustConn) TryUpgrade(ctx context.Context) bool {
+	r.mu.Lock()
+	if r.closed || r.conn == nil || !r.conn.Alive() {
+		r.mu.Unlock()
+		return false
+	}
+	current := r.conn.Technology()
+	r.mu.Unlock()
+
+	for _, p := range r.daemon.plugins {
+		tech := p.Technology()
+		if techRank(tech) >= techRank(current) {
+			return false // already on the best reachable tier
+		}
+		if !p.Reachable(r.dev) {
+			continue
+		}
+		conn, err := p.Dial(ctx, r.dev, servicePortPrefix+string(r.service))
+		if err != nil {
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return false
+		}
+		old := r.conn
+		r.conn = conn
+		r.failures++
+		r.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		return true
+	}
+	return false
+}
+
+// techRank orders technologies by preference (lower is better).
+func techRank(t radio.Technology) int {
+	switch t {
+	case radio.Bluetooth:
+		return 0
+	case radio.WLAN:
+		return 1
+	case radio.GPRS:
+		return 2
+	default:
+		return 3
+	}
+}

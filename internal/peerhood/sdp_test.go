@@ -1,0 +1,114 @@
+package peerhood
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/radio"
+)
+
+// TestSDPServerIgnoresGarbage: a client sending a non-LIST request gets
+// no service list and the daemon keeps serving others.
+func TestSDPServerIgnoresGarbage(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	if _, err := db.RegisterService("svc", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+
+	// Hand-roll a hostile SDP request.
+	conn, err := w.net.Dial(ctx, "a", "b", radio.Bluetooth, sdpPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte("EXPLOIT")); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, err := conn.Recv(shortCtx); err == nil {
+		t.Fatal("garbage request got a response")
+	}
+	conn.Close()
+
+	// The daemon still answers proper discovery afterwards.
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if svcs, err := da.ServicesOf("b"); err != nil || len(svcs) != 1 {
+		t.Fatalf("post-garbage discovery: %+v, %v", svcs, err)
+	}
+}
+
+// TestSDPHalfOpenClientTimesOut: a client that connects and never sends
+// must not wedge the daemon.
+func TestSDPHalfOpenClientTimesOut(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	if _, err := db.RegisterService("svc", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+
+	// Half-open: dial SDP and go silent.
+	conn, err := w.net.Dial(ctx, "a", "b", radio.Bluetooth, sdpPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Discovery still works in parallel.
+	if err := da.RefreshNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if svcs, err := da.ServicesOf("b"); err != nil || len(svcs) != 1 {
+		t.Fatalf("discovery with half-open SDP conn pending: %+v, %v", svcs, err)
+	}
+}
+
+// TestSDPAnswersConcurrentQueries: several daemons discover one target
+// at once.
+func TestSDPAnswersConcurrentQueries(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "target", geo.Pt(0, 0), radio.Bluetooth)
+	target := w.daemon(t, "target")
+	if _, err := target.RegisterService("popular", nil); err != nil {
+		t.Fatal(err)
+	}
+	const askers = 5
+	daemons := make([]*Daemon, askers)
+	for i := 0; i < askers; i++ {
+		id := ids.DeviceIDf("asker-%d", i)
+		w.addStatic(t, id, geo.Pt(float64(i%3+1), float64(i/3)), radio.Bluetooth)
+		daemons[i] = w.daemon(t, id)
+	}
+	ctx := testCtx(t)
+	errs := make(chan error, askers)
+	for _, d := range daemons {
+		d := d
+		go func() { errs <- d.RefreshNow(ctx) }()
+	}
+	for i := 0; i < askers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range daemons {
+		if svcs, err := d.ServicesOf("target"); err != nil || len(svcs) != 1 {
+			t.Fatalf("asker %d: %+v, %v", i, svcs, err)
+		}
+	}
+	if got := target.Stats().SDPQueriesServed; got < askers {
+		t.Fatalf("target served %d SDP queries, want >= %d", got, askers)
+	}
+}

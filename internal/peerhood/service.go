@@ -1,0 +1,128 @@
+// Package peerhood reimplements the PeerHood middleware of the thesis
+// (chapter 4): a per-device daemon (PHD) that continuously discovers
+// neighboring devices and the services they register, an
+// application-facing Library, and one plugin per network technology
+// (Bluetooth, WLAN, GPRS). Applications register named services, obtain
+// neighbor/service lists from the daemon's cache, connect to remote
+// services, monitor devices for appearance/disappearance, and keep
+// conversations alive across technology switches (seamless
+// connectivity) — the seven functionality rows of Table 3.
+//
+// The original PHD was a separate process reached over a local socket;
+// here daemon and application share a process and the Library calls the
+// daemon directly. The boundary (and the information that crosses it)
+// is preserved; only the IPC hop is elided.
+package peerhood
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+)
+
+// ServiceDescription describes one service registered in a PeerHood
+// daemon, as returned by service discovery.
+type ServiceDescription struct {
+	Name       ids.ServiceName
+	Attributes map[string]string
+}
+
+// Attr returns an attribute value or "".
+func (s ServiceDescription) Attr(key string) string { return s.Attributes[key] }
+
+// Clone returns a deep copy.
+func (s ServiceDescription) Clone() ServiceDescription {
+	out := ServiceDescription{Name: s.Name}
+	if s.Attributes != nil {
+		out.Attributes = make(map[string]string, len(s.Attributes))
+		for k, v := range s.Attributes {
+			out.Attributes[k] = v
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s ServiceDescription) String() string {
+	if len(s.Attributes) == 0 {
+		return string(s.Name)
+	}
+	return fmt.Sprintf("%s%v", s.Name, s.Attributes)
+}
+
+// encodeServices serializes service descriptions for the SDP exchange.
+// Format: one service per line, "name|k=v;k=v". Names and attributes
+// must not contain the delimiter characters; Validate enforces that at
+// registration time.
+func encodeServices(svcs []ServiceDescription) []byte {
+	var b strings.Builder
+	for _, s := range svcs {
+		b.WriteString(string(s.Name))
+		b.WriteByte('|')
+		keys := make([]string, 0, len(s.Attributes))
+		for k := range s.Attributes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(s.Attributes[k])
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// decodeServices parses the SDP wire format.
+func decodeServices(data []byte) ([]ServiceDescription, error) {
+	var out []ServiceDescription
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		name, attrPart, found := strings.Cut(line, "|")
+		if !found {
+			return nil, fmt.Errorf("peerhood: malformed service line %q", line)
+		}
+		svc := ServiceDescription{Name: ids.ServiceName(name), Attributes: map[string]string{}}
+		if attrPart != "" {
+			for _, pair := range strings.Split(attrPart, ";") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					return nil, fmt.Errorf("peerhood: malformed attribute %q in %q", pair, line)
+				}
+				svc.Attributes[k] = v
+			}
+		}
+		if !svc.Name.Valid() {
+			return nil, fmt.Errorf("peerhood: invalid service name %q", name)
+		}
+		out = append(out, svc)
+	}
+	return out, nil
+}
+
+// validateService checks that a service description survives the wire
+// format round trip.
+func validateService(s ServiceDescription) error {
+	if !s.Name.Valid() || strings.ContainsAny(string(s.Name), "|;=") {
+		return fmt.Errorf("peerhood: invalid service name %q", s.Name)
+	}
+	for k, v := range s.Attributes {
+		if k == "" || strings.ContainsAny(k, "|;=\n") || strings.ContainsAny(v, "|;\n") {
+			return fmt.Errorf("peerhood: invalid attribute %q=%q", k, v)
+		}
+	}
+	return nil
+}
+
+// ErrNoService reports that a device does not offer the requested
+// service.
+var ErrNoService = errors.New("peerhood: service not offered by device")

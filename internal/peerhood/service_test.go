@@ -1,0 +1,124 @@
+package peerhood
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []ServiceDescription{
+		{Name: "PeerHoodCommunity", Attributes: map[string]string{"member": "alice", "version": "0.2"}},
+		{Name: "FitnessSystem", Attributes: nil},
+	}
+	out, err := decodeServices(encodeServices(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d services, want 2", len(out))
+	}
+	if out[0].Name != "PeerHoodCommunity" || out[0].Attr("member") != "alice" || out[0].Attr("version") != "0.2" {
+		t.Fatalf("first service = %+v", out[0])
+	}
+	if out[1].Name != "FitnessSystem" || len(out[1].Attributes) != 0 {
+		t.Fatalf("second service = %+v", out[1])
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	out, err := decodeServices(encodeServices(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("decoded %d services from empty, want 0", len(out))
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	for _, bad := range []string{"noseparator", "name|k"} {
+		if _, err := decodeServices([]byte(bad)); err == nil {
+			t.Errorf("decodeServices(%q) should fail", bad)
+		}
+	}
+}
+
+func TestValidateService(t *testing.T) {
+	tests := []struct {
+		name string
+		svc  ServiceDescription
+		ok   bool
+	}{
+		{"plain", ServiceDescription{Name: "PeerHoodCommunity"}, true},
+		{"with attrs", ServiceDescription{Name: "x", Attributes: map[string]string{"a": "b"}}, true},
+		{"empty name", ServiceDescription{Name: ""}, false},
+		{"pipe in name", ServiceDescription{Name: "a|b"}, false},
+		{"semicolon in name", ServiceDescription{Name: "a;b"}, false},
+		{"equals in attr key", ServiceDescription{Name: "x", Attributes: map[string]string{"a=b": "c"}}, false},
+		{"newline in attr value", ServiceDescription{Name: "x", Attributes: map[string]string{"a": "b\nc"}}, false},
+		{"empty attr key", ServiceDescription{Name: "x", Attributes: map[string]string{"": "v"}}, false},
+		{"equals in value ok", ServiceDescription{Name: "x", Attributes: map[string]string{"a": "b=c"}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateService(tt.svc)
+			if (err == nil) != tt.ok {
+				t.Fatalf("validateService(%+v) err = %v, want ok=%v", tt.svc, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	clean := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			if r < 32 || strings.ContainsRune("|;=\n\r\t", r) {
+				return -1
+			}
+			return r
+		}, s)
+		if s == "" {
+			return "x"
+		}
+		return s
+	}
+	prop := func(name, k, v string) bool {
+		svc := ServiceDescription{
+			Name:       ids.ServiceName(clean(name)),
+			Attributes: map[string]string{clean(k): clean(v)},
+		}
+		if err := validateService(svc); err != nil {
+			return false
+		}
+		out, err := decodeServices(encodeServices([]ServiceDescription{svc}))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return out[0].Name == svc.Name && out[0].Attr(clean(k)) == clean(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceClone(t *testing.T) {
+	orig := ServiceDescription{Name: "s", Attributes: map[string]string{"k": "v"}}
+	c := orig.Clone()
+	c.Attributes["k"] = "mutated"
+	if orig.Attr("k") != "v" {
+		t.Fatal("Clone aliased the attribute map")
+	}
+}
+
+func TestServiceString(t *testing.T) {
+	if got := (ServiceDescription{Name: "s"}).String(); got != "s" {
+		t.Fatalf("String = %q", got)
+	}
+	withAttrs := ServiceDescription{Name: "s", Attributes: map[string]string{"k": "v"}}
+	if got := withAttrs.String(); !strings.Contains(got, "k:v") {
+		t.Fatalf("String = %q, want attributes included", got)
+	}
+}

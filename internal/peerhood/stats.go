@@ -1,0 +1,44 @@
+package peerhood
+
+import "sync/atomic"
+
+// Stats are monotonic counters describing a daemon's activity,
+// useful for tools and experiments that want to see what the
+// middleware did on the device's behalf.
+type Stats struct {
+	// DiscoveryRounds counts completed discovery rounds.
+	DiscoveryRounds uint64
+	// SDPQueriesServed counts service-discovery requests answered for
+	// remote daemons.
+	SDPQueriesServed uint64
+	// SDPQueriesSent counts service-discovery requests this daemon
+	// issued.
+	SDPQueriesSent uint64
+	// MonitorEvents counts appearance/disappearance callbacks fired.
+	MonitorEvents uint64
+	// ConnectsRouted counts application connections dialed through
+	// Connect (including seamless re-dials).
+	ConnectsRouted uint64
+}
+
+// statCounters is the daemon-internal atomic representation.
+type statCounters struct {
+	discoveryRounds  atomic.Uint64
+	sdpQueriesServed atomic.Uint64
+	sdpQueriesSent   atomic.Uint64
+	monitorEvents    atomic.Uint64
+	connectsRouted   atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		DiscoveryRounds:  c.discoveryRounds.Load(),
+		SDPQueriesServed: c.sdpQueriesServed.Load(),
+		SDPQueriesSent:   c.sdpQueriesSent.Load(),
+		MonitorEvents:    c.monitorEvents.Load(),
+		ConnectsRouted:   c.connectsRouted.Load(),
+	}
+}
+
+// Stats returns a snapshot of the daemon's activity counters.
+func (d *Daemon) Stats() Stats { return d.stats.snapshot() }

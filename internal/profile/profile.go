@@ -1,0 +1,141 @@
+// Package profile implements the user-profile side of PeerHood
+// Community: profiles with personal information and interests, profile
+// comments and visitor records, message inbox/outbox, trusted friends
+// and shared content — everything the Profiles and Trusted Friends
+// sections of Table 7 need, including support for multiple profiles per
+// device behind a username/password login.
+package profile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/interest"
+)
+
+// Comment is one profile comment left by another member (Figure 14).
+type Comment struct {
+	From ids.MemberID `json:"from"`
+	Text string       `json:"text"`
+	At   time.Time    `json:"at"`
+}
+
+// Visit records that a member viewed this profile (Figure 13: "the
+// remote server writes the name of the requesting client as the
+// profile visitor").
+type Visit struct {
+	By ids.MemberID `json:"by"`
+	At time.Time    `json:"at"`
+}
+
+// Message is one mail message (Figure 17).
+type Message struct {
+	From    ids.MemberID `json:"from"`
+	To      ids.MemberID `json:"to"`
+	Subject string       `json:"subject"`
+	Body    string       `json:"body"`
+	At      time.Time    `json:"at"`
+	Read    bool         `json:"read"`
+}
+
+// ContentItem is one shared file (Figure 16).
+type ContentItem struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// Profile is one member's profile. Profiles are value types inside a
+// Store; mutate them through the Store so access stays synchronized.
+type Profile struct {
+	Member   ids.MemberID `json:"member"`
+	FullName string       `json:"full_name"`
+	Location string       `json:"location"`
+	About    string       `json:"about"`
+
+	Interests []string       `json:"interests"`
+	Comments  []Comment      `json:"comments"`
+	Visitors  []Visit        `json:"visitors"`
+	Trusted   []ids.MemberID `json:"trusted"`
+	Shared    []ContentItem  `json:"shared"`
+	Inbox     []Message      `json:"inbox"`
+	Outbox    []Message      `json:"outbox"`
+}
+
+// clone deep-copies a profile.
+func (p *Profile) clone() Profile {
+	out := *p
+	out.Interests = append([]string(nil), p.Interests...)
+	out.Comments = append([]Comment(nil), p.Comments...)
+	out.Visitors = append([]Visit(nil), p.Visitors...)
+	out.Trusted = append([]ids.MemberID(nil), p.Trusted...)
+	out.Shared = append([]ContentItem(nil), p.Shared...)
+	out.Inbox = append([]Message(nil), p.Inbox...)
+	out.Outbox = append([]Message(nil), p.Outbox...)
+	return out
+}
+
+// IsTrusted reports whether a member is on the trusted-friends list.
+func (p *Profile) IsTrusted(m ids.MemberID) bool {
+	for _, tf := range p.Trusted {
+		if tf == m {
+			return true
+		}
+	}
+	return false
+}
+
+// HasInterest reports whether the profile lists a (normalized)
+// interest.
+func (p *Profile) HasInterest(term string) bool {
+	n := interest.Normalize(term)
+	for _, i := range p.Interests {
+		if i == n {
+			return true
+		}
+	}
+	return false
+}
+
+// UnreadCount returns the number of unread inbox messages.
+func (p *Profile) UnreadCount() int {
+	n := 0
+	for _, m := range p.Inbox {
+		if !m.Read {
+			n++
+		}
+	}
+	return n
+}
+
+// account pairs a profile with its login credential.
+type account struct {
+	passwordHash string
+	profile      Profile
+}
+
+func hashPassword(pw string) string {
+	sum := sha256.Sum256([]byte("peerhood-community:" + pw))
+	return hex.EncodeToString(sum[:])
+}
+
+// sortedMembers returns map keys in order.
+func sortedMembers(m map[ids.MemberID]*account) []ids.MemberID {
+	out := make([]ids.MemberID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Errors returned by the store.
+var (
+	ErrNoSuchMember  = fmt.Errorf("profile: no such member")
+	ErrBadCredential = fmt.Errorf("profile: wrong username or password")
+	ErrMemberExists  = fmt.Errorf("profile: member already exists")
+	ErrNotLoggedIn   = fmt.Errorf("profile: not logged in")
+)

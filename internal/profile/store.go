@@ -1,0 +1,337 @@
+package profile
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/interest"
+)
+
+// Store holds every profile on one device ("Support for Multiple
+// Profiles", Table 7) and mediates all mutation. It is safe for
+// concurrent use — the device's server goroutines write comments and
+// messages into it while the local user edits it.
+type Store struct {
+	mu       sync.Mutex
+	accounts map[ids.MemberID]*account
+	active   ids.MemberID // logged-in member, or ""
+	now      func() time.Time
+}
+
+// NewStore returns an empty store. The now function stamps comments,
+// visits and messages; nil means time.Now.
+func NewStore(now func() time.Time) *Store {
+	if now == nil {
+		now = time.Now
+	}
+	return &Store{accounts: make(map[ids.MemberID]*account), now: now}
+}
+
+// CreateAccount registers a new member with a password and blank
+// profile.
+func (s *Store) CreateAccount(member ids.MemberID, password string) error {
+	if !member.Valid() {
+		return fmt.Errorf("profile: invalid member id %q", member)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[member]; ok {
+		return fmt.Errorf("%w: %q", ErrMemberExists, member)
+	}
+	s.accounts[member] = &account{
+		passwordHash: hashPassword(password),
+		profile:      Profile{Member: member},
+	}
+	return nil
+}
+
+// Login authenticates and makes the member the active profile.
+func (s *Store) Login(member ids.MemberID, password string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct, ok := s.accounts[member]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrBadCredential, member)
+	}
+	if subtle.ConstantTimeCompare([]byte(acct.passwordHash), []byte(hashPassword(password))) != 1 {
+		return fmt.Errorf("%w: %q", ErrBadCredential, member)
+	}
+	s.active = member
+	return nil
+}
+
+// Logout clears the active profile.
+func (s *Store) Logout() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active = ""
+}
+
+// Active returns the logged-in member ID, or "" when logged out.
+func (s *Store) Active() ids.MemberID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Members lists every account on the device, sorted.
+func (s *Store) Members() []ids.MemberID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedMembers(s.accounts)
+}
+
+// Get returns a deep copy of a member's profile.
+func (s *Store) Get(member ids.MemberID) (Profile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct, ok := s.accounts[member]
+	if !ok {
+		return Profile{}, fmt.Errorf("%w: %q", ErrNoSuchMember, member)
+	}
+	return acct.profile.clone(), nil
+}
+
+// ActiveProfile returns a deep copy of the logged-in profile.
+func (s *Store) ActiveProfile() (Profile, error) {
+	s.mu.Lock()
+	active := s.active
+	s.mu.Unlock()
+	if active == "" {
+		return Profile{}, ErrNotLoggedIn
+	}
+	return s.Get(active)
+}
+
+// update applies fn to a member's profile under the lock.
+func (s *Store) update(member ids.MemberID, fn func(*Profile) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct, ok := s.accounts[member]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchMember, member)
+	}
+	return fn(&acct.profile)
+}
+
+// SetInfo updates the descriptive fields ("Add/Edit Profile").
+func (s *Store) SetInfo(member ids.MemberID, fullName, location, about string) error {
+	return s.update(member, func(p *Profile) error {
+		p.FullName, p.Location, p.About = fullName, location, about
+		return nil
+	})
+}
+
+// AddInterest adds a normalized personal interest ("Add/Edit Personal
+// Interest").
+func (s *Store) AddInterest(member ids.MemberID, term string) error {
+	n := interest.Normalize(term)
+	if n == "" {
+		return fmt.Errorf("profile: empty interest")
+	}
+	return s.update(member, func(p *Profile) error {
+		if p.HasInterest(n) {
+			return nil
+		}
+		p.Interests = append(p.Interests, n)
+		return nil
+	})
+}
+
+// RemoveInterest drops a personal interest.
+func (s *Store) RemoveInterest(member ids.MemberID, term string) error {
+	n := interest.Normalize(term)
+	return s.update(member, func(p *Profile) error {
+		for i, t := range p.Interests {
+			if t == n {
+				p.Interests = append(p.Interests[:i], p.Interests[i+1:]...)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// AddComment appends a profile comment from another member
+// (PS_ADDPROFILECOMMENT).
+func (s *Store) AddComment(member ids.MemberID, from ids.MemberID, text string) error {
+	return s.update(member, func(p *Profile) error {
+		p.Comments = append(p.Comments, Comment{From: from, Text: text, At: s.now()})
+		return nil
+	})
+}
+
+// RecordVisit notes that someone viewed the profile (PS_GETPROFILE side
+// effect).
+func (s *Store) RecordVisit(member ids.MemberID, by ids.MemberID) error {
+	return s.update(member, func(p *Profile) error {
+		p.Visitors = append(p.Visitors, Visit{By: by, At: s.now()})
+		return nil
+	})
+}
+
+// AddTrusted puts a member on the trusted-friends list.
+func (s *Store) AddTrusted(member ids.MemberID, friend ids.MemberID) error {
+	if !friend.Valid() {
+		return fmt.Errorf("profile: invalid friend id %q", friend)
+	}
+	return s.update(member, func(p *Profile) error {
+		if p.IsTrusted(friend) {
+			return nil
+		}
+		p.Trusted = append(p.Trusted, friend)
+		return nil
+	})
+}
+
+// RemoveTrusted drops a member from the trusted-friends list.
+func (s *Store) RemoveTrusted(member ids.MemberID, friend ids.MemberID) error {
+	return s.update(member, func(p *Profile) error {
+		for i, tf := range p.Trusted {
+			if tf == friend {
+				p.Trusted = append(p.Trusted[:i], p.Trusted[i+1:]...)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// Share adds a content item to the shared list.
+func (s *Store) Share(member ids.MemberID, item ContentItem) error {
+	if item.Name == "" {
+		return fmt.Errorf("profile: shared item needs a name")
+	}
+	return s.update(member, func(p *Profile) error {
+		for _, existing := range p.Shared {
+			if existing.Name == item.Name {
+				return fmt.Errorf("profile: %q already shared", item.Name)
+			}
+		}
+		p.Shared = append(p.Shared, item)
+		return nil
+	})
+}
+
+// Unshare removes a content item.
+func (s *Store) Unshare(member ids.MemberID, name string) error {
+	return s.update(member, func(p *Profile) error {
+		for i, item := range p.Shared {
+			if item.Name == name {
+				p.Shared = append(p.Shared[:i], p.Shared[i+1:]...)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// Deliver writes a received message into the inbox (PS_MSG).
+func (s *Store) Deliver(member ids.MemberID, msg Message) error {
+	return s.update(member, func(p *Profile) error {
+		msg.At = s.now()
+		msg.Read = false
+		p.Inbox = append(p.Inbox, msg)
+		return nil
+	})
+}
+
+// RecordSent appends a copy of an outgoing message to the outbox
+// ("view sent messages", §5.2.6).
+func (s *Store) RecordSent(member ids.MemberID, msg Message) error {
+	return s.update(member, func(p *Profile) error {
+		msg.At = s.now()
+		p.Outbox = append(p.Outbox, msg)
+		return nil
+	})
+}
+
+// MarkRead marks the i-th inbox message read.
+func (s *Store) MarkRead(member ids.MemberID, index int) error {
+	return s.update(member, func(p *Profile) error {
+		if index < 0 || index >= len(p.Inbox) {
+			return fmt.Errorf("profile: no inbox message %d", index)
+		}
+		p.Inbox[index].Read = true
+		return nil
+	})
+}
+
+// --- Persistence ---
+
+// storeFile is the JSON document SaveTo writes.
+type storeFile struct {
+	Accounts []storedAccount `json:"accounts"`
+}
+
+type storedAccount struct {
+	PasswordHash string  `json:"password_hash"`
+	Profile      Profile `json:"profile"`
+}
+
+// SaveTo serializes every account (passwords stay hashed).
+func (s *Store) SaveTo(w io.Writer) error {
+	s.mu.Lock()
+	doc := storeFile{}
+	for _, member := range sortedMembers(s.accounts) {
+		acct := s.accounts[member]
+		doc.Accounts = append(doc.Accounts, storedAccount{
+			PasswordHash: acct.passwordHash,
+			Profile:      acct.profile.clone(),
+		})
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadFrom replaces the store contents with a previously saved
+// document. The active login is cleared.
+func (s *Store) LoadFrom(r io.Reader) error {
+	var doc storeFile
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("profile: loading store: %w", err)
+	}
+	accounts := make(map[ids.MemberID]*account, len(doc.Accounts))
+	for _, sa := range doc.Accounts {
+		if !sa.Profile.Member.Valid() {
+			return fmt.Errorf("profile: stored profile has invalid member %q", sa.Profile.Member)
+		}
+		accounts[sa.Profile.Member] = &account{passwordHash: sa.PasswordHash, profile: sa.Profile}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.accounts = accounts
+	s.active = ""
+	return nil
+}
+
+// SaveFile writes the store to a file path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	defer f.Close()
+	if err := s.SaveTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads the store from a file path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	defer f.Close()
+	return s.LoadFrom(f)
+}

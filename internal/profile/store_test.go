@@ -1,0 +1,419 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2008, 11, 14, 12, 0, 0, 0, time.UTC)
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(fixedNow)
+	if err := s.CreateAccount("alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateAndLogin(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Login("alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() != "alice" {
+		t.Fatalf("Active = %q", s.Active())
+	}
+	s.Logout()
+	if s.Active() != "" {
+		t.Fatal("Logout did not clear active")
+	}
+}
+
+func TestLoginWrongPassword(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Login("alice", "wrong"); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("err = %v, want ErrBadCredential", err)
+	}
+	if err := s.Login("nobody", "x"); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("unknown member err = %v, want ErrBadCredential", err)
+	}
+	if s.Active() != "" {
+		t.Fatal("failed login should not set active")
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.CreateAccount("alice", "x"); !errors.Is(err, ErrMemberExists) {
+		t.Fatalf("err = %v, want ErrMemberExists", err)
+	}
+	if err := s.CreateAccount("", "x"); err == nil {
+		t.Fatal("empty member id accepted")
+	}
+}
+
+func TestMultipleProfiles(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.CreateAccount("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	members := s.Members()
+	if len(members) != 2 || members[0] != "alice" || members[1] != "bob" {
+		t.Fatalf("Members = %v", members)
+	}
+	// Switching profiles by logging in as the other member.
+	if err := s.Login("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() != "bob" {
+		t.Fatal("active should be bob")
+	}
+}
+
+func TestActiveProfileRequiresLogin(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.ActiveProfile(); !errors.Is(err, ErrNotLoggedIn) {
+		t.Fatalf("err = %v, want ErrNotLoggedIn", err)
+	}
+	if err := s.Login("alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.ActiveProfile()
+	if err != nil || p.Member != "alice" {
+		t.Fatalf("ActiveProfile = %+v, %v", p, err)
+	}
+}
+
+func TestSetInfoAndGet(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.SetInfo("alice", "Alice A.", "Lappeenranta", "student"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FullName != "Alice A." || p.Location != "Lappeenranta" || p.About != "student" {
+		t.Fatalf("profile = %+v", p)
+	}
+	if _, err := s.Get("ghost"); !errors.Is(err, ErrNoSuchMember) {
+		t.Fatalf("Get(ghost) = %v, want ErrNoSuchMember", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.AddInterest("alice", "football"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Get("alice")
+	p.Interests[0] = "MUTATED"
+	p2, _ := s.Get("alice")
+	if p2.Interests[0] != "football" {
+		t.Fatal("Get aliases internal state")
+	}
+}
+
+func TestInterests(t *testing.T) {
+	s := newTestStore(t)
+	for _, term := range []string{"Football", "football", "  FOOTBALL ", "Movies"} {
+		if err := s.AddInterest("alice", term); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _ := s.Get("alice")
+	if len(p.Interests) != 2 {
+		t.Fatalf("Interests = %v, want normalized dedup to 2", p.Interests)
+	}
+	if !p.HasInterest("FOOTBALL") {
+		t.Fatal("HasInterest should normalize")
+	}
+	if err := s.AddInterest("alice", "   "); err == nil {
+		t.Fatal("empty interest accepted")
+	}
+	if err := s.RemoveInterest("alice", "football"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.Get("alice")
+	if len(p.Interests) != 1 || p.Interests[0] != "movies" {
+		t.Fatalf("after remove: %v", p.Interests)
+	}
+	// Removing a non-listed interest is a no-op.
+	if err := s.RemoveInterest("alice", "absent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentsAndVisitors(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.AddComment("alice", "bob", "nice profile"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordVisit("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Get("alice")
+	if len(p.Comments) != 1 || p.Comments[0].From != "bob" || p.Comments[0].Text != "nice profile" {
+		t.Fatalf("Comments = %+v", p.Comments)
+	}
+	if !p.Comments[0].At.Equal(fixedNow()) {
+		t.Fatal("comment not timestamped")
+	}
+	if len(p.Visitors) != 1 || p.Visitors[0].By != "bob" {
+		t.Fatalf("Visitors = %+v", p.Visitors)
+	}
+}
+
+func TestTrustedFriends(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.AddTrusted("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTrusted("alice", "bob"); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	p, _ := s.Get("alice")
+	if len(p.Trusted) != 1 || !p.IsTrusted("bob") || p.IsTrusted("carol") {
+		t.Fatalf("Trusted = %+v", p.Trusted)
+	}
+	if err := s.AddTrusted("alice", ""); err == nil {
+		t.Fatal("empty friend accepted")
+	}
+	if err := s.RemoveTrusted("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.Get("alice")
+	if p.IsTrusted("bob") {
+		t.Fatal("bob should be removed")
+	}
+}
+
+func TestSharedContent(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Share("alice", ContentItem{Name: "song.mp3", Size: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Share("alice", ContentItem{Name: "song.mp3", Size: 1}); err == nil {
+		t.Fatal("duplicate share accepted")
+	}
+	if err := s.Share("alice", ContentItem{}); err == nil {
+		t.Fatal("nameless share accepted")
+	}
+	p, _ := s.Get("alice")
+	if len(p.Shared) != 1 || p.Shared[0].Size != 4096 {
+		t.Fatalf("Shared = %+v", p.Shared)
+	}
+	if err := s.Unshare("alice", "song.mp3"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.Get("alice")
+	if len(p.Shared) != 0 {
+		t.Fatal("unshare failed")
+	}
+}
+
+func TestMessaging(t *testing.T) {
+	s := newTestStore(t)
+	msg := Message{From: "bob", To: "alice", Subject: "hi", Body: "hello alice"}
+	if err := s.Deliver("alice", msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordSent("alice", Message{From: "alice", To: "bob", Subject: "re", Body: "hey"}); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Get("alice")
+	if len(p.Inbox) != 1 || p.Inbox[0].Subject != "hi" || p.Inbox[0].Read {
+		t.Fatalf("Inbox = %+v", p.Inbox)
+	}
+	if p.UnreadCount() != 1 {
+		t.Fatalf("UnreadCount = %d", p.UnreadCount())
+	}
+	if len(p.Outbox) != 1 || p.Outbox[0].To != "bob" {
+		t.Fatalf("Outbox = %+v", p.Outbox)
+	}
+	if err := s.MarkRead("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.Get("alice")
+	if p.UnreadCount() != 0 {
+		t.Fatal("MarkRead failed")
+	}
+	if err := s.MarkRead("alice", 5); err == nil {
+		t.Fatal("out-of-range MarkRead accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.CreateAccount("bob", "pw2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInterest("alice", "football"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTrusted("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deliver("alice", Message{From: "bob", To: "alice", Subject: "s", Body: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(fixedNow)
+	if err := s2.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Members(); len(got) != 2 {
+		t.Fatalf("Members after load = %v", got)
+	}
+	p, err := s2.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasInterest("football") || !p.IsTrusted("bob") || len(p.Inbox) != 1 {
+		t.Fatalf("profile after load = %+v", p)
+	}
+	// Passwords survive (hashed).
+	if err := s2.Login("alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Login("bob", "wrong"); !errors.Is(err, ErrBadCredential) {
+		t.Fatal("wrong password accepted after load")
+	}
+}
+
+func TestSaveDoesNotLeakPassword(t *testing.T) {
+	s := newTestStore(t)
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "secret") {
+		t.Fatal("plaintext password in saved store")
+	}
+}
+
+func TestLoadInvalid(t *testing.T) {
+	s := NewStore(nil)
+	if err := s.LoadFrom(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := s.LoadFrom(strings.NewReader(`{"accounts":[{"password_hash":"x","profile":{"member":""}}]}`)); err == nil {
+		t.Fatal("invalid member accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := newTestStore(t)
+	path := t.TempDir() + "/store.json"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(nil)
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Members()) != 1 {
+		t.Fatal("file round trip lost accounts")
+	}
+	if err := s2.LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	s := newTestStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = s.AddComment("alice", "bob", "c")
+				_ = s.RecordVisit("alice", "bob")
+				_, _ = s.Get("alice")
+			}
+		}(i)
+	}
+	wg.Wait()
+	p, _ := s.Get("alice")
+	if len(p.Comments) != 400 || len(p.Visitors) != 400 {
+		t.Fatalf("comments=%d visitors=%d, want 400 each", len(p.Comments), len(p.Visitors))
+	}
+}
+
+func TestUpdateUnknownMember(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.AddComment("ghost", "bob", "x"); !errors.Is(err, ErrNoSuchMember) {
+		t.Fatalf("err = %v, want ErrNoSuchMember", err)
+	}
+}
+
+func TestMemberIDTypeSafety(t *testing.T) {
+	// Guards the ids invariant at the API boundary.
+	s := NewStore(nil)
+	if err := s.CreateAccount(ids.MemberID("with\nnewline"), "pw"); err == nil {
+		t.Fatal("member id with newline accepted")
+	}
+}
+
+// TestSaveLoadRoundTripProperty: any profile contents survive JSON
+// persistence byte-for-byte.
+func TestSaveLoadRoundTripProperty(t *testing.T) {
+	clean := func(s string) string {
+		if s == "" || !ids.MemberID(s).Valid() {
+			return "m"
+		}
+		return s
+	}
+	prop := func(full, loc, about, interest1, commentText string, size int16) bool {
+		s := NewStore(fixedNow)
+		if err := s.CreateAccount("p", "pw"); err != nil {
+			return false
+		}
+		if err := s.SetInfo("p", full, loc, about); err != nil {
+			return false
+		}
+		_ = s.AddInterest("p", clean(interest1))
+		if err := s.AddComment("p", ids.MemberID(clean("c")), commentText); err != nil {
+			return false
+		}
+		if err := s.Share("p", ContentItem{Name: "item", Size: int64(size)}); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := s.SaveTo(&buf); err != nil {
+			return false
+		}
+		s2 := NewStore(fixedNow)
+		if err := s2.LoadFrom(&buf); err != nil {
+			return false
+		}
+		p1, err1 := s.Get("p")
+		p2, err2 := s2.Get("p")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1.FullName == p2.FullName && p1.Location == p2.Location &&
+			p1.About == p2.About && len(p1.Interests) == len(p2.Interests) &&
+			len(p1.Comments) == len(p2.Comments) &&
+			p1.Comments[0].Text == p2.Comments[0].Text &&
+			len(p1.Shared) == 1 && p2.Shared[0].Size == int64(size)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

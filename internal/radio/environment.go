@@ -1,0 +1,338 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/vtime"
+)
+
+// Sentinel errors returned by the environment.
+var (
+	ErrUnknownDevice  = errors.New("radio: unknown device")
+	ErrDuplicateID    = errors.New("radio: duplicate device id")
+	ErrInvalidID      = errors.New("radio: invalid device id")
+	ErrNoSuchRadio    = errors.New("radio: device has no radio for technology")
+	ErrDevicePowered  = errors.New("radio: device is powered off")
+	ErrNoGPRSCoverage = errors.New("radio: device has no cellular coverage")
+)
+
+// Environment is the simulated world: devices, their radios and their
+// movement. All methods are safe for concurrent use. Time flows on the
+// supplied clock; modeled elapsed time (which drives mobility) is the
+// wall time since creation divided by the latency scale, so a scenario
+// that models minutes of walking can run in fractions of a second.
+type Environment struct {
+	clock vtime.Clock
+	scale vtime.Scale
+	start time.Time
+
+	mu      sync.RWMutex
+	phys    map[Technology]PHY
+	devices map[ids.DeviceID]*device
+}
+
+type device struct {
+	model    mobility.Model
+	radios   map[Technology]bool
+	powered  bool
+	coverage bool // inside cellular coverage (GPRS)
+}
+
+// Option configures an Environment.
+type Option func(*Environment)
+
+// WithClock substitutes the time source (default: real clock).
+func WithClock(c vtime.Clock) Option {
+	return func(e *Environment) { e.clock = c }
+}
+
+// WithScale sets the latency scale (default: identity).
+func WithScale(s vtime.Scale) Option {
+	return func(e *Environment) { e.scale = s }
+}
+
+// WithPHY overrides the physical model of one technology.
+func WithPHY(p PHY) Option {
+	return func(e *Environment) { e.phys[p.Tech] = p }
+}
+
+// NewEnvironment returns an empty world.
+func NewEnvironment(opts ...Option) *Environment {
+	e := &Environment{
+		clock:   vtime.Real(),
+		scale:   vtime.Identity(),
+		phys:    make(map[Technology]PHY),
+		devices: make(map[ids.DeviceID]*device),
+	}
+	for _, t := range AllTechnologies() {
+		e.phys[t] = DefaultPHY(t)
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.start = e.clock.Now()
+	return e
+}
+
+// Clock returns the environment's time source.
+func (e *Environment) Clock() vtime.Clock { return e.clock }
+
+// Scale returns the environment's latency scale.
+func (e *Environment) Scale() vtime.Scale { return e.scale }
+
+// PHY returns the physical model for a technology.
+func (e *Environment) PHY(t Technology) PHY {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.phys[t]
+}
+
+// Elapsed returns the modeled time since the environment was created.
+func (e *Environment) Elapsed() time.Duration {
+	return e.scale.ToModeled(e.clock.Now().Sub(e.start))
+}
+
+// Add places a device in the world with the given mobility model and
+// radio technologies. Devices start powered on and inside cellular
+// coverage.
+func (e *Environment) Add(id ids.DeviceID, model mobility.Model, techs ...Technology) error {
+	if !id.Valid() {
+		return fmt.Errorf("%w: %q", ErrInvalidID, id)
+	}
+	if model == nil {
+		model = mobility.Static{}
+	}
+	radios := make(map[Technology]bool, len(techs))
+	for _, t := range techs {
+		if !t.Valid() {
+			return fmt.Errorf("radio: invalid technology %v", t)
+		}
+		radios[t] = true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.devices[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	e.devices[id] = &device{model: model, radios: radios, powered: true, coverage: true}
+	return nil
+}
+
+// Remove deletes a device from the world.
+func (e *Environment) Remove(id ids.DeviceID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.devices, id)
+}
+
+// SetPowered turns a device's radios on or off; a powered-off device is
+// invisible and unreachable, which is how tests model a user leaving.
+func (e *Environment) SetPowered(id ids.DeviceID, on bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.devices[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, id)
+	}
+	d.powered = on
+	return nil
+}
+
+// SetCoverage marks whether the device is inside cellular coverage,
+// affecting GPRS reachability only.
+func (e *Environment) SetCoverage(id ids.DeviceID, covered bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.devices[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, id)
+	}
+	d.coverage = covered
+	return nil
+}
+
+// SetModel replaces a device's mobility model. The new model receives
+// the same elapsed values as the old one (elapsed time since the
+// environment was created), so construct it accordingly.
+func (e *Environment) SetModel(id ids.DeviceID, model mobility.Model) error {
+	if model == nil {
+		model = mobility.Static{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.devices[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, id)
+	}
+	d.model = model
+	return nil
+}
+
+// Devices returns all device IDs, sorted, powered or not.
+func (e *Environment) Devices() []ids.DeviceID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]ids.DeviceID, 0, len(e.devices))
+	for id := range e.devices {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Has reports whether a device exists.
+func (e *Environment) Has(id ids.DeviceID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.devices[id]
+	return ok
+}
+
+// Position returns a device's current position.
+func (e *Environment) Position(id ids.DeviceID) (geo.Point, error) {
+	return e.PositionAt(id, e.Elapsed())
+}
+
+// PositionAt returns a device's position at the given modeled elapsed
+// time.
+func (e *Environment) PositionAt(id ids.DeviceID, elapsed time.Duration) (geo.Point, error) {
+	e.mu.RLock()
+	var model mobility.Model
+	d, ok := e.devices[id]
+	if ok {
+		model = d.model
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return geo.Point{}, fmt.Errorf("%w: %q", ErrUnknownDevice, id)
+	}
+	return model.Position(elapsed), nil
+}
+
+// Reachable reports whether a message can pass from a to b over the
+// given technology right now: both devices exist, are powered, carry
+// the radio, and are within the PHY range (or covered, for cellular).
+func (e *Environment) Reachable(a, b ids.DeviceID, tech Technology) bool {
+	return e.reachableAt(a, b, tech, e.Elapsed())
+}
+
+// deviceSnapshot copies the mutable device fields under the lock so
+// reachability checks never race with SetPowered/SetModel/SetCoverage.
+type deviceSnapshot struct {
+	model    mobility.Model
+	powered  bool
+	coverage bool
+	hasRadio bool
+}
+
+// snapshotLocked copies one device's state for a technology. Callers
+// hold e.mu (read or write).
+func (e *Environment) snapshotLocked(id ids.DeviceID, tech Technology) (deviceSnapshot, bool) {
+	d, ok := e.devices[id]
+	if !ok {
+		return deviceSnapshot{}, false
+	}
+	return deviceSnapshot{
+		model:    d.model,
+		powered:  d.powered,
+		coverage: d.coverage,
+		hasRadio: d.radios[tech],
+	}, true
+}
+
+func (e *Environment) reachableAt(a, b ids.DeviceID, tech Technology, elapsed time.Duration) bool {
+	if a == b {
+		return false
+	}
+	e.mu.RLock()
+	sa, okA := e.snapshotLocked(a, tech)
+	sb, okB := e.snapshotLocked(b, tech)
+	phy, okPHY := e.phys[tech]
+	e.mu.RUnlock()
+	if !okA || !okB || !okPHY {
+		return false
+	}
+	if !sa.powered || !sb.powered || !sa.hasRadio || !sb.hasRadio {
+		return false
+	}
+	if phy.Unlimited() {
+		// Cellular: geometric position is irrelevant; coverage matters.
+		return sa.coverage && sb.coverage
+	}
+	pa := sa.model.Position(elapsed)
+	pb := sb.model.Position(elapsed)
+	return pa.DistanceTo(pb) <= phy.Range
+}
+
+// Neighbors returns the devices currently reachable from id over the
+// given technology, sorted by device ID for determinism.
+func (e *Environment) Neighbors(id ids.DeviceID, tech Technology) []ids.DeviceID {
+	elapsed := e.Elapsed()
+	e.mu.RLock()
+	self, ok := e.snapshotLocked(id, tech)
+	all := make([]ids.DeviceID, 0, len(e.devices))
+	for other := range e.devices {
+		all = append(all, other)
+	}
+	e.mu.RUnlock()
+	if !ok || !self.powered || !self.hasRadio {
+		return nil
+	}
+	var out []ids.DeviceID
+	for _, other := range all {
+		if e.reachableAt(id, other, tech, elapsed) {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Signal returns the link quality between two devices in [0, 1]: 1 at
+// zero distance, 0 at or beyond range. Unlimited-range technologies
+// report 1 whenever reachable.
+func (e *Environment) Signal(a, b ids.DeviceID, tech Technology) float64 {
+	if !e.Reachable(a, b, tech) {
+		return 0
+	}
+	phy := e.PHY(tech)
+	if phy.Unlimited() {
+		return 1
+	}
+	pa, errA := e.Position(a)
+	pb, errB := e.Position(b)
+	if errA != nil || errB != nil {
+		return 0
+	}
+	d := pa.DistanceTo(pb)
+	q := 1 - d/phy.Range
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// Technologies returns the radio technologies a device carries, sorted
+// in preference order.
+func (e *Environment) Technologies(id ids.DeviceID) []Technology {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.devices[id]
+	if !ok {
+		return nil
+	}
+	var out []Technology
+	for _, t := range AllTechnologies() {
+		if d.radios[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package radio simulates the wireless physical layer under PeerHood: a
+// 2-D world of devices whose positions follow mobility models, and
+// per-technology PHY characteristics (range, inquiry/scan time,
+// connection setup cost, bit rate) that determine who can see and talk
+// to whom and how fast.
+//
+// The PHY constants come from the thesis's own background chapter: the
+// Bluetooth figures match a class-2 Bluetooth 2.0 radio (the 3COM
+// dongles in Table 5), the WLAN figures match the 802.11b/g rows of
+// Table 1, and GPRS matches the 9.6–171 kbps figure quoted in §2.4.3.
+package radio
+
+import (
+	"fmt"
+	"time"
+)
+
+// Technology is one of the wireless access technologies PeerHood
+// supports through its plugins (§4.2.3).
+type Technology int
+
+// The three technologies of the thesis, plus TechNone for zero values.
+const (
+	TechNone Technology = iota
+	Bluetooth
+	WLAN
+	GPRS
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case Bluetooth:
+		return "bluetooth"
+	case WLAN:
+		return "wlan"
+	case GPRS:
+		return "gprs"
+	case TechNone:
+		return "none"
+	default:
+		return fmt.Sprintf("technology(%d)", int(t))
+	}
+}
+
+// Valid reports whether t names a real technology.
+func (t Technology) Valid() bool {
+	return t == Bluetooth || t == WLAN || t == GPRS
+}
+
+// AllTechnologies lists the supported technologies in PeerHood's
+// preference order (cheap and local first, like the thesis's analysis
+// that Bluetooth is "cost free").
+func AllTechnologies() []Technology {
+	return []Technology{Bluetooth, WLAN, GPRS}
+}
+
+// PHY describes the physical-layer behaviour of one technology.
+type PHY struct {
+	// Name of the technology this PHY models.
+	Tech Technology
+	// Range is the radio range in meters. A non-positive range means
+	// unlimited (cellular coverage).
+	Range float64
+	// InquiryDuration is how long a device discovery scan takes. For
+	// Bluetooth this is the standard 10.24 s inquiry; WLAN broadcast
+	// discovery is much faster.
+	InquiryDuration time.Duration
+	// ConnectSetup is the time to establish a new connection (paging,
+	// association, PDP context activation...).
+	ConnectSetup time.Duration
+	// BitRate is the usable payload rate in bits per second.
+	BitRate float64
+	// BaseLatency is the one-way latency floor per message.
+	BaseLatency time.Duration
+}
+
+// TransferTime returns the modeled one-way time for a payload of n
+// bytes: base latency plus serialization at the PHY bit rate.
+func (p PHY) TransferTime(n int) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	d := p.BaseLatency
+	if p.BitRate > 0 {
+		d += time.Duration(float64(n*8) / p.BitRate * float64(time.Second))
+	}
+	return d
+}
+
+// Unlimited reports whether the PHY has no geometric range limit.
+func (p PHY) Unlimited() bool { return p.Range <= 0 }
+
+// DefaultPHY returns the default physical model for a technology.
+func DefaultPHY(t Technology) PHY {
+	switch t {
+	case Bluetooth:
+		return PHY{
+			Tech:            Bluetooth,
+			Range:           10, // class-2 dongle
+			InquiryDuration: 10240 * time.Millisecond,
+			ConnectSetup:    1280 * time.Millisecond, // paging
+			BitRate:         700e3,                   // usable L2CAP throughput of a 1 Mbps radio
+			BaseLatency:     30 * time.Millisecond,
+		}
+	case WLAN:
+		return PHY{
+			Tech:            WLAN,
+			Range:           91, // ~300 ft, Table 1 802.11b row
+			InquiryDuration: 2 * time.Second,
+			ConnectSetup:    500 * time.Millisecond,
+			BitRate:         5e6, // usable share of 11 Mbps
+			BaseLatency:     5 * time.Millisecond,
+		}
+	case GPRS:
+		return PHY{
+			Tech:            GPRS,
+			Range:           0, // cellular coverage: unlimited
+			InquiryDuration: 4 * time.Second,
+			ConnectSetup:    3 * time.Second, // PDP context activation
+			BitRate:         40e3,            // mid of the 9.6–171 kbps band
+			BaseLatency:     600 * time.Millisecond,
+		}
+	default:
+		return PHY{Tech: t}
+	}
+}
+
+// WLANStandard is one row of the thesis's Table 1.
+type WLANStandard struct {
+	Name     string
+	DataRate float64 // bits per second, peak
+	BandGHz  float64
+	Security string
+}
+
+// PHYForWLANStandard builds a WLAN PHY from one of Table 1's rows: the
+// data rate scales the usable bit rate (≈45% of peak, like the default
+// 802.11b model), and the 5 GHz band's poorer propagation shortens the
+// range, matching the table's note that 802.11a has "relatively shorter
+// range than 802.11b". Unknown names return the default WLAN PHY.
+func PHYForWLANStandard(name string) PHY {
+	phy := DefaultPHY(WLAN)
+	for _, std := range Table1() {
+		if std.Name != name || std.DataRate <= 0 {
+			continue
+		}
+		phy.BitRate = std.DataRate * 0.45
+		if std.BandGHz >= 5 {
+			phy.Range = 35 // 5 GHz: shorter reach than the 2.4 GHz band
+		}
+		return phy
+	}
+	return phy
+}
+
+// Table1 returns the WLAN standards catalogue exactly as the thesis's
+// Table 1 lists it. The 802.11b row feeds the default WLAN PHY.
+func Table1() []WLANStandard {
+	return []WLANStandard{
+		{Name: "IEEE 802.11", DataRate: 2e6, BandGHz: 2.4, Security: "WEP WPA"},
+		{Name: "IEEE 802.11a", DataRate: 54e6, BandGHz: 5, Security: "WEP WPA"},
+		{Name: "IEEE 802.11b", DataRate: 11e6, BandGHz: 2.4, Security: "WEP WPA"},
+		{Name: "IEEE 802.11g", DataRate: 54e6, BandGHz: 2.4, Security: "WEP WPA"},
+		{Name: "IEEE 802.16/a", DataRate: 0, BandGHz: 10, Security: "DES3 AES"},
+	}
+}

@@ -1,0 +1,172 @@
+package radio
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTechnologyString(t *testing.T) {
+	tests := []struct {
+		tech Technology
+		want string
+	}{
+		{Bluetooth, "bluetooth"},
+		{WLAN, "wlan"},
+		{GPRS, "gprs"},
+		{TechNone, "none"},
+		{Technology(42), "technology(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.tech.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.tech), got, tt.want)
+		}
+	}
+}
+
+func TestTechnologyValid(t *testing.T) {
+	for _, tech := range AllTechnologies() {
+		if !tech.Valid() {
+			t.Errorf("%v should be valid", tech)
+		}
+	}
+	if TechNone.Valid() || Technology(9).Valid() {
+		t.Error("invalid technologies reported valid")
+	}
+}
+
+func TestDefaultPHYRanges(t *testing.T) {
+	bt := DefaultPHY(Bluetooth)
+	wlan := DefaultPHY(WLAN)
+	gprs := DefaultPHY(GPRS)
+	if bt.Range != 10 {
+		t.Errorf("Bluetooth range = %v, want 10 (class-2)", bt.Range)
+	}
+	if wlan.Range <= bt.Range {
+		t.Error("WLAN range should exceed Bluetooth")
+	}
+	if !gprs.Unlimited() {
+		t.Error("GPRS should be unlimited range")
+	}
+	if bt.Unlimited() || wlan.Unlimited() {
+		t.Error("short-range radios should not be unlimited")
+	}
+}
+
+func TestDefaultPHYInquiryOrdering(t *testing.T) {
+	// Bluetooth inquiry (10.24 s) dominates the PHC search time in
+	// Table 8; it must be the slowest discovery of the three.
+	bt := DefaultPHY(Bluetooth).InquiryDuration
+	wlan := DefaultPHY(WLAN).InquiryDuration
+	gprs := DefaultPHY(GPRS).InquiryDuration
+	if bt <= wlan || bt <= gprs {
+		t.Fatalf("Bluetooth inquiry %v should be slowest (wlan %v, gprs %v)", bt, wlan, gprs)
+	}
+	if bt != 10240*time.Millisecond {
+		t.Fatalf("Bluetooth inquiry = %v, want the standard 10.24 s", bt)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	phy := PHY{BitRate: 8000, BaseLatency: 100 * time.Millisecond} // 1000 bytes/s
+	got := phy.TransferTime(500)
+	want := 100*time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Fatalf("TransferTime(500) = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimeEdgeCases(t *testing.T) {
+	phy := PHY{BitRate: 8000, BaseLatency: time.Millisecond}
+	if got := phy.TransferTime(0); got != time.Millisecond {
+		t.Errorf("TransferTime(0) = %v, want base latency", got)
+	}
+	if got := phy.TransferTime(-5); got != time.Millisecond {
+		t.Errorf("TransferTime(-5) = %v, want base latency", got)
+	}
+	zeroRate := PHY{BaseLatency: time.Second}
+	if got := zeroRate.TransferTime(1 << 20); got != time.Second {
+		t.Errorf("zero bitrate TransferTime = %v, want base latency only", got)
+	}
+}
+
+func TestTransferTimeMonotonicInSize(t *testing.T) {
+	phy := DefaultPHY(Bluetooth)
+	prev := time.Duration(0)
+	for _, n := range []int{0, 1, 10, 100, 1000, 10000} {
+		d := phy.TransferTime(n)
+		if d < prev {
+			t.Fatalf("TransferTime not monotonic at %d bytes", n)
+		}
+		prev = d
+	}
+}
+
+func TestGPRSSlowerThanBluetoothSlowerThanWLAN(t *testing.T) {
+	const n = 1024
+	gprs := DefaultPHY(GPRS).TransferTime(n)
+	bt := DefaultPHY(Bluetooth).TransferTime(n)
+	wlan := DefaultPHY(WLAN).TransferTime(n)
+	if !(gprs > bt && bt > wlan) {
+		t.Fatalf("transfer order wrong: gprs=%v bt=%v wlan=%v", gprs, bt, wlan)
+	}
+}
+
+func TestTable1MatchesThesis(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	byName := make(map[string]WLANStandard, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if b := byName["IEEE 802.11b"]; b.DataRate != 11e6 || b.BandGHz != 2.4 {
+		t.Errorf("802.11b row = %+v, want 11 Mbps in 2.4 GHz", b)
+	}
+	if a := byName["IEEE 802.11a"]; a.DataRate != 54e6 || a.BandGHz != 5 {
+		t.Errorf("802.11a row = %+v, want 54 Mbps in 5 GHz", a)
+	}
+	if g := byName["IEEE 802.11g"]; g.DataRate != 54e6 || g.BandGHz != 2.4 {
+		t.Errorf("802.11g row = %+v, want 54 Mbps in 2.4 GHz", g)
+	}
+	if w := byName["IEEE 802.16/a"]; w.Security != "DES3 AES" {
+		t.Errorf("WiMAX row = %+v, want DES3 AES security", w)
+	}
+}
+
+func TestPHYForWLANStandard(t *testing.T) {
+	b := PHYForWLANStandard("IEEE 802.11b")
+	if b.BitRate != 11e6*0.45 {
+		t.Errorf("802.11b bitrate = %v", b.BitRate)
+	}
+	if b.Range != DefaultPHY(WLAN).Range {
+		t.Errorf("802.11b range = %v, want default 2.4 GHz range", b.Range)
+	}
+	a := PHYForWLANStandard("IEEE 802.11a")
+	if a.BitRate <= b.BitRate {
+		t.Error("802.11a should be faster than 802.11b")
+	}
+	if a.Range >= b.Range {
+		t.Error("802.11a (5 GHz) should have shorter range than 802.11b")
+	}
+	g := PHYForWLANStandard("IEEE 802.11g")
+	if g.BitRate != 54e6*0.45 || g.Range != b.Range {
+		t.Errorf("802.11g = %+v, want 54 Mbps in the 2.4 GHz band", g)
+	}
+	if got := PHYForWLANStandard("IEEE 802.99x"); got != DefaultPHY(WLAN) {
+		t.Error("unknown standard should fall back to the default PHY")
+	}
+	// WiMAX row has no data rate listed; falls back too.
+	if got := PHYForWLANStandard("IEEE 802.16/a"); got != DefaultPHY(WLAN) {
+		t.Error("rate-less row should fall back to the default PHY")
+	}
+}
+
+func TestWLANStandardAffectsTransfers(t *testing.T) {
+	const n = 1 << 20
+	slow := PHYForWLANStandard("IEEE 802.11b").TransferTime(n)
+	fast := PHYForWLANStandard("IEEE 802.11g").TransferTime(n)
+	if fast >= slow {
+		t.Fatalf("802.11g transfer (%v) should beat 802.11b (%v)", fast, slow)
+	}
+}

@@ -1,0 +1,208 @@
+package snsbase
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// testScale runs one modeled second per real millisecond. Timing tests
+// must not use a more aggressive scale: Go timer granularity (~0.1 ms)
+// would then inflate modeled measurements.
+var testScale = vtime.DefaultScale()
+
+func snsWorld(t *testing.T, site SiteProfile, handset HandsetProfile) (*Server, *Client, context.Context) {
+	t.Helper()
+	env := radio.NewEnvironment(radio.WithScale(testScale))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	for _, id := range []ids.DeviceID{"datacenter", "handset"} {
+		if err := env.Add(id, mobility.Static{At: geo.Pt(0, 0)}, radio.GPRS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	server, err := NewServer(net, "datacenter", site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Stop)
+	client := NewClient(net, "handset", "datacenter", handset, site, "tester")
+	t.Cleanup(client.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return server, client, ctx
+}
+
+func TestSearchJoinListProfile(t *testing.T) {
+	server, client, ctx := snsWorld(t, Facebook(), NokiaN810())
+	server.SeedGroup("England Football", "m1", "m2", "m3")
+	server.SeedGroup("Knitting Circle", "k1")
+
+	groups, err := client.SearchGroup(ctx, "football")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0] != "England Football" {
+		t.Fatalf("search = %v", groups)
+	}
+	if err := client.JoinGroup(ctx, "England Football"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := client.MemberList(ctx, "England Football")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 4 { // 3 seeded + tester
+		t.Fatalf("members = %v", members)
+	}
+	p, err := client.ViewProfile(ctx, "m1")
+	if err != nil || p.Member != "m1" {
+		t.Fatalf("profile = %+v, %v", p, err)
+	}
+}
+
+func TestJoinUnknownGroup(t *testing.T) {
+	_, client, ctx := snsWorld(t, Facebook(), NokiaN810())
+	if err := client.JoinGroup(ctx, "nothing"); err == nil {
+		t.Fatal("joining unknown group succeeded")
+	}
+}
+
+func TestViewUnknownProfile(t *testing.T) {
+	_, client, ctx := snsWorld(t, Hi5(), NokiaN95())
+	if _, err := client.ViewProfile(ctx, "ghost"); err == nil {
+		t.Fatal("viewing unknown profile succeeded")
+	}
+}
+
+func TestSeedProfile(t *testing.T) {
+	server, client, ctx := snsWorld(t, Facebook(), NokiaN810())
+	server.SeedProfile(Profile{Member: "vip", FullName: "V. I. P.", About: "hello"})
+	p, err := client.ViewProfile(ctx, "vip")
+	if err != nil || p.FullName != "V. I. P." {
+		t.Fatalf("profile = %+v, %v", p, err)
+	}
+}
+
+// TestSearchSlowerOnN95 verifies the handset calibration produces the
+// device ordering Table 8 shows: the same site is slower on the N95.
+func TestSearchSlowerOnN95(t *testing.T) {
+	measure := func(handset HandsetProfile) time.Duration {
+		server, client, ctx := snsWorld(t, Facebook(), handset)
+		server.SeedGroup("England Football", "m1")
+		env := client.net.Environment()
+		sw := vtime.NewStopwatch(env.Clock(), env.Scale())
+		if _, err := client.SearchGroup(ctx, "football"); err != nil {
+			t.Fatal(err)
+		}
+		return sw.Elapsed()
+	}
+	n810 := measure(NokiaN810())
+	n95 := measure(NokiaN95())
+	if n95 <= n810 {
+		t.Fatalf("N95 search (%v) should be slower than N810 (%v)", n95, n810)
+	}
+	// Magnitudes: tens of modeled seconds, like Table 8's 58s/75s.
+	if n810 < 20*time.Second || n810 > 120*time.Second {
+		t.Fatalf("N810 search = %v, want tens of seconds", n810)
+	}
+}
+
+// TestPageWeightDrivesTime verifies heavier pages cost more modeled
+// time (the structural reason the SNS path is slow).
+func TestPageWeightDrivesTime(t *testing.T) {
+	light := SiteProfile{Name: "light", Search: PageSpec{Count: 1, Bytes: 5_000},
+		Join: PageSpec{Count: 1, Bytes: 5_000}, List: PageSpec{Count: 1, Bytes: 5_000}, Profile: PageSpec{Count: 1, Bytes: 5_000}}
+	heavy := light
+	heavy.Name = "heavy"
+	heavy.Search = PageSpec{Count: 1, Bytes: 200_000}
+
+	measure := func(site SiteProfile) time.Duration {
+		server, client, ctx := snsWorld(t, site, HandsetProfile{Name: "instant", RenderPerPage: 0})
+		server.SeedGroup("g", "m")
+		env := client.net.Environment()
+		sw := vtime.NewStopwatch(env.Clock(), env.Scale())
+		if _, err := client.SearchGroup(ctx, "g"); err != nil {
+			t.Fatal(err)
+		}
+		return sw.Elapsed()
+	}
+	if lightT, heavyT := measure(light), measure(heavy); heavyT <= lightT {
+		t.Fatalf("heavy search (%v) should exceed light (%v)", heavyT, lightT)
+	}
+}
+
+func TestTable2Catalogue(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 8 {
+		t.Fatalf("Table 2 has %d rows, want 8", len(rows))
+	}
+	if rows[0].Name != "MySpace" || rows[0].RegisteredUsers != 217_000_000 {
+		t.Fatalf("first row = %+v, want MySpace with 217M users", rows[0])
+	}
+	// Sorted by registered users descending, as in the thesis.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RegisteredUsers > rows[i-1].RegisteredUsers {
+			t.Fatalf("rows not in descending user order at %d", i)
+		}
+	}
+	var facebook bool
+	for _, r := range rows {
+		if r.Name == "Facebook" && r.RegisteredUsers == 58_000_000 {
+			facebook = true
+		}
+	}
+	if !facebook {
+		t.Fatal("Facebook row missing or wrong")
+	}
+}
+
+func TestSiteProfiles(t *testing.T) {
+	fb, hi5 := Facebook(), Hi5()
+	if fb.Search.TotalBytes() <= hi5.Search.TotalBytes() {
+		t.Error("Facebook search flow should be heavier than Hi5 (Table 8: FB search slower)")
+	}
+	if hi5.Join.TotalBytes() <= fb.Join.TotalBytes() {
+		t.Error("Hi5 join flow should be heavier than Facebook (Table 8: Hi5 join slower)")
+	}
+	if NokiaN95().RenderPerPage <= NokiaN810().RenderPerPage {
+		t.Error("N95 must render slower than N810")
+	}
+}
+
+func TestPadHelper(t *testing.T) {
+	if pad(100, 50) != "" {
+		t.Error("pad should be empty when target below base")
+	}
+	if got := len(pad(100, 1000)); got != 900 {
+		t.Errorf("pad length = %d, want 900", got)
+	}
+}
+
+func TestCreateGroupManualFlow(t *testing.T) {
+	_, client, ctx := snsWorld(t, Facebook(), NokiaN810())
+	if err := client.CreateGroup(ctx, "Knitting Circle"); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := client.SearchGroup(ctx, "knitting")
+	if err != nil || len(groups) != 1 || groups[0] != "Knitting Circle" {
+		t.Fatalf("search = %v, %v", groups, err)
+	}
+	members, err := client.MemberList(ctx, "Knitting Circle")
+	if err != nil || len(members) != 1 || members[0] != "tester" {
+		t.Fatalf("members = %v, %v (creator should be the first member)", members, err)
+	}
+	if err := client.CreateGroup(ctx, "Knitting Circle"); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if err := client.CreateGroup(ctx, ""); err == nil {
+		t.Fatal("empty group name accepted")
+	}
+}

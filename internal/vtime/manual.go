@@ -1,0 +1,82 @@
+package vtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Manual is a Clock whose time only moves when Advance is called. It
+// exists for tests that need deterministic positions and timeouts
+// without sleeping.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+}
+
+// NewManual returns a manual clock starting at the given time.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock; it blocks until Advance moves time past the
+// deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	<-m.After(d)
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deadline := m.now.Add(d)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	heap.Push(&m.waiters, &waiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every timer whose deadline
+// has passed, in deadline order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+	for len(m.waiters) > 0 && !m.waiters[0].deadline.After(m.now) {
+		w := heap.Pop(&m.waiters).(*waiter)
+		w.ch <- m.now
+	}
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int           { return len(h) }
+func (h waiterHeap) Less(i, j int) bool { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)        { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+var _ Clock = (*Manual)(nil)

@@ -1,0 +1,118 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualNowAdvance(t *testing.T) {
+	start := time.Date(2008, 11, 14, 12, 0, 0, 0, time.UTC)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	m.Advance(90 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Now after advance = %v", got)
+	}
+}
+
+func TestManualAfterFiresInOrder(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch1 := m.After(time.Second)
+	ch2 := m.After(2 * time.Second)
+	select {
+	case <-ch1:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("1s timer should have fired")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("2s timer fired early")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("2s timer should have fired")
+	}
+}
+
+func TestManualAfterNonPositive(t *testing.T) {
+	m := NewManual(time.Unix(100, 0))
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-m.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) should fire immediately")
+	}
+}
+
+func TestManualSleepUnblocks(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Give the sleeper a moment to register.
+	time.Sleep(time.Millisecond)
+	m.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+}
+
+func TestManualManyTimersOneAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var chans []<-chan time.Time
+	for i := 1; i <= 10; i++ {
+		chans = append(chans, m.After(time.Duration(i)*time.Second))
+	}
+	m.Advance(time.Minute)
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("timer %d did not fire", i+1)
+		}
+	}
+}
+
+func TestManualConcurrentSleepers(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	const sleepers = 20
+	done := make(chan int, sleepers)
+	for i := 1; i <= sleepers; i++ {
+		i := i
+		go func() {
+			m.Sleep(time.Duration(i) * time.Second)
+			done <- i
+		}()
+	}
+	// Let everyone register, then release all at once.
+	time.Sleep(5 * time.Millisecond)
+	m.Advance(time.Duration(sleepers) * time.Second)
+	seen := make(map[int]bool)
+	for i := 0; i < sleepers; i++ {
+		select {
+		case id := <-done:
+			seen[id] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d/%d sleepers woke", len(seen), sleepers)
+		}
+	}
+}

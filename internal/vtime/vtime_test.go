@@ -1,0 +1,124 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealClockSleep(t *testing.T) {
+	c := Real()
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= 5ms", elapsed)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := Real()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After(1ms) did not fire within 1s")
+	}
+}
+
+func TestScaleRoundTrip(t *testing.T) {
+	tests := []struct {
+		name    string
+		factor  float64
+		modeled time.Duration
+	}{
+		{"default", 1e-3, 10 * time.Second},
+		{"identity", 1, time.Second},
+		{"tenth", 0.1, 500 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewScale(tt.factor)
+			real := s.ToReal(tt.modeled)
+			back := s.ToModeled(real)
+			if diff := back - tt.modeled; diff < -time.Microsecond || diff > time.Microsecond {
+				t.Fatalf("round trip %v -> %v -> %v", tt.modeled, real, back)
+			}
+		})
+	}
+}
+
+func TestDefaultScaleShrinks(t *testing.T) {
+	s := DefaultScale()
+	if got := s.ToReal(time.Second); got != time.Millisecond {
+		t.Fatalf("ToReal(1s) = %v, want 1ms", got)
+	}
+}
+
+func TestNewScaleClamps(t *testing.T) {
+	if f := NewScale(-5).Factor(); f != 1 {
+		t.Errorf("negative factor clamped to %v, want 1", f)
+	}
+	if f := NewScale(0).Factor(); f != 1 {
+		t.Errorf("zero factor clamped to %v, want 1", f)
+	}
+	if f := NewScale(1e12).Factor(); f != 1e6 {
+		t.Errorf("huge factor clamped to %v, want 1e6", f)
+	}
+}
+
+func TestZeroScaleFactorIsIdentity(t *testing.T) {
+	var s Scale
+	if s.Factor() != 1 {
+		t.Fatalf("zero Scale factor = %v, want 1", s.Factor())
+	}
+	if got := s.ToReal(time.Second); got != time.Second {
+		t.Fatalf("zero Scale ToReal(1s) = %v, want 1s", got)
+	}
+}
+
+func TestScaleRoundTripProperty(t *testing.T) {
+	prop := func(ms uint16) bool {
+		s := DefaultScale()
+		d := time.Duration(ms) * time.Millisecond
+		back := s.ToModeled(s.ToReal(d))
+		diff := back - d
+		return diff >= -time.Microsecond && diff <= time.Microsecond
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopwatchElapsed(t *testing.T) {
+	sw := NewStopwatch(Real(), DefaultScale())
+	time.Sleep(2 * time.Millisecond)
+	got := sw.Elapsed()
+	if got < 2*time.Second {
+		t.Fatalf("Elapsed() = %v, want >= 2 modeled seconds", got)
+	}
+}
+
+func TestStopwatchRestart(t *testing.T) {
+	sw := NewStopwatch(Real(), Identity())
+	time.Sleep(2 * time.Millisecond)
+	sw.Restart()
+	if got := sw.Elapsed(); got > time.Millisecond {
+		t.Fatalf("Elapsed() right after Restart = %v, want ~0", got)
+	}
+}
+
+func TestStopwatchZeroValue(t *testing.T) {
+	var sw Stopwatch
+	if got := sw.Elapsed(); got < 0 {
+		t.Fatalf("zero Stopwatch Elapsed() = %v, want >= 0", got)
+	}
+}
