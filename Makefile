@@ -1,0 +1,28 @@
+# Development entry points. `make verify` is what CI runs and what a
+# PR must keep green: build, go vet, the project's own phvet analyzers
+# (walltime / detrand / lockguard / errdrop), and the full test suite
+# under the race detector with the goroutine-leak checker armed.
+
+GO ?= go
+
+.PHONY: verify build vet phvet test race bench
+
+verify: build vet phvet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+phvet:
+	$(GO) run ./cmd/phvet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

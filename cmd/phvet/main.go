@@ -1,0 +1,80 @@
+// Command phvet is the project's static-analysis driver. It enforces
+// the invariants the simulation's reproducibility rests on:
+//
+//	walltime   simulation time flows through internal/vtime only
+//	detrand    randomness comes from explicitly seeded *rand.Rand
+//	lockguard  mutexes are not held across blocking operations
+//	errdrop    wire codec / Close / Write errors are never dropped
+//
+// Usage:
+//
+//	go run ./cmd/phvet ./...
+//
+// Findings print one per line as "file:line: analyzer: message" and the
+// exit status is 1 when any finding survives. Suppress a finding with
+//
+//	//phvet:ignore <analyzer> <justification>
+//
+// on the offending line or the line directly above it. Exit status 2
+// means phvet itself could not load or type-check the tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(run(patterns))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: phvet [packages]\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+}
+
+func run(patterns []string) int {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phvet: %v\n", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	status := 0
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(os.Stderr, "phvet: %s: %v\n", pkg.Path, e)
+			}
+			status = 2
+			continue
+		}
+		for _, d := range analysis.Run(pkg, analysis.All()) {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	return status
+}

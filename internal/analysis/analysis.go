@@ -1,0 +1,111 @@
+// Package analysis is the zero-dependency static-analysis framework
+// behind cmd/phvet. It loads the module's packages with go/parser and
+// type-checks them with go/types (stdlib only — no golang.org/x/tools),
+// then runs project-specific analyzers that enforce the simulation's
+// determinism and concurrency invariants:
+//
+//   - walltime:  simulation time must flow through internal/vtime
+//   - detrand:   randomness must come from an explicitly seeded source
+//   - lockguard: mutexes must not be held across blocking operations
+//   - errdrop:   wire codec, Close and Write errors must not be dropped
+//
+// Findings print as "file:line: analyzer: message". A finding can be
+// suppressed with a "//phvet:ignore <analyzer> <justification>" comment
+// on the offending line or the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-line description shown by phvet's usage text.
+	Doc string
+	// AppliesTo reports whether the analyzer runs on the package with
+	// the given import path. A nil AppliesTo means every package.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's parsed and type-checked state through an
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the canonical phvet shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics, with //phvet:ignore suppressions applied and
+// the rest ordered by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if ignores.suppresses(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// All returns every analyzer phvet ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Walltime, Detrand, Lockguard, Errdrop}
+}

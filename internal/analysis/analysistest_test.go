@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// checkFixture type-checks every .go file under testdata/<dir> as one
+// package with import path pkgPath, runs the analyzer (suppressions
+// included), and compares the diagnostics against the fixtures'
+// expectations: a comment of the form
+//
+//	// want "substring" ["substring"...]
+//
+// on a line demands one diagnostic per quoted string whose message
+// contains it; every diagnostic must be demanded by some want.
+func checkFixture(t *testing.T, a *Analyzer, pkgPath, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, pkgPath, dir)
+	diags := Run(pkg, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, w := range parseWants(t, c.Text) {
+					pos := pkg.Fset.Position(c.Pos())
+					wants[key{name, pos.Line}] = append(wants[key{name, pos.Line}], w)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	var missed []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			missed = append(missed, fmt.Sprintf("%s:%d: missing diagnostic matching %q", k.file, k.line, w))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// loadFixture parses and type-checks the fixture directory as a single
+// package. Fixtures import only the standard library, resolved through
+// the source importer.
+func loadFixture(t *testing.T, pkgPath, dir string) *Package {
+	t.Helper()
+	full := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(full, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", full)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{Path: pkgPath, Dir: full, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantStrRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func parseWants(t *testing.T, comment string) []string {
+	m := wantRe.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var out []string
+	for _, q := range wantStrRe.FindAllString(m[1], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("bad want string %s: %v", q, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}

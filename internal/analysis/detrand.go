@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// detrandAllowed lists the math/rand package-level functions that do
+// not touch the shared global source: constructors for explicit,
+// seedable sources. Everything else at package scope draws from (or
+// reseeds) the process-global generator and is forbidden.
+var detrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Detrand forbids the global math/rand functions in simulation code.
+// Reproducing a run (same seed, same latencies, same group-discovery
+// order) requires every random draw to come from an explicitly seeded
+// *rand.Rand that the scenario owns; the package-global source is
+// shared across goroutines and cannot be replayed.
+var Detrand = &Analyzer{
+	Name:      "detrand",
+	Doc:       "forbid global math/rand functions; draw from an explicitly seeded *rand.Rand",
+	AppliesTo: inInternal,
+	Run:       runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := packageFunc(pass.Info, id)
+			if obj == nil || detrandAllowed[obj.Name()] {
+				return true
+			}
+			if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"rand.%s draws from the unseeded process-global source; use an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				obj.Name())
+			return true
+		})
+	}
+}

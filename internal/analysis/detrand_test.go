@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestDetrandFindsGlobalDraws(t *testing.T) {
+	checkFixture(t, Detrand, "repro/internal/fixture", "detrand")
+}
+
+func TestDetrandScope(t *testing.T) {
+	if !Detrand.AppliesTo("repro/internal/mobility") {
+		t.Error("detrand must cover simulation packages under internal/")
+	}
+	if Detrand.AppliesTo("repro/cmd/simworld") {
+		t.Error("detrand is scoped to internal/; command-line tools are exempt")
+	}
+}

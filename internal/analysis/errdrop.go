@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// errdropNames are the method/function names whose error results must
+// not be silently discarded: stream teardown, raw writes, and the wire
+// codec surface (community/wire.go and friends). A dropped Close on a
+// write path loses flush errors; a dropped Unmarshal hides protocol
+// corruption.
+func errdropTarget(name string) bool {
+	if name == "Close" || name == "Write" {
+		return true
+	}
+	for _, prefix := range [...]string{"Marshal", "Unmarshal", "Encode", "Decode"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Errdrop flags statements that call an error-returning Close, Write,
+// or wire encode/decode function and drop the error on the floor. An
+// explicit `_ =` assignment is accepted as a deliberate acknowledgment.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded errors from Close/Write and wire codec call sites",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+				how = "is discarded"
+			case *ast.DeferStmt:
+				call = stmt.Call
+				how = "is discarded by defer"
+			case *ast.GoStmt:
+				call = stmt.Call
+				how = "is discarded by go"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			name := calleeName(call)
+			if !errdropTarget(name) || !lastResultIsError(pass.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error from %s %s; handle it or assign it to _ explicitly",
+				name, how)
+			return true
+		})
+	}
+}

@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestErrdropFindsDiscardedErrors(t *testing.T) {
+	checkFixture(t, Errdrop, "repro/internal/fixture", "errdrop")
+}
+
+func TestErrdropTargetNames(t *testing.T) {
+	for _, name := range []string{"Close", "Write", "MarshalRequest", "UnmarshalResponse", "EncodeFrame", "DecodeServices"} {
+		if !errdropTarget(name) {
+			t.Errorf("errdropTarget(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"Send", "Recv", "Flush", "close"} {
+		if errdropTarget(name) {
+			t.Errorf("errdropTarget(%q) = true, want false", name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the directive that suppresses findings. The full
+// shape is:
+//
+//	//phvet:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// placed either at the end of the offending line or on the line
+// directly above it. The analyzer list may be "all". The justification
+// is free text and is strongly encouraged; it is not machine-checked.
+const ignorePrefix = "phvet:ignore"
+
+// ignoreSet indexes suppression directives by file, line and analyzer.
+type ignoreSet struct {
+	// byLine maps filename -> line -> set of analyzer names ("all"
+	// suppresses every analyzer on that line).
+	byLine map[string]map[int]map[string]bool
+}
+
+// collectIgnores scans every comment in the files for phvet:ignore
+// directives. A directive claims its own line and the line below it, so
+// both trailing-comment and comment-above styles work.
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	set := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				names := parseIgnoreNames(rest)
+				pos := fset.Position(c.Pos())
+				set.add(pos.Filename, pos.Line, names)
+				set.add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnoreNames extracts the analyzer list from the directive body.
+// The first whitespace-separated field is a comma-separated analyzer
+// list; everything after it is the human justification. A bare
+// directive with no fields suppresses all analyzers.
+func parseIgnoreNames(rest string) []string {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return []string{"all"}
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return []string{"all"}
+	}
+	return names
+}
+
+func (s *ignoreSet) add(file string, line int, names []string) {
+	lines := s.byLine[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	for _, n := range names {
+		set[n] = true
+	}
+}
+
+// suppresses reports whether the diagnostic is covered by a directive.
+func (s *ignoreSet) suppresses(d Diagnostic) bool {
+	set := s.byLine[d.Pos.Filename][d.Pos.Line]
+	return set != nil && (set["all"] || set[d.Analyzer])
+}

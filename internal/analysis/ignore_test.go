@@ -1,0 +1,46 @@
+package analysis
+
+import "testing"
+
+// TestIgnoreDirectives runs walltime and detrand together over a
+// fixture where every violation but two carries a //phvet:ignore; the
+// surviving diagnostics must be exactly the deliberate controls.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadFixture(t, "repro/internal/fixture", "ignore")
+	diags := Run(pkg, []*Analyzer{Walltime, Detrand})
+	if len(diags) != 2 {
+		for _, d := range diags {
+			t.Logf("diagnostic: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want exactly the 2 unsuppressed controls", len(diags))
+	}
+	if diags[0].Analyzer != "walltime" || diags[1].Analyzer != "detrand" {
+		t.Errorf("surviving diagnostics = %s / %s, want the walltime then detrand controls",
+			diags[0], diags[1])
+	}
+}
+
+func TestParseIgnoreNames(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", []string{"all"}},
+		{"walltime reason text", []string{"walltime"}},
+		{"walltime,detrand several named", []string{"walltime", "detrand"}},
+		{"all justification", []string{"all"}},
+	}
+	for _, c := range cases {
+		got := parseIgnoreNames(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("parseIgnoreNames(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseIgnoreNames(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoaderResolvesModulePackages exercises the whole pipeline the
+// phvet driver uses: find go.mod, map directories to import paths,
+// parse, and type-check with module-internal imports resolved from
+// source.
+func TestLoaderResolvesModulePackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath() != "repro" {
+		t.Fatalf("module path = %q, want %q", l.ModulePath(), "repro")
+	}
+
+	// profile imports ids, interest and vtime — loading it proves the
+	// recursive module importer works.
+	pkgs, err := l.Load("internal/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "repro/internal/profile" {
+		t.Errorf("package path = %q, want repro/internal/profile", pkg.Path)
+	}
+	for _, e := range pkg.Errors {
+		t.Errorf("type error: %v", e)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Store") == nil {
+		t.Error("type-checked package is missing the Store type")
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("loader picked up test file %s", name)
+		}
+	}
+}
+
+func TestLoaderPatternExpansion(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("internal/vtime/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/vtime" {
+		t.Fatalf("internal/vtime/... resolved to %v", pkgPaths(pkgs))
+	}
+	// testdata must never be analyzed: its fixtures violate the
+	// invariants on purpose.
+	all, err := l.Load("internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range all {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("loader descended into %s", p.Path)
+		}
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}

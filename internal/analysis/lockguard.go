@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lockguard enforces the project's mutex discipline in two ways:
+//
+//  1. a sync.Mutex/RWMutex held across a blocking operation — channel
+//     send/receive, a select without a default, ranging over a channel,
+//     or a call to a known-blocking method (Send/Recv/Accept/Dial/Wait/
+//     Sleep) — is flagged: in the simulator that pattern serializes
+//     independent devices and is the classic shape of the deadlocks the
+//     netsim stress tests hunt for;
+//  2. a Lock with no matching Unlock anywhere in the same function
+//     (direct, deferred, or inside a function literal) is flagged.
+//
+// sync.Cond.Wait is exempt from (1): the condition-variable contract
+// requires holding the lock.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "flag mutexes held across blocking operations and Lock calls with no Unlock",
+	Run:  runLockguard,
+}
+
+// blockingMethods are method names treated as blocking operations when
+// called with a lock held. The set is deliberately small and
+// name-based: it targets this codebase's Conn/Listener/WaitGroup
+// surface without drowning map lookups in false positives.
+var blockingMethods = map[string]bool{
+	"Send":   true,
+	"Recv":   true,
+	"Accept": true,
+	"Dial":   true,
+	"Wait":   true,
+	"Sleep":  true,
+}
+
+func runLockguard(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockKey identifies one lock "side": the receiver expression plus
+// whether it is the read side of an RWMutex (RLock pairs with RUnlock,
+// Lock with Unlock).
+type lockKey struct {
+	recv string
+	read bool
+}
+
+// lockCall classifies a call expression as a mutex lock or unlock.
+// ok is false for anything else.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (key lockKey, isLock bool, ok bool) {
+	obj, recv := methodFunc(info, call)
+	if obj == nil {
+		return lockKey{}, false, false
+	}
+	if !isMethodOf(obj, "sync", "Mutex") && !isMethodOf(obj, "sync", "RWMutex") {
+		return lockKey{}, false, false
+	}
+	key.recv = types.ExprString(recv)
+	switch obj.Name() {
+	case "Lock":
+		return key, true, true
+	case "RLock":
+		key.read = true
+		return key, true, true
+	case "Unlock":
+		return key, false, true
+	case "RUnlock":
+		key.read = true
+		return key, false, true
+	}
+	return lockKey{}, false, false
+}
+
+// checkFunc runs both lockguard checks over one function body.
+// Function literals nested inside are skipped here (each gets its own
+// checkFunc call from the inspector) except that their unlocks count
+// toward check 2 — an unlock inside a closure is still an unlock this
+// function arranges.
+func checkFunc(pass *Pass, body *ast.BlockStmt) {
+	// Check 2: every locked key needs at least one unlock somewhere in
+	// the function, closures included.
+	locks := make(map[lockKey][]token.Pos)
+	unlocks := make(map[lockKey]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, isLock, ok := classifyLockCall(pass.Info, call); ok {
+			if isLock {
+				locks[key] = append(locks[key], call.Pos())
+			} else {
+				unlocks[key] = true
+			}
+		}
+		return true
+	})
+	for key, positions := range locks {
+		if unlocks[key] {
+			continue
+		}
+		verb := "Lock"
+		if key.read {
+			verb = "RLock"
+		}
+		for _, pos := range positions {
+			pass.Reportf(pos, "%s.%s with no matching unlock in this function", key.recv, verb)
+		}
+	}
+
+	// Check 1: linear scan for blocking operations while a lock is
+	// held.
+	scanBlock(pass, body.List, make(map[lockKey]token.Pos))
+}
+
+// scanBlock walks a statement list tracking which locks are held.
+// Nested blocks share the held map: an unlock on any scanned path
+// releases the key, which biases the check toward false negatives
+// rather than false positives on branchy unlock patterns.
+func scanBlock(pass *Pass, stmts []ast.Stmt, held map[lockKey]token.Pos) {
+	for _, s := range stmts {
+		if call := lockStmtCall(s); call != nil {
+			if key, isLock, ok := classifyLockCall(pass.Info, call); ok {
+				if isLock {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				continue
+			}
+		}
+		scanStmt(pass, s, held)
+	}
+}
+
+// lockStmtCall extracts the call from a plain `x.Lock()` / `x.Unlock()`
+// expression statement.
+func lockStmtCall(s ast.Stmt) *ast.CallExpr {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, _ := es.X.(*ast.CallExpr)
+	return call
+}
+
+// scanStmt looks for blocking operations in one statement while locks
+// are held, recursing into compound statements.
+func scanStmt(pass *Pass, s ast.Stmt, held map[lockKey]token.Pos) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		scanBlock(pass, st.List, held)
+	case *ast.IfStmt:
+		reportBlockingExprs(pass, st.Cond, held)
+		scanStmt(pass, st.Body, held)
+		if st.Else != nil {
+			scanStmt(pass, st.Else, held)
+		}
+	case *ast.ForStmt:
+		reportBlockingExprs(pass, st.Cond, held)
+		scanStmt(pass, st.Body, held)
+	case *ast.RangeStmt:
+		if len(held) > 0 && isChannel(exprType(pass, st.X)) {
+			reportHeld(pass, st.Range, held, "range over a channel")
+		}
+		scanStmt(pass, st.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(st) {
+			reportHeld(pass, st.Select, held, "blocking select")
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				scanBlock(pass, cc.Body, held)
+			}
+		}
+	case *ast.SwitchStmt:
+		reportBlockingExprs(pass, st.Tag, held)
+		scanCaseBodies(pass, st.Body, held)
+	case *ast.TypeSwitchStmt:
+		scanCaseBodies(pass, st.Body, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			reportHeld(pass, st.Arrow, held, "channel send")
+		}
+		reportBlockingExprs(pass, st.Value, held)
+	case *ast.LabeledStmt:
+		scanStmt(pass, st.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned call runs on its own goroutine; only its
+		// arguments are evaluated while the lock is held.
+		for _, arg := range st.Call.Args {
+			reportBlockingExprs(pass, arg, held)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held until return, so the
+		// held set is deliberately untouched; for any deferred call
+		// only the argument expressions are evaluated here and now.
+		for _, arg := range st.Call.Args {
+			reportBlockingExprs(pass, arg, held)
+		}
+	default:
+		reportBlockingNode(pass, s, held)
+	}
+}
+
+func scanCaseBodies(pass *Pass, body *ast.BlockStmt, held map[lockKey]token.Pos) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			scanBlock(pass, cc.Body, held)
+		}
+	}
+}
+
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func reportBlockingExprs(pass *Pass, e ast.Expr, held map[lockKey]token.Pos) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	reportBlockingNode(pass, e, held)
+}
+
+// reportBlockingNode inspects a leaf statement or expression for
+// channel receives and known-blocking method calls. Function literals
+// are skipped: their bodies run later, typically on another goroutine.
+func reportBlockingNode(pass *Pass, n ast.Node, held map[lockKey]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch e := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				reportHeld(pass, e.OpPos, held, "channel receive")
+			}
+		case *ast.SendStmt:
+			reportHeld(pass, e.Arrow, held, "channel send")
+		case *ast.CallExpr:
+			obj, _ := methodFunc(pass.Info, e)
+			if obj == nil || !blockingMethods[obj.Name()] {
+				return true
+			}
+			if isMethodOf(obj, "sync", "Cond") {
+				return true // Cond.Wait must hold the lock
+			}
+			reportHeld(pass, e.Pos(), held, "call to blocking method "+obj.Name())
+		}
+		return true
+	})
+}
+
+func reportHeld(pass *Pass, pos token.Pos, held map[lockKey]token.Pos, what string) {
+	for key := range held {
+		verb := "Lock"
+		if key.read {
+			verb = "RLock"
+		}
+		pass.Reportf(pos, "%s while %s.%s is held; release the mutex before blocking", what, key.recv, verb)
+	}
+}

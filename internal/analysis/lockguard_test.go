@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockguardFindsHeldBlockingAndMissingUnlock(t *testing.T) {
+	checkFixture(t, Lockguard, "repro/internal/fixture", "lockguard")
+}

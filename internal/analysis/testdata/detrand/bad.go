@@ -1,0 +1,14 @@
+// Package fixture exercises the detrand analyzer: draws from the
+// process-global math/rand source are irreproducible.
+package fixture
+
+import "math/rand"
+
+func globalDraws() {
+	_ = rand.Intn(10)        // want "rand.Intn draws from the unseeded process-global source"
+	_ = rand.Float64()       // want "rand.Float64 draws from the unseeded process-global source"
+	_ = rand.Int63()         // want "rand.Int63 draws from the unseeded process-global source"
+	_ = rand.Perm(4)         // want "rand.Perm draws from the unseeded process-global source"
+	rand.Shuffle(4, func(i, j int) {}) // want "rand.Shuffle draws from the unseeded process-global source"
+	rand.Seed(42)            // want "rand.Seed draws from the unseeded process-global source"
+}

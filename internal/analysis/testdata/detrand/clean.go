@@ -1,0 +1,12 @@
+package fixture
+
+import "math/rand"
+
+// seededDraws is the sanctioned pattern: an explicit source, seeded by
+// the scenario, so a run can be replayed bit-for-bit.
+func seededDraws(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(4, func(i, j int) {})
+	zipf := rand.NewZipf(rng, 1.1, 1, 100)
+	return rng.Intn(10) + int(zipf.Uint64())
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises the errdrop analyzer: silently dropped
+// errors from Close/Write and wire codec calls.
+package fixture
+
+type conn struct{}
+
+func (conn) Close() error             { return nil }
+func (conn) Write(p []byte) (int, error) { return len(p), nil }
+func (conn) Send(p []byte) error      { return nil }
+
+func UnmarshalFrame(p []byte) (string, error) { return "", nil }
+func EncodeFrame(s string) error              { return nil }
+
+func drops(c conn) {
+	c.Close()               // want "error from Close is discarded"
+	defer c.Close()         // want "error from Close is discarded by defer"
+	go c.Close()            // want "error from Close is discarded by go"
+	c.Write([]byte("x"))    // want "error from Write is discarded"
+	UnmarshalFrame(nil)     // want "error from UnmarshalFrame is discarded"
+	EncodeFrame("x")        // want "error from EncodeFrame is discarded"
+}

@@ -1,0 +1,29 @@
+package fixture
+
+// handled shows the accepted shapes: a consumed error, an explicit
+// blank assignment, a deferred closure that acknowledges the drop, and
+// calls outside the checked name set.
+func handled(c conn) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	_ = c.Close()
+	defer func() { _ = c.Close() }()
+	if _, err := c.Write([]byte("x")); err != nil {
+		return err
+	}
+	// Send is not in errdrop's name set even though it returns error;
+	// other tooling (and code review) own the general case.
+	c.Send(nil)
+	return nil
+}
+
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+// closeWithoutError: a Close that returns nothing has nothing to drop.
+func closeWithoutError(q quietCloser) {
+	q.Close()
+	defer q.Close()
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises //phvet:ignore suppression: every
+// violation below carries a directive, so the analyzers must stay
+// silent except for the one deliberate control case.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func suppressedTrailing() time.Time {
+	return time.Now() //phvet:ignore walltime fixture exercises same-line suppression
+}
+
+// The comment-above form claims the next line.
+func suppressedAbove() int {
+	//phvet:ignore detrand fixture exercises comment-above suppression
+	return rand.Intn(10)
+}
+
+func suppressedList() {
+	//phvet:ignore walltime,detrand one directive may name several analyzers
+	time.Sleep(time.Duration(rand.Intn(3)))
+}
+
+func suppressedAll() time.Time {
+	return time.Now() //phvet:ignore all the explicit catch-all scope silences every analyzer on the line
+}
+
+// control proves suppression is line-scoped: no directive, so this one
+// still fires.
+func control() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// wrongName proves a directive for one analyzer does not shadow
+// another's finding on the same line.
+func wrongName() int {
+	return rand.Intn(10) //phvet:ignore walltime wrong analyzer named — detrand must still fire // want "rand.Intn draws from the unseeded process-global source"
+}

@@ -1,0 +1,58 @@
+// Package fixture exercises the lockguard analyzer: mutexes held
+// across blocking operations, and locks that are never released.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (g *guarded) sendWhileHeld() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while g.mu.Lock is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvWhileDeferHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while g.mu.Lock is held"
+}
+
+func (g *guarded) selectWhileHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "blocking select while g.mu.Lock is held"
+	case v := <-g.ch:
+		_ = v
+	case g.ch <- 2:
+	}
+}
+
+func (g *guarded) waitWhileReadHeld() {
+	g.rw.RLock()
+	g.wg.Wait() // want "call to blocking method Wait while g.rw.RLock is held"
+	g.rw.RUnlock()
+}
+
+func (g *guarded) rangeWhileHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range g.ch { // want "range over a channel while g.mu.Lock is held"
+		_ = v
+	}
+}
+
+func (g *guarded) lockWithoutUnlock() {
+	g.mu.Lock() // want "g.mu.Lock with no matching unlock in this function"
+	g.ch = make(chan int)
+}
+
+func (g *guarded) readLockWriteUnlockMismatch() {
+	g.rw.RLock() // want "g.rw.RLock with no matching unlock in this function"
+	defer g.rw.Unlock()
+}

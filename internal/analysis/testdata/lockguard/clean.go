@@ -1,0 +1,70 @@
+package fixture
+
+import "sync"
+
+type tidy struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	n    int
+}
+
+// unlockBeforeBlocking is the sanctioned shape: compute under the
+// lock, release, then block.
+func (t *tidy) unlockBeforeBlocking() {
+	t.mu.Lock()
+	v := t.n
+	t.mu.Unlock()
+	t.ch <- v
+}
+
+// nonBlockingSelect: a select with a default never parks the
+// goroutine, so holding the lock is fine.
+func (t *tidy) nonBlockingSelect() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case v := <-t.ch:
+		t.n = v
+	default:
+	}
+}
+
+// condWait must be called with the lock held; lockguard exempts it.
+func (t *tidy) condWait() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.n == 0 {
+		t.cond.Wait()
+	}
+}
+
+// readersUseRUnlock pairs RLock with RUnlock across branches.
+func (t *tidy) readersUseRUnlock(fast bool) int {
+	t.rw.RLock()
+	if fast {
+		n := t.n
+		t.rw.RUnlock()
+		return n
+	}
+	n := t.n * 2
+	t.rw.RUnlock()
+	return n
+}
+
+// goroutineBodyIsSeparate: the literal runs on its own goroutine with
+// its own locking discipline; the spawn itself does not block.
+func (t *tidy) goroutineBodyIsSeparate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		t.ch <- 1
+	}()
+}
+
+// unlockInClosure counts as an unlock arranged by this function.
+func (t *tidy) unlockInClosure() func() {
+	t.mu.Lock()
+	return func() { t.mu.Unlock() }
+}

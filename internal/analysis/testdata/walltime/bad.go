@@ -1,0 +1,22 @@
+// Package fixture exercises the walltime analyzer's forbidden calls.
+package fixture
+
+import "time"
+
+func readsWallClock() time.Time {
+	t := time.Now() // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)  // want "time.Sleep reads the wall clock"
+	<-time.After(time.Second)     // want "time.After reads the wall clock"
+	tm := time.NewTimer(1)        // want "time.NewTimer reads the wall clock"
+	tk := time.NewTicker(1)       // want "time.NewTicker reads the wall clock"
+	_ = time.Since(t)             // want "time.Since reads the wall clock"
+	_ = time.Until(t)             // want "time.Until reads the wall clock"
+	time.AfterFunc(1, func() {})  // want "time.AfterFunc reads the wall clock"
+	tm.Stop()
+	tk.Stop()
+	return t
+}
+
+// A bare function-value reference counts too: it smuggles the wall
+// clock somewhere else.
+var clockFn = time.Now // want "time.Now reads the wall clock"

@@ -1,0 +1,22 @@
+package fixture
+
+import "time"
+
+// Clock is the shape simulation code should depend on; calling its
+// methods is fine everywhere.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+}
+
+// pureTimeArithmetic shows the time-package surface that stays legal:
+// construction, parsing, durations — everything that never samples the
+// host clock.
+func pureTimeArithmetic(c Clock) time.Duration {
+	start := time.Unix(0, 0)
+	later := start.Add(3 * time.Second)
+	c.Sleep(time.Millisecond)
+	<-c.After(time.Millisecond)
+	return later.Sub(c.Now())
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// packageFunc resolves id to a package-scope function object (not a
+// method, not a variable) and returns it, or nil.
+func packageFunc(info *types.Info, id *ast.Ident) *types.Func {
+	obj, ok := info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return obj
+}
+
+// methodFunc resolves the callee of call to a method object and
+// returns it plus the receiver expression, or (nil, nil).
+func methodFunc(info *types.Info, call *ast.CallExpr) (*types.Func, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	if obj.Type().(*types.Signature).Recv() == nil {
+		return nil, nil
+	}
+	return obj, sel.X
+}
+
+// calleeName returns the bare name of the function or method being
+// called, or "" when it cannot be determined (e.g. a called func value).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// lastResultIsError reports whether the call's final result is the
+// built-in error type.
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// recvNamed returns the receiver's named type (through one pointer),
+// or nil.
+func recvNamed(obj *types.Func) *types.Named {
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isMethodOf reports whether obj is a method on pkgPath.typeName.
+func isMethodOf(obj *types.Func, pkgPath, typeName string) bool {
+	named := recvNamed(obj)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == typeName
+}
+
+// isChannel reports whether t's core type is a channel.
+func isChannel(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// inInternal reports whether the package path lies under the module's
+// internal/ tree.
+func inInternal(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/") || strings.HasSuffix(pkgPath, "/internal")
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// walltimeForbidden lists the package-level functions of "time" that
+// read or wait on the wall clock. Pure arithmetic (time.Duration,
+// time.Unix, Parse, Since is Now-based so it is included) stays legal.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+// Walltime forbids direct wall-clock access in simulation code. All
+// latencies the paper reports (Table 8, Figure 6) are measured on the
+// virtual clock in internal/vtime; a stray time.Now or time.Sleep makes
+// runs irreproducible and couples results to host load. Only
+// internal/vtime may touch the real clock.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Sleep/After/Timers outside internal/vtime; use the vtime.Clock",
+	AppliesTo: func(pkgPath string) bool {
+		return inInternal(pkgPath) && !strings.Contains(pkgPath, "/internal/vtime")
+	},
+	Run: runWalltime,
+}
+
+func runWalltime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := packageFunc(pass.Info, id)
+			if obj == nil || obj.Pkg().Path() != "time" || !walltimeForbidden[obj.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock; route through vtime.Clock so simulated latencies stay reproducible",
+				obj.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestWalltimeFindsForbiddenCalls(t *testing.T) {
+	checkFixture(t, Walltime, "repro/internal/fixture", "walltime")
+}
+
+func TestWalltimeScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/netsim", true},
+		{"repro/internal/apps/fitness", true},
+		{"repro/internal/vtime", false},
+		{"repro/cmd/table8", false}, // harness tools measure real wall time on purpose
+		{"repro/examples/quickstart", false},
+	}
+	for _, c := range cases {
+		if got := Walltime.AppliesTo(c.path); got != c.want {
+			t.Errorf("Walltime.AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

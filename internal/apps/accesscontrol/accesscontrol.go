@@ -37,7 +37,7 @@ var (
 // pairing the thesis mentions.
 func credentialFor(secret string, holder ids.DeviceID) string {
 	mac := hmac.New(sha256.New, []byte(secret))
-	mac.Write([]byte(holder))
+	_, _ = mac.Write([]byte(holder)) // hash.Hash.Write never returns an error
 	return hex.EncodeToString(mac.Sum(nil))
 }
 
@@ -150,7 +150,7 @@ func (d *Door) serve(ctx context.Context, listener *netsim.Listener) {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			defer conn.Close()
+			defer func() { _ = conn.Close() }()
 			req, err := conn.Recv(ctx)
 			if err != nil {
 				return
@@ -258,7 +258,7 @@ func (k *Key) request(ctx context.Context, door ids.DeviceID, msg string) (strin
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", ErrDoorGone, err)
 	}
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	if err := conn.Send([]byte(msg)); err != nil {
 		return "", err
 	}

@@ -131,7 +131,7 @@ func (c *Coach) serve(ctx context.Context, listener *netsim.Listener) {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			defer conn.Close()
+			defer func() { _ = conn.Close() }()
 			for {
 				req, err := conn.Recv(ctx)
 				if err != nil {

@@ -209,7 +209,7 @@ func (p *Point) serve(ctx context.Context, listener *netsim.Listener) {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			defer conn.Close()
+			defer func() { _ = conn.Close() }()
 			req, err := conn.Recv(ctx)
 			if err != nil {
 				return
@@ -259,7 +259,7 @@ func (t *Traveler) Directions(ctx context.Context, destination string) ([]string
 	if err != nil {
 		return nil, fmt.Errorf("guidance: %w", err)
 	}
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	if err := conn.Send([]byte("ROUTE " + destination)); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,13 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves server or client
+// session goroutines running after teardown.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

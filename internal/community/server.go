@@ -102,7 +102,7 @@ func (s *Server) acceptLoop(ctx context.Context) {
 
 // serveConn answers requests on one connection until it dies.
 func (s *Server) serveConn(ctx context.Context, conn *netsim.Conn) {
-	defer conn.Close()
+	defer func() { _ = conn.Close() }() // session teardown is best-effort
 	for {
 		frame, err := conn.Recv(ctx)
 		if err != nil {

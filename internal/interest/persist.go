@@ -34,7 +34,7 @@ func (s *Semantics) SaveFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("interest: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // error path only; success path checks below
 	if err := s.SaveTo(f); err != nil {
 		return err
 	}
@@ -47,6 +47,6 @@ func (s *Semantics) LoadFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("interest: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to flush
 	return s.LoadFrom(f)
 }

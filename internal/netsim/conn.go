@@ -50,6 +50,7 @@ func newConnPair(n *Network, from, to ids.DeviceID, tech radio.Technology, port 
 		closed: make(chan struct{}),
 	}
 	a.peer, b.peer = b, a
+	n.trackConn(a)
 	go a.pump()
 	go b.pump()
 	go a.watchLink()
@@ -170,6 +171,7 @@ func waitWithTimeout(wg *sync.WaitGroup, d time.Duration) {
 	}()
 	select {
 	case <-done:
+	//phvet:ignore walltime Close's flush bound is a real-time safety valve: it must fire even when a manual vtime clock is paused, or a peer that stops reading would hang Close forever.
 	case <-time.After(d):
 	}
 }
@@ -188,6 +190,7 @@ func (c *Conn) fail(err error) {
 		c.err = err
 		c.mu.Unlock()
 		close(c.closed)
+		c.net.dropConn(c)
 	})
 }
 

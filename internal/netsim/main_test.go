@@ -1,0 +1,14 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves simulator goroutines
+// (conn pumps, link watchdogs, proxy bridges) running: leaked pumps
+// keep charging airtime and make subsequent timings load-dependent.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

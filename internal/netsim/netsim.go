@@ -53,6 +53,7 @@ type Network struct {
 	lossRate    float64
 	rng         *rand.Rand
 	closed      bool
+	conns       map[*Conn]bool // one end per live pair, for Close teardown
 
 	counters netCounters
 
@@ -106,6 +107,7 @@ func New(env *radio.Environment, seed int64) *Network {
 		partitioned: make(map[devPair]bool),
 		rng:         rand.New(rand.NewSource(seed)),
 		txLocks:     make(map[txKey]*sync.Mutex),
+		conns:       make(map[*Conn]bool),
 	}
 }
 
@@ -113,15 +115,42 @@ func New(env *radio.Environment, seed int64) *Network {
 func (n *Network) Environment() *radio.Environment { return n.env }
 
 // Close shuts the network down; existing connections break and new
-// operations fail.
+// operations fail. Breaking the connections (not just the listeners)
+// also stops their pump and watchdog goroutines, so a closed network
+// leaves nothing running.
 func (n *Network) Close() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.closed = true
 	for _, l := range n.listeners {
 		l.closeLocked()
 	}
 	n.listeners = make(map[portKey]*Listener)
+	live := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		live = append(live, c)
+	}
+	n.conns = make(map[*Conn]bool)
+	n.mu.Unlock()
+	// Outside the lock: failing a conn re-enters the network to
+	// deregister itself.
+	for _, c := range live {
+		c.failBoth(ErrNetworkClosed)
+	}
+}
+
+// trackConn registers one end of a new pair for Close teardown.
+func (n *Network) trackConn(c *Conn) {
+	n.mu.Lock()
+	n.conns[c] = true
+	n.mu.Unlock()
+}
+
+// dropConn removes a dead conn from the registry; no-op for the
+// untracked end of a pair.
+func (n *Network) dropConn(c *Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
 }
 
 // Partition severs all traffic between two devices regardless of radio
@@ -236,10 +265,10 @@ func (n *Network) Dial(ctx context.Context, from, to ids.DeviceID, tech radio.Te
 	case l.incoming <- remote:
 		n.counters.connsEstablished.Add(1)
 	case <-l.done:
-		local.Close()
+		_ = local.Close()
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoListener, port, to)
 	case <-ctx.Done():
-		local.Close()
+		_ = local.Close()
 		return nil, ctx.Err()
 	}
 	return local, nil

@@ -80,7 +80,7 @@ func (p *Proxy) acceptLoop(ctx context.Context) {
 // bridge reads the CONNECT preamble ("device|port"), dials the target
 // over GPRS, and pipes both directions until either side dies.
 func (p *Proxy) bridge(ctx context.Context, inbound *Conn) {
-	defer inbound.Close()
+	defer func() { _ = inbound.Close() }() // bridge teardown is best-effort
 	preamble, err := inbound.Recv(ctx)
 	if err != nil {
 		return
@@ -95,7 +95,7 @@ func (p *Proxy) bridge(ctx context.Context, inbound *Conn) {
 		_ = inbound.Send([]byte("ERR " + err.Error()))
 		return
 	}
-	defer outbound.Close()
+	defer func() { _ = outbound.Close() }()
 	if err := inbound.Send([]byte("OK")); err != nil {
 		return
 	}
@@ -144,16 +144,16 @@ func (n *Network) DialViaProxy(ctx context.Context, from ids.DeviceID, proxy ids
 		return nil, fmt.Errorf("netsim: dialing proxy: %w", err)
 	}
 	if err := conn.Send([]byte(string(target) + "|" + port)); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	resp, err := conn.Recv(ctx)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	if string(resp) != "OK" {
-		conn.Close()
+		_ = conn.Close()
 		return nil, fmt.Errorf("%w: proxy refused: %s", ErrUnreachable, resp)
 	}
 	return conn, nil

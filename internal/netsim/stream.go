@@ -32,11 +32,15 @@ func NewStream(ctx context.Context, conn *Conn) *Stream {
 var _ io.ReadWriteCloser = (*Stream)(nil)
 
 // Read fills p with buffered bytes, receiving the next message when the
-// buffer is empty. A dead connection yields io.EOF once drained.
+// buffer is empty. A dead connection yields io.EOF once drained. The
+// mutex is released while blocked in Recv so a slow peer never wedges
+// concurrent readers or a racing Close; messages a concurrent reader
+// buffered in the meantime are appended behind, which is fair game —
+// ordering between concurrent readers of one stream is unspecified.
 func (s *Stream) Read(p []byte) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.pending) == 0 {
+		s.mu.Unlock()
 		msg, err := s.conn.Recv(s.ctx)
 		if err != nil {
 			if errors.Is(err, ErrConnClosed) || errors.Is(err, ErrLinkLost) {
@@ -44,10 +48,12 @@ func (s *Stream) Read(p []byte) (int, error) {
 			}
 			return 0, err
 		}
-		s.pending = msg
+		s.mu.Lock()
+		s.pending = append(s.pending, msg...)
 	}
 	n := copy(p, s.pending)
 	s.pending = s.pending[n:]
+	s.mu.Unlock()
 	return n, nil
 }
 

@@ -593,7 +593,7 @@ func (d *Daemon) fetchServices(ctx context.Context, dev ids.DeviceID, techs []ra
 		}
 		d.stats.sdpQueriesSent.Add(1)
 		svcs, err := querySDP(sdpCtx, conn)
-		conn.Close()
+		_ = conn.Close() // query is complete either way
 		if err != nil {
 			lastErr = err
 			continue
@@ -629,7 +629,7 @@ func (d *Daemon) serveSDP() {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			defer conn.Close()
+			defer func() { _ = conn.Close() }()
 			env := d.cfg.Network.Environment()
 			reqCtx, cancel := context.WithTimeout(ctx, realTimeout(env, sdpTimeout))
 			defer cancel()

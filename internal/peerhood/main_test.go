@@ -1,0 +1,13 @@
+package peerhood
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves daemon goroutines
+// (inquiry loops, monitors, SDP servers) running after teardown.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

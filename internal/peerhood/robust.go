@@ -161,7 +161,7 @@ func (r *RobustConn) Close() {
 	defer r.mu.Unlock()
 	r.closed = true
 	if r.conn != nil {
-		r.conn.Close()
+		_ = r.conn.Close() // already failing over or shutting down; nothing to do with the error
 	}
 }
 
@@ -195,7 +195,7 @@ func (r *RobustConn) TryUpgrade(ctx context.Context) bool {
 		r.mu.Lock()
 		if r.closed {
 			r.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return false
 		}
 		old := r.conn
@@ -203,7 +203,7 @@ func (r *RobustConn) TryUpgrade(ctx context.Context) bool {
 		r.failures++
 		r.mu.Unlock()
 		if old != nil {
-			old.Close()
+			_ = old.Close() // superseded by the upgraded connection
 		}
 		return true
 	}

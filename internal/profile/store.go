@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/interest"
+	"repro/internal/vtime"
 )
 
 // Store holds every profile on one device ("Support for Multiple
@@ -25,10 +26,12 @@ type Store struct {
 }
 
 // NewStore returns an empty store. The now function stamps comments,
-// visits and messages; nil means time.Now.
+// visits and messages; nil means the real clock. Simulated devices
+// must pass their environment's vtime clock so stamps are
+// reproducible.
 func NewStore(now func() time.Time) *Store {
 	if now == nil {
-		now = time.Now
+		now = vtime.Real().Now
 	}
 	return &Store{accounts: make(map[ids.MemberID]*account), now: now}
 }
@@ -319,7 +322,7 @@ func (s *Store) SaveFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("profile: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // error path only; success path checks below
 	if err := s.SaveTo(f); err != nil {
 		return err
 	}
@@ -332,6 +335,6 @@ func (s *Store) LoadFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("profile: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to flush
 	return s.LoadFrom(f)
 }

@@ -130,7 +130,7 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() { _ = conn.Close() }()
 			for {
 				frame, err := conn.Recv(ctx)
 				if err != nil {
@@ -259,16 +259,27 @@ func NewClient(net *netsim.Network, dev, server ids.DeviceID, handset HandsetPro
 }
 
 // connect dials the front-end lazily (the thesis's handsets kept a data
-// session open once the browser started).
+// session open once the browser started). The dial — a full simulated
+// GPRS connection setup — happens with the mutex released so a slow
+// attach never wedges a concurrent Close; a racing connect keeps the
+// winner's session.
 func (c *Client) connect(ctx context.Context) (*netsim.Conn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.conn != nil && c.conn.Alive() {
-		return c.conn, nil
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
 	}
+	c.mu.Unlock()
 	conn, err := c.net.Dial(ctx, c.dev, c.server, radio.GPRS, servicePort)
 	if err != nil {
 		return nil, fmt.Errorf("snsbase: dialing site: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil && c.conn.Alive() {
+		_ = conn.Close() // lost the race; keep the established session
+		return c.conn, nil
 	}
 	c.conn = conn
 	return conn, nil
@@ -279,7 +290,7 @@ func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close() // dropping the session; the error has no consumer
 		c.conn = nil
 	}
 }

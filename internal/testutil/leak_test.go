@@ -1,0 +1,67 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotSeesNewGoroutine(t *testing.T) {
+	base := Snapshot()
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+
+	leaked := leakedStacks(base)
+	if len(leaked) == 0 {
+		t.Fatal("expected the parked goroutine to show up as a leak")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestSnapshotSeesNewGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the leaking goroutine:\n%s", strings.Join(leaked, "\n\n"))
+	}
+
+	close(stop)
+	if msg := waitSettled(base); msg != "" {
+		t.Errorf("goroutine still reported leaked after it exited:\n%s", msg)
+	}
+}
+
+func TestBenignFiltersTestingFrames(t *testing.T) {
+	dump := string(stacks())
+	for _, g := range splitStacks([]byte(dump)) {
+		if strings.Contains(g, "testing.tRunner(") && !benign(g) {
+			t.Errorf("test-runner goroutine not classified benign:\n%s", g)
+		}
+	}
+}
+
+func TestGoroutineID(t *testing.T) {
+	block := "goroutine 42 [chan receive]:\nmain.main()\n\t/x/main.go:1 +0x1"
+	if got := goroutineID(block); got != "goroutine 42" {
+		t.Errorf("goroutineID = %q, want %q", got, "goroutine 42")
+	}
+}
+
+func TestWaitSettledGracePeriod(t *testing.T) {
+	base := Snapshot()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine exits well within the settle window, so no leak.
+	if msg := waitSettled(base); msg != "" {
+		t.Errorf("short-lived goroutine reported as leak:\n%s", msg)
+	}
+	<-done
+}
