@@ -5,9 +5,17 @@
 
 GO ?= go
 
-.PHONY: verify build vet phvet test race bench
+# The substrate benchmarks and the invariants the committed
+# BENCH_netsim.json baseline pins: the named benchmarks must exist, and
+# the grid index must beat brute-force neighbor scans by >= 5x at 1000
+# devices.
+BENCH_PATTERN = ^(BenchmarkNeighbors|BenchmarkBroadcastFanout|BenchmarkScaleDiscovery)$$
+BENCH_REQUIRE = BenchmarkNeighbors/grid/devices=1000,BenchmarkNeighbors/brute/devices=1000,BenchmarkBroadcastFanout/devices=1000,BenchmarkScaleDiscovery/peers=1000,BenchmarkScaleDiscovery/peers=2000
+BENCH_RATIO   = BenchmarkNeighbors/brute/devices=1000:BenchmarkNeighbors/grid/devices=1000:5
 
-verify: build vet phvet race
+.PHONY: verify build vet phvet test race bench bench-json bench-smoke
+
+verify: build vet phvet race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,3 +34,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-json regenerates the committed substrate baseline and enforces
+# the grid-vs-brute speedup floor. Run it on a quiet machine.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 100x . > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_netsim.json -require '$(BENCH_REQUIRE)' -ratio '$(BENCH_RATIO)' < bench.out
+	rm -f bench.out
+
+# bench-smoke is the CI guard: every benchmark still compiles and runs
+# (one iteration), and none of the required names has disappeared. No
+# timing assertions — 1x iterations on a loaded CI box mean nothing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x . > bench-smoke.out
+	$(GO) run ./cmd/benchjson -o /dev/null -require '$(BENCH_REQUIRE)' < bench-smoke.out
+	rm -f bench-smoke.out

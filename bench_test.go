@@ -3,6 +3,8 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -506,6 +508,116 @@ func BenchmarkFutureWorkDiscoveryScale(b *testing.B) {
 				modeled += points[0].Search
 			}
 			reportModeled(b, modeled, b.N)
+		})
+	}
+}
+
+// --- Substrate scaling: thousands of devices -------------------------
+
+// placeBenchDevices fills the environment with n seeded static devices
+// at constant density (~50 m² per device), the regime where neighbor
+// queries decide whether discovery scales.
+func placeBenchDevices(b *testing.B, env *radio.Environment, n int, tech radio.Technology) []ids.DeviceID {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	side := math.Sqrt(float64(n) * 50)
+	devs := make([]ids.DeviceID, n)
+	for i := range devs {
+		devs[i] = ids.DeviceIDf("bench-%04d", i)
+		at := geo.Pt(rng.Float64()*side, rng.Float64()*side)
+		if err := env.Add(devs[i], mobility.Static{At: at}, tech); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return devs
+}
+
+// BenchmarkNeighbors compares one neighborhood query on the spatial
+// grid index against the brute-force per-pair oracle across world
+// sizes. The clock is frozen, so the grid path amortizes one world
+// snapshot across all iterations — the discovery-round access pattern.
+// BENCH_netsim.json pins grid ≥ 5x brute at 1000 devices.
+func BenchmarkNeighbors(b *testing.B) {
+	for _, mode := range []string{"grid", "brute"} {
+		for _, n := range []int{100, 500, 1000, 2000} {
+			b.Run(fmt.Sprintf("%s/devices=%d", mode, n), func(b *testing.B) {
+				clk := vtime.NewManual(time.Unix(0, 0))
+				env := radio.NewEnvironment(radio.WithClock(clk))
+				devs := placeBenchDevices(b, env, n, radio.Bluetooth)
+				env.Neighbors(devs[0], radio.Bluetooth) // build the epoch snapshot
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "grid" {
+						env.Neighbors(devs[i%n], radio.Bluetooth)
+					} else {
+						env.NeighborsBrute(devs[i%n], radio.Bluetooth)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBroadcastFanout measures a discovery probe into a fully
+// subscribed world: one SendBroadcast resolving its whole target set
+// with a single grid query.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) {
+			env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-6)))
+			net := netsim.New(env, int64(n))
+			b.Cleanup(net.Close)
+			devs := placeBenchDevices(b, env, n, radio.WLAN)
+			for _, id := range devs {
+				sub, err := net.SubscribeBroadcast(id, "disc")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(sub.Close)
+			}
+			payload := []byte("probe")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.SendBroadcast(devs[i%n], radio.WLAN, "disc", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleDiscovery runs one full discovery round at thousand-
+// peer scale: every device refreshes its neighborhood at a fresh query
+// epoch (so each iteration pays one snapshot build) and the active peer
+// forms groups from its own neighbors.
+func BenchmarkScaleDiscovery(b *testing.B) {
+	pool := []string{"football", "music", "movies", "chess", "cooking", "photography", "hiking", "poker"}
+	for _, n := range []int{100, 500, 1000, 2000} {
+		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
+			clk := vtime.NewManual(time.Unix(0, 0))
+			env := radio.NewEnvironment(radio.WithClock(clk))
+			devs := placeBenchDevices(b, env, n, radio.Bluetooth)
+			members := make(map[ids.DeviceID]core.Member, n)
+			for i, id := range devs {
+				members[id] = core.Member{
+					Device:    id,
+					ID:        ids.MemberID(fmt.Sprintf("m%04d", i)),
+					Interests: []string{pool[i%len(pool)], pool[(i+3)%len(pool)]},
+				}
+			}
+			active := core.Member{Device: devs[0], ID: "active", Interests: pool[:4]}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clk.Advance(time.Second) // new epoch: the round rebuilds the snapshot
+				for _, id := range devs {
+					env.Neighbors(id, radio.Bluetooth)
+				}
+				nearby := make([]core.Member, 0, 16)
+				for _, nb := range env.Neighbors(devs[0], radio.Bluetooth) {
+					nearby = append(nearby, members[nb])
+				}
+				core.DiscoverGroups(active, nearby, nil)
+			}
 		})
 	}
 }

@@ -1,0 +1,215 @@
+// Command benchjson turns `go test -bench` output into a stable JSON
+// baseline and enforces the benchmark-suite invariants CI cares about:
+// that named benchmarks still exist (a refactor silently dropping a
+// benchmark is a regression of the measurement, not just the code) and
+// that committed speedup ratios still hold.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchjson -o BENCH_netsim.json \
+//	    -require Name1,Name2 -ratio SlowName:FastName:minSpeedup
+//
+// -require takes comma-separated benchmark-name prefixes; benchjson
+// fails if any prefix matches no parsed benchmark. -ratio fails unless
+// ns/op(Slow) / ns/op(Fast) >= minSpeedup; both names must resolve to
+// exactly one benchmark each.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed figures. Allocation figures are only
+// present when the run used -benchmem.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// gomaxprocsSuffix is the "-8" style suffix go test appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output and returns name → Result.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that merely starts with "Benchmark"
+		}
+		res := Result{Iterations: iters}
+		// The rest is value/unit pairs: 123 ns/op, 45 B/op, 6 allocs/op,
+		// plus any custom b.ReportMetric units, which we skip.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if res.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchjson: %q: no ns/op figure in %q", name, line)
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+	return out, nil
+}
+
+// checkRequire fails if any required name prefix matches nothing.
+func checkRequire(results map[string]Result, required []string) error {
+	for _, want := range required {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for name := range results {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("benchjson: required benchmark %q missing from the run", want)
+		}
+	}
+	return nil
+}
+
+// ratioSpec is one -ratio constraint: slow/fast must be >= min.
+type ratioSpec struct {
+	slow, fast string
+	min        float64
+}
+
+func parseRatio(s string) (ratioSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return ratioSpec{}, fmt.Errorf("benchjson: -ratio wants SLOW:FAST:MIN, got %q", s)
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || min <= 0 {
+		return ratioSpec{}, fmt.Errorf("benchjson: -ratio minimum %q is not a positive number", parts[2])
+	}
+	return ratioSpec{slow: parts[0], fast: parts[1], min: min}, nil
+}
+
+func checkRatio(results map[string]Result, spec ratioSpec) error {
+	slow, ok := results[spec.slow]
+	if !ok {
+		return fmt.Errorf("benchjson: ratio benchmark %q missing", spec.slow)
+	}
+	fast, ok := results[spec.fast]
+	if !ok {
+		return fmt.Errorf("benchjson: ratio benchmark %q missing", spec.fast)
+	}
+	got := slow.NsPerOp / fast.NsPerOp
+	if got < spec.min {
+		return fmt.Errorf("benchjson: speedup %s/%s = %.2fx, below the required %.2fx",
+			spec.slow, spec.fast, got, spec.min)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: speedup %s/%s = %.1fx (>= %.1fx required)\n",
+		spec.slow, spec.fast, got, spec.min)
+	return nil
+}
+
+// marshal renders the results with sorted names so the committed
+// baseline diffs cleanly.
+func marshal(results map[string]Result) ([]byte, error) {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		row, err := json.Marshal(results[name])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, row)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_netsim.json", "output path for the JSON baseline")
+	require := flag.String("require", "", "comma-separated benchmark-name prefixes that must be present")
+	ratio := flag.String("ratio", "", "SLOW:FAST:MIN — fail unless ns/op(SLOW)/ns/op(FAST) >= MIN")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *require != "" {
+		if err := checkRequire(results, strings.Split(*require, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *ratio != "" {
+		spec, err := parseRatio(*ratio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := checkRatio(results, spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	data, err := marshal(results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNeighbors/grid/devices=1000-8         	  500000	      2100 ns/op	     168 B/op	       5 allocs/op
+BenchmarkNeighbors/brute/devices=1000-8        	   20000	     76111 ns/op	   16936 B/op	       8 allocs/op
+BenchmarkScaleDiscovery/peers=1000-8           	     600	   1945809 ns/op	  568984 B/op	    6856 allocs/op
+BenchmarkTable8_FacebookN810-8                 	       1	1031525175 ns/op	        94.21 modeled-s/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(results), results)
+	}
+	grid, ok := results["BenchmarkNeighbors/grid/devices=1000"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", results)
+	}
+	if grid.NsPerOp != 2100 || grid.Iterations != 500000 || grid.AllocsPerOp != 5 || grid.BytesPerOp != 168 {
+		t.Fatalf("wrong figures: %+v", grid)
+	}
+	// Custom b.ReportMetric units are skipped, ns/op still captured.
+	if fb := results["BenchmarkTable8_FacebookN810"]; fb.NsPerOp != 1031525175 {
+		t.Fatalf("custom-metric row misparsed: %+v", fb)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}
+
+func TestCheckRequire(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkRequire(results, []string{"BenchmarkNeighbors/grid", "BenchmarkScaleDiscovery/peers=1000"}); err != nil {
+		t.Fatalf("present prefixes rejected: %v", err)
+	}
+	if err := checkRequire(results, []string{"BenchmarkBroadcastFanout"}); err == nil {
+		t.Fatal("missing benchmark not flagged")
+	}
+}
+
+func TestCheckRatio(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := parseRatio("BenchmarkNeighbors/brute/devices=1000:BenchmarkNeighbors/grid/devices=1000:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkRatio(results, spec); err != nil {
+		t.Fatalf("36x speedup failed a 5x floor: %v", err)
+	}
+	spec.min = 100
+	if err := checkRatio(results, spec); err == nil {
+		t.Fatal("36x speedup passed a 100x floor")
+	}
+	spec.slow = "BenchmarkGone"
+	if err := checkRatio(results, spec); err == nil {
+		t.Fatal("missing ratio benchmark not flagged")
+	}
+}
+
+func TestParseRatioRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"a:b", "a:b:zero", "a:b:-1", "a:b:c:d"} {
+		if _, err := parseRatio(bad); err == nil {
+			t.Fatalf("parseRatio(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMarshalIsSortedValidJSON(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if len(decoded) != len(results) {
+		t.Fatalf("round trip lost rows: %d != %d", len(decoded), len(results))
+	}
+	brute := strings.Index(string(data), "brute")
+	grid := strings.Index(string(data), "grid")
+	if brute == -1 || grid == -1 || brute > grid {
+		t.Fatalf("names not sorted:\n%s", data)
+	}
+}

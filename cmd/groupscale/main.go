@@ -9,6 +9,12 @@
 // Usage:
 //
 //	groupscale [-peers 1,2,4,8,16] [-scale FACTOR]
+//	groupscale -substrate [-peers 100,500,1000,2000]
+//
+// With -substrate it instead measures the radio substrate itself —
+// per-query neighbor-discovery cost, grid index vs brute force — at
+// thousand-device scale, where the full-stack experiment would be
+// dominated by protocol time.
 package main
 
 import (
@@ -26,7 +32,19 @@ func main() {
 	peersFlag := flag.String("peers", "1,2,4,8,16", "comma-separated peer counts")
 	scale := flag.Float64("scale", 1e-2, "latency scale: real seconds per modeled second")
 	churn := flag.Bool("churn", false, "also measure group churn vs. walking speed")
+	substrate := flag.Bool("substrate", false, "measure substrate neighbor queries (grid vs brute) instead of the full stack")
 	flag.Parse()
+
+	peersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "peers" {
+			peersSet = true
+		}
+	})
+	if *substrate && !peersSet {
+		// The substrate experiment is about thousand-device worlds.
+		*peersFlag = "100,500,1000,2000"
+	}
 
 	var counts []int
 	for _, f := range strings.Split(*peersFlag, ",") {
@@ -36,6 +54,20 @@ func main() {
 			os.Exit(2)
 		}
 		counts = append(counts, n)
+	}
+
+	if *substrate {
+		fmt.Println("Substrate neighbor-query scaling: per-query cost of one")
+		fmt.Println("neighborhood discovery (Bluetooth, constant density), spatial")
+		fmt.Println("grid index vs the brute-force per-pair oracle.")
+		fmt.Println()
+		points, err := harness.RunNeighborScale(counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groupscale:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatNeighborScale(points))
+		return
 	}
 
 	fmt.Println("Dynamic group discovery scaling (the thesis's proposed future work):")

@@ -1,0 +1,15 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain arms the goroutine-leak checker: a test that returns while
+// simulator goroutines (conn pumps, daemon loops, servers) are still
+// running has failed to tear its world down, and the next test inherits
+// load-dependent timing.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

@@ -3,10 +3,12 @@ package harness
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/ids"
+	"repro/internal/mobility"
 	"repro/internal/radio"
 	"repro/internal/scenario"
 	"repro/internal/vtime"
@@ -94,6 +96,118 @@ func runScalePoint(scale vtime.Scale, peers int) (ScalePoint, error) {
 		gather = 0
 	}
 	return ScalePoint{Peers: peers, Search: total, Gather: gather, Groups: len(groups)}, nil
+}
+
+// NeighborScalePoint is one row of the substrate-scaling experiment:
+// the cost of one neighborhood query — the paper's scaling primitive,
+// what every discovery round performs once per device — on the
+// grid-indexed path versus the brute-force per-pair oracle, at a given
+// world size.
+type NeighborScalePoint struct {
+	Devices int
+	// GridPerQuery is the wall cost of one grid-indexed Neighbors call,
+	// with the per-epoch world snapshot amortized over one query per
+	// device (one discovery round).
+	GridPerQuery time.Duration
+	// BrutePerQuery is the same for the brute-force oracle.
+	BrutePerQuery time.Duration
+	// Speedup is BrutePerQuery / GridPerQuery.
+	Speedup float64
+	// AvgNeighbors is the mean neighborhood size, a density sanity
+	// check.
+	AvgNeighbors float64
+}
+
+// neighborScaleEpochs is how many distinct query epochs each point
+// averages over; every epoch forces a fresh world snapshot, so the
+// grid figure honestly includes the snapshot build cost.
+const neighborScaleEpochs = 3
+
+// RunNeighborScale measures neighbor-query cost at each world size. The
+// world is a frozen-clock Bluetooth deployment at constant density
+// (~50 m² per device, ≈6 devices per 10 m cell), so growing the device
+// count grows the world, not the crowding — the regime where an O(n)
+// scan per query turns a discovery round quadratic.
+func RunNeighborScale(deviceCounts []int) ([]NeighborScalePoint, error) {
+	out := make([]NeighborScalePoint, 0, len(deviceCounts))
+	for _, n := range deviceCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("harness: neighbor scale: need at least one device, got %d", n)
+		}
+		clk := vtime.NewManual(time.Unix(0, 0))
+		env := radio.NewEnvironment(radio.WithClock(clk))
+		devs, err := placeUniform(env, n, int64(n))
+		if err != nil {
+			return nil, err
+		}
+
+		point := NeighborScalePoint{Devices: n}
+		var neighborSum int
+		sw := vtime.NewStopwatch(vtime.Real(), vtime.Identity())
+		for epoch := 0; epoch < neighborScaleEpochs; epoch++ {
+			for _, id := range devs {
+				neighborSum += len(env.Neighbors(id, radio.Bluetooth))
+			}
+			clk.Advance(time.Second)
+		}
+		point.GridPerQuery = sw.Elapsed() / time.Duration(neighborScaleEpochs*n)
+		sw.Restart()
+		for epoch := 0; epoch < neighborScaleEpochs; epoch++ {
+			for _, id := range devs {
+				_ = env.NeighborsBrute(id, radio.Bluetooth)
+			}
+			clk.Advance(time.Second)
+		}
+		point.BrutePerQuery = sw.Elapsed() / time.Duration(neighborScaleEpochs*n)
+		if point.GridPerQuery > 0 {
+			point.Speedup = float64(point.BrutePerQuery) / float64(point.GridPerQuery)
+		}
+		point.AvgNeighbors = float64(neighborSum) / float64(neighborScaleEpochs*n)
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// placeUniform fills the environment with n static Bluetooth devices
+// uniformly over a square sized for ~50 m² per device, seeded for
+// reproducibility.
+func placeUniform(env *radio.Environment, n int, seed int64) ([]ids.DeviceID, error) {
+	rng := rand.New(rand.NewSource(seed))
+	side := geoSide(n)
+	devs := make([]ids.DeviceID, n)
+	for i := range devs {
+		devs[i] = ids.DeviceIDf("dev-%04d", i)
+		at := geo.Pt(rng.Float64()*side, rng.Float64()*side)
+		if err := env.Add(devs[i], mobility.Static{At: at}, radio.Bluetooth); err != nil {
+			return nil, err
+		}
+	}
+	return devs, nil
+}
+
+// geoSide returns the square side holding n devices at ~50 m² each.
+func geoSide(n int) float64 {
+	side := 1.0
+	for side*side < float64(n)*50 {
+		side *= 1.1
+	}
+	return side
+}
+
+// FormatNeighborScale renders the substrate series as a table.
+func FormatNeighborScale(points []NeighborScalePoint) string {
+	header := []string{"Devices", "Grid/query", "Brute/query", "Speedup", "Avg neighbors"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Devices),
+			p.GridPerQuery.String(),
+			p.BrutePerQuery.String(),
+			fmt.Sprintf("%.1fx", p.Speedup),
+			fmt.Sprintf("%.1f", p.AvgNeighbors),
+		})
+	}
+	return FormatTable(header, rows)
 }
 
 // FormatDiscoveryScale renders the series as a table.

@@ -81,6 +81,12 @@ func (s *BroadcastSub) Close() {
 // copy is independently subject to the configured loss rate, and
 // subscribers with full buffers miss it. It returns the number of
 // copies delivered.
+//
+// Reachability of the whole target set is resolved with one
+// grid-indexed neighbor query at a single epoch instead of a per-pair
+// radio check per subscriber, so a discovery probe into a
+// thousand-subscriber world costs one O(occupancy) scan, not n
+// environment round trips.
 func (n *Network) SendBroadcast(from ids.DeviceID, tech radio.Technology, port string, payload []byte) (int, error) {
 	if !tech.Valid() {
 		return 0, fmt.Errorf("netsim: broadcast: invalid technology %v", tech)
@@ -119,12 +125,30 @@ func (n *Network) SendBroadcast(from ids.DeviceID, tech radio.Technology, port s
 	phy := n.env.PHY(tech)
 	n.sleepModeled(phy.TransferTime(len(payload)))
 
+	// Resolve every target's reachability at one post-transfer epoch:
+	// one neighbor-set query plus one partition snapshot replaces a
+	// linkUp round trip per subscriber.
+	reach := make(map[ids.DeviceID]bool)
+	for _, dev := range n.env.Neighbors(from, tech) {
+		reach[dev] = true
+	}
+	n.mu.Lock()
+	closed := n.closed
+	parted := make(map[devPair]bool, len(n.partitioned))
+	for p := range n.partitioned {
+		parted[p] = true
+	}
+	n.mu.Unlock()
+	if closed {
+		return 0, ErrNetworkClosed
+	}
+
 	delivered := 0
 	for i, tgt := range targets {
 		if drops[i] {
 			continue
 		}
-		if !n.linkUp(from, tgt.dev, tech) {
+		if !reach[tgt.dev] || parted[normPair(from, tgt.dev)] {
 			continue
 		}
 		msg := Broadcast{From: from, Tech: tech, Port: port, Payload: append([]byte(nil), payload...)}

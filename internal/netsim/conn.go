@@ -34,8 +34,9 @@ type Conn struct {
 	once    sync.Once
 }
 
-// newConnPair wires up both ends and starts their pumps and the shared
-// link watchdog. It returns (dialer end, listener end).
+// newConnPair wires up both ends and starts their pumps; registering
+// the dialer end with the network enrolls the pair in the shared link
+// sweep (Network.sweepLinks). It returns (dialer end, listener end).
 func newConnPair(n *Network, from, to ids.DeviceID, tech radio.Technology, port string) (*Conn, *Conn) {
 	a := &Conn{
 		net: n, local: from, remote: to, tech: tech, port: port,
@@ -53,7 +54,6 @@ func newConnPair(n *Network, from, to ids.DeviceID, tech radio.Technology, port 
 	n.trackConn(a)
 	go a.pump()
 	go b.pump()
-	go a.watchLink()
 	return a, b
 }
 
@@ -245,27 +245,6 @@ func (c *Conn) drainSendQ() {
 			c.pending.Done()
 		default:
 			return
-		}
-	}
-}
-
-// watchLink breaks the connection when the radio link dies while idle,
-// modeling PeerHood's observation that a monitored device has left.
-func (c *Conn) watchLink() {
-	interval := c.net.env.Scale().ToReal(linkCheckInterval)
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
-	for {
-		select {
-		case <-c.closed:
-			return
-		case <-c.net.env.Clock().After(interval):
-			if !c.net.linkUp(c.local, c.remote, c.tech) {
-				c.net.counters.linkFailures.Add(1)
-				c.failBoth(fmt.Errorf("%w: %s <-> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
-				return
-			}
 		}
 	}
 }

@@ -37,9 +37,9 @@ var (
 // when the queue is full, which models transmit-buffer backpressure.
 const sendQueueLen = 256
 
-// linkCheckInterval is the modeled interval at which established
-// connections verify the radio link still holds, so idle connections
-// notice separation too.
+// linkCheckInterval is the modeled interval at which the network's
+// shared link sweep verifies the radio link under every established
+// connection still holds, so idle connections notice separation too.
 const linkCheckInterval = time.Second
 
 // Network binds the transport to a radio environment.
@@ -53,7 +53,13 @@ type Network struct {
 	lossRate    float64
 	rng         *rand.Rand
 	closed      bool
-	conns       map[*Conn]bool // one end per live pair, for Close teardown
+	conns       map[*Conn]bool // one end per live pair, for sweep + Close teardown
+	sweeping    bool           // a sweepLinks goroutine is running
+
+	// sweepWake (capacity 1) nudges the link sweeper out of its timer
+	// wait when the network closes or the last connection dies, so the
+	// goroutine exits promptly even under a paused manual clock.
+	sweepWake chan struct{}
 
 	counters netCounters
 
@@ -108,6 +114,7 @@ func New(env *radio.Environment, seed int64) *Network {
 		rng:         rand.New(rand.NewSource(seed)),
 		txLocks:     make(map[txKey]*sync.Mutex),
 		conns:       make(map[*Conn]bool),
+		sweepWake:   make(chan struct{}, 1),
 	}
 }
 
@@ -116,8 +123,8 @@ func (n *Network) Environment() *radio.Environment { return n.env }
 
 // Close shuts the network down; existing connections break and new
 // operations fail. Breaking the connections (not just the listeners)
-// also stops their pump and watchdog goroutines, so a closed network
-// leaves nothing running.
+// also stops their pump goroutines and the shared link sweeper, so a
+// closed network leaves nothing running.
 func (n *Network) Close() {
 	n.mu.Lock()
 	n.closed = true
@@ -130,6 +137,7 @@ func (n *Network) Close() {
 		live = append(live, c)
 	}
 	n.conns = make(map[*Conn]bool)
+	n.kickSweeperLocked()
 	n.mu.Unlock()
 	// Outside the lock: failing a conn re-enters the network to
 	// deregister itself.
@@ -138,19 +146,79 @@ func (n *Network) Close() {
 	}
 }
 
-// trackConn registers one end of a new pair for Close teardown.
+// trackConn registers one end of a new pair for the link sweep and
+// Close teardown, starting the sweeper if it is not already running.
 func (n *Network) trackConn(c *Conn) {
 	n.mu.Lock()
 	n.conns[c] = true
+	start := !n.sweeping && !n.closed
+	if start {
+		n.sweeping = true
+	}
 	n.mu.Unlock()
+	if start {
+		go n.sweepLinks()
+	}
 }
 
 // dropConn removes a dead conn from the registry; no-op for the
-// untracked end of a pair.
+// untracked end of a pair. When the last conn goes, the sweeper is
+// nudged so it can retire instead of idling on its timer.
 func (n *Network) dropConn(c *Conn) {
 	n.mu.Lock()
 	delete(n.conns, c)
+	if len(n.conns) == 0 {
+		n.kickSweeperLocked()
+	}
 	n.mu.Unlock()
+}
+
+// kickSweeperLocked wakes the link sweeper without blocking; callers
+// hold n.mu. The capacity-1 channel coalesces pending kicks.
+func (n *Network) kickSweeperLocked() {
+	select {
+	case n.sweepWake <- struct{}{}:
+	default:
+	}
+}
+
+// sweepLinks is the shared link watchdog: a single goroutine per
+// Network that, every modeled linkCheckInterval, checks the radio link
+// under every live connection and fails the dead ones with ErrLinkLost
+// — the O(1)-goroutine replacement for the per-connection watchdog
+// tickers the simulator started out with, which capped it at tens of
+// devices. It exits when the network closes or the last connection
+// dies, and trackConn restarts it for the next connection.
+func (n *Network) sweepLinks() {
+	interval := n.env.Scale().ToReal(linkCheckInterval)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for {
+		select {
+		case <-n.env.Clock().After(interval):
+		case <-n.sweepWake:
+		}
+		n.mu.Lock()
+		if n.closed || len(n.conns) == 0 {
+			n.sweeping = false
+			n.mu.Unlock()
+			return
+		}
+		live := make([]*Conn, 0, len(n.conns))
+		for c := range n.conns {
+			live = append(live, c)
+		}
+		n.mu.Unlock()
+		// Outside the lock: linkUp re-enters n.mu and failing a conn
+		// re-enters the network to deregister itself.
+		for _, c := range live {
+			if !n.linkUp(c.local, c.remote, c.tech) {
+				n.counters.linkFailures.Add(1)
+				c.failBoth(fmt.Errorf("%w: %s <-> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
+			}
+		}
+	}
 }
 
 // Partition severs all traffic between two devices regardless of radio

@@ -1,0 +1,277 @@
+package netsim
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// countGoroutinesIn returns how many live goroutines have the given
+// function in their stack.
+func countGoroutinesIn(fn string) int {
+	buf := make([]byte, 1<<22)
+	n := runtime.Stack(buf, true)
+	return strings.Count(string(buf[:n]), fn)
+}
+
+// TestLinkSweepIsSharedAcrossConnections is the O(1)-watchdog proof:
+// with 500 idle connections open, exactly one sweepLinks goroutine is
+// running — the goroutine count per connection is the two pumps, not a
+// per-connection watchdog ticker.
+func TestLinkSweepIsSharedAcrossConnections(t *testing.T) {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := New(env, 1)
+	defer net.Close()
+	addStatic(t, env, "srv", geo.Pt(0, 0), radio.WLAN)
+	addStatic(t, env, "cli", geo.Pt(5, 0), radio.WLAN)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	l, err := net.Listen("srv", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const idleConns = 500
+	accepted := make(chan *Conn, idleConns)
+	go func() {
+		for {
+			c, err := l.Accept(ctx)
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	conns := make([]*Conn, 0, idleConns)
+	for i := 0; i < idleConns; i++ {
+		c, err := net.Dial(ctx, "cli", "srv", radio.WLAN, "svc")
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Abort()
+		}
+	}()
+
+	if got := countGoroutinesIn(".sweepLinks"); got != 1 {
+		t.Fatalf("sweepLinks goroutines with %d idle conns = %d, want exactly 1", idleConns, got)
+	}
+	// Sanity: the pumps really are per-connection, so the sweep being
+	// shared is not an artifact of nothing running at all.
+	if got := countGoroutinesIn("(*Conn).pump"); got < idleConns {
+		t.Fatalf("pump goroutines = %d, want >= %d", got, idleConns)
+	}
+}
+
+// TestSweepRetiresWhenIdleAndRestarts verifies the sweeper's lifecycle:
+// it exits once the last connection dies and a later dial starts a
+// fresh one.
+func TestSweepRetiresWhenIdleAndRestarts(t *testing.T) {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-4)))
+	net := New(env, 1)
+	defer net.Close()
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.WLAN)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.WLAN)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	l, err := net.Listen("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(ctx); err != nil {
+				return
+			}
+		}
+	}()
+
+	dialOnce := func() {
+		t.Helper()
+		c, err := net.Dial(ctx, "a", "b", radio.WLAN, "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Abort()
+	}
+	dialOnce()
+	waitFor := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for countGoroutinesIn(".sweepLinks") != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: sweepLinks goroutines = %d, want %d",
+					what, countGoroutinesIn(".sweepLinks"), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(0, "after last conn died")
+	c, err := net.Dial(ctx, "a", "b", radio.WLAN, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(1, "after redial")
+	c.Abort()
+}
+
+// TestSweepBreaksIdleConnOnDeparture re-pins the ErrLinkLost semantics
+// the per-connection watchdog used to provide: an idle connection whose
+// peer walks out of range fails with ErrLinkLost on both ends.
+func TestSweepBreaksIdleConnOnDeparture(t *testing.T) {
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-3)))
+	net := New(env, 1)
+	defer net.Close()
+	addStatic(t, env, "a", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "b", geo.Pt(5, 0), radio.Bluetooth)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	l, err := net.Listen("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acceptCh := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept(ctx)
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	c, err := net.Dial(ctx, "a", "b", radio.Bluetooth, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acceptCh
+
+	// The peer walks away; neither end sends anything.
+	if err := env.SetModel("b", mobility.Static{At: geo.Pt(1000, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, end := range []*Conn{c, server} {
+		if _, err := end.Recv(ctx); err == nil || !strings.Contains(err.Error(), "link lost") {
+			t.Fatalf("idle conn error = %v, want ErrLinkLost", err)
+		}
+	}
+}
+
+// TestBroadcastTargetsMatchPerPairOracle is the broadcast half of the
+// differential suite: over seeded randomized worlds the grid-backed
+// target selection must deliver to exactly the subscribers the per-pair
+// linkUp oracle admits (loss disabled, buffers empty, so delivery is
+// deterministic).
+func TestBroadcastTargetsMatchPerPairOracle(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clk := vtime.NewManual(time.Unix(0, 0))
+		env := radio.NewEnvironment(radio.WithClock(clk))
+		net := New(env, seed)
+
+		area := 30 + rng.Float64()*150
+		n := 5 + rng.Intn(30)
+		devs := make([]ids.DeviceID, 0, n)
+		for i := 0; i < n; i++ {
+			id := ids.DeviceIDf("d%03d", i)
+			techs := []radio.Technology{radio.Bluetooth, radio.WLAN, radio.GPRS}[:1+rng.Intn(3)]
+			at := geo.Pt(rng.Float64()*area, rng.Float64()*area)
+			if err := env.Add(id, mobility.Static{At: at}, techs...); err != nil {
+				t.Fatal(err)
+			}
+			devs = append(devs, id)
+		}
+		subs := make(map[ids.DeviceID]*BroadcastSub)
+		for _, id := range devs {
+			if rng.Intn(4) == 0 {
+				continue // not everyone subscribes
+			}
+			s, err := net.SubscribeBroadcast(id, "disc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs[id] = s
+		}
+		for _, id := range devs {
+			if rng.Intn(6) == 0 {
+				if err := env.SetPowered(id, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rng.Intn(6) == 0 {
+				if err := env.SetCoverage(id, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if rng.Intn(2) == 0 {
+			net.Partition(devs[rng.Intn(n)], devs[rng.Intn(n)])
+		}
+
+		// sleepModeled parks on the manual clock; advance it from the
+		// side so SendBroadcast completes. The world is static and all
+		// toggles happened above, so reachability is time-invariant and
+		// the concurrent advancing cannot change the target set.
+		stop := make(chan struct{})
+		advancerDone := make(chan struct{})
+		go func() {
+			defer close(advancerDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					clk.Advance(100 * time.Millisecond)
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+
+		for _, tech := range radio.AllTechnologies() {
+			from := devs[rng.Intn(n)]
+			delivered, err := net.SendBroadcast(from, tech, "disc", []byte("probe"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[ids.DeviceID]bool)
+			for id := range subs {
+				if net.linkUp(from, id, tech) {
+					want[id] = true
+				}
+			}
+			if delivered != len(want) {
+				t.Fatalf("seed %d tech %v: delivered %d copies, oracle wants %d", seed, tech, delivered, len(want))
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			for id, s := range subs {
+				if !want[id] {
+					continue
+				}
+				b, err := s.Recv(ctx)
+				if err != nil {
+					t.Fatalf("seed %d tech %v: subscriber %s missing its copy: %v", seed, tech, id, err)
+				}
+				if b.From != from || b.Tech != tech {
+					t.Fatalf("seed %d: wrong datagram %+v", seed, b)
+				}
+			}
+			cancel()
+		}
+		close(stop)
+		<-advancerDone
+		net.Close()
+	}
+}

@@ -36,6 +36,12 @@ type Environment struct {
 	mu      sync.RWMutex
 	phys    map[Technology]PHY
 	devices map[ids.DeviceID]*device
+	gen     uint64 // bumped under mu by every world mutation
+
+	// viewMu guards the per-technology query-epoch snapshot cache (see
+	// grid.go for the snapshot rule).
+	viewMu sync.Mutex
+	views  map[Technology]*worldView
 }
 
 type device struct {
@@ -70,6 +76,7 @@ func NewEnvironment(opts ...Option) *Environment {
 		scale:   vtime.Identity(),
 		phys:    make(map[Technology]PHY),
 		devices: make(map[ids.DeviceID]*device),
+		views:   make(map[Technology]*worldView),
 	}
 	for _, t := range AllTechnologies() {
 		e.phys[t] = DefaultPHY(t)
@@ -122,6 +129,7 @@ func (e *Environment) Add(id ids.DeviceID, model mobility.Model, techs ...Techno
 		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
 	}
 	e.devices[id] = &device{model: model, radios: radios, powered: true, coverage: true}
+	e.gen++
 	return nil
 }
 
@@ -130,6 +138,7 @@ func (e *Environment) Remove(id ids.DeviceID) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.devices, id)
+	e.gen++
 }
 
 // SetPowered turns a device's radios on or off; a powered-off device is
@@ -142,6 +151,7 @@ func (e *Environment) SetPowered(id ids.DeviceID, on bool) error {
 		return fmt.Errorf("%w: %q", ErrUnknownDevice, id)
 	}
 	d.powered = on
+	e.gen++
 	return nil
 }
 
@@ -155,6 +165,7 @@ func (e *Environment) SetCoverage(id ids.DeviceID, covered bool) error {
 		return fmt.Errorf("%w: %q", ErrUnknownDevice, id)
 	}
 	d.coverage = covered
+	e.gen++
 	return nil
 }
 
@@ -172,6 +183,7 @@ func (e *Environment) SetModel(id ids.DeviceID, model mobility.Model) error {
 		return fmt.Errorf("%w: %q", ErrUnknownDevice, id)
 	}
 	d.model = model
+	e.gen++
 	return nil
 }
 
@@ -219,8 +231,17 @@ func (e *Environment) PositionAt(id ids.DeviceID, elapsed time.Duration) (geo.Po
 // Reachable reports whether a message can pass from a to b over the
 // given technology right now: both devices exist, are powered, carry
 // the radio, and are within the PHY range (or covered, for cellular).
+// A single pair check is O(1), so it stays on the direct per-pair path;
+// mobility models are deterministic functions of elapsed time, so at
+// any epoch Reachable(a, b) agrees exactly with b's membership in the
+// grid-indexed Neighbors(a) (asserted by the differential suite).
 func (e *Environment) Reachable(a, b ids.DeviceID, tech Technology) bool {
-	return e.reachableAt(a, b, tech, e.Elapsed())
+	return e.ReachableAt(a, b, tech, e.Elapsed())
+}
+
+// ReachableAt is Reachable at an explicit modeled elapsed time.
+func (e *Environment) ReachableAt(a, b ids.DeviceID, tech Technology, elapsed time.Duration) bool {
+	return e.reachableAt(a, b, tech, elapsed)
 }
 
 // deviceSnapshot copies the mutable device fields under the lock so
@@ -272,9 +293,33 @@ func (e *Environment) reachableAt(a, b ids.DeviceID, tech Technology, elapsed ti
 }
 
 // Neighbors returns the devices currently reachable from id over the
-// given technology, sorted by device ID for determinism.
+// given technology, sorted by device ID for determinism. The query runs
+// against the grid-indexed epoch snapshot (grid.go): O(cell occupancy)
+// per call, with the O(n) position snapshot amortized over every query
+// in the same epoch. NeighborsBrute is the O(n) oracle it is verified
+// against.
 func (e *Environment) Neighbors(id ids.DeviceID, tech Technology) []ids.DeviceID {
-	elapsed := e.Elapsed()
+	return e.NeighborsAt(id, tech, e.Elapsed())
+}
+
+// NeighborsAt answers a Neighbors query at an explicit modeled elapsed
+// time, letting callers pin many queries to one epoch so they share a
+// single world snapshot (one discovery round = one epoch).
+func (e *Environment) NeighborsAt(id ids.DeviceID, tech Technology, elapsed time.Duration) []ids.DeviceID {
+	return e.view(tech, elapsed).neighborsInView(id)
+}
+
+// NeighborsBrute is the brute-force O(n) per-pair neighbor scan the
+// grid index replaced. It is retained as the differential-testing
+// oracle: the property suite and BenchmarkNeighbors assert the grid
+// path returns byte-identical results at a fraction of the cost.
+func (e *Environment) NeighborsBrute(id ids.DeviceID, tech Technology) []ids.DeviceID {
+	return e.NeighborsBruteAt(id, tech, e.Elapsed())
+}
+
+// NeighborsBruteAt is NeighborsBrute at an explicit modeled elapsed
+// time.
+func (e *Environment) NeighborsBruteAt(id ids.DeviceID, tech Technology, elapsed time.Duration) []ids.DeviceID {
 	e.mu.RLock()
 	self, ok := e.snapshotLocked(id, tech)
 	all := make([]ids.DeviceID, 0, len(e.devices))

@@ -1,0 +1,174 @@
+package radio
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+)
+
+// This file implements the spatial index behind Neighbors: a uniform
+// grid over the simulation plane whose cell side equals the PHY range,
+// so a range query only inspects the 3x3 block of cells around the
+// querying device instead of every device in the world.
+//
+// The query-epoch snapshot rule: a worldView freezes every device's
+// state and position for one (technology, modeled elapsed) pair. All
+// positions are evaluated exactly once per epoch — not once per pair as
+// the brute-force oracle does — and the view is cached, so the many
+// Neighbors queries of one discovery round (every daemon scanning at
+// the same modeled instant) share a single O(n) snapshot and each pay
+// only the O(occupancy) cell scan. Any world mutation (Add, Remove,
+// SetPowered, SetCoverage, SetModel) bumps a generation counter that
+// invalidates the cache, so a view can never serve stale state: a
+// cached view is reused only when both the modeled time and the
+// generation match, which makes the grid path answer-for-answer
+// identical to the brute-force oracle (the differential property suite
+// asserts byte-identical results over randomized worlds).
+
+// cellKey addresses one square cell of the uniform grid.
+type cellKey struct {
+	x, y int64
+}
+
+// viewDevice is one device's frozen state inside a worldView.
+type viewDevice struct {
+	pos      geo.Point
+	powered  bool
+	coverage bool
+	hasRadio bool
+}
+
+// worldView is an immutable snapshot of the world for one technology at
+// one query epoch. Once built it is read without locks.
+type worldView struct {
+	elapsed time.Duration
+	gen     uint64
+	phy     PHY
+	valid   bool // the technology has a PHY at all
+	devs    map[ids.DeviceID]viewDevice
+	// grid holds only devices eligible to carry traffic (powered, radio
+	// present); nil for unlimited-range technologies.
+	grid map[cellKey][]ids.DeviceID
+	cell float64
+}
+
+// cellOf maps a position to its grid cell for the given cell side.
+func cellOf(p geo.Point, cell float64) cellKey {
+	return cellKey{x: int64(math.Floor(p.X / cell)), y: int64(math.Floor(p.Y / cell))}
+}
+
+// view returns the snapshot for (tech, elapsed), reusing the cached one
+// when neither the modeled time nor the world generation has changed.
+// Concurrent builders may race benignly: views for the same epoch and
+// generation are identical, so last-writer-wins caching is safe.
+func (e *Environment) view(tech Technology, elapsed time.Duration) *worldView {
+	e.mu.RLock()
+	gen := e.gen
+	e.mu.RUnlock()
+	e.viewMu.Lock()
+	v := e.views[tech]
+	e.viewMu.Unlock()
+	if v != nil && v.elapsed == elapsed && v.gen == gen {
+		return v
+	}
+	v = e.buildView(tech, elapsed)
+	e.viewMu.Lock()
+	e.views[tech] = v
+	e.viewMu.Unlock()
+	return v
+}
+
+// buildView takes the O(n) snapshot: device states are copied under the
+// read lock, then positions are evaluated outside it (mobility models
+// do their own locking and memoization).
+func (e *Environment) buildView(tech Technology, elapsed time.Duration) *worldView {
+	type devCopy struct {
+		id       ids.DeviceID
+		model    mobility.Model
+		powered  bool
+		coverage bool
+		hasRadio bool
+	}
+	e.mu.RLock()
+	gen := e.gen
+	phy, valid := e.phys[tech]
+	copies := make([]devCopy, 0, len(e.devices))
+	for id, d := range e.devices {
+		copies = append(copies, devCopy{
+			id: id, model: d.model,
+			powered: d.powered, coverage: d.coverage, hasRadio: d.radios[tech],
+		})
+	}
+	e.mu.RUnlock()
+
+	v := &worldView{
+		elapsed: elapsed,
+		gen:     gen,
+		phy:     phy,
+		valid:   valid,
+		devs:    make(map[ids.DeviceID]viewDevice, len(copies)),
+		cell:    phy.Range,
+	}
+	ranged := valid && !phy.Unlimited()
+	if ranged {
+		v.grid = make(map[cellKey][]ids.DeviceID, len(copies))
+	}
+	for _, c := range copies {
+		pos := c.model.Position(elapsed)
+		v.devs[c.id] = viewDevice{pos: pos, powered: c.powered, coverage: c.coverage, hasRadio: c.hasRadio}
+		if ranged && c.powered && c.hasRadio {
+			k := cellOf(pos, v.cell)
+			v.grid[k] = append(v.grid[k], c.id)
+		}
+	}
+	return v
+}
+
+// neighborsInView answers a Neighbors query against a frozen view. For
+// ranged technologies only the 3x3 cell block around the querying
+// device is scanned — a cell side equal to the range guarantees every
+// device within range lies in that block. The distance predicate is the
+// same `<= Range` the brute-force oracle applies, so the two paths
+// agree exactly, boundary cases included.
+func (v *worldView) neighborsInView(id ids.DeviceID) []ids.DeviceID {
+	if !v.valid {
+		return nil
+	}
+	self, ok := v.devs[id]
+	if !ok || !self.powered || !self.hasRadio {
+		return nil
+	}
+	var out []ids.DeviceID
+	if v.phy.Unlimited() {
+		// Cellular: geometric position is irrelevant; coverage matters.
+		if !self.coverage {
+			return nil
+		}
+		for other, od := range v.devs {
+			if other == id || !od.powered || !od.hasRadio || !od.coverage {
+				continue
+			}
+			out = append(out, other)
+		}
+	} else {
+		c := cellOf(self.pos, v.cell)
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, other := range v.grid[cellKey{x: c.x + dx, y: c.y + dy}] {
+					if other == id {
+						continue
+					}
+					if self.pos.DistanceTo(v.devs[other].pos) <= v.phy.Range {
+						out = append(out, other)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
