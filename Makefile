@@ -6,16 +6,19 @@
 GO ?= go
 
 # The substrate benchmarks and the invariants the committed
-# BENCH_netsim.json baseline pins: the named benchmarks must exist, and
-# the grid index must beat brute-force neighbor scans by >= 5x at 1000
-# devices.
+# BENCH_netsim.json baseline pins: the named benchmarks must exist, the
+# grid index must beat brute-force neighbor scans by >= 5x at 1000
+# devices, and the fault-injection hooks must cost the fault-free path
+# at most ~5% (plain:zerofault floors of 0.95 — a zero-rate plan is
+# byte-identical in behavior, so any real slowdown is pure hook
+# overhead).
 BENCH_PATTERN = ^(BenchmarkNeighbors|BenchmarkBroadcastFanout|BenchmarkScaleDiscovery)$$
-BENCH_REQUIRE = BenchmarkNeighbors/grid/devices=1000,BenchmarkNeighbors/brute/devices=1000,BenchmarkBroadcastFanout/devices=1000,BenchmarkScaleDiscovery/peers=1000,BenchmarkScaleDiscovery/peers=2000
-BENCH_RATIO   = BenchmarkNeighbors/brute/devices=1000:BenchmarkNeighbors/grid/devices=1000:5
+BENCH_REQUIRE = BenchmarkNeighbors/grid/devices=1000,BenchmarkNeighbors/brute/devices=1000,BenchmarkNeighbors/zerofault/devices=1000,BenchmarkBroadcastFanout/devices=1000,BenchmarkBroadcastFanout/zerofault/devices=1000,BenchmarkScaleDiscovery/peers=1000,BenchmarkScaleDiscovery/peers=2000
+BENCH_RATIO   = BenchmarkNeighbors/brute/devices=1000:BenchmarkNeighbors/grid/devices=1000:5,BenchmarkNeighbors/grid/devices=1000:BenchmarkNeighbors/zerofault/devices=1000:0.95,BenchmarkBroadcastFanout/devices=1000:BenchmarkBroadcastFanout/zerofault/devices=1000:0.95
 
-.PHONY: verify build vet phvet test race bench bench-json bench-smoke
+.PHONY: verify build vet phvet test race chaos bench bench-json bench-smoke
 
-verify: build vet phvet race bench-smoke
+verify: build vet phvet race chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,13 +35,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# chaos runs the seeded fault-injection suite twice under the race
+# detector: -count=2 re-runs every scenario from the same seeds, so a
+# pass also demonstrates replay determinism end to end.
+chaos:
+	$(GO) test -race -count=2 -run 'TestChaos|TestZeroScenario' ./internal/simtest/
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # bench-json regenerates the committed substrate baseline and enforces
-# the grid-vs-brute speedup floor. Run it on a quiet machine.
+# the speedup/overhead floors. Run it on a quiet machine. -count=5
+# repeats every benchmark; benchjson folds the repeats by median, which
+# keeps one warmup or scheduler hiccup from deciding a ratio check.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 100x . > bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 500x -count=5 . > bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_netsim.json -require '$(BENCH_REQUIRE)' -ratio '$(BENCH_RATIO)' < bench.out
 	rm -f bench.out
 

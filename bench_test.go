@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/community"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/harness"
 	"repro/internal/ids"
@@ -536,21 +537,26 @@ func placeBenchDevices(b *testing.B, env *radio.Environment, n int, tech radio.T
 // grid index against the brute-force per-pair oracle across world
 // sizes. The clock is frozen, so the grid path amortizes one world
 // snapshot across all iterations — the discovery-round access pattern.
-// BENCH_netsim.json pins grid ≥ 5x brute at 1000 devices.
+// BENCH_netsim.json pins grid ≥ 5x brute at 1000 devices, and the
+// zerofault mode (grid path with a zero-rate fault plan installed) pins
+// the fault hooks' overhead on the fault-free fast path.
 func BenchmarkNeighbors(b *testing.B) {
-	for _, mode := range []string{"grid", "brute"} {
+	for _, mode := range []string{"grid", "brute", "zerofault"} {
 		for _, n := range []int{100, 500, 1000, 2000} {
 			b.Run(fmt.Sprintf("%s/devices=%d", mode, n), func(b *testing.B) {
 				clk := vtime.NewManual(time.Unix(0, 0))
 				env := radio.NewEnvironment(radio.WithClock(clk))
 				devs := placeBenchDevices(b, env, n, radio.Bluetooth)
+				if mode == "zerofault" {
+					env.SetInquiryFaults(faults.New(int64(n)))
+				}
 				env.Neighbors(devs[0], radio.Bluetooth) // build the epoch snapshot
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if mode == "grid" {
-						env.Neighbors(devs[i%n], radio.Bluetooth)
-					} else {
+					if mode == "brute" {
 						env.NeighborsBrute(devs[i%n], radio.Bluetooth)
+					} else {
+						env.Neighbors(devs[i%n], radio.Bluetooth)
 					}
 				}
 			})
@@ -560,28 +566,37 @@ func BenchmarkNeighbors(b *testing.B) {
 
 // BenchmarkBroadcastFanout measures a discovery probe into a fully
 // subscribed world: one SendBroadcast resolving its whole target set
-// with a single grid query.
+// with a single grid query. The zerofault mode installs a zero-rate
+// fault plan so BENCH_netsim.json can pin the per-target fault check's
+// overhead on the fault-free path.
 func BenchmarkBroadcastFanout(b *testing.B) {
+	run := func(b *testing.B, n int, plan *faults.Plan) {
+		env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-6)))
+		net := netsim.New(env, int64(n))
+		b.Cleanup(net.Close)
+		net.SetFaults(plan)
+		devs := placeBenchDevices(b, env, n, radio.WLAN)
+		for _, id := range devs {
+			sub, err := net.SubscribeBroadcast(id, "disc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(sub.Close)
+		}
+		payload := []byte("probe")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.SendBroadcast(devs[i%n], radio.WLAN, "disc", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	for _, n := range []int{100, 500, 1000} {
 		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) {
-			env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-6)))
-			net := netsim.New(env, int64(n))
-			b.Cleanup(net.Close)
-			devs := placeBenchDevices(b, env, n, radio.WLAN)
-			for _, id := range devs {
-				sub, err := net.SubscribeBroadcast(id, "disc")
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.Cleanup(sub.Close)
-			}
-			payload := []byte("probe")
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := net.SendBroadcast(devs[i%n], radio.WLAN, "disc", payload); err != nil {
-					b.Fatal(err)
-				}
-			}
+			run(b, n, nil)
+		})
+		b.Run(fmt.Sprintf("zerofault/devices=%d", n), func(b *testing.B) {
+			run(b, n, faults.New(int64(n)))
 		})
 	}
 }

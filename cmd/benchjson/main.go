@@ -7,12 +7,14 @@
 // Usage:
 //
 //	go test -bench ... -benchmem | benchjson -o BENCH_netsim.json \
-//	    -require Name1,Name2 -ratio SlowName:FastName:minSpeedup
+//	    -require Name1,Name2 -ratio Slow1:Fast1:min1,Slow2:Fast2:min2
 //
 // -require takes comma-separated benchmark-name prefixes; benchjson
-// fails if any prefix matches no parsed benchmark. -ratio fails unless
-// ns/op(Slow) / ns/op(Fast) >= minSpeedup; both names must resolve to
-// exactly one benchmark each.
+// fails if any prefix matches no parsed benchmark. -ratio takes
+// comma-separated SLOW:FAST:MIN constraints and fails unless every one
+// holds: ns/op(SLOW) / ns/op(FAST) >= MIN. A MIN below 1 bounds
+// overhead instead of requiring speedup — e.g. PLAIN:INSTRUMENTED:0.95
+// allows the instrumented path at most ~5% slack over the plain one.
 package main
 
 import (
@@ -42,8 +44,12 @@ type Result struct {
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseBench reads `go test -bench` output and returns name → Result.
+// Repeated names — a `-count=N` run — are aggregated per field by
+// median, which shrugs off the first-run warmup outlier that a mean
+// (or last-wins) would let poison a ratio check; their iteration
+// counts are summed.
 func parseBench(r io.Reader) (map[string]Result, error) {
-	out := make(map[string]Result)
+	samples := make(map[string][]Result)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -80,15 +86,48 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 		if res.NsPerOp == 0 {
 			return nil, fmt.Errorf("benchjson: %q: no ns/op figure in %q", name, line)
 		}
-		out[name] = res
+		samples[name] = append(samples[name], res)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(out) == 0 {
+	if len(samples) == 0 {
 		return nil, fmt.Errorf("benchjson: no benchmark lines in input")
 	}
+	out := make(map[string]Result, len(samples))
+	for name, runs := range samples {
+		out[name] = aggregate(runs)
+	}
 	return out, nil
+}
+
+// aggregate folds one benchmark's repeated runs into a single Result.
+func aggregate(runs []Result) Result {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	pick := func(get func(Result) float64) float64 {
+		vs := make([]float64, len(runs))
+		for i, r := range runs {
+			vs[i] = get(r)
+		}
+		sort.Float64s(vs)
+		mid := len(vs) / 2
+		if len(vs)%2 == 1 {
+			return vs[mid]
+		}
+		return (vs[mid-1] + vs[mid]) / 2
+	}
+	var iters int64
+	for _, r := range runs {
+		iters += r.Iterations
+	}
+	return Result{
+		Iterations:  iters,
+		NsPerOp:     pick(func(r Result) float64 { return r.NsPerOp }),
+		BytesPerOp:  pick(func(r Result) float64 { return r.BytesPerOp }),
+		AllocsPerOp: pick(func(r Result) float64 { return r.AllocsPerOp }),
+	}
 }
 
 // checkRequire fails if any required name prefix matches nothing.
@@ -128,6 +167,26 @@ func parseRatio(s string) (ratioSpec, error) {
 		return ratioSpec{}, fmt.Errorf("benchjson: -ratio minimum %q is not a positive number", parts[2])
 	}
 	return ratioSpec{slow: parts[0], fast: parts[1], min: min}, nil
+}
+
+// parseRatios splits a comma-separated -ratio value into its specs.
+func parseRatios(s string) ([]ratioSpec, error) {
+	var specs []ratioSpec
+	for _, one := range strings.Split(s, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		spec, err := parseRatio(one)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("benchjson: -ratio value %q holds no constraints", s)
+	}
+	return specs, nil
 }
 
 func checkRatio(results map[string]Result, spec ratioSpec) error {
@@ -177,7 +236,7 @@ func marshal(results map[string]Result) ([]byte, error) {
 func main() {
 	out := flag.String("o", "BENCH_netsim.json", "output path for the JSON baseline")
 	require := flag.String("require", "", "comma-separated benchmark-name prefixes that must be present")
-	ratio := flag.String("ratio", "", "SLOW:FAST:MIN — fail unless ns/op(SLOW)/ns/op(FAST) >= MIN")
+	ratio := flag.String("ratio", "", "comma-separated SLOW:FAST:MIN constraints — fail unless every ns/op(SLOW)/ns/op(FAST) >= MIN")
 	flag.Parse()
 
 	results, err := parseBench(os.Stdin)
@@ -192,14 +251,16 @@ func main() {
 		}
 	}
 	if *ratio != "" {
-		spec, err := parseRatio(*ratio)
+		specs, err := parseRatios(*ratio)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := checkRatio(results, spec); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		for _, spec := range specs {
+			if err := checkRatio(results, spec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 	data, err := marshal(results)

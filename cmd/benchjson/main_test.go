@@ -39,6 +39,31 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// A -count=N run repeats every name; the parser must fold the repeats
+// by median so one warmup outlier can't skew a ratio check.
+func TestParseBenchAggregatesRepeatsByMedian(t *testing.T) {
+	repeated := `BenchmarkX-8	100	9000 ns/op	100 B/op	2 allocs/op
+BenchmarkX-8	100	1000 ns/op	100 B/op	2 allocs/op
+BenchmarkX-8	100	1100 ns/op	120 B/op	2 allocs/op
+BenchmarkX-8	100	1050 ns/op	110 B/op	2 allocs/op
+BenchmarkX-8	100	1075 ns/op	100 B/op	2 allocs/op
+`
+	results, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := results["BenchmarkX"]
+	if x.NsPerOp != 1075 {
+		t.Fatalf("median ns/op = %v, want 1075 (the 9000 warmup outlier must not dominate)", x.NsPerOp)
+	}
+	if x.Iterations != 500 {
+		t.Fatalf("iterations = %d, want the 500 total", x.Iterations)
+	}
+	if x.BytesPerOp != 100 || x.AllocsPerOp != 2 {
+		t.Fatalf("allocation medians misfolded: %+v", x)
+	}
+}
+
 func TestParseBenchRejectsEmpty(t *testing.T) {
 	if _, err := parseBench(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
 		t.Fatal("want error for input with no benchmark lines")
@@ -85,6 +110,43 @@ func TestParseRatioRejectsMalformed(t *testing.T) {
 		if _, err := parseRatio(bad); err == nil {
 			t.Fatalf("parseRatio(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseRatiosCommaSeparated(t *testing.T) {
+	specs, err := parseRatios("a:b:5, c:d:0.95 ,e:f:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs, want 3: %+v", len(specs), specs)
+	}
+	if specs[1].slow != "c" || specs[1].fast != "d" || specs[1].min != 0.95 {
+		t.Fatalf("second spec misparsed: %+v", specs[1])
+	}
+	if _, err := parseRatios("a:b:5,bad"); err == nil {
+		t.Fatal("malformed trailing spec accepted")
+	}
+	if _, err := parseRatios(" , "); err == nil {
+		t.Fatal("empty spec list accepted")
+	}
+}
+
+// A sub-1 minimum bounds instrumentation overhead: the "slow" name is
+// the plain path and the constraint caps how much slower the
+// instrumented one may be.
+func TestCheckRatioOverheadBound(t *testing.T) {
+	results := map[string]Result{
+		"BenchPlain":     {Iterations: 100, NsPerOp: 1000},
+		"BenchZeroFault": {Iterations: 100, NsPerOp: 1030},
+	}
+	spec := ratioSpec{slow: "BenchPlain", fast: "BenchZeroFault", min: 0.95}
+	if err := checkRatio(results, spec); err != nil {
+		t.Fatalf("3%% overhead failed a 0.95 floor: %v", err)
+	}
+	results["BenchZeroFault"] = Result{Iterations: 100, NsPerOp: 1200}
+	if err := checkRatio(results, spec); err == nil {
+		t.Fatal("20% overhead passed a 0.95 floor")
 	}
 }
 

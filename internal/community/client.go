@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ids"
@@ -45,6 +46,42 @@ type Client struct {
 	resolved map[ids.MemberID]ids.DeviceID
 	rec      *msc.Recorder
 	closed   bool
+
+	counters clientCounters
+}
+
+// ClientStats counts the client's transport experience, so experiments
+// can see how gracefully it degraded under faults: a failed call inside
+// a fan-out does not fail the operation, it just marks the fan-out
+// degraded.
+type ClientStats struct {
+	// CallsAttempted counts request/response exchanges started.
+	CallsAttempted uint64
+	// CallsFailed counts exchanges that returned a transport or
+	// decoding error after RobustConn's retries were exhausted.
+	CallsFailed uint64
+	// FanoutsRun counts parallel all-neighbor request rounds.
+	FanoutsRun uint64
+	// FanoutsDegraded counts fan-outs where at least one device failed
+	// to answer and the operation proceeded on partial results.
+	FanoutsDegraded uint64
+}
+
+type clientCounters struct {
+	callsAttempted  atomic.Uint64
+	callsFailed     atomic.Uint64
+	fanoutsRun      atomic.Uint64
+	fanoutsDegraded atomic.Uint64
+}
+
+// Stats returns a snapshot of the client's transport counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		CallsAttempted:  c.counters.callsAttempted.Load(),
+		CallsFailed:     c.counters.callsFailed.Load(),
+		FanoutsRun:      c.counters.fanoutsRun.Load(),
+		FanoutsDegraded: c.counters.fanoutsDegraded.Load(),
+	}
 }
 
 // NewClient builds a client for the logged-in user of the device's
@@ -164,8 +201,10 @@ func (c *Client) dropConn(dev ids.DeviceID) {
 // call performs one request/response with a device, recording the MSC
 // arrows.
 func (c *Client) call(ctx context.Context, dev ids.DeviceID, req Request) (Response, error) {
+	c.counters.callsAttempted.Add(1)
 	rc, err := c.conn(ctx, dev)
 	if err != nil {
+		c.counters.callsFailed.Add(1)
 		return Response{}, err
 	}
 	rec := c.recorder()
@@ -173,10 +212,14 @@ func (c *Client) call(ctx context.Context, dev ids.DeviceID, req Request) (Respo
 	raw, err := rc.Call(ctx, MarshalRequest(req))
 	if err != nil {
 		c.dropConn(dev)
+		c.counters.callsFailed.Add(1)
 		return Response{}, fmt.Errorf("community: calling %s on %s: %w", req.Op, dev, err)
 	}
 	resp, err := UnmarshalResponse(raw)
 	if err != nil {
+		// A mangled frame degrades to a failed call; it must never take
+		// the client down.
+		c.counters.callsFailed.Add(1)
 		return Response{}, err
 	}
 	rec.Record(serverName(dev), c.name(), resp.Status)
@@ -194,6 +237,7 @@ type deviceResponse struct {
 // community service, in parallel ("simultaneously", Figures 11–17), and
 // returns the answers sorted by device.
 func (c *Client) fanout(ctx context.Context, req Request) []deviceResponse {
+	c.counters.fanoutsRun.Add(1)
 	devices := c.lib.DevicesOffering(ServiceName)
 	out := make([]deviceResponse, len(devices))
 	var wg sync.WaitGroup
@@ -207,6 +251,12 @@ func (c *Client) fanout(ctx context.Context, req Request) []deviceResponse {
 		}()
 	}
 	wg.Wait()
+	for _, dr := range out {
+		if dr.Err != nil {
+			c.counters.fanoutsDegraded.Add(1)
+			break
+		}
+	}
 	return out
 }
 

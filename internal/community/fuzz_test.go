@@ -4,8 +4,22 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/profile"
 )
+
+// mangledCorpus derives seed frames from valid protocol frames mangled
+// by the fault injector, so the fuzzers start from exactly the damage
+// the chaos suite inflicts on the wire.
+func mangledCorpus(frames ...[]byte) [][]byte {
+	var out [][]byte
+	for _, frame := range frames {
+		for seed := uint64(0); seed < 8; seed++ {
+			out = append(out, faults.Mangle(seed, frame))
+		}
+	}
+	return out
+}
 
 // FuzzUnmarshalRequest checks the wire decoder never panics and that
 // every successfully decoded request re-encodes to an equivalent frame.
@@ -16,6 +30,12 @@ func FuzzUnmarshalRequest(f *testing.F) {
 	f.Add([]byte("trailing-escape\\"))
 	f.Add([]byte{0x1f, 0x1f})
 	f.Add([]byte(""))
+	for _, m := range mangledCorpus(
+		MarshalRequest(Request{Op: OpGetProfile, Args: []string{"bob", "alice"}}),
+		MarshalRequest(Request{Op: OpMsg, Args: []string{"to", "from", "subj", "body"}}),
+	) {
+		f.Add(m)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := UnmarshalRequest(data)
 		if err != nil {
@@ -58,6 +78,12 @@ func FuzzUnmarshalResponse(f *testing.F) {
 	f.Add(MarshalResponse(Response{Status: StatusOK, Fields: []string{"a", "b"}}))
 	f.Add([]byte("NO_MEMBERS_YET"))
 	f.Add([]byte("\x1f"))
+	for _, m := range mangledCorpus(
+		MarshalResponse(Response{Status: StatusOK, Fields: []string{"bob", "alice"}}),
+		MarshalResponse(Response{Status: StatusWritten}),
+	) {
+		f.Add(m)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, err := UnmarshalResponse(data)
 		if err != nil {
@@ -72,6 +98,39 @@ func FuzzUnmarshalResponse(f *testing.F) {
 			t.Fatal("re-encoding not stable")
 		}
 	})
+}
+
+// TestCodecRejectsMangledFrames runs the deterministic corruption
+// injector over every wire shape the protocol uses: decoding a mangled
+// frame must either fail cleanly or produce a frame that re-encodes —
+// never panic. This is the unit-level guarantee behind the chaos
+// suite's "corrupted frames never take a node down" invariant.
+func TestCodecRejectsMangledFrames(t *testing.T) {
+	frames := [][]byte{
+		MarshalRequest(Request{Op: OpGetOnlineMemberList}),
+		MarshalRequest(Request{Op: OpGetInterestList}),
+		MarshalRequest(Request{Op: OpGetProfile, Args: []string{"bob", "alice"}}),
+		MarshalRequest(Request{Op: OpMsg, Args: []string{"to", "from", "subject", "a longer body\x1fwith a separator"}}),
+		MarshalRequest(Request{Op: OpCheckMemberID, Args: []string{"bob"}}),
+		MarshalResponse(Response{Status: StatusOK, Fields: []string{"bob", "alice", "carol"}}),
+		MarshalResponse(Response{Status: StatusWritten}),
+		MarshalResponse(Response{Status: StatusNotTrustedYet, Fields: []string{""}}),
+	}
+	for fi, frame := range frames {
+		for seed := uint64(0); seed < 200; seed++ {
+			mangled := faults.Mangle(seed^uint64(fi)<<32, frame)
+			if req, err := UnmarshalRequest(mangled); err == nil {
+				if _, err := UnmarshalRequest(MarshalRequest(req)); err != nil {
+					t.Fatalf("frame %d seed %d: accepted request does not re-decode: %v", fi, seed, err)
+				}
+			}
+			if resp, err := UnmarshalResponse(mangled); err == nil {
+				if _, err := UnmarshalResponse(MarshalResponse(resp)); err != nil {
+					t.Fatalf("frame %d seed %d: accepted response does not re-decode: %v", fi, seed, err)
+				}
+			}
+		}
+	}
 }
 
 // newLoggedInStore builds a store with one logged-in member for

@@ -1,0 +1,307 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/radio"
+)
+
+const (
+	devA = ids.DeviceID("dev-a")
+	devB = ids.DeviceID("dev-b")
+	devC = ids.DeviceID("dev-c")
+)
+
+// Two plans with the same seed must answer every query identically:
+// determinism is the package's contract.
+func TestDrawsArePureFunctionsOfSeed(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return New(seed).
+			SetLink(LinkProfile{Loss: 0.3, Corrupt: 0.2, Jitter: 40 * time.Millisecond, FlapRate: 0.2}).
+			SetRadio(RadioProfile{Miss: 0.25, Asymmetry: 0.2})
+	}
+	p1, p2 := mk(42), mk(42)
+	other := mk(43)
+
+	same, diff := 0, 0
+	for conn := uint64(1); conn <= 4; conn++ {
+		for msg := uint64(1); msg <= 200; msg++ {
+			f1 := p1.MessageFate(devA, devB, conn, msg, 0)
+			f2 := p2.MessageFate(devA, devB, conn, msg, 0)
+			if f1 != f2 {
+				t.Fatalf("fate diverged for conn=%d msg=%d: %+v vs %+v", conn, msg, f1, f2)
+			}
+			if f1 != (other.MessageFate(devA, devB, conn, msg, 0)) {
+				diff++
+			} else {
+				same++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("different seeds produced identical fates for all %d messages", same+diff)
+	}
+
+	for w := 0; w < 100; w++ {
+		elapsed := time.Duration(w) * time.Second
+		if p1.LinkDown(devA, devB, elapsed) != p2.LinkDown(devA, devB, elapsed) {
+			t.Fatalf("LinkDown diverged at %v", elapsed)
+		}
+		if p1.Visible(devA, devB, radio.Bluetooth, elapsed) != p2.Visible(devA, devB, radio.Bluetooth, elapsed) {
+			t.Fatalf("Visible diverged at %v", elapsed)
+		}
+	}
+
+	// Call-order independence: answers must not depend on query history.
+	fresh := mk(42)
+	_ = fresh.MessageFate(devB, devC, 9, 9, 0) // unrelated query first
+	if got, want := fresh.MessageFate(devA, devB, 1, 1, 0), mk(42).MessageFate(devA, devB, 1, 1, 0); got != want {
+		t.Fatalf("fate depends on query history: %+v vs %+v", got, want)
+	}
+}
+
+// A zero plan must be inert: no fates, no downs, full visibility, no
+// counters, no trace.
+func TestZeroPlanIsInert(t *testing.T) {
+	p := New(7).SetLink(LinkProfile{}).SetRadio(RadioProfile{})
+	for msg := uint64(1); msg <= 100; msg++ {
+		if f := p.MessageFate(devA, devB, 1, msg, 0); f != (Fate{}) {
+			t.Fatalf("zero plan produced fate %+v", f)
+		}
+	}
+	if p.LinkDown(devA, devB, time.Minute) {
+		t.Fatal("zero plan severed a link")
+	}
+	if !p.Visible(devA, devB, radio.Bluetooth, time.Minute) {
+		t.Fatal("zero plan hid a neighbor")
+	}
+	if d := p.ScaleTransfer(time.Second, 0); d != time.Second {
+		t.Fatalf("zero plan scaled transfer to %v", d)
+	}
+	if c := p.Counters(); c != (Counters{}) {
+		t.Fatalf("zero plan counted activity: %+v", c)
+	}
+	if evs := p.Events(); len(evs) != 0 {
+		t.Fatalf("zero plan traced %d events", len(evs))
+	}
+
+	// A nil plan behaves the same on every query path.
+	var nilPlan *Plan
+	if f := nilPlan.MessageFate(devA, devB, 1, 1, 0); f != (Fate{}) {
+		t.Fatalf("nil plan produced fate %+v", f)
+	}
+	if nilPlan.LinkDown(devA, devB, 0) || !nilPlan.Visible(devA, devB, radio.WLAN, 0) {
+		t.Fatal("nil plan injected faults")
+	}
+	if d := nilPlan.ScaleTransfer(time.Second, 0); d != time.Second {
+		t.Fatalf("nil plan scaled transfer to %v", d)
+	}
+}
+
+// The active window heals the link and radio profiles at the deadline.
+func TestActiveWindowHeals(t *testing.T) {
+	p := New(11).
+		SetLink(LinkProfile{Loss: 0.9, Corrupt: 0.9, FlapRate: 0.9}).
+		SetRadio(RadioProfile{Miss: 0.9}).
+		SetActiveWindow(10 * time.Second)
+
+	sawFault := false
+	for msg := uint64(1); msg <= 50; msg++ {
+		f := p.MessageFate(devA, devB, 1, msg, 5*time.Second)
+		if f.Retransmits > 0 || f.Corrupt || f.Reset {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatal("90% loss produced no faults inside the active window")
+	}
+	for msg := uint64(100); msg <= 150; msg++ {
+		if f := p.MessageFate(devA, devB, 1, msg, 11*time.Second); f != (Fate{}) {
+			t.Fatalf("fate %+v after the active window", f)
+		}
+	}
+	healedDown, healedHidden := false, false
+	for w := 0; w < 50; w++ {
+		at := 10*time.Second + time.Duration(w)*time.Second
+		if p.LinkDown(devA, devB, at) {
+			healedDown = true
+		}
+		if !p.Visible(devA, devB, radio.Bluetooth, at) {
+			healedHidden = true
+		}
+	}
+	if healedDown || healedHidden {
+		t.Fatalf("faults persist after the active window: down=%v hidden=%v", healedDown, healedHidden)
+	}
+}
+
+// Partitions sever exactly their groups exactly within their window,
+// independent of the plan's active window.
+func TestPartitionWindow(t *testing.T) {
+	p := New(3).
+		SetActiveWindow(1 * time.Second). // partitions must ignore this
+		AddPartition(PartitionWindow{
+			GroupA: []ids.DeviceID{devA},
+			GroupB: []ids.DeviceID{devB},
+			Start:  10 * time.Second,
+			End:    20 * time.Second,
+		})
+	cases := []struct {
+		a, b    ids.DeviceID
+		elapsed time.Duration
+		down    bool
+	}{
+		{devA, devB, 9 * time.Second, false},
+		{devA, devB, 10 * time.Second, true},
+		{devB, devA, 15 * time.Second, true}, // symmetric
+		{devA, devB, 20 * time.Second, false},
+		{devA, devC, 15 * time.Second, false}, // not in the groups
+		{devB, devC, 15 * time.Second, false},
+	}
+	for _, c := range cases {
+		if got := p.LinkDown(c.a, c.b, c.elapsed); got != c.down {
+			t.Errorf("LinkDown(%s, %s, %v) = %v, want %v", c.a, c.b, c.elapsed, got, c.down)
+		}
+	}
+}
+
+// Loss rates must shape the retransmission distribution: higher loss,
+// more retransmits, and resets appear once the budget can run out.
+func TestLossDistribution(t *testing.T) {
+	const msgs = 5000
+	count := func(loss float64) (retrans, resets int) {
+		p := New(99).SetLink(LinkProfile{Loss: loss, MaxRetransmits: 2})
+		for msg := uint64(1); msg <= msgs; msg++ {
+			f := p.MessageFate(devA, devB, 1, msg, 0)
+			retrans += f.Retransmits
+			if f.Reset {
+				resets++
+			}
+		}
+		return retrans, resets
+	}
+	lowR, lowResets := count(0.05)
+	highR, highResets := count(0.6)
+	if highR <= lowR {
+		t.Fatalf("retransmits did not grow with loss: %d (60%%) <= %d (5%%)", highR, lowR)
+	}
+	// At 60% loss with budget 2, P(reset) = 0.6^3 = 21.6%.
+	if highResets < msgs/10 {
+		t.Fatalf("60%% loss produced only %d resets over %d messages", highResets, msgs)
+	}
+	if lowResets > msgs/100 {
+		t.Fatalf("5%% loss produced %d resets over %d messages", lowResets, msgs)
+	}
+}
+
+// Asymmetric visibility: when a pair is asymmetric in a window, exactly
+// one direction is blind.
+func TestAsymmetricVisibility(t *testing.T) {
+	p := New(5).SetRadio(RadioProfile{Asymmetry: 0.5})
+	asymmetric, symmetric := 0, 0
+	for w := 0; w < 200; w++ {
+		elapsed := time.Duration(w) * defaultRadioWindow
+		ab := p.Visible(devA, devB, radio.Bluetooth, elapsed)
+		ba := p.Visible(devB, devA, radio.Bluetooth, elapsed)
+		if ab != ba {
+			asymmetric++
+		} else {
+			symmetric++
+			if !ab {
+				t.Fatalf("window %d: both directions blind with Miss=0", w)
+			}
+		}
+	}
+	if asymmetric == 0 || symmetric == 0 {
+		t.Fatalf("expected a mix of windows, got %d asymmetric / %d symmetric", asymmetric, symmetric)
+	}
+}
+
+// Mangle must always change a non-empty payload, never panic, and be a
+// pure function of its seed.
+func TestMangle(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("x"),
+		[]byte("hello"),
+		bytes.Repeat([]byte{0}, 16), // all zeros: the zero-span mode must still change it
+		bytes.Repeat([]byte("frame\x1ffield"), 20),
+	}
+	for _, data := range payloads {
+		for seed := uint64(0); seed < 500; seed++ {
+			m1 := Mangle(seed, data)
+			m2 := Mangle(seed, data)
+			if !bytes.Equal(m1, m2) {
+				t.Fatalf("Mangle(%d) not deterministic", seed)
+			}
+			if bytes.Equal(m1, data) {
+				t.Fatalf("Mangle(%d) left %q unchanged", seed, data)
+			}
+		}
+	}
+	if got := Mangle(1, nil); len(got) != 0 {
+		t.Fatalf("Mangle of empty payload returned %q", got)
+	}
+}
+
+// The trace is the replay contract: same seed + same message set =
+// identical sorted events, regardless of the order fates were drawn in.
+func TestTraceReplaysByteForByte(t *testing.T) {
+	run := func(order []int) []Event {
+		p := New(21).SetLink(LinkProfile{Loss: 0.4, Corrupt: 0.3, MaxRetransmits: 2})
+		var wg sync.WaitGroup
+		for _, shard := range order {
+			shard := shard
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for msg := uint64(1); msg <= 300; msg++ {
+					from, to := devA, devB
+					if shard%2 == 1 {
+						from, to = devB, devA
+					}
+					p.MessageFate(from, to, uint64(shard), msg, 0)
+				}
+			}()
+		}
+		wg.Wait()
+		return p.Events()
+	}
+	a := run([]int{0, 1, 2, 3})
+	b := run([]int{3, 2, 1, 0}) // different spawn order, concurrent draws
+	if len(a) == 0 {
+		t.Fatal("no events traced at 40% loss")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("traces diverged: %d vs %d events", len(a), len(b))
+	}
+}
+
+// The trace is bounded; overflow is counted, not stored.
+func TestTraceBounded(t *testing.T) {
+	p := New(77).SetLink(LinkProfile{Loss: 0.99, MaxRetransmits: 1})
+	for msg := uint64(1); msg <= maxTraceEvents+5000; msg++ {
+		p.MessageFate(devA, devB, 1, msg, 0)
+	}
+	if got := len(p.Events()); got > maxTraceEvents {
+		t.Fatalf("trace grew to %d events (cap %d)", got, maxTraceEvents)
+	}
+	if p.EventsDropped() == 0 {
+		t.Fatal("overflow not counted")
+	}
+}
+
+// Bandwidth throttling scales transfer charges while active.
+func TestScaleTransfer(t *testing.T) {
+	p := New(1).SetLink(LinkProfile{BandwidthFactor: 2}).SetActiveWindow(10 * time.Second)
+	if got := p.ScaleTransfer(time.Second, 0); got != 2*time.Second {
+		t.Fatalf("ScaleTransfer = %v, want 2s", got)
+	}
+	if got := p.ScaleTransfer(time.Second, 11*time.Second); got != time.Second {
+		t.Fatalf("ScaleTransfer after heal = %v, want 1s", got)
+	}
+}

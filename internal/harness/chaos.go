@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtest"
+)
+
+// ChaosConfig parameterizes a chaos sweep for reporting.
+type ChaosConfig struct {
+	// Scenarios is how many seeded combinations to run (default 12 —
+	// the test suite runs the full 50+, the CLI a digest).
+	Scenarios int
+	// Seed is the base seed of the matrix (default 1, matching the
+	// committed test suite).
+	Seed int64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Scenarios <= 0 {
+		c.Scenarios = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunChaos executes a slice of the seeded chaos matrix and returns the
+// per-scenario results for reporting.
+func RunChaos(cfg ChaosConfig) ([]*simtest.Result, error) {
+	cfg = cfg.withDefaults()
+	scenarios := simtest.Matrix(cfg.Scenarios, cfg.Seed)
+	out := make([]*simtest.Result, 0, len(scenarios))
+	for _, sc := range scenarios {
+		res, err := simtest.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: chaos scenario %s: %w", sc.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatChaos renders chaos results as a table: the fault mix, how the
+// traffic degraded, and how recovery went.
+func FormatChaos(results []*simtest.Result) string {
+	header := []string{"Scenario", "Calls", "Errors", "Lost", "Corrupted", "Resets", "Missed inq", "Max wall", "Reconverged"}
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		reconv := fmt.Sprintf("round %d", r.RoundsToReconverge)
+		if !r.Reconverged {
+			reconv = "NO"
+		}
+		rows = append(rows, []string{
+			r.Scenario.Name,
+			fmt.Sprintf("%d", r.Calls),
+			fmt.Sprintf("%d", r.CallErrors),
+			fmt.Sprintf("%d", r.Faults.MessagesLost),
+			fmt.Sprintf("%d", r.Faults.MessagesCorrupted),
+			fmt.Sprintf("%d", r.Faults.LinkResets),
+			fmt.Sprintf("%d", r.Faults.InquiriesMissed),
+			r.MaxCallWall.Round(time.Millisecond).String(),
+			reconv,
+		})
+	}
+	return FormatTable(header, rows)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/radio"
@@ -143,12 +144,24 @@ func (n *Network) SendBroadcast(from ids.DeviceID, tech radio.Technology, port s
 		return 0, ErrNetworkClosed
 	}
 
+	plan := n.faultPlan()
+	if !plan.SeversLinks() {
+		plan = nil // the plan can never drop a target: skip per-pair checks
+	}
+	var elapsedNow time.Duration
+	if plan != nil {
+		elapsedNow = n.env.Elapsed()
+	}
+
 	delivered := 0
 	for i, tgt := range targets {
 		if drops[i] {
 			continue
 		}
 		if !reach[tgt.dev] || parted[normPair(from, tgt.dev)] {
+			continue
+		}
+		if plan != nil && plan.LinkDown(from, tgt.dev, elapsedNow) {
 			continue
 		}
 		msg := Broadcast{From: from, Tech: tech, Port: port, Payload: append([]byte(nil), payload...)}

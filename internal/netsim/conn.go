@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/ids"
 	"repro/internal/radio"
 )
@@ -20,6 +21,11 @@ type Conn struct {
 	remote ids.DeviceID
 	tech   radio.Technology
 	port   string
+
+	// connSeq numbers this connection on its directed dialer pair; with
+	// the pump's per-message index it keys the deterministic fault
+	// draws. Both ends share the value.
+	connSeq uint64
 
 	peer *Conn // other end
 
@@ -38,14 +44,15 @@ type Conn struct {
 // the dialer end with the network enrolls the pair in the shared link
 // sweep (Network.sweepLinks). It returns (dialer end, listener end).
 func newConnPair(n *Network, from, to ids.DeviceID, tech radio.Technology, port string) (*Conn, *Conn) {
+	seq := n.nextConnSeq(from, to)
 	a := &Conn{
-		net: n, local: from, remote: to, tech: tech, port: port,
+		net: n, local: from, remote: to, tech: tech, port: port, connSeq: seq,
 		sendQ:  make(chan []byte, sendQueueLen),
 		recvQ:  make(chan []byte, sendQueueLen),
 		closed: make(chan struct{}),
 	}
 	b := &Conn{
-		net: n, local: to, remote: from, tech: tech, port: port,
+		net: n, local: to, remote: from, tech: tech, port: port, connSeq: seq,
 		sendQ:  make(chan []byte, sendQueueLen),
 		recvQ:  make(chan []byte, sendQueueLen),
 		closed: make(chan struct{}),
@@ -206,17 +213,50 @@ func (c *Conn) failBoth(err error) {
 func (c *Conn) pump() {
 	defer c.drainSendQ()
 	phy := c.net.env.PHY(c.tech)
+	var msgSeq uint64
 	for {
 		select {
 		case <-c.closed:
 			return
 		case msg := <-c.sendQ:
-			// Hold the sender's radio for the transfer: connections
-			// sharing one device radio contend for airtime.
+			msgSeq++
+			// Consult the fault plan once per message. With no plan (or
+			// a zero-rate one) the fate is the zero value and the path
+			// below is byte-identical to the fault-free one: a single
+			// transfer charge, no extra sleeps, no mutation.
+			plan := c.net.faultPlan()
+			transfer := phy.TransferTime(len(msg))
+			var fate faults.Fate
+			if plan != nil {
+				elapsed := c.net.env.Elapsed()
+				transfer = plan.ScaleTransfer(transfer, elapsed)
+				fate = plan.MessageFate(c.local, c.remote, c.connSeq, msgSeq, elapsed)
+			}
+			// Hold the sender's radio for the transfer (and for every
+			// retransmission): connections sharing one device radio
+			// contend for airtime.
 			tx := c.net.txLock(c.local, c.tech)
-			tx.Lock()
-			c.net.sleepModeled(phy.TransferTime(len(msg)))
-			tx.Unlock()
+			for charge := 0; charge <= fate.Retransmits; charge++ {
+				tx.Lock()
+				c.net.sleepModeled(transfer)
+				tx.Unlock()
+			}
+			if fate.Retransmits > 0 {
+				c.net.counters.messagesRetransmitted.Add(uint64(fate.Retransmits))
+			}
+			if fate.Reset {
+				c.pending.Done()
+				c.net.counters.linkFailures.Add(1)
+				c.failBoth(fmt.Errorf("%w: %s -> %s over %v (retransmission budget exhausted)", ErrLinkLost, c.local, c.remote, c.tech))
+				return
+			}
+			if fate.Delay > 0 {
+				c.net.sleepModeled(fate.Delay)
+			}
+			if fate.Corrupt {
+				msg = plan.Corrupt(msg, c.local, c.remote, c.connSeq, msgSeq)
+				c.net.counters.messagesCorrupted.Add(1)
+			}
 			if !c.net.linkUp(c.local, c.remote, c.tech) {
 				c.pending.Done()
 				c.net.counters.linkFailures.Add(1)

@@ -17,6 +17,12 @@ type Counters struct {
 	BroadcastsSent uint64
 	// LinkFailures counts connections severed by ErrLinkLost.
 	LinkFailures uint64
+	// MessagesRetransmitted counts extra PHY transfer charges paid to
+	// injected loss (faults.Plan) before a message got through.
+	MessagesRetransmitted uint64
+	// MessagesCorrupted counts messages delivered with an injected
+	// payload mangle (faults.Plan).
+	MessagesCorrupted uint64
 }
 
 type netCounters struct {
@@ -26,6 +32,9 @@ type netCounters struct {
 	bytesDelivered    atomic.Uint64
 	broadcastsSent    atomic.Uint64
 	linkFailures      atomic.Uint64
+
+	messagesRetransmitted atomic.Uint64
+	messagesCorrupted     atomic.Uint64
 }
 
 func (c *netCounters) snapshot() Counters {
@@ -36,6 +45,9 @@ func (c *netCounters) snapshot() Counters {
 		BytesDelivered:    c.bytesDelivered.Load(),
 		BroadcastsSent:    c.broadcastsSent.Load(),
 		LinkFailures:      c.linkFailures.Load(),
+
+		MessagesRetransmitted: c.messagesRetransmitted.Load(),
+		MessagesCorrupted:     c.messagesCorrupted.Load(),
 	}
 }
 

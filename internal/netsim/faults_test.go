@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/radio"
+)
+
+// faultRun opens one connection pair under the given plan, streams a
+// fixed message sequence serially, and returns what the receiver saw
+// (payloads, in order) plus the terminal error, if any.
+func faultRun(t *testing.T, plan *faults.Plan) (received [][]byte, sendErr error) {
+	t.Helper()
+	env, net := fastWorld(t)
+	net.SetFaults(plan)
+	addStatic(t, env, "fa", geo.Pt(0, 0), radio.Bluetooth)
+	addStatic(t, env, "fb", geo.Pt(5, 0), radio.Bluetooth)
+	client, server := dialPair(t, net, "fa", "fb", radio.Bluetooth, "svc")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 120; i++ {
+		msg := []byte(fmt.Sprintf("frame-%03d|payload-%03d", i, i))
+		if err := client.Send(msg); err != nil {
+			return received, err
+		}
+		got, err := server.Recv(ctx)
+		if err != nil {
+			return received, err
+		}
+		received = append(received, got)
+	}
+	return received, nil
+}
+
+// Replaying a seed must reproduce the identical wire history: the same
+// payload bytes (corruptions included) in the same order, the same
+// terminal error, and the same fault-event trace.
+func TestFaultReplayByteForByte(t *testing.T) {
+	mkPlan := func() *faults.Plan {
+		return faults.New(424242).SetLink(faults.LinkProfile{
+			Loss:           0.25,
+			MaxRetransmits: 6, // deep budget: degrade, don't reset, so both runs complete
+			Corrupt:        0.15,
+			ExtraLatency:   2 * time.Millisecond,
+			Jitter:         3 * time.Millisecond,
+		})
+	}
+	p1, p2 := mkPlan(), mkPlan()
+	recv1, err1 := faultRun(t, p1)
+	recv2, err2 := faultRun(t, p2)
+
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("replay diverged on terminal error: %v vs %v", err1, err2)
+	}
+	if len(recv1) != len(recv2) {
+		t.Fatalf("replay delivered %d vs %d messages", len(recv1), len(recv2))
+	}
+	for i := range recv1 {
+		if !bytes.Equal(recv1[i], recv2[i]) {
+			t.Fatalf("message %d diverged:\n  run1: %q\n  run2: %q", i, recv1[i], recv2[i])
+		}
+	}
+	if !reflect.DeepEqual(p1.Events(), p2.Events()) {
+		t.Fatalf("event traces diverged: %d vs %d events", len(p1.Events()), len(p2.Events()))
+	}
+	if p1.Counters() != p2.Counters() {
+		t.Fatalf("fault counters diverged: %+v vs %+v", p1.Counters(), p2.Counters())
+	}
+	// The plan must actually have done something, or this test is vacuous.
+	c := p1.Counters()
+	if c.MessagesLost == 0 || c.MessagesCorrupted == 0 {
+		t.Fatalf("plan injected nothing: %+v", c)
+	}
+	corrupted := 0
+	for i, msg := range recv1 {
+		if !bytes.Equal(msg, []byte(fmt.Sprintf("frame-%03d|payload-%03d", i, i))) {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no corrupted payload reached the receiver at 15% corruption")
+	}
+}
+
+// A zero-rate plan must be byte-identical to no plan at all: same
+// delivered bytes, same network counters, nothing counted on the plan.
+func TestZeroFaultPlanIsByteIdenticalToFaultFree(t *testing.T) {
+	run := func(plan *faults.Plan) ([][]byte, Counters) {
+		env, net := fastWorld(t)
+		net.SetFaults(plan)
+		addStatic(t, env, "za", geo.Pt(0, 0), radio.Bluetooth)
+		addStatic(t, env, "zb", geo.Pt(5, 0), radio.Bluetooth)
+		client, server := dialPair(t, net, "za", "zb", radio.Bluetooth, "svc")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		var got [][]byte
+		for i := 0; i < 60; i++ {
+			msg := []byte(fmt.Sprintf("zf-%03d", i))
+			if err := client.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+			m, err := server.Recv(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, m)
+		}
+		if n, err := net.SendBroadcast("za", radio.Bluetooth, "nobody", []byte("ping")); err != nil || n != 0 {
+			t.Fatalf("broadcast: %d, %v", n, err)
+		}
+		return got, net.Counters()
+	}
+
+	zero := faults.New(7).SetLink(faults.LinkProfile{}).SetRadio(faults.RadioProfile{})
+	plain, plainCounters := run(nil)
+	zeroed, zeroCounters := run(zero)
+
+	if !reflect.DeepEqual(plain, zeroed) {
+		t.Fatal("zero-rate plan altered the delivered byte stream")
+	}
+	if plainCounters != zeroCounters {
+		t.Fatalf("zero-rate plan altered counters:\n  plain: %+v\n  zero:  %+v", plainCounters, zeroCounters)
+	}
+	if zeroCounters.MessagesRetransmitted != 0 || zeroCounters.MessagesCorrupted != 0 {
+		t.Fatalf("zero-rate plan charged fault counters: %+v", zeroCounters)
+	}
+	if c := zero.Counters(); c != (faults.Counters{}) {
+		t.Fatalf("zero-rate plan counted activity: %+v", c)
+	}
+}
+
+// A lossy plan with a shallow retransmission budget must eventually
+// reset the link with ErrLinkLost — the signal RobustConn's failover
+// consumes.
+func TestFaultResetSurfacesAsLinkLost(t *testing.T) {
+	plan := faults.New(99).SetLink(faults.LinkProfile{Loss: 0.7, MaxRetransmits: 1})
+	_, err := faultRun(t, plan)
+	if err == nil {
+		t.Fatal("70% loss with budget 1 never reset the link over 120 messages")
+	}
+	if !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("reset surfaced as %v, want ErrLinkLost", err)
+	}
+	if plan.Counters().LinkResets == 0 {
+		t.Fatal("reset not counted on the plan")
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/ids"
 	"repro/internal/radio"
 )
@@ -63,6 +65,16 @@ type Network struct {
 
 	counters netCounters
 
+	// plan is the installed fault-injection plan (nil = clean links).
+	// Loaded lock-free on every message so the disabled path costs one
+	// atomic read.
+	plan atomic.Pointer[faults.Plan]
+
+	// pairSeq numbers connections per directed (dialer, listener) pair;
+	// the sequence plus a per-connection message index keys every
+	// deterministic fault draw. Guarded by mu.
+	pairSeq map[dirPair]uint64
+
 	// txLocks serializes transmissions per (device, technology): a
 	// radio is a shared medium, so two connections sending from the
 	// same device over the same technology contend for airtime.
@@ -97,6 +109,13 @@ type devPair struct {
 	a, b ids.DeviceID
 }
 
+// dirPair is a direction-preserving device pair: connection sequence
+// numbers are per dialing direction so that two peers dialing each
+// other concurrently cannot perturb each other's fault draws.
+type dirPair struct {
+	from, to ids.DeviceID
+}
+
 func normPair(a, b ids.DeviceID) devPair {
 	if a > b {
 		a, b = b, a
@@ -115,7 +134,33 @@ func New(env *radio.Environment, seed int64) *Network {
 		txLocks:     make(map[txKey]*sync.Mutex),
 		conns:       make(map[*Conn]bool),
 		sweepWake:   make(chan struct{}, 1),
+		pairSeq:     make(map[dirPair]uint64),
 	}
+}
+
+// SetFaults installs (or, with nil, removes) a fault-injection plan on
+// the transport: message fates, bandwidth throttling and link flaps /
+// scheduled partitions all come from the plan's deterministic draws.
+// Radio-side inquiry faults are installed separately with
+// Environment.SetInquiryFaults, since the same plan serves both hooks.
+func (n *Network) SetFaults(p *faults.Plan) {
+	if p == nil {
+		n.plan.Store(nil)
+		return
+	}
+	n.plan.Store(p)
+}
+
+// faultPlan returns the installed plan, or nil.
+func (n *Network) faultPlan() *faults.Plan { return n.plan.Load() }
+
+// nextConnSeq numbers a new connection on its directed dialer pair.
+func (n *Network) nextConnSeq(from, to ids.DeviceID) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := dirPair{from: from, to: to}
+	n.pairSeq[key]++
+	return n.pairSeq[key]
 }
 
 // Environment returns the underlying radio environment.
@@ -257,6 +302,9 @@ func (n *Network) linkUp(a, b ids.DeviceID, tech radio.Technology) bool {
 	closed := n.closed
 	n.mu.Unlock()
 	if closed || part {
+		return false
+	}
+	if plan := n.faultPlan(); plan.SeversLinks() && plan.LinkDown(a, b, n.env.Elapsed()) {
 		return false
 	}
 	return n.env.Reachable(a, b, tech)

@@ -1,0 +1,235 @@
+package peerhood
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// backoffHarness is a RobustConn on a manual clock, so tests can step
+// through retry schedules without sleeping.
+type backoffHarness struct {
+	clk *vtime.Manual
+	env *radio.Environment
+	r   *RobustConn
+}
+
+func newBackoffHarness(t *testing.T, opts RobustOptions) *backoffHarness {
+	t.Helper()
+	clk := vtime.NewManual(time.Unix(0, 0))
+	env := radio.NewEnvironment(radio.WithClock(clk), radio.WithScale(vtime.Identity()))
+	if err := env.Add("dev-a", nil, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Add("dev-b", nil, radio.Bluetooth); err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(env, 1)
+	d, err := NewDaemon(Config{Device: "dev-a", Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		d.Stop()
+		net.Close()
+	})
+	r := &RobustConn{
+		daemon:  d,
+		dev:     "dev-b",
+		service: "chat",
+		opts:    opts.withDefaults(),
+		rng:     rand.New(rand.NewSource(robustSeed("dev-a", "dev-b", "chat"))),
+	}
+	return &backoffHarness{clk: clk, env: env, r: r}
+}
+
+// waitForWaiters blocks (in real time) until n timers are registered on
+// the manual clock, so Advance cannot race a goroutine's After call.
+func (h *backoffHarness) waitForWaiters(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for h.clk.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timer never registered (have %d, want %d)", h.clk.Waiters(), n)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// mirrorSchedule reproduces the jitter draws of a fresh RobustConn for
+// the same endpoints, giving the exact expected wait sequence.
+func mirrorSchedule(opts RobustOptions, retries int) []time.Duration {
+	rng := rand.New(rand.NewSource(robustSeed("dev-a", "dev-b", "chat")))
+	out := make([]time.Duration, retries)
+	for i := range out {
+		d := opts.BackoffBase
+		for j := 0; j < i && d < opts.BackoffCap; j++ {
+			d *= 2
+		}
+		if d > opts.BackoffCap {
+			d = opts.BackoffCap
+		}
+		half := d / 2
+		out[i] = half + time.Duration(rng.Int63n(int64(half)+1))
+	}
+	return out
+}
+
+// The backoff schedule is deterministic per endpoint triple, doubles
+// up to the cap, and every delay carries equal jitter in [d/2, d].
+func TestBackoffDelaySchedule(t *testing.T) {
+	opts := RobustOptions{BackoffBase: 250 * time.Millisecond, BackoffCap: 4 * time.Second}
+	h := newBackoffHarness(t, opts)
+	want := mirrorSchedule(h.r.opts, 8)
+	for retry, expected := range want {
+		got := h.r.backoffDelay(retry)
+		if got != expected {
+			t.Fatalf("retry %d: backoffDelay = %v, want %v", retry, got, expected)
+		}
+		nominal := opts.BackoffBase << retry
+		if nominal > opts.BackoffCap {
+			nominal = opts.BackoffCap
+		}
+		if got < nominal/2 || got > nominal {
+			t.Fatalf("retry %d: delay %v outside [%v, %v]", retry, got, nominal/2, nominal)
+		}
+	}
+	// Far past the doubling range the nominal delay stays pinned at the cap.
+	for retry := 8; retry < 40; retry++ {
+		if got := h.r.backoffDelay(retry); got > opts.BackoffCap {
+			t.Fatalf("retry %d: delay %v exceeds cap %v", retry, got, opts.BackoffCap)
+		}
+	}
+}
+
+// waitBackoff sleeps exactly the jittered delay on the environment
+// clock: one tick short of the deadline it is still waiting, at the
+// deadline it returns.
+func TestWaitBackoffExactWaits(t *testing.T) {
+	opts := RobustOptions{BackoffBase: time.Second, BackoffCap: 8 * time.Second, CallTimeout: time.Hour}
+	h := newBackoffHarness(t, opts)
+	want := mirrorSchedule(h.r.opts, 3)
+	for retry, expected := range want {
+		done := make(chan error, 1)
+		go func() { done <- h.r.waitBackoff(context.Background(), retry) }()
+		h.waitForWaiters(t, 1)
+		h.clk.Advance(expected - time.Nanosecond)
+		select {
+		case err := <-done:
+			t.Fatalf("retry %d: waitBackoff returned %v before its %v deadline", retry, err, expected)
+		default:
+		}
+		h.clk.Advance(time.Nanosecond)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("retry %d: waitBackoff = %v", retry, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("retry %d: waitBackoff never returned after full advance", retry)
+		}
+	}
+}
+
+// A deadline firing mid-backoff aborts the wait with ErrCallTimeout,
+// without waiting out the rest of the backoff.
+func TestDeadlineAbortsBackoff(t *testing.T) {
+	opts := RobustOptions{
+		BackoffBase: 10 * time.Second,
+		BackoffCap:  10 * time.Second,
+		CallTimeout: 3 * time.Second,
+	}
+	h := newBackoffHarness(t, opts)
+	octx, stop := h.r.deadlineContext(context.Background())
+	defer stop()
+	h.waitForWaiters(t, 1) // the deadline timer
+	done := make(chan error, 1)
+	go func() { done <- h.r.waitBackoff(octx, 0) }()
+	h.waitForWaiters(t, 2) // plus the backoff timer
+	// CallTimeout is 3s but realTimeout floors guard timers at 2s real;
+	// with an identity scale the floor is the smaller and never governs.
+	h.clk.Advance(3 * time.Second)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCallTimeout) {
+			t.Fatalf("waitBackoff under expired deadline = %v, want ErrCallTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waitBackoff did not abort when the deadline fired")
+	}
+}
+
+// do() retries dial failures with backoff and gives up after
+// MaxAttempts, and the per-call deadline converts the failure into
+// ErrCallTimeout when it expires first.
+func TestDoRespectsMaxAttemptsAndDeadline(t *testing.T) {
+	opts := RobustOptions{
+		MaxAttempts: 3,
+		BackoffBase: time.Second,
+		BackoffCap:  time.Second,
+		CallTimeout: time.Hour,
+	}
+	h := newBackoffHarness(t, opts)
+	// Powered off, dev-b is unreachable, so every re-dial fails fast
+	// with ErrNoRoute — the retryable dial-failure path.
+	h.env.SetPowered("dev-b", false)
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.r.do(context.Background(), func(context.Context, *netsim.Conn) ([]byte, error) {
+			t.Error("op ran without a live connection")
+			return nil, nil
+		})
+		done <- err
+	}()
+	// Two backoff waits separate the three dial attempts.
+	for i := 0; i < opts.MaxAttempts-1; i++ {
+		h.waitForWaiters(t, 2) // deadline timer + backoff timer
+		select {
+		case err := <-done:
+			t.Fatalf("do returned %v after only %d backoffs", err, i)
+		default:
+		}
+		h.clk.Advance(time.Second)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrNoRoute) {
+			t.Fatalf("do = %v, want ErrNoRoute", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("do never returned after all backoffs elapsed")
+	}
+
+	// Same shape, but the deadline expires during the first backoff.
+	h2 := newBackoffHarness(t, RobustOptions{
+		MaxAttempts: 10,
+		BackoffBase: 10 * time.Second,
+		BackoffCap:  10 * time.Second,
+		CallTimeout: 2 * time.Second,
+	})
+	h2.env.SetPowered("dev-b", false)
+	go func() {
+		_, err := h2.r.do(context.Background(), func(context.Context, *netsim.Conn) ([]byte, error) {
+			return nil, netsim.ErrLinkLost
+		})
+		done <- err
+	}()
+	h2.waitForWaiters(t, 2)
+	h2.clk.Advance(2 * time.Second)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCallTimeout) {
+			t.Fatalf("do under expired deadline = %v, want ErrCallTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("do did not abort when the deadline fired")
+	}
+}

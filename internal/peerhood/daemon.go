@@ -108,6 +108,7 @@ type Daemon struct {
 	sdp     *netsim.Listener
 	wg      sync.WaitGroup
 	stats   statCounters
+	linkq   linkCounters
 	history *history
 }
 
@@ -139,12 +140,12 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	}
 	d := &Daemon{
 		cfg:       cfg,
-		plugins:   newPluginSet(cfg.Network, cfg.Device, cfg.Technologies, cfg.GPRSProxy),
 		neighbors: make(map[ids.DeviceID]*NeighborInfo),
 		services:  make(map[ids.ServiceName]*localService),
 		monitors:  make(map[int]*monitorEntry),
 		history:   newHistory(),
 	}
+	d.plugins = newPluginSet(cfg.Network, cfg.Device, cfg.Technologies, cfg.GPRSProxy).meter(&d.linkq)
 	sdp, err := cfg.Network.Listen(cfg.Device, sdpPort)
 	if err != nil {
 		return nil, fmt.Errorf("peerhood: serving SDP: %w", err)

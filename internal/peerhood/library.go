@@ -80,6 +80,9 @@ func (l *Library) Monitor(dev ids.DeviceID, fn MonitorFunc) (cancel func()) {
 // Stats returns the daemon's activity counters.
 func (l *Library) Stats() Stats { return l.daemon.Stats() }
 
+// LinkQuality returns the daemon's radio-level counters.
+func (l *Library) LinkQuality() LinkQuality { return l.daemon.LinkQuality() }
+
 // History returns every device the daemon has ever sighted (§4.1's
 // stored neighborhood information).
 func (l *Library) History() []Sighting { return l.daemon.History() }

@@ -1,0 +1,80 @@
+package peerhood
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// LinkQuality is a snapshot of the radio substrate as this daemon
+// experienced it: how often inquiries ran, how many neighbors they
+// surfaced, and how dialing fared. Under fault injection these counters
+// are how experiments observe degradation (missed inquiries shrink
+// NeighborsSeen per inquiry; link faults raise DialsFailed).
+type LinkQuality struct {
+	// Inquiries counts completed Discover calls across all plugins.
+	Inquiries uint64
+	// NeighborsSeen totals the neighbors returned by those inquiries
+	// (the same device counts once per sighting).
+	NeighborsSeen uint64
+	// DialsAttempted counts plugin Dial calls.
+	DialsAttempted uint64
+	// DialsFailed counts plugin Dial calls that returned an error.
+	DialsFailed uint64
+}
+
+// linkCounters is the daemon-internal atomic representation.
+type linkCounters struct {
+	inquiries      atomic.Uint64
+	neighborsSeen  atomic.Uint64
+	dialsAttempted atomic.Uint64
+	dialsFailed    atomic.Uint64
+}
+
+func (c *linkCounters) snapshot() LinkQuality {
+	return LinkQuality{
+		Inquiries:      c.inquiries.Load(),
+		NeighborsSeen:  c.neighborsSeen.Load(),
+		DialsAttempted: c.dialsAttempted.Load(),
+		DialsFailed:    c.dialsFailed.Load(),
+	}
+}
+
+// LinkQuality returns a snapshot of the daemon's radio-level counters.
+func (d *Daemon) LinkQuality() LinkQuality { return d.linkq.snapshot() }
+
+// meteredPlugin wraps a Plugin to account its activity on the owning
+// daemon's link-quality counters.
+type meteredPlugin struct {
+	Plugin
+	c *linkCounters
+}
+
+func (m *meteredPlugin) Discover(ctx context.Context) ([]ids.DeviceID, error) {
+	devs, err := m.Plugin.Discover(ctx)
+	if err == nil {
+		m.c.inquiries.Add(1)
+		m.c.neighborsSeen.Add(uint64(len(devs)))
+	}
+	return devs, err
+}
+
+func (m *meteredPlugin) Dial(ctx context.Context, to ids.DeviceID, port string) (*netsim.Conn, error) {
+	m.c.dialsAttempted.Add(1)
+	conn, err := m.Plugin.Dial(ctx, to, port)
+	if err != nil {
+		m.c.dialsFailed.Add(1)
+	}
+	return conn, err
+}
+
+// meter wraps every plugin in the set with the daemon's counters.
+func (ps pluginSet) meter(c *linkCounters) pluginSet {
+	out := make(pluginSet, len(ps))
+	for i, p := range ps {
+		out[i] = &meteredPlugin{Plugin: p, c: c}
+	}
+	return out
+}

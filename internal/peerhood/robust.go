@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/netsim"
@@ -20,10 +23,21 @@ import (
 // the server observes a new session; a message whose delivery raced the
 // link loss may be retransmitted. Request/response protocols (like
 // PeerHood Community's) tolerate both.
+//
+// Every operation runs under a per-call deadline (RobustOptions.
+// CallTimeout) and retries link losses — including re-dial failures —
+// with capped exponential backoff. Backoff jitter comes from a private
+// rand.Rand seeded from the (local, remote, service) triple, so retry
+// schedules are deterministic per connection and independent across
+// connections.
 type RobustConn struct {
 	daemon  *Daemon
 	dev     ids.DeviceID
 	service ids.ServiceName
+	opts    RobustOptions
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu       sync.Mutex
 	conn     *netsim.Conn
@@ -31,16 +45,88 @@ type RobustConn struct {
 	failures int
 }
 
-// maxFailovers bounds reconnection attempts per operation.
-const maxFailovers = 3
+// ErrCallTimeout is returned when an operation exhausts its per-call
+// deadline (RobustOptions.CallTimeout), including time spent backing
+// off and re-dialing.
+var ErrCallTimeout = errors.New("peerhood: call deadline exceeded")
 
-// ConnectRobust opens a seamless connection to a service on a device.
+// RobustOptions tunes RobustConn's retry behavior. Durations are in
+// modeled time.
+type RobustOptions struct {
+	// MaxAttempts is the total number of tries per operation (first
+	// attempt included).
+	MaxAttempts int
+	// BackoffBase is the nominal delay before the first retry; each
+	// further retry doubles it.
+	BackoffBase time.Duration
+	// BackoffCap bounds the nominal delay.
+	BackoffCap time.Duration
+	// CallTimeout bounds one Send/Recv/Call including all retries and
+	// backoff waits. Zero disables the deadline.
+	CallTimeout time.Duration
+}
+
+// DefaultRobustOptions returns the options ConnectRobust uses.
+func DefaultRobustOptions() RobustOptions {
+	return RobustOptions{
+		MaxAttempts: 4,
+		BackoffBase: 250 * time.Millisecond,
+		BackoffCap:  4 * time.Second,
+		CallTimeout: 30 * time.Second,
+	}
+}
+
+func (o RobustOptions) withDefaults() RobustOptions {
+	def := DefaultRobustOptions()
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = def.MaxAttempts
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = def.BackoffBase
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = def.BackoffCap
+	}
+	if o.CallTimeout < 0 {
+		o.CallTimeout = 0
+	}
+	return o
+}
+
+// ConnectRobust opens a seamless connection to a service on a device
+// with default retry options.
 func (d *Daemon) ConnectRobust(ctx context.Context, dev ids.DeviceID, service ids.ServiceName) (*RobustConn, error) {
+	return d.ConnectRobustWith(ctx, dev, service, DefaultRobustOptions())
+}
+
+// ConnectRobustWith opens a seamless connection with explicit retry
+// options. The initial dial is eager: it fails fast rather than
+// retrying, so callers learn immediately when a peer is unreachable.
+func (d *Daemon) ConnectRobustWith(ctx context.Context, dev ids.DeviceID, service ids.ServiceName, opts RobustOptions) (*RobustConn, error) {
 	conn, err := d.Connect(ctx, dev, service)
 	if err != nil {
 		return nil, err
 	}
-	return &RobustConn{daemon: d, dev: dev, service: service, conn: conn}, nil
+	return &RobustConn{
+		daemon:  d,
+		dev:     dev,
+		service: service,
+		opts:    opts.withDefaults(),
+		rng:     rand.New(rand.NewSource(robustSeed(d.cfg.Device, dev, service))),
+		conn:    conn,
+	}, nil
+}
+
+// robustSeed derives a per-connection jitter seed from the endpoint
+// identity, so retry schedules replay under the same topology.
+func robustSeed(local, remote ids.DeviceID, service ids.ServiceName) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(local))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(remote))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(service))
+	return int64(h.Sum64())
 }
 
 // Remote returns the peer device.
@@ -83,76 +169,135 @@ func (r *RobustConn) current(ctx context.Context) (*netsim.Conn, error) {
 	return conn, nil
 }
 
-// Send transmits a message, failing over to another technology if the
-// link breaks.
-func (r *RobustConn) Send(ctx context.Context, payload []byte) error {
-	var lastErr error
-	for attempt := 0; attempt <= maxFailovers; attempt++ {
-		conn, err := r.current(ctx)
-		if err != nil {
-			return err
+// backoffDelay returns the jittered wait before retry number `retry`
+// (0-based): nominal = min(base<<retry, cap), drawn uniformly from
+// [nominal/2, nominal] (equal jitter keeps a floor so retries never
+// stampede, while desynchronizing concurrent connections).
+func (r *RobustConn) backoffDelay(retry int) time.Duration {
+	d := r.opts.BackoffBase
+	for i := 0; i < retry && d < r.opts.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > r.opts.BackoffCap {
+		d = r.opts.BackoffCap
+	}
+	half := d / 2
+	r.rngMu.Lock()
+	jitter := time.Duration(r.rng.Int63n(int64(half) + 1))
+	r.rngMu.Unlock()
+	return half + jitter
+}
+
+// deadlineContext derives the per-operation context. The deadline runs
+// on the environment's clock (so manual clocks drive it in tests) and
+// cancels with ErrCallTimeout as the cause.
+func (r *RobustConn) deadlineContext(ctx context.Context) (context.Context, func()) {
+	if r.opts.CallTimeout <= 0 {
+		return ctx, func() {}
+	}
+	env := r.daemon.cfg.Network.Environment()
+	octx, cancel := context.WithCancelCause(ctx)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-env.Clock().After(realTimeout(env, r.opts.CallTimeout)):
+			cancel(ErrCallTimeout)
+		case <-done:
 		}
-		err = conn.Send(payload)
+	}()
+	return octx, func() {
+		close(done)
+		cancel(context.Canceled)
+	}
+}
+
+// resolveErr maps an operation failure to what the caller should see:
+// when the per-call deadline is what stopped us, report ErrCallTimeout
+// instead of the incidental context or link error.
+func (r *RobustConn) resolveErr(ctx context.Context, err error) error {
+	if cause := context.Cause(ctx); errors.Is(cause, ErrCallTimeout) {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, ErrCallTimeout) {
+			return fmt.Errorf("%w (budget %v, last error: %v)", ErrCallTimeout, r.opts.CallTimeout, err)
+		}
+		return fmt.Errorf("%w (budget %v)", ErrCallTimeout, r.opts.CallTimeout)
+	}
+	return err
+}
+
+// waitBackoff sleeps the jittered delay for the given retry on the
+// environment clock, aborting early if the deadline fires.
+func (r *RobustConn) waitBackoff(ctx context.Context, retry int) error {
+	env := r.daemon.cfg.Network.Environment()
+	d := r.backoffDelay(retry)
+	select {
+	case <-env.Clock().After(env.Scale().ToReal(d)):
+		return nil
+	case <-ctx.Done():
+		return r.resolveErr(ctx, context.Cause(ctx))
+	}
+}
+
+// do runs one operation under the retry/backoff/deadline policy. Link
+// losses — from the operation or from re-dialing — are retried after a
+// backoff; every other error is final.
+func (r *RobustConn) do(ctx context.Context, op func(ctx context.Context, conn *netsim.Conn) ([]byte, error)) ([]byte, error) {
+	octx, stop := r.deadlineContext(ctx)
+	defer stop()
+	var lastErr error
+	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := r.waitBackoff(octx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		conn, err := r.current(octx)
+		if err != nil {
+			if errors.Is(err, netsim.ErrConnClosed) || octx.Err() != nil {
+				return nil, r.resolveErr(octx, err)
+			}
+			lastErr = err // re-dial failed: peer may come back, retry
+			continue
+		}
+		out, err := op(octx, conn)
 		if err == nil {
-			return nil
+			return out, nil
 		}
 		lastErr = err
 		if !errors.Is(err, netsim.ErrLinkLost) {
-			return err
+			return nil, r.resolveErr(octx, err)
 		}
 	}
-	return lastErr
+	return nil, r.resolveErr(octx, lastErr)
+}
+
+// Send transmits a message, failing over to another technology if the
+// link breaks.
+func (r *RobustConn) Send(ctx context.Context, payload []byte) error {
+	_, err := r.do(ctx, func(_ context.Context, conn *netsim.Conn) ([]byte, error) {
+		return nil, conn.Send(payload)
+	})
+	return err
 }
 
 // Recv receives the next message, failing over if the link breaks while
 // waiting. After a failover the message stream restarts from the new
 // session.
 func (r *RobustConn) Recv(ctx context.Context) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt <= maxFailovers; attempt++ {
-		conn, err := r.current(ctx)
-		if err != nil {
-			return nil, err
-		}
-		msg, err := conn.Recv(ctx)
-		if err == nil {
-			return msg, nil
-		}
-		lastErr = err
-		if !errors.Is(err, netsim.ErrLinkLost) {
-			return nil, err
-		}
-	}
-	return nil, lastErr
+	return r.do(ctx, func(octx context.Context, conn *netsim.Conn) ([]byte, error) {
+		return conn.Recv(octx)
+	})
 }
 
 // Call sends a request and waits for one response, with failover
 // retrying the whole exchange — the shape every PeerHood Community
 // operation uses.
 func (r *RobustConn) Call(ctx context.Context, request []byte) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt <= maxFailovers; attempt++ {
-		conn, err := r.current(ctx)
-		if err != nil {
-			return nil, err
-		}
+	return r.do(ctx, func(octx context.Context, conn *netsim.Conn) ([]byte, error) {
 		if err := conn.Send(request); err != nil {
-			lastErr = err
-			if errors.Is(err, netsim.ErrLinkLost) {
-				continue
-			}
 			return nil, err
 		}
-		resp, err := conn.Recv(ctx)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		if !errors.Is(err, netsim.ErrLinkLost) {
-			return nil, err
-		}
-	}
-	return nil, lastErr
+		return conn.Recv(octx)
+	})
 }
 
 // Close shuts the connection down.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -42,6 +43,49 @@ type Environment struct {
 	// grid.go for the snapshot rule).
 	viewMu sync.Mutex
 	views  map[Technology]*worldView
+
+	// inqFaults holds the installed inquiry-fault filter (boxed so the
+	// interface can be swapped atomically; nil box or nil filter means
+	// no faults). Read lock-free on every Neighbors query.
+	inqFaults atomic.Pointer[inquiryFaultsBox]
+}
+
+// InquiryFaults filters discovery: a Neighbors query by querier only
+// reports target when Visible returns true. Reachability (Reachable,
+// link checks, monitors) is never filtered — inquiry faults model scans
+// missing devices, not links breaking. Implemented by faults.Plan.
+type InquiryFaults interface {
+	Visible(querier, target ids.DeviceID, tech Technology, elapsed time.Duration) bool
+}
+
+type inquiryFaultsBox struct{ f InquiryFaults }
+
+// SetInquiryFaults installs (or, with nil, removes) the discovery fault
+// filter. The filter is applied identically to the grid-indexed and
+// brute-force neighbor paths, outside the view cache, so the
+// differential oracle property is preserved under faults.
+func (e *Environment) SetInquiryFaults(f InquiryFaults) {
+	if f == nil {
+		e.inqFaults.Store(nil)
+		return
+	}
+	e.inqFaults.Store(&inquiryFaultsBox{f: f})
+}
+
+// filterInquiry applies the installed inquiry faults to a freshly
+// allocated neighbor list (filtered in place).
+func (e *Environment) filterInquiry(id ids.DeviceID, tech Technology, elapsed time.Duration, found []ids.DeviceID) []ids.DeviceID {
+	box := e.inqFaults.Load()
+	if box == nil || box.f == nil || len(found) == 0 {
+		return found
+	}
+	out := found[:0]
+	for _, other := range found {
+		if box.f.Visible(id, other, tech, elapsed) {
+			out = append(out, other)
+		}
+	}
+	return out
 }
 
 type device struct {
@@ -306,7 +350,7 @@ func (e *Environment) Neighbors(id ids.DeviceID, tech Technology) []ids.DeviceID
 // time, letting callers pin many queries to one epoch so they share a
 // single world snapshot (one discovery round = one epoch).
 func (e *Environment) NeighborsAt(id ids.DeviceID, tech Technology, elapsed time.Duration) []ids.DeviceID {
-	return e.view(tech, elapsed).neighborsInView(id)
+	return e.filterInquiry(id, tech, elapsed, e.view(tech, elapsed).neighborsInView(id))
 }
 
 // NeighborsBrute is the brute-force O(n) per-pair neighbor scan the
@@ -337,7 +381,7 @@ func (e *Environment) NeighborsBruteAt(id ids.DeviceID, tech Technology, elapsed
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return e.filterInquiry(id, tech, elapsed, out)
 }
 
 // Signal returns the link quality between two devices in [0, 1]: 1 at

@@ -1,0 +1,74 @@
+package radio
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/vtime"
+)
+
+// hashInquiry hides a deterministic pseudo-random subset of sightings,
+// standing in for a faults.Plan without importing it (radio only knows
+// the InquiryFaults interface).
+type hashInquiry struct{ rate uint64 }
+
+func (h hashInquiry) Visible(querier, target ids.DeviceID, tech Technology, elapsed time.Duration) bool {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(querier))
+	_, _ = f.Write([]byte{0})
+	_, _ = f.Write([]byte(target))
+	_, _ = f.Write([]byte{byte(tech)})
+	return f.Sum64()%100 >= h.rate
+}
+
+// Inquiry faults must filter the grid-indexed and brute-force neighbor
+// paths identically: the filter sits outside the spatial index, so the
+// two query strategies cannot drift apart under fault injection.
+func TestInquiryFaultsGridBruteDifferential(t *testing.T) {
+	clk := vtime.NewManual(time.Unix(0, 0))
+	env := NewEnvironment(WithClock(clk), WithScale(vtime.Identity()))
+	devs := make([]ids.DeviceID, 0, 60)
+	for i := 0; i < 60; i++ {
+		id := ids.DeviceID(fmt.Sprintf("dev-%02d", i))
+		pos := geo.Pt(float64(i%10)*3, float64(i/10)*3)
+		if err := env.Add(id, mobility.Static{At: pos}, Bluetooth, WLAN); err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, id)
+	}
+	env.SetInquiryFaults(hashInquiry{rate: 35})
+
+	hidden := 0
+	for _, tech := range []Technology{Bluetooth, WLAN} {
+		for _, dev := range devs {
+			grid := env.Neighbors(dev, tech)
+			brute := env.NeighborsBrute(dev, tech)
+			if !reflect.DeepEqual(grid, brute) {
+				t.Fatalf("%s/%v: grid %v != brute %v", dev, tech, grid, brute)
+			}
+			env.SetInquiryFaults(nil)
+			clean := env.Neighbors(dev, tech)
+			env.SetInquiryFaults(hashInquiry{rate: 35})
+			if len(grid) < len(clean) {
+				hidden++
+			}
+			if len(grid) > len(clean) {
+				t.Fatalf("%s/%v: faults added neighbors: %v > %v", dev, tech, grid, clean)
+			}
+		}
+	}
+	if hidden == 0 {
+		t.Fatal("a 35% miss rate hid no sightings across 120 queries")
+	}
+
+	// Reachable ignores inquiry faults: a missed scan is not a broken link.
+	if !env.Reachable("dev-00", "dev-01", Bluetooth) {
+		t.Fatal("inquiry faults must not affect Reachable")
+	}
+}

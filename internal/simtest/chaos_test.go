@@ -1,0 +1,107 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chaosScenarios is the suite size: at least 50 seeded combinations of
+// churn, partition, loss, corruption, flaps and missed inquiries.
+const chaosScenarios = 54
+
+// TestChaosSuite runs the full seeded matrix. Each scenario asserts the
+// stack's chaos invariants end to end:
+//   - no operation outlives its deadline budget (degrade, don't hang);
+//   - corrupted frames never panic anything (a panic fails the test);
+//   - after the faults lift, every node's group view reconverges to
+//     the fault-free oracle;
+//   - no goroutine leaks (TestMain verifies the whole package).
+func TestChaosSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is long; skipped in -short mode")
+	}
+	for _, sc := range Matrix(chaosScenarios, 1) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("scenario could not run: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if !res.Reconverged {
+				t.Errorf("group views never reconverged (rounds=%d, faults=%+v)",
+					res.RoundsToReconverge, res.Faults)
+			}
+			if res.Calls == 0 {
+				t.Error("scenario drove no traffic")
+			}
+			if res.MaxCallWall > res.CallBudget {
+				t.Errorf("slowest call %v exceeded budget %v", res.MaxCallWall, res.CallBudget)
+			}
+			// A faulty scenario that injected nothing and failed nothing
+			// would be vacuous; require evidence the plan was live.
+			if sc.Loss >= 0.15 && res.Faults.MessagesLost == 0 {
+				t.Errorf("loss=%v lost no messages: %+v", sc.Loss, res.Faults)
+			}
+		})
+	}
+}
+
+// TestChaosReplay runs a loss-only scenario twice from the same seed:
+// the fault plan's event trace and counters must replay identically.
+// (Loss-only keeps behavior free of wall-time feedback: fates are drawn
+// per message index, and with no corruption or timing faults the
+// traffic's message sequence is itself a pure function of the seed.)
+func TestChaosReplay(t *testing.T) {
+	sc := Scenario{
+		Name:  "replay",
+		Seed:  777,
+		Peers: 4,
+		Loss:  0.2,
+	}
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Faults != r2.Faults {
+		t.Errorf("fault counters diverged across replays:\n  run1: %+v\n  run2: %+v", r1.Faults, r2.Faults)
+	}
+	if !reflect.DeepEqual(r1.Events, r2.Events) {
+		t.Errorf("event traces diverged across replays: %d vs %d events", len(r1.Events), len(r2.Events))
+	}
+	if r1.Faults.MessagesLost == 0 {
+		t.Errorf("replay scenario injected nothing: %+v", r1.Faults)
+	}
+	if !r1.Reconverged || !r2.Reconverged {
+		t.Errorf("replay runs did not reconverge: %v / %v", r1.Reconverged, r2.Reconverged)
+	}
+}
+
+// TestZeroScenarioIsClean pins the baseline: with every knob zero the
+// run must see no faults, no call errors, and immediate reconvergence.
+func TestZeroScenarioIsClean(t *testing.T) {
+	res, err := Run(Scenario{Name: "zero", Seed: 5, Peers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallErrors != 0 {
+		t.Errorf("fault-free run had %d call errors", res.CallErrors)
+	}
+	if res.Faults.MessagesLost != 0 || res.Faults.MessagesCorrupted != 0 || res.Faults.InquiriesMissed != 0 {
+		t.Errorf("fault-free run counted faults: %+v", res.Faults)
+	}
+	if !res.Reconverged || res.RoundsToReconverge != 1 {
+		t.Errorf("fault-free run took %d rounds to converge (reconverged=%v)",
+			res.RoundsToReconverge, res.Reconverged)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations in fault-free run: %v", res.Violations)
+	}
+}

@@ -1,0 +1,469 @@
+// Package simtest runs seeded end-to-end chaos scenarios over the full
+// PeerHood Community stack: a deployment is built, a deterministic
+// fault plan (loss, corruption, flaps, partitions, missed inquiries) is
+// installed across the radio and transport substrates, traffic is
+// driven through the community clients while the faults are active, and
+// then the plan is lifted and the package verifies the stack heals —
+// every node's dynamic-group view must reconverge to the fault-free
+// oracle, and no operation may outlive its deadline at any point.
+//
+// Everything is a pure function of Scenario.Seed: the fault plan's
+// draws, the peers' interests and mobility, and the traffic each peer
+// generates, so a failing scenario replays exactly from its seed.
+package simtest
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+	"repro/internal/vtime"
+)
+
+// Defaults for Scenario knobs left zero.
+const (
+	defaultPeers            = 5
+	defaultRounds           = 2
+	defaultScale            = 1e-3
+	defaultCallTimeout      = 30 * time.Second
+	defaultFaultWindow      = time.Hour // generous: the fault phase always falls inside
+	defaultReconvergeRounds = 40
+	defaultMaxRetransmits   = 3
+)
+
+// interestPool is the vocabulary scenarios draw member interests from;
+// it is small so groups overlap and dynamic-group discovery has work
+// to do.
+var interestPool = []string{"football", "biking", "music", "chess"}
+
+// Scenario describes one seeded chaos run. The zero value of every
+// fault knob disables that fault; Run fills structural defaults.
+type Scenario struct {
+	Name string
+	Seed int64
+	// Peers is the deployment size (default 5).
+	Peers int
+
+	// Loss is the per-message loss probability on every link.
+	Loss float64
+	// Corrupt is the per-message payload-corruption probability.
+	Corrupt float64
+	// Miss is the per-inquiry neighbor-miss probability.
+	Miss float64
+	// Flap is the per-window link-down probability.
+	Flap float64
+	// Partition splits the world into two halves for the fault phase.
+	Partition bool
+	// Churn gives every peer random-waypoint mobility during the fault
+	// phase (frozen before reconvergence is checked).
+	Churn bool
+
+	// FaultWindow bounds the plan's active window in modeled time
+	// (default one hour — the fault phase is healed explicitly, the
+	// window just exercises the plumbing).
+	FaultWindow time.Duration
+	// Rounds is how many traffic rounds each peer drives while the
+	// faults are active (default 2).
+	Rounds int
+	// Scale is the modeled-to-real latency scale (default 1e-3).
+	Scale float64
+	// CallTimeout is the per-operation deadline handed to RobustConn
+	// (default 30s modeled).
+	CallTimeout time.Duration
+	// ReconvergeRounds bounds the healing loop (default 40).
+	ReconvergeRounds int
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Peers <= 0 {
+		s.Peers = defaultPeers
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = defaultRounds
+	}
+	if s.Scale <= 0 {
+		s.Scale = defaultScale
+	}
+	if s.CallTimeout <= 0 {
+		s.CallTimeout = defaultCallTimeout
+	}
+	if s.FaultWindow <= 0 {
+		s.FaultWindow = defaultFaultWindow
+	}
+	if s.ReconvergeRounds <= 0 {
+		s.ReconvergeRounds = defaultReconvergeRounds
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("seed-%d", s.Seed)
+	}
+	return s
+}
+
+// Faulty reports whether any fault knob is set.
+func (s Scenario) Faulty() bool {
+	return s.Loss > 0 || s.Corrupt > 0 || s.Miss > 0 || s.Flap > 0 || s.Partition || s.Churn
+}
+
+// Result is what one chaos run observed.
+type Result struct {
+	Scenario Scenario
+
+	// Calls counts budget-measured client operations; CallErrors how
+	// many of them failed (degradation, not violation — operations may
+	// fail under faults, they may not hang or panic).
+	Calls      int
+	CallErrors int
+	// MaxCallWall is the longest real wall time of one measured
+	// operation; CallBudget is the bound it was held to.
+	MaxCallWall time.Duration
+	CallBudget  time.Duration
+
+	// Reconverged reports whether every peer's group view matched the
+	// fault-free oracle after healing, and in how many refresh rounds.
+	Reconverged        bool
+	RoundsToReconverge int
+
+	// Faults is the plan's own accounting; Events its bounded trace.
+	Faults faults.Counters
+	Events []faults.Event
+	// Net is the transport's accounting.
+	Net netsim.Counters
+
+	// Violations lists every invariant breach (empty on success).
+	Violations []string
+}
+
+// Run executes one scenario and reports what happened. Errors are
+// infrastructure failures (the world could not be built); invariant
+// breaches land in Result.Violations instead.
+func Run(s Scenario) (*Result, error) {
+	s = s.withDefaults()
+	res := &Result{Scenario: s}
+
+	dep, plan, err := buildWorld(s)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Stop()
+
+	env := dep.Env
+	clock := env.Clock()
+	res.CallBudget = callBudget(env, s.CallTimeout)
+	ctx := context.Background()
+
+	// Warm-up: one fault-free discovery round so every daemon knows its
+	// neighborhood before the chaos starts.
+	if err := dep.RefreshAll(ctx); err != nil {
+		return nil, fmt.Errorf("simtest: warm-up: %w", err)
+	}
+
+	// Fault phase: install the plan on both substrates and drive
+	// traffic through every client concurrently.
+	dep.Net.SetFaults(plan)
+	env.SetInquiryFaults(plan)
+	driveTraffic(ctx, s, dep, clock, res)
+
+	// Heal: lift the plan entirely and freeze mobility, so the
+	// reconvergence oracle is computed over a static, fault-free world.
+	dep.Net.SetFaults(nil)
+	env.SetInquiryFaults(nil)
+	if err := freezeMobility(dep); err != nil {
+		return nil, fmt.Errorf("simtest: freezing mobility: %w", err)
+	}
+
+	res.Reconverged, res.RoundsToReconverge = reconverge(ctx, s, dep)
+	if !res.Reconverged {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("group views did not reconverge to the oracle within %d rounds", s.ReconvergeRounds))
+	}
+
+	res.Faults = plan.Counters()
+	res.Events = plan.Events()
+	res.Net = dep.Net.Counters()
+	return res, nil
+}
+
+// buildWorld assembles the deployment and the fault plan for a
+// scenario. Peers stand on a circle well inside Bluetooth range;
+// churn replaces the static placement with seeded random-waypoint
+// movement in a box around the circle.
+func buildWorld(s Scenario) (*scenario.Deployment, *faults.Plan, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	b := scenario.NewBuilder().WithScale(vtime.NewScale(s.Scale)).WithSeed(s.Seed)
+	devices := make([]ids.DeviceID, 0, s.Peers)
+	for i := 0; i < s.Peers; i++ {
+		member := ids.MemberID(fmt.Sprintf("m%02d", i))
+		spec := scenario.PeerSpec{
+			Member:    member,
+			Position:  circlePos(i, s.Peers),
+			Interests: pickInterests(rng, i),
+		}
+		if s.Churn {
+			region := geo.NewRect(geo.Pt(14, 14), geo.Pt(26, 26))
+			spec.Mobility = mobility.NewRandomWaypoint(region, 0.5, 2.0, time.Second, s.Seed+int64(i)*7919)
+		}
+		b.AddPeer(spec)
+		devices = append(devices, ids.DeviceID("dev-"+string(member)))
+	}
+	dep, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	plan := faults.New(s.Seed).
+		SetLink(faults.LinkProfile{
+			Loss:           s.Loss,
+			MaxRetransmits: defaultMaxRetransmits,
+			Corrupt:        s.Corrupt,
+			FlapRate:       s.Flap,
+		}).
+		SetRadio(faults.RadioProfile{Miss: s.Miss}).
+		SetActiveWindow(s.FaultWindow)
+	if s.Partition {
+		half := len(devices) / 2
+		plan = plan.AddPartition(faults.PartitionWindow{
+			GroupA: devices[:half],
+			GroupB: devices[half:],
+			Start:  0,
+			End:    s.FaultWindow,
+		})
+	}
+	return dep, plan, nil
+}
+
+// circlePos places peer i of n on a radius-4 circle around (20, 20):
+// every pairwise distance is under 8 m, inside the 10 m Bluetooth
+// range, so the fault-free world is fully connected.
+func circlePos(i, n int) geo.Point {
+	angle := 2 * math.Pi * float64(i) / float64(n)
+	return geo.Pt(20+4*math.Cos(angle), 20+4*math.Sin(angle))
+}
+
+// pickInterests gives peer i a guaranteed interest from the pool (so
+// overlap exists) plus an optional second draw.
+func pickInterests(rng *rand.Rand, i int) []string {
+	out := []string{interestPool[i%len(interestPool)]}
+	if rng.Intn(2) == 1 {
+		second := interestPool[rng.Intn(len(interestPool))]
+		if second != out[0] {
+			out = append(out, second)
+		}
+	}
+	return out
+}
+
+// callBudget is the real-time bound one measured client operation is
+// held to: client operations chain at most a handful of sequential
+// robust calls (resolve, check, the operation itself), each bounded by
+// the RobustConn deadline — which the peerhood layer floors at 2s real
+// so latency scales don't turn scheduler jitter into timeouts.
+func callBudget(env *radio.Environment, modeled time.Duration) time.Duration {
+	const floor = 2 * time.Second
+	d := env.Scale().ToReal(modeled)
+	if d < floor {
+		d = floor
+	}
+	return 4*d + time.Second
+}
+
+// driveTraffic runs every peer's seeded workload concurrently and
+// merges the observations into res.
+func driveTraffic(ctx context.Context, s Scenario, dep *scenario.Deployment, clock vtime.Clock, res *Result) {
+	members := dep.Members()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, m := range members {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			peer := dep.MustPeer(m)
+			rng := rand.New(rand.NewSource(s.Seed + 104729*int64(i+1)))
+			for round := 0; round < s.Rounds; round++ {
+				// Discovery is not budget-measured: its duration is set
+				// by inquiry windows, not by RobustConn deadlines.
+				_ = peer.Daemon.RefreshNow(ctx)
+
+				ops := []func() error{
+					func() error { _, err := peer.Client.RefreshGroups(ctx); return err },
+					func() error { _, err := peer.Client.OnlineMembers(ctx); return err },
+					func() error {
+						to := members[rng.Intn(len(members))]
+						if to == m {
+							return nil
+						}
+						return peer.Client.SendMessage(ctx, to, "chaos", fmt.Sprintf("r%d from %s", round, m))
+					},
+				}
+				for _, op := range ops {
+					start := clock.Now()
+					err := op()
+					wall := clock.Now().Sub(start)
+					mu.Lock()
+					res.Calls++
+					if err != nil {
+						res.CallErrors++
+					}
+					if wall > res.MaxCallWall {
+						res.MaxCallWall = wall
+					}
+					if wall > res.CallBudget {
+						res.Violations = append(res.Violations,
+							fmt.Sprintf("peer %s round %d: operation took %v, budget %v", m, round, wall, res.CallBudget))
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// freezeMobility pins every device at its current position so the
+// oracle and the daemons see the same static world.
+func freezeMobility(dep *scenario.Deployment) error {
+	for _, m := range dep.Members() {
+		dev := dep.MustPeer(m).Daemon.Device()
+		pos, err := dep.Env.Position(dev)
+		if err != nil {
+			return err
+		}
+		if err := dep.Env.SetModel(dev, mobility.Static{At: pos}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupView is the canonical comparison form of a node's dynamic
+// groups: interest → sorted member IDs.
+type groupView map[string][]string
+
+func canonical(groups []core.Group) groupView {
+	out := make(groupView, len(groups))
+	for _, g := range groups {
+		ms := make([]string, 0, len(g.Members))
+		for _, m := range g.Members {
+			ms = append(ms, string(m.ID))
+		}
+		sort.Strings(ms)
+		out[g.Interest] = ms
+	}
+	return out
+}
+
+// oracleView computes what a peer's groups must be in the healed
+// world: DiscoverGroups over its actual radio neighbors, with every
+// member's interests read from their live profile store.
+func oracleView(dep *scenario.Deployment, m ids.MemberID, byDevice map[ids.DeviceID]ids.MemberID) (groupView, error) {
+	self, err := liveMember(dep, m)
+	if err != nil {
+		return nil, err
+	}
+	var nearby []core.Member
+	for _, dev := range dep.Env.Neighbors(self.Device, radio.Bluetooth) {
+		other, ok := byDevice[dev]
+		if !ok {
+			continue
+		}
+		om, err := liveMember(dep, other)
+		if err != nil {
+			return nil, err
+		}
+		nearby = append(nearby, om)
+	}
+	return canonical(core.DiscoverGroups(self, nearby, nil)), nil
+}
+
+// liveMember snapshots a peer as a core.Member with its store's
+// current interests.
+func liveMember(dep *scenario.Deployment, m ids.MemberID) (core.Member, error) {
+	peer := dep.MustPeer(m)
+	p, err := peer.Store.ActiveProfile()
+	if err != nil {
+		return core.Member{}, err
+	}
+	return core.Member{Device: peer.Daemon.Device(), ID: m, Interests: p.Interests}, nil
+}
+
+// reconverge refreshes every node until each one's group view matches
+// the oracle, or the round budget runs out.
+func reconverge(ctx context.Context, s Scenario, dep *scenario.Deployment) (bool, int) {
+	members := dep.Members()
+	byDevice := make(map[ids.DeviceID]ids.MemberID, len(members))
+	for _, m := range members {
+		byDevice[dep.MustPeer(m).Daemon.Device()] = m
+	}
+	for round := 1; round <= s.ReconvergeRounds; round++ {
+		for _, m := range members {
+			peer := dep.MustPeer(m)
+			_ = peer.Daemon.RefreshNow(ctx)
+			_, _ = peer.Client.RefreshGroups(ctx)
+		}
+		converged := true
+		for _, m := range members {
+			want, err := oracleView(dep, m, byDevice)
+			if err != nil {
+				converged = false
+				break
+			}
+			got := canonical(dep.MustPeer(m).Client.Groups())
+			if !reflect.DeepEqual(got, want) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return true, round
+		}
+	}
+	return false, s.ReconvergeRounds
+}
+
+// Matrix generates n seeded scenarios sweeping the fault axes — loss ×
+// corruption × missed inquiries × flaps × partition × churn × size —
+// deterministically from a base seed.
+func Matrix(n int, baseSeed int64) []Scenario {
+	losses := []float64{0, 0.05, 0.15, 0.3}
+	corrupts := []float64{0, 0.1}
+	misses := []float64{0, 0.2}
+	flaps := []float64{0, 0.04}
+	out := make([]Scenario, 0, n)
+	for i := 0; len(out) < n; i++ {
+		s := Scenario{
+			Seed:      baseSeed + int64(i)*1009,
+			Peers:     4 + (i%3)*2, // 4, 6, 8
+			Loss:      losses[i%len(losses)],
+			Corrupt:   corrupts[(i/4)%len(corrupts)],
+			Miss:      misses[(i/8)%len(misses)],
+			Flap:      flaps[(i/16)%len(flaps)],
+			Partition: i%3 == 1,
+			Churn:     i%2 == 1,
+		}
+		s.Name = fmt.Sprintf("chaos-%02d-l%02.0f-c%02.0f-m%02.0f-f%02.0f-p%d-ch%d-n%d",
+			i, s.Loss*100, s.Corrupt*100, s.Miss*100, s.Flap*100, b2i(s.Partition), b2i(s.Churn), s.Peers)
+		out = append(out, s)
+	}
+	return out
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+

@@ -48,6 +48,15 @@ func (m *Manual) After(d time.Duration) <-chan time.Time {
 	return ch
 }
 
+// Waiters reports how many timers are currently pending. Tests use it
+// to know a goroutine has registered its After before Advancing past
+// the deadline.
+func (m *Manual) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
 // Advance moves the clock forward and fires every timer whose deadline
 // has passed, in deadline order.
 func (m *Manual) Advance(d time.Duration) {
