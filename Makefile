@@ -16,6 +16,16 @@ BENCH_PATTERN = ^(BenchmarkNeighbors|BenchmarkBroadcastFanout|BenchmarkScaleDisc
 BENCH_REQUIRE = BenchmarkNeighbors/grid/devices=1000,BenchmarkNeighbors/brute/devices=1000,BenchmarkNeighbors/zerofault/devices=1000,BenchmarkBroadcastFanout/devices=1000,BenchmarkBroadcastFanout/zerofault/devices=1000,BenchmarkScaleDiscovery/peers=1000,BenchmarkScaleDiscovery/peers=2000
 BENCH_RATIO   = BenchmarkNeighbors/brute/devices=1000:BenchmarkNeighbors/grid/devices=1000:5,BenchmarkNeighbors/grid/devices=1000:BenchmarkNeighbors/zerofault/devices=1000:0.95,BenchmarkBroadcastFanout/devices=1000:BenchmarkBroadcastFanout/zerofault/devices=1000:0.95
 
+# The delta-synchronization benchmarks and the floors the committed
+# BENCH_community.json baseline pins: at 500 peers a steady-state group
+# round (primed cache, NOT_MODIFIED answers, fingerprint-skipped
+# rebuild) must cost >= 3x less wall time and move >= 5x fewer wire
+# bytes than a cold round (fresh client, full interest lists, full
+# rebuild).
+COMBENCH_PATTERN = ^(BenchmarkGroupRound|BenchmarkWireCodecSized)$$
+COMBENCH_REQUIRE = BenchmarkGroupRound/cold/peers=10,BenchmarkGroupRound/steady/peers=10,BenchmarkGroupRound/cold/peers=100,BenchmarkGroupRound/steady/peers=100,BenchmarkGroupRound/cold/peers=500,BenchmarkGroupRound/steady/peers=500,BenchmarkWireCodecSized/marshal/fields=500,BenchmarkWireCodecSized/append/fields=500,BenchmarkWireCodecSized/unmarshal/fields=500
+COMBENCH_RATIO   = BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:3,BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:5:wire-bytes/op
+
 .PHONY: verify build vet phvet test race chaos bench bench-json bench-smoke
 
 verify: build vet phvet race chaos bench-smoke
@@ -44,13 +54,17 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# bench-json regenerates the committed substrate baseline and enforces
-# the speedup/overhead floors. Run it on a quiet machine. -count=5
-# repeats every benchmark; benchjson folds the repeats by median, which
-# keeps one warmup or scheduler hiccup from deciding a ratio check.
+# bench-json regenerates the committed baselines and enforces the
+# speedup/overhead floors. Run it on a quiet machine. -count=5 repeats
+# every benchmark; benchjson folds the repeats by median, which keeps
+# one warmup or scheduler hiccup from deciding a ratio check. The
+# community suite runs fewer iterations per repeat because one cold
+# 500-peer round is itself a 500-connection experiment.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 500x -count=5 . > bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_netsim.json -require '$(BENCH_REQUIRE)' -ratio '$(BENCH_RATIO)' < bench.out
+	$(GO) test -run '^$$' -bench '$(COMBENCH_PATTERN)' -benchmem -benchtime 20x -count=5 . > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_community.json -require '$(COMBENCH_REQUIRE)' -ratio '$(COMBENCH_RATIO)' < bench.out
 	rm -f bench.out
 
 # bench-smoke is the CI guard: every benchmark still compiles and runs
@@ -59,4 +73,6 @@ bench-json:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x . > bench-smoke.out
 	$(GO) run ./cmd/benchjson -o /dev/null -require '$(BENCH_REQUIRE)' < bench-smoke.out
+	$(GO) test -run '^$$' -bench '$(COMBENCH_PATTERN)' -benchmem -benchtime 1x . > bench-smoke.out
+	$(GO) run ./cmd/benchjson -o /dev/null -require '$(COMBENCH_REQUIRE)' < bench-smoke.out
 	rm -f bench-smoke.out

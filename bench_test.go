@@ -21,6 +21,7 @@ import (
 	"repro/internal/peerhood"
 	"repro/internal/profile"
 	"repro/internal/radio"
+	"repro/internal/scenario"
 	"repro/internal/snsbase"
 	"repro/internal/vtime"
 )
@@ -444,6 +445,48 @@ func BenchmarkWireCodec(b *testing.B) {
 	})
 }
 
+// BenchmarkWireCodecSized measures the codec across response sizes —
+// the shapes a group round actually moves: a 10-field reply is one
+// member summary, 100–500 fields are interest-list fan-in aggregates.
+// The append variants reuse one buffer, the pooled hot path the client
+// and server run on.
+func BenchmarkWireCodecSized(b *testing.B) {
+	for _, n := range []int{10, 100, 500} {
+		fields := make([]string, n)
+		for i := range fields {
+			fields[i] = benchDeltaVocab[i%len(benchDeltaVocab)]
+		}
+		resp := community.Response{Status: community.StatusOK, Fields: fields}
+		b.Run(fmt.Sprintf("marshal/fields=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if out := community.MarshalResponse(resp); len(out) == 0 {
+					b.Fatal("empty frame")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("append/fields=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]byte, 0, 1<<14)
+			for i := 0; i < b.N; i++ {
+				buf = community.AppendResponse(buf[:0], resp)
+				if len(buf) == 0 {
+					b.Fatal("empty frame")
+				}
+			}
+		})
+		frame := community.MarshalResponse(resp)
+		b.Run(fmt.Sprintf("unmarshal/fields=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := community.UnmarshalResponse(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMSCRender measures chart rendering (Figures 11–17 output).
 func BenchmarkMSCRender(b *testing.B) {
 	rec := msc.NewRecorder("bench")
@@ -632,6 +675,128 @@ func BenchmarkScaleDiscovery(b *testing.B) {
 					nearby = append(nearby, members[nb])
 				}
 				core.DiscoverGroups(active, nearby, nil)
+			}
+		})
+	}
+}
+
+// --- Delta synchronization: cold vs steady group rounds --------------
+
+// benchDeltaVocab models realistic member profiles; every peer carries
+// 20 distinct terms from it (stride 5 is coprime with 24), so a cold
+// round ships a full interest list per neighbor while a steady round
+// ships only the fixed-size NOT_MODIFIED frame.
+var benchDeltaVocab = []string{
+	"football", "ice-hockey", "progressive-rock", "classical-music",
+	"mobile-photography", "trail-running", "board-games", "astronomy",
+	"street-food", "travel-stories", "retro-computing", "gardening",
+	"language-exchange", "film-festivals", "chess", "orienteering",
+	"vintage-cameras", "stand-up-comedy", "urban-sketching", "sailing",
+	"science-fiction", "craft-coffee", "karaoke-nights", "birdwatching",
+}
+
+func benchDeltaInterests(i int) []string {
+	seen := make(map[string]bool, 20)
+	out := make([]string, 0, 20)
+	for k := 0; k < 20; k++ {
+		t := benchDeltaVocab[(i+k*5)%len(benchDeltaVocab)]
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// newGroupRoundWorld builds one active peer plus n neighbors on a tight
+// Bluetooth grid with rich overlapping profiles, neighborhood already
+// discovered, latency scaled to noise so the benchmark measures
+// protocol and rebuild cost.
+func newGroupRoundWorld(b *testing.B, peers int) (*scenario.Deployment, *scenario.Peer, context.Context) {
+	b.Helper()
+	builder := scenario.NewBuilder().WithScale(vtime.NewScale(1e-6)).WithSeed(int64(peers))
+	side := 1 + peers/4
+	for i := 0; i < peers; i++ {
+		builder.AddPeer(scenario.PeerSpec{
+			Member:    ids.MemberID(fmt.Sprintf("peer-%04d", i)),
+			Position:  geo.Pt(float64(i%side)*0.01, float64(i/side)*0.01),
+			Interests: benchDeltaInterests(i),
+		})
+	}
+	builder.AddPeer(scenario.PeerSpec{
+		Member:    "active",
+		Device:    "active-dev",
+		Position:  geo.Pt(0.005, 0.005),
+		Interests: benchDeltaInterests(0),
+	})
+	d, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Stop)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	b.Cleanup(cancel)
+	active := d.MustPeer("active")
+	if err := active.Daemon.RefreshNow(ctx); err != nil {
+		b.Fatal(err)
+	}
+	return d, active, ctx
+}
+
+// BenchmarkGroupRound is the delta-synchronization headline: one full
+// group-discovery round against n peers. The cold mode pays the whole
+// classic cost every iteration — a fresh client (no cache, no
+// connections), full interest lists on the wire, a full group rebuild.
+// The steady mode reuses one primed client: per-peer conditional reads
+// answered NOT_MODIFIED and a fingerprint-skipped rebuild. Each mode
+// reports wire-bytes/op from the transport's byte counters;
+// BENCH_community.json pins cold/steady floors at 500 peers.
+func BenchmarkGroupRound(b *testing.B) {
+	for _, n := range []int{10, 100, 500} {
+		b.Run(fmt.Sprintf("cold/peers=%d", n), func(b *testing.B) {
+			d, active, ctx := newGroupRoundWorld(b, n)
+			before := d.Net.Counters().BytesDelivered
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				client, err := community.NewClient(peerhood.NewLibrary(active.Daemon), active.Store, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.RefreshGroups(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if len(client.Groups()) == 0 {
+					b.Fatal("cold round formed no groups")
+				}
+				client.Close()
+			}
+			b.StopTimer()
+			moved := d.Net.Counters().BytesDelivered - before
+			b.ReportMetric(float64(moved)/float64(b.N), "wire-bytes/op")
+		})
+		b.Run(fmt.Sprintf("steady/peers=%d", n), func(b *testing.B) {
+			d, active, ctx := newGroupRoundWorld(b, n)
+			// Prime: the first round fills the per-peer cache and the
+			// group manager's snapshot fingerprint.
+			if _, err := active.Client.RefreshGroups(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if len(active.Client.Groups()) == 0 {
+				b.Fatal("priming round formed no groups")
+			}
+			before := d.Net.Counters().BytesDelivered
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := active.Client.RefreshGroups(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			moved := d.Net.Counters().BytesDelivered - before
+			b.ReportMetric(float64(moved)/float64(b.N), "wire-bytes/op")
+			st := active.Client.Stats()
+			if st.NotModified == 0 || st.CacheHits == 0 {
+				b.Fatalf("steady rounds never hit the cache: %+v", st)
 			}
 		})
 	}

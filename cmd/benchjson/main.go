@@ -11,10 +11,12 @@
 //
 // -require takes comma-separated benchmark-name prefixes; benchjson
 // fails if any prefix matches no parsed benchmark. -ratio takes
-// comma-separated SLOW:FAST:MIN constraints and fails unless every one
-// holds: ns/op(SLOW) / ns/op(FAST) >= MIN. A MIN below 1 bounds
-// overhead instead of requiring speedup — e.g. PLAIN:INSTRUMENTED:0.95
-// allows the instrumented path at most ~5% slack over the plain one.
+// comma-separated SLOW:FAST:MIN[:METRIC] constraints and fails unless
+// every one holds: metric(SLOW) / metric(FAST) >= MIN. METRIC defaults
+// to ns/op; any custom b.ReportMetric unit (e.g. wire-bytes/op) may be
+// named instead. A MIN below 1 bounds overhead instead of requiring
+// speedup — e.g. PLAIN:INSTRUMENTED:0.95 allows the instrumented path
+// at most ~5% slack over the plain one.
 package main
 
 import (
@@ -37,6 +39,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric figures by unit (e.g.
+	// "wire-bytes/op"); absent when a benchmark reports none, so
+	// baselines without custom metrics keep their exact shape.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // gomaxprocsSuffix is the "-8" style suffix go test appends to
@@ -68,19 +74,24 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 		}
 		res := Result{Iterations: iters}
 		// The rest is value/unit pairs: 123 ns/op, 45 B/op, 6 allocs/op,
-		// plus any custom b.ReportMetric units, which we skip.
+		// plus any custom b.ReportMetric units, captured by unit name.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("benchjson: %q: bad value %q", name, fields[i])
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp = v
 			case "B/op":
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
 			}
 		}
 		if res.NsPerOp == 0 {
@@ -122,12 +133,27 @@ func aggregate(runs []Result) Result {
 	for _, r := range runs {
 		iters += r.Iterations
 	}
-	return Result{
+	out := Result{
 		Iterations:  iters,
 		NsPerOp:     pick(func(r Result) float64 { return r.NsPerOp }),
 		BytesPerOp:  pick(func(r Result) float64 { return r.BytesPerOp }),
 		AllocsPerOp: pick(func(r Result) float64 { return r.AllocsPerOp }),
 	}
+	// Custom metrics fold by median too; a unit missing from one run
+	// counts as zero there, matching how the stock fields behave.
+	units := make(map[string]bool)
+	for _, r := range runs {
+		for unit := range r.Metrics {
+			units[unit] = true
+		}
+	}
+	for unit := range units {
+		if out.Metrics == nil {
+			out.Metrics = make(map[string]float64, len(units))
+		}
+		out.Metrics[unit] = pick(func(r Result) float64 { return r.Metrics[unit] })
+	}
+	return out
 }
 
 // checkRequire fails if any required name prefix matches nothing.
@@ -151,22 +177,31 @@ func checkRequire(results map[string]Result, required []string) error {
 	return nil
 }
 
-// ratioSpec is one -ratio constraint: slow/fast must be >= min.
+// ratioSpec is one -ratio constraint: metric(slow)/metric(fast) must be
+// >= min. An empty metric means ns/op.
 type ratioSpec struct {
 	slow, fast string
 	min        float64
+	metric     string
 }
 
 func parseRatio(s string) (ratioSpec, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return ratioSpec{}, fmt.Errorf("benchjson: -ratio wants SLOW:FAST:MIN, got %q", s)
+	if len(parts) != 3 && len(parts) != 4 {
+		return ratioSpec{}, fmt.Errorf("benchjson: -ratio wants SLOW:FAST:MIN[:METRIC], got %q", s)
 	}
 	min, err := strconv.ParseFloat(parts[2], 64)
 	if err != nil || min <= 0 {
 		return ratioSpec{}, fmt.Errorf("benchjson: -ratio minimum %q is not a positive number", parts[2])
 	}
-	return ratioSpec{slow: parts[0], fast: parts[1], min: min}, nil
+	spec := ratioSpec{slow: parts[0], fast: parts[1], min: min}
+	if len(parts) == 4 {
+		if parts[3] == "" {
+			return ratioSpec{}, fmt.Errorf("benchjson: -ratio metric in %q is empty", s)
+		}
+		spec.metric = parts[3]
+	}
+	return spec, nil
 }
 
 // parseRatios splits a comma-separated -ratio value into its specs.
@@ -189,6 +224,22 @@ func parseRatios(s string) ([]ratioSpec, error) {
 	return specs, nil
 }
 
+// metricValue extracts one spec's metric from a result; ok=false means
+// the benchmark never reported that unit.
+func metricValue(r Result, metric string) (float64, bool) {
+	switch metric {
+	case "", "ns/op":
+		return r.NsPerOp, true
+	case "B/op":
+		return r.BytesPerOp, true
+	case "allocs/op":
+		return r.AllocsPerOp, true
+	default:
+		v, ok := r.Metrics[metric]
+		return v, ok
+	}
+}
+
 func checkRatio(results map[string]Result, spec ratioSpec) error {
 	slow, ok := results[spec.slow]
 	if !ok {
@@ -198,13 +249,25 @@ func checkRatio(results map[string]Result, spec ratioSpec) error {
 	if !ok {
 		return fmt.Errorf("benchjson: ratio benchmark %q missing", spec.fast)
 	}
-	got := slow.NsPerOp / fast.NsPerOp
-	if got < spec.min {
-		return fmt.Errorf("benchjson: speedup %s/%s = %.2fx, below the required %.2fx",
-			spec.slow, spec.fast, got, spec.min)
+	unit := spec.metric
+	if unit == "" {
+		unit = "ns/op"
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: speedup %s/%s = %.1fx (>= %.1fx required)\n",
-		spec.slow, spec.fast, got, spec.min)
+	sv, ok := metricValue(slow, spec.metric)
+	if !ok {
+		return fmt.Errorf("benchjson: %q reports no %s metric", spec.slow, unit)
+	}
+	fv, ok := metricValue(fast, spec.metric)
+	if !ok || fv == 0 {
+		return fmt.Errorf("benchjson: %q reports no usable %s metric", spec.fast, unit)
+	}
+	got := sv / fv
+	if got < spec.min {
+		return fmt.Errorf("benchjson: %s ratio %s/%s = %.2fx, below the required %.2fx",
+			unit, spec.slow, spec.fast, got, spec.min)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s ratio %s/%s = %.1fx (>= %.1fx required)\n",
+		unit, spec.slow, spec.fast, got, spec.min)
 	return nil
 }
 
@@ -236,7 +299,7 @@ func marshal(results map[string]Result) ([]byte, error) {
 func main() {
 	out := flag.String("o", "BENCH_netsim.json", "output path for the JSON baseline")
 	require := flag.String("require", "", "comma-separated benchmark-name prefixes that must be present")
-	ratio := flag.String("ratio", "", "comma-separated SLOW:FAST:MIN constraints — fail unless every ns/op(SLOW)/ns/op(FAST) >= MIN")
+	ratio := flag.String("ratio", "", "comma-separated SLOW:FAST:MIN[:METRIC] constraints — fail unless every metric(SLOW)/metric(FAST) >= MIN (METRIC defaults to ns/op)")
 	flag.Parse()
 
 	results, err := parseBench(os.Stdin)

@@ -33,9 +33,87 @@ func TestParseBench(t *testing.T) {
 	if grid.NsPerOp != 2100 || grid.Iterations != 500000 || grid.AllocsPerOp != 5 || grid.BytesPerOp != 168 {
 		t.Fatalf("wrong figures: %+v", grid)
 	}
-	// Custom b.ReportMetric units are skipped, ns/op still captured.
-	if fb := results["BenchmarkTable8_FacebookN810"]; fb.NsPerOp != 1031525175 {
+	// Custom b.ReportMetric units land in Metrics, ns/op still captured.
+	fb := results["BenchmarkTable8_FacebookN810"]
+	if fb.NsPerOp != 1031525175 {
 		t.Fatalf("custom-metric row misparsed: %+v", fb)
+	}
+	if fb.Metrics["modeled-s/op"] != 94.21 {
+		t.Fatalf("custom metric not captured: %+v", fb.Metrics)
+	}
+	// Rows without custom units keep a nil map so baselines that never
+	// report one are byte-identical to the pre-Metrics format.
+	if grid.Metrics != nil {
+		t.Fatalf("stock row grew a metrics map: %+v", grid.Metrics)
+	}
+}
+
+func TestParseBenchFoldsCustomMetricsByMedian(t *testing.T) {
+	repeated := `BenchmarkRound/steady-8	10	5000 ns/op	700 wire-bytes/op
+BenchmarkRound/steady-8	10	5100 ns/op	900 wire-bytes/op
+BenchmarkRound/steady-8	10	5200 ns/op	800 wire-bytes/op
+`
+	results, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results["BenchmarkRound/steady"]
+	if got.Metrics["wire-bytes/op"] != 800 {
+		t.Fatalf("median fold of custom metric: %+v", got.Metrics)
+	}
+}
+
+func TestParseRatioWithMetric(t *testing.T) {
+	spec, err := parseRatio("BenchmarkRound/cold:BenchmarkRound/steady:5.0:wire-bytes/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.metric != "wire-bytes/op" || spec.min != 5.0 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := parseRatio("A:B:2.0:"); err == nil {
+		t.Fatal("empty metric accepted")
+	}
+}
+
+func TestCheckRatioOnCustomMetric(t *testing.T) {
+	results := map[string]Result{
+		"cold":   {NsPerOp: 100, Metrics: map[string]float64{"wire-bytes/op": 6000}},
+		"steady": {NsPerOp: 90, Metrics: map[string]float64{"wire-bytes/op": 1000}},
+	}
+	ok := ratioSpec{slow: "cold", fast: "steady", min: 5, metric: "wire-bytes/op"}
+	if err := checkRatio(results, ok); err != nil {
+		t.Fatalf("6x wire-byte ratio rejected: %v", err)
+	}
+	tooHigh := ratioSpec{slow: "cold", fast: "steady", min: 7, metric: "wire-bytes/op"}
+	if err := checkRatio(results, tooHigh); err == nil {
+		t.Fatal("6x ratio passed a 7x floor")
+	}
+	// The same pair fails on ns/op (default metric): 100/90 < 5.
+	nsFloor := ratioSpec{slow: "cold", fast: "steady", min: 5}
+	if err := checkRatio(results, nsFloor); err == nil {
+		t.Fatal("ns/op floor ignored when metric is defaulted")
+	}
+	missing := ratioSpec{slow: "cold", fast: "steady", min: 1, metric: "no-such/op"}
+	if err := checkRatio(results, missing); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+}
+
+func TestMarshalWithMetricsRoundTrips(t *testing.T) {
+	data, err := marshal(map[string]Result{
+		"BenchmarkRound/cold": {Iterations: 10, NsPerOp: 100,
+			Metrics: map[string]float64{"wire-bytes/op": 6000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["BenchmarkRound/cold"].Metrics["wire-bytes/op"] != 6000 {
+		t.Fatalf("metrics lost in marshal: %s", data)
 	}
 }
 

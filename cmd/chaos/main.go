@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/community"
 	"repro/internal/harness"
 )
 
@@ -30,6 +31,16 @@ func main() {
 	fmt.Printf("Seeded chaos matrix: %d scenarios, base seed %d.\n", *n, *seed)
 	fmt.Println("Faults lift mid-run; Reconverged reports the round in which")
 	fmt.Println("every node's group view matched the fault-free oracle.")
+	fmt.Println("NotMod/Cache hits/Invalidated sum the delta-synchronization")
+	fmt.Println("cache counters across every client in the deployment.")
 	fmt.Println()
 	fmt.Print(harness.FormatChaos(results))
+
+	var totals community.ClientStats
+	for _, r := range results {
+		totals.Add(r.Client)
+	}
+	fmt.Println()
+	fmt.Printf("Delta-sync totals: %d NOT_MODIFIED rounds, %d cache hits, %d invalidations, %d singleflight joins.\n",
+		totals.NotModified, totals.CacheHits, totals.CacheInvalidations, totals.SingleflightHits)
 }

@@ -33,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 1e-2, "latency scale: real seconds per modeled second")
 	churn := flag.Bool("churn", false, "also measure group churn vs. walking speed")
 	substrate := flag.Bool("substrate", false, "measure substrate neighbor queries (grid vs brute) instead of the full stack")
+	delta := flag.Bool("delta", false, "measure delta-synchronized group rounds (cold vs steady cache) instead of the full stack")
 	flag.Parse()
 
 	peersSet := false
@@ -41,8 +42,8 @@ func main() {
 			peersSet = true
 		}
 	})
-	if *substrate && !peersSet {
-		// The substrate experiment is about thousand-device worlds.
+	if (*substrate || *delta) && !peersSet {
+		// The substrate and delta experiments are about large worlds.
 		*peersFlag = "100,500,1000,2000"
 	}
 
@@ -54,6 +55,21 @@ func main() {
 			os.Exit(2)
 		}
 		counts = append(counts, n)
+	}
+
+	if *delta {
+		fmt.Println("Delta-synchronized group rounds: one client refreshing its")
+		fmt.Println("groups against n neighbors, cold (empty cache, full interest")
+		fmt.Println("lists on the wire) vs steady state (epoch-primed cache,")
+		fmt.Println("NOT_MODIFIED answers, group rebuild skipped).")
+		fmt.Println()
+		points, err := harness.RunDeltaScale(vtime.NewScale(1e-4), counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groupscale:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatDeltaScale(points))
+		return
 	}
 
 	if *substrate {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -44,10 +45,46 @@ type Client struct {
 	mu       sync.Mutex
 	conns    map[ids.DeviceID]*peerhood.RobustConn
 	resolved map[ids.MemberID]ids.DeviceID
+	cache    map[ids.DeviceID]*peerCache
+	inflight map[flightKey]*flightCall
 	rec      *msc.Recorder
 	closed   bool
 
 	counters clientCounters
+}
+
+// peerCache is the delta-synchronization state for one neighbor: the
+// last versioned answers it gave us and the epoch they were valid at.
+// Entries are dropped whole on dropConn — link loss means we can no
+// longer tell what the far side mutated while unreachable.
+type peerCache struct {
+	// Member summary (conditional PS_GETINTERESTLIST).
+	hasSummary   bool
+	summaryEpoch uint64
+	online       bool // the device had a logged-in member at summaryEpoch
+	member       ids.MemberID
+	interests    []string
+
+	// Remote profile (conditional PS_GETPROFILE).
+	hasProfile    bool
+	profileEpoch  uint64
+	profileMember ids.MemberID
+	prof          RemoteProfile
+}
+
+// flightKey identifies one in-flight request for singleflight
+// collapsing: same device, op and arguments.
+type flightKey struct {
+	dev  ids.DeviceID
+	op   string
+	args string
+}
+
+// flightCall is the shared result of one collapsed exchange.
+type flightCall struct {
+	done chan struct{}
+	resp Response
+	err  error
 }
 
 // ClientStats counts the client's transport experience, so experiments
@@ -65,23 +102,54 @@ type ClientStats struct {
 	// FanoutsDegraded counts fan-outs where at least one device failed
 	// to answer and the operation proceeded on partial results.
 	FanoutsDegraded uint64
+	// CacheHits counts reads served from the per-peer delta cache after
+	// a NOT_MODIFIED answer.
+	CacheHits uint64
+	// CacheInvalidations counts per-peer caches dropped on link loss.
+	CacheInvalidations uint64
+	// NotModified counts NOT_MODIFIED answers received from servers.
+	NotModified uint64
+	// SingleflightHits counts calls that were collapsed into an
+	// identical exchange already in flight to the same device.
+	SingleflightHits uint64
 }
 
 type clientCounters struct {
-	callsAttempted  atomic.Uint64
-	callsFailed     atomic.Uint64
-	fanoutsRun      atomic.Uint64
-	fanoutsDegraded atomic.Uint64
+	callsAttempted     atomic.Uint64
+	callsFailed        atomic.Uint64
+	fanoutsRun         atomic.Uint64
+	fanoutsDegraded    atomic.Uint64
+	cacheHits          atomic.Uint64
+	cacheInvalidations atomic.Uint64
+	notModified        atomic.Uint64
+	singleflightHits   atomic.Uint64
 }
 
 // Stats returns a snapshot of the client's transport counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		CallsAttempted:  c.counters.callsAttempted.Load(),
-		CallsFailed:     c.counters.callsFailed.Load(),
-		FanoutsRun:      c.counters.fanoutsRun.Load(),
-		FanoutsDegraded: c.counters.fanoutsDegraded.Load(),
+		CallsAttempted:     c.counters.callsAttempted.Load(),
+		CallsFailed:        c.counters.callsFailed.Load(),
+		FanoutsRun:         c.counters.fanoutsRun.Load(),
+		FanoutsDegraded:    c.counters.fanoutsDegraded.Load(),
+		CacheHits:          c.counters.cacheHits.Load(),
+		CacheInvalidations: c.counters.cacheInvalidations.Load(),
+		NotModified:        c.counters.notModified.Load(),
+		SingleflightHits:   c.counters.singleflightHits.Load(),
 	}
+}
+
+// Add accumulates another snapshot into s, so experiments can sum the
+// counters of a whole deployment.
+func (s *ClientStats) Add(o ClientStats) {
+	s.CallsAttempted += o.CallsAttempted
+	s.CallsFailed += o.CallsFailed
+	s.FanoutsRun += o.FanoutsRun
+	s.FanoutsDegraded += o.FanoutsDegraded
+	s.CacheHits += o.CacheHits
+	s.CacheInvalidations += o.CacheInvalidations
+	s.NotModified += o.NotModified
+	s.SingleflightHits += o.SingleflightHits
 }
 
 // NewClient builds a client for the logged-in user of the device's
@@ -96,6 +164,8 @@ func NewClient(lib *peerhood.Library, store *profile.Store, sem *interest.Semant
 		sem:      sem,
 		conns:    make(map[ids.DeviceID]*peerhood.RobustConn),
 		resolved: make(map[ids.MemberID]ids.DeviceID),
+		cache:    make(map[ids.DeviceID]*peerCache),
+		inflight: make(map[flightKey]*flightCall),
 	}
 	return c, nil
 }
@@ -188,7 +258,9 @@ func (c *Client) conn(ctx context.Context, dev ids.DeviceID) (*peerhood.RobustCo
 	return rc, nil
 }
 
-// dropConn forgets a dead connection.
+// dropConn forgets a dead connection and invalidates the device's
+// delta cache: across a link loss we cannot know what the far side
+// mutated, so the next exchange must be a full fetch.
 func (c *Client) dropConn(dev ids.DeviceID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -196,6 +268,21 @@ func (c *Client) dropConn(dev ids.DeviceID) {
 		rc.Close()
 		delete(c.conns, dev)
 	}
+	if _, ok := c.cache[dev]; ok {
+		delete(c.cache, dev)
+		c.counters.cacheInvalidations.Add(1)
+	}
+}
+
+// cacheEntry returns the device's cache record, creating it if absent.
+// Callers hold c.mu.
+func (c *Client) cacheEntry(dev ids.DeviceID) *peerCache {
+	pc, ok := c.cache[dev]
+	if !ok {
+		pc = &peerCache{}
+		c.cache[dev] = pc
+	}
+	return pc
 }
 
 // call performs one request/response with a device, recording the MSC
@@ -209,7 +296,12 @@ func (c *Client) call(ctx context.Context, dev ids.DeviceID, req Request) (Respo
 	}
 	rec := c.recorder()
 	rec.Record(c.name(), serverName(dev), req.Op)
-	raw, err := rc.Call(ctx, MarshalRequest(req))
+	// Marshal into a pooled buffer: the transport copies the payload on
+	// send, so the buffer is reusable as soon as Call returns.
+	buf := getFrameBuf()
+	*buf = AppendRequest(*buf, req)
+	raw, err := rc.Call(ctx, *buf)
+	putFrameBuf(buf)
 	if err != nil {
 		c.dropConn(dev)
 		c.counters.callsFailed.Add(1)
@@ -226,6 +318,88 @@ func (c *Client) call(ctx context.Context, dev ids.DeviceID, req Request) (Respo
 	return resp, nil
 }
 
+// singleflightable reports whether identical concurrent requests for
+// this op may share one wire exchange. Only side-effect-free reads
+// qualify: mutations (comments, messages) must each reach the server,
+// and PS_GETPROFILE records a visitor per request.
+func singleflightable(op string) bool {
+	switch op {
+	case OpGetOnlineMemberList, OpGetInterestList, OpGetInterestedMemberList,
+		OpGetTrustedFriend, OpCheckTrusted, OpCheckMemberID, OpSharedContent:
+		return true
+	}
+	return false
+}
+
+// callShared performs one request/response, collapsing identical
+// concurrent read requests to the same device into a single exchange.
+// The lock is never held across the call itself; late arrivals wait on
+// the leader's done channel.
+func (c *Client) callShared(ctx context.Context, dev ids.DeviceID, req Request) (Response, error) {
+	if !singleflightable(req.Op) {
+		return c.call(ctx, dev, req)
+	}
+	key := flightKey{dev: dev, op: req.Op, args: strings.Join(req.Args, "\x1f")}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Response{}, ErrClientClosed
+	}
+	if fc, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.counters.singleflightHits.Add(1)
+		<-fc.done
+		return fc.resp, fc.err
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.inflight[key] = fc
+	c.mu.Unlock()
+	fc.resp, fc.err = c.call(ctx, dev, req)
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(fc.done)
+	return fc.resp, fc.err
+}
+
+// fanoutWorkers bounds how many calls one fan-out keeps in flight. The
+// thesis's client asks "simultaneously", but at substrate scale an
+// unbounded goroutine-per-device round is its own denial of service;
+// a fixed pool keeps rounds cheap without changing observable order.
+const fanoutWorkers = 16
+
+// runBounded executes fn(0..n-1) on at most fanoutWorkers goroutines,
+// returning when all are done. Indices are handed out atomically, so
+// callers index result slices and keep deterministic output order.
+func (c *Client) runBounded(n int, fn func(int)) {
+	workers := fanoutWorkers
+	if n < workers {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // deviceResponse pairs a device with its answer.
 type deviceResponse struct {
 	Device   ids.DeviceID
@@ -237,20 +411,22 @@ type deviceResponse struct {
 // community service, in parallel ("simultaneously", Figures 11–17), and
 // returns the answers sorted by device.
 func (c *Client) fanout(ctx context.Context, req Request) []deviceResponse {
+	return c.fanoutBy(ctx, func(ids.DeviceID) Request { return req })
+}
+
+// fanoutBy is fanout with a per-device request builder, so conditional
+// reads can quote each device's cached epoch. Answers come back sorted
+// by device: DevicesOffering returns devices sorted and results are
+// written by index, regardless of worker scheduling.
+func (c *Client) fanoutBy(ctx context.Context, build func(ids.DeviceID) Request) []deviceResponse {
 	c.counters.fanoutsRun.Add(1)
 	devices := c.lib.DevicesOffering(ServiceName)
 	out := make([]deviceResponse, len(devices))
-	var wg sync.WaitGroup
-	for i, dev := range devices {
-		i, dev := i, dev
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			resp, err := c.call(ctx, dev, req)
-			out[i] = deviceResponse{Device: dev, Response: resp, Err: err}
-		}()
-	}
-	wg.Wait()
+	c.runBounded(len(devices), func(i int) {
+		dev := devices[i]
+		resp, err := c.callShared(ctx, dev, build(dev))
+		out[i] = deviceResponse{Device: dev, Response: resp, Err: err}
+	})
 	for _, dr := range out {
 		if dr.Err != nil {
 			c.counters.fanoutsDegraded.Add(1)
@@ -381,20 +557,74 @@ func (c *Client) resolveDevice(ctx context.Context, member ids.MemberID) (ids.De
 // ViewProfile implements Figure 13 (View Member Profile): the request
 // goes to all connected servers; the desired one answers with the
 // profile (and records us as a visitor), the others with
-// NO_MEMBERS_YET.
+// NO_MEMBERS_YET. Requests are conditional: a device whose profile we
+// already cached is asked with its epoch and answers NOT_MODIFIED when
+// nothing changed — the visit is still recorded server-side.
 func (c *Client) ViewProfile(ctx context.Context, member ids.MemberID) (RemoteProfile, error) {
 	requester, err := c.activeMember()
 	if err != nil {
 		return RemoteProfile{}, err
 	}
-	req := Request{Op: OpGetProfile, Args: []string{string(member), string(requester)}}
-	for _, dr := range c.fanout(ctx, req) {
-		if dr.Err != nil || dr.Response.Status != StatusOK {
+	results := c.fanoutBy(ctx, func(dev ids.DeviceID) Request {
+		var epoch uint64
+		var known bool
+		c.mu.Lock()
+		if pc, ok := c.cache[dev]; ok && pc.hasProfile && pc.profileMember == member {
+			epoch, known = pc.profileEpoch, true
+		}
+		c.mu.Unlock()
+		return Request{Op: OpGetProfile, Args: []string{string(member), string(requester), ifEpochArg(epoch, known)}}
+	})
+	for _, dr := range results {
+		if dr.Err != nil {
 			continue
 		}
-		return decodeProfile(dr.Response.Fields)
+		switch dr.Response.Status {
+		case StatusOK:
+			fields, sealed := openVersioned(dr.Response)
+			if !sealed || len(fields) < 1 {
+				continue
+			}
+			epoch, perr := strconv.ParseUint(fields[0], 10, 64)
+			if perr != nil {
+				continue
+			}
+			prof, derr := decodeProfile(fields[1:])
+			if derr != nil {
+				return RemoteProfile{}, derr
+			}
+			c.mu.Lock()
+			pc := c.cacheEntry(dr.Device)
+			pc.hasProfile, pc.profileEpoch, pc.profileMember = true, epoch, member
+			pc.prof = cloneRemoteProfile(prof)
+			c.mu.Unlock()
+			return prof, nil
+		case StatusNotModified:
+			if _, sealed := openVersioned(dr.Response); !sealed {
+				continue
+			}
+			c.counters.notModified.Add(1)
+			c.mu.Lock()
+			if pc, ok := c.cache[dr.Device]; ok && pc.hasProfile && pc.profileMember == member {
+				prof := cloneRemoteProfile(pc.prof)
+				c.mu.Unlock()
+				c.counters.cacheHits.Add(1)
+				return prof, nil
+			}
+			c.mu.Unlock()
+		}
 	}
 	return RemoteProfile{}, fmt.Errorf("%w: %q", ErrMemberUnknown, member)
+}
+
+// cloneRemoteProfile deep-copies a profile so cached state and returned
+// values never alias.
+func cloneRemoteProfile(p RemoteProfile) RemoteProfile {
+	out := p
+	out.Interests = append([]string(nil), p.Interests...)
+	out.Comments = append([]profile.Comment(nil), p.Comments...)
+	out.Trusted = append([]ids.MemberID(nil), p.Trusted...)
+	return out
 }
 
 // CommentProfile implements Figure 14 (Put Profile Comment).
@@ -522,45 +752,99 @@ func (c *Client) SendMessage(ctx context.Context, to ids.MemberID, subject, body
 	return c.store.RecordSent(sender, profile.Message{From: sender, To: to, Subject: subject, Body: body})
 }
 
+// memberSummary fetches one device's member summary (who is logged in
+// and their interests) with a conditional read: the cached epoch is
+// quoted, a NOT_MODIFIED answer is served from the cache, and a full
+// answer re-primes it. One exchange either way — the versioned
+// interest-list reply carries the member ID, where the classic path
+// needed PS_GETONLINEMEMBERLIST plus PS_GETINTERESTLIST.
+func (c *Client) memberSummary(ctx context.Context, dev ids.DeviceID) (core.Member, bool) {
+	var epoch uint64
+	var known bool
+	c.mu.Lock()
+	if pc, ok := c.cache[dev]; ok && pc.hasSummary {
+		epoch, known = pc.summaryEpoch, true
+	}
+	c.mu.Unlock()
+	resp, err := c.callShared(ctx, dev, Request{Op: OpGetInterestList, Args: []string{ifEpochArg(epoch, known)}})
+	if err != nil {
+		return core.Member{}, false // call already dropped the conn + cache
+	}
+	switch resp.Status {
+	case StatusNotModified:
+		if _, sealed := openVersioned(resp); !sealed {
+			return core.Member{}, false
+		}
+		c.counters.notModified.Add(1)
+		c.mu.Lock()
+		pc, ok := c.cache[dev]
+		if !ok || !pc.hasSummary {
+			// The cache vanished between our request and the answer (a
+			// concurrent link loss); treat the device as absent this
+			// round and re-fetch next time.
+			c.mu.Unlock()
+			return core.Member{}, false
+		}
+		m := core.Member{Device: dev, ID: pc.member, Interests: pc.interests}
+		online := pc.online
+		c.mu.Unlock()
+		c.counters.cacheHits.Add(1)
+		return m, online
+	case StatusOK:
+		fields, sealed := openVersioned(resp)
+		if !sealed || len(fields) < 2 {
+			return core.Member{}, false
+		}
+		e, perr := strconv.ParseUint(fields[0], 10, 64)
+		if perr != nil {
+			return core.Member{}, false
+		}
+		member := ids.MemberID(fields[1])
+		interests := fields[2:]
+		c.mu.Lock()
+		pc := c.cacheEntry(dev)
+		pc.hasSummary, pc.summaryEpoch, pc.online = true, e, true
+		pc.member, pc.interests = member, interests
+		c.mu.Unlock()
+		return core.Member{Device: dev, ID: member, Interests: interests}, true
+	case StatusNoMembersYet:
+		if fields, sealed := openVersioned(resp); sealed && len(fields) == 1 {
+			if e, perr := strconv.ParseUint(fields[0], 10, 64); perr == nil {
+				c.mu.Lock()
+				pc := c.cacheEntry(dev)
+				pc.hasSummary, pc.summaryEpoch, pc.online = true, e, false
+				pc.member, pc.interests = "", nil
+				c.mu.Unlock()
+			}
+		}
+		return core.Member{}, false
+	default:
+		return core.Member{}, false
+	}
+}
+
 // NearbyMembers gathers a core.Member snapshot for every online
 // neighborhood member: who they are and what they are interested in.
+// This is the steady-state hot path of dynamic group discovery; it
+// runs on the bounded pool with per-device conditional reads.
 func (c *Client) NearbyMembers(ctx context.Context) ([]core.Member, error) {
 	if _, err := c.activeMember(); err != nil {
 		return nil, err
 	}
 	type answer struct {
-		member    ids.MemberID
-		interests []string
-		ok        bool
+		m  core.Member
+		ok bool
 	}
 	devices := c.lib.DevicesOffering(ServiceName)
 	answers := make([]answer, len(devices))
-	var wg sync.WaitGroup
-	for i, dev := range devices {
-		i, dev := i, dev
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			who, err := c.call(ctx, dev, Request{Op: OpGetOnlineMemberList})
-			if err != nil || who.Status != StatusOK || len(who.Fields) == 0 {
-				return
-			}
-			interests, err := c.call(ctx, dev, Request{Op: OpGetInterestList})
-			if err != nil || interests.Status != StatusOK {
-				return
-			}
-			answers[i] = answer{
-				member:    ids.MemberID(who.Fields[0]),
-				interests: interests.Fields,
-				ok:        true,
-			}
-		}()
-	}
-	wg.Wait()
+	c.runBounded(len(devices), func(i int) {
+		m, ok := c.memberSummary(ctx, devices[i])
+		answers[i] = answer{m: m, ok: ok}
+	})
 	var out []core.Member
-	for i, a := range answers {
+	for _, a := range answers {
 		if a.ok {
-			out = append(out, core.Member{Device: devices[i], ID: a.member, Interests: a.interests})
+			out = append(out, a.m)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

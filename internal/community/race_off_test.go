@@ -1,0 +1,5 @@
+//go:build !race
+
+package community
+
+const raceEnabled = false

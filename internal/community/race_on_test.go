@@ -1,0 +1,7 @@
+//go:build race
+
+package community
+
+// raceEnabled gates allocation pins: the race runtime adds bookkeeping
+// allocations that testing.AllocsPerRun would misattribute to the codec.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -100,9 +101,14 @@ func (s *Server) acceptLoop(ctx context.Context) {
 	}
 }
 
-// serveConn answers requests on one connection until it dies.
+// serveConn answers requests on one connection until it dies. Response
+// frames are marshaled into one pooled buffer reused across the whole
+// session: Conn.Send copies the payload, so the buffer is free again
+// the moment Send returns.
 func (s *Server) serveConn(ctx context.Context, conn *netsim.Conn) {
 	defer func() { _ = conn.Close() }() // session teardown is best-effort
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
 	for {
 		frame, err := conn.Recv(ctx)
 		if err != nil {
@@ -115,7 +121,8 @@ func (s *Server) serveConn(ctx context.Context, conn *netsim.Conn) {
 		} else {
 			resp = s.Handle(req)
 		}
-		if err := conn.Send(MarshalResponse(resp)); err != nil {
+		*buf = AppendResponse((*buf)[:0], resp)
+		if err := conn.Send(*buf); err != nil {
 			return
 		}
 	}
@@ -129,7 +136,7 @@ func (s *Server) Handle(req Request) Response {
 	case OpGetOnlineMemberList:
 		return s.handleOnlineMemberList()
 	case OpGetInterestList:
-		return s.handleInterestList()
+		return s.handleInterestList(req.Args)
 	case OpGetInterestedMemberList:
 		return s.handleInterestedMemberList(req.Args)
 	case OpGetProfile:
@@ -172,14 +179,80 @@ func (s *Server) handleOnlineMemberList() Response {
 	return Response{Status: StatusOK, Fields: []string{string(p.Member)}}
 }
 
+// --- delta synchronization (if-epoch conditional reads) ---
+
+// ifEpochPrefix tags the optional trailing argument that turns a
+// PS_GETINTERESTLIST / PS_GETPROFILE request into a conditional read.
+// Clients that never send it get byte-identical classic replies, which
+// is what keeps old clients interoperating with new servers.
+const ifEpochPrefix = "IF-EPOCH:"
+
+// ifEpochArg renders the conditional-read argument. known=false (no
+// cached epoch yet) produces the "IF-EPOCH:-" form, which never
+// matches but still asks for a versioned reply carrying the epoch.
+func ifEpochArg(epoch uint64, known bool) string {
+	if !known {
+		return ifEpochPrefix + "-"
+	}
+	return ifEpochPrefix + strconv.FormatUint(epoch, 10)
+}
+
+// parseIfEpoch recognizes an if-epoch argument. conditional reports
+// whether the argument is one at all; known reports whether it quotes
+// a concrete epoch (a malformed number degrades to "no cached epoch",
+// which just costs a full reply).
+func parseIfEpoch(arg string) (epoch uint64, conditional, known bool) {
+	if !strings.HasPrefix(arg, ifEpochPrefix) {
+		return 0, false, false
+	}
+	v := arg[len(ifEpochPrefix):]
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, true, false
+	}
+	return n, true, true
+}
+
+// formatEpoch renders an epoch as a response field.
+func formatEpoch(epoch uint64) string {
+	return strconv.FormatUint(epoch, 10)
+}
+
 // handleInterestList: "Identifies list of local interests and
-// transmits the list to the requesting client."
-func (s *Server) handleInterestList() Response {
+// transmits the list to the requesting client." A trailing if-epoch
+// argument upgrades it to a conditional member-summary read.
+func (s *Server) handleInterestList(args []string) Response {
+	if len(args) >= 1 {
+		if want, conditional, known := parseIfEpoch(args[len(args)-1]); conditional {
+			return s.handleInterestListVersioned(want, known)
+		}
+	}
 	p, ok := s.activeProfile()
 	if !ok {
 		return Response{Status: StatusNoMembersYet}
 	}
 	return Response{Status: StatusOK, Fields: p.Interests}
+}
+
+// handleInterestListVersioned answers the conditional form: NOT_MODIFIED
+// when the client's quoted epoch is current, otherwise a member summary
+// [epoch, member, interests...] that primes the client cache in one
+// exchange. The epoch is read before the profile so a concurrent
+// mutation can only make the reply look older than it is (a wasted
+// re-fetch later), never newer (a stale cache passing as fresh).
+func (s *Server) handleInterestListVersioned(want uint64, known bool) Response {
+	epoch := s.store.Epoch()
+	if known && want == epoch {
+		return sealVersioned(StatusNotModified, []string{formatEpoch(epoch)})
+	}
+	p, ok := s.activeProfile()
+	if !ok {
+		return sealVersioned(StatusNoMembersYet, []string{formatEpoch(epoch)})
+	}
+	fields := make([]string, 0, len(p.Interests)+3)
+	fields = append(fields, formatEpoch(epoch), string(p.Member))
+	fields = append(fields, p.Interests...)
+	return sealVersioned(StatusOK, fields)
 }
 
 // handleInterestedMemberList: "Identifies the list of online member in
@@ -200,7 +273,15 @@ func (s *Server) handleInterestedMemberList(args []string) Response {
 
 // handleGetProfile: "Transmits the local user profile to the requesting
 // client" and records the requester as a profile visitor (Figure 13).
+// A third if-epoch argument upgrades it to a conditional read; the
+// visit is recorded either way (viewing is a side effect of asking, not
+// of transferring the payload), and visits never bump the epoch.
 func (s *Server) handleGetProfile(args []string) Response {
+	if len(args) == 3 {
+		if want, conditional, known := parseIfEpoch(args[2]); conditional {
+			return s.handleGetProfileVersioned(ids.MemberID(args[0]), ids.MemberID(args[1]), want, known)
+		}
+	}
 	if len(args) != 2 {
 		return Response{Status: StatusBadRequest}
 	}
@@ -213,6 +294,24 @@ func (s *Server) handleGetProfile(args []string) Response {
 		_ = s.store.RecordVisit(member, requester)
 	}
 	return Response{Status: StatusOK, Fields: encodeProfile(p)}
+}
+
+// handleGetProfileVersioned answers the conditional form of
+// PS_GETPROFILE. As in the interest-list handler, the epoch is read
+// before the profile so races only ever cause an extra re-fetch.
+func (s *Server) handleGetProfileVersioned(member, requester ids.MemberID, want uint64, known bool) Response {
+	epoch := s.store.Epoch()
+	p, ok := s.activeProfile()
+	if !ok || p.Member != member {
+		return sealVersioned(StatusNoMembersYet, []string{formatEpoch(epoch)})
+	}
+	if requester != "" && requester != member {
+		_ = s.store.RecordVisit(member, requester)
+	}
+	if known && want == epoch {
+		return sealVersioned(StatusNotModified, []string{formatEpoch(epoch)})
+	}
+	return sealVersioned(StatusOK, append([]string{formatEpoch(epoch)}, encodeProfile(p)...))
 }
 
 // handleAddComment: "Writes or appends the Profile comments send by

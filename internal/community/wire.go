@@ -11,7 +11,10 @@ package community
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // ServiceName is the service the server registers into the PeerHood
@@ -44,6 +47,10 @@ const (
 	StatusSuccess       = "SUCCESS"
 	StatusFailure       = "FAILURE"
 	StatusBadRequest    = "BAD_REQUEST"
+	// StatusNotModified answers a conditional (if-epoch) read whose
+	// state is unchanged since the epoch the client quoted — the delta
+	// synchronization extension, not part of the thesis's Table 6.
+	StatusNotModified = "NOT_MODIFIED"
 )
 
 // Request is one client operation.
@@ -69,55 +76,113 @@ const (
 
 var errMalformedFrame = errors.New("community: malformed frame")
 
-// escapeField protects separators inside a field.
-func escapeField(s string) string {
-	if !strings.ContainsAny(s, "\x1f\\") {
-		return s
+// specials is the set of bytes that need escaping; keeping it a named
+// constant lets the fast-path checks below use strings.ContainsAny /
+// IndexByte without spelling the pair twice.
+const specials = "\x1f\\"
+
+// escapedLen returns the encoded length of one field: its byte length
+// plus one escape byte per separator or backslash. It allocates
+// nothing, so marshalers can size a frame buffer exactly.
+func escapedLen(s string) int {
+	n := len(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == fieldSep || s[i] == escape {
+			n++
+		}
 	}
-	var b strings.Builder
-	b.Grow(len(s) + 4)
+	return n
+}
+
+// appendEscaped appends one escaped field to dst. The common case — a
+// field with no separators or backslashes — is a single bulk append
+// with no per-byte work.
+func appendEscaped(dst []byte, s string) []byte {
+	if !strings.ContainsAny(s, specials) {
+		return append(dst, s...)
+	}
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if c == fieldSep || c == escape {
-			b.WriteByte(escape)
+			dst = append(dst, escape)
 		}
-		b.WriteByte(c)
+		dst = append(dst, c)
 	}
-	return b.String()
+	return dst
 }
 
-// splitFields reverses escapeField across a frame body.
+// escapeField protects separators inside a field.
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, specials) {
+		return s
+	}
+	return string(appendEscaped(make([]byte, 0, escapedLen(s)), s))
+}
+
+// splitFields reverses escapeField across a frame body. A frame with no
+// escape bytes — every frame whose fields are plain member IDs,
+// interests and status tokens — is sliced directly out of the input
+// string without copying a single field. Escaped frames decode through
+// one shared scratch buffer, so even the slow path costs a bounded
+// number of allocations rather than one per field.
 func splitFields(data string) ([]string, error) {
-	var fields []string
-	var cur strings.Builder
+	if strings.IndexByte(data, escape) < 0 {
+		fields := make([]string, 0, strings.Count(data, string(fieldSep))+1)
+		for {
+			i := strings.IndexByte(data, fieldSep)
+			if i < 0 {
+				return append(fields, data), nil
+			}
+			fields = append(fields, data[:i])
+			data = data[i+1:]
+		}
+	}
+	// Slow path: unescape every field into one contiguous buffer,
+	// convert it to a string once, then slice the fields out of it.
+	buf := make([]byte, 0, len(data))
+	ends := make([]int, 0, 8)
 	for i := 0; i < len(data); i++ {
-		c := data[i]
-		switch c {
+		switch c := data[i]; c {
 		case escape:
 			i++
 			if i >= len(data) {
 				return nil, fmt.Errorf("%w: trailing escape", errMalformedFrame)
 			}
-			cur.WriteByte(data[i])
+			buf = append(buf, data[i])
 		case fieldSep:
-			fields = append(fields, cur.String())
-			cur.Reset()
+			ends = append(ends, len(buf))
 		default:
-			cur.WriteByte(c)
+			buf = append(buf, c)
 		}
 	}
-	fields = append(fields, cur.String())
+	ends = append(ends, len(buf))
+	decoded := string(buf)
+	fields := make([]string, len(ends))
+	start := 0
+	for k, end := range ends {
+		fields[k] = decoded[start:end]
+		start = end
+	}
 	return fields, nil
 }
 
-// marshalFrame packs a head token and fields.
-func marshalFrame(head string, fields []string) []byte {
-	parts := make([]string, 0, len(fields)+1)
-	parts = append(parts, escapeField(head))
+// appendFrame packs a head token and fields onto dst.
+func appendFrame(dst []byte, head string, fields []string) []byte {
+	dst = appendEscaped(dst, head)
 	for _, f := range fields {
-		parts = append(parts, escapeField(f))
+		dst = append(dst, fieldSep)
+		dst = appendEscaped(dst, f)
 	}
-	return []byte(strings.Join(parts, string(fieldSep)))
+	return dst
+}
+
+// frameLen returns the exact encoded size of a frame.
+func frameLen(head string, fields []string) int {
+	n := escapedLen(head)
+	for _, f := range fields {
+		n += 1 + escapedLen(f)
+	}
+	return n
 }
 
 // unmarshalFrame unpacks a frame into head and fields.
@@ -132,9 +197,74 @@ func unmarshalFrame(data []byte) (head string, fields []string, err error) {
 	return all[0], all[1:], nil
 }
 
+// framePool recycles marshal scratch buffers for the request/response
+// hot path. netsim's Conn.Send copies the payload before returning, so
+// a buffer may be recycled as soon as the send completes.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// getFrameBuf leases an empty scratch buffer from the pool.
+func getFrameBuf() *[]byte {
+	b := framePool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// putFrameBuf returns a scratch buffer to the pool.
+func putFrameBuf(b *[]byte) {
+	framePool.Put(b)
+}
+
+// digestFields hashes a versioned reply's status and payload fields
+// (FNV-1a 64, rendered as hex). Versioned replies get cached across
+// rounds, so unlike the classic stateless exchanges a corrupted-but-
+// parseable frame would poison the client's view until the next epoch
+// bump; the digest lets the client reject such frames outright. Classic
+// replies carry no digest — their bytes are part of the compatibility
+// contract, and a corrupt one only misleads a single round.
+func digestFields(status string, fields []string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(status)) // hash.Hash never errors
+	for _, f := range fields {
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(f))
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// sealVersioned appends the integrity digest to a versioned reply.
+func sealVersioned(status string, fields []string) Response {
+	return Response{Status: status, Fields: append(fields, digestFields(status, fields))}
+}
+
+// openVersioned verifies and strips the digest of a versioned reply,
+// returning the payload fields. ok=false means the frame was truncated
+// or corrupted and must be ignored.
+func openVersioned(resp Response) ([]string, bool) {
+	if len(resp.Fields) < 1 {
+		return nil, false
+	}
+	payload := resp.Fields[:len(resp.Fields)-1]
+	if resp.Fields[len(resp.Fields)-1] != digestFields(resp.Status, payload) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// AppendRequest appends a request frame to dst and returns the extended
+// slice; the allocation-free form of MarshalRequest for callers that
+// recycle buffers.
+func AppendRequest(dst []byte, req Request) []byte {
+	return appendFrame(dst, req.Op, req.Args)
+}
+
 // MarshalRequest encodes a request frame.
 func MarshalRequest(req Request) []byte {
-	return marshalFrame(req.Op, req.Args)
+	return appendFrame(make([]byte, 0, frameLen(req.Op, req.Args)), req.Op, req.Args)
 }
 
 // UnmarshalRequest decodes a request frame.
@@ -146,9 +276,15 @@ func UnmarshalRequest(data []byte) (Request, error) {
 	return Request{Op: op, Args: args}, nil
 }
 
+// AppendResponse appends a response frame to dst and returns the
+// extended slice; the allocation-free form of MarshalResponse.
+func AppendResponse(dst []byte, resp Response) []byte {
+	return appendFrame(dst, resp.Status, resp.Fields)
+}
+
 // MarshalResponse encodes a response frame.
 func MarshalResponse(resp Response) []byte {
-	return marshalFrame(resp.Status, resp.Fields)
+	return appendFrame(make([]byte, 0, frameLen(resp.Status, resp.Fields)), resp.Status, resp.Fields)
 }
 
 // UnmarshalResponse decodes a response frame.

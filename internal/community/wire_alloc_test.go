@@ -1,0 +1,100 @@
+package community
+
+// Allocation pins for the codec's no-escape fast paths. These are the
+// numbers the steady-state group round depends on; a regression here
+// shows up as GC pressure at 500 peers long before a benchmark floor
+// trips. Skipped under -race (the race runtime allocates on its own).
+
+import "testing"
+
+// plainReq/plainResp exercise the fast path only: member IDs, interest
+// terms and status tokens never contain the separator or escape byte.
+var (
+	plainReq = Request{
+		Op:   OpGetInterestedMemberList,
+		Args: []string{"football", "music", "movies"},
+	}
+	plainResp = Response{
+		Status: StatusOK,
+		Fields: []string{"alice", "bob", "carol", "dave", "erin"},
+	}
+)
+
+func requireNoRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+}
+
+func TestMarshalRequestAllocs(t *testing.T) {
+	requireNoRace(t)
+	got := testing.AllocsPerRun(200, func() {
+		_ = MarshalRequest(plainReq)
+	})
+	// Exactly the result slice; frameLen sizes it so append never grows.
+	if got > 1 {
+		t.Fatalf("MarshalRequest fast path: %.1f allocs/op, want <= 1", got)
+	}
+}
+
+func TestMarshalResponseAllocs(t *testing.T) {
+	requireNoRace(t)
+	got := testing.AllocsPerRun(200, func() {
+		_ = MarshalResponse(plainResp)
+	})
+	if got > 1 {
+		t.Fatalf("MarshalResponse fast path: %.1f allocs/op, want <= 1", got)
+	}
+}
+
+func TestAppendRequestZeroAlloc(t *testing.T) {
+	requireNoRace(t)
+	buf := make([]byte, 0, 256)
+	got := testing.AllocsPerRun(200, func() {
+		buf = AppendRequest(buf[:0], plainReq)
+	})
+	// The pooled-buffer path the client and server actually use.
+	if got != 0 {
+		t.Fatalf("AppendRequest into a sized buffer: %.1f allocs/op, want 0", got)
+	}
+}
+
+func TestAppendResponseZeroAlloc(t *testing.T) {
+	requireNoRace(t)
+	buf := make([]byte, 0, 256)
+	got := testing.AllocsPerRun(200, func() {
+		buf = AppendResponse(buf[:0], plainResp)
+	})
+	if got != 0 {
+		t.Fatalf("AppendResponse into a sized buffer: %.1f allocs/op, want 0", got)
+	}
+}
+
+func TestUnmarshalResponseAllocs(t *testing.T) {
+	requireNoRace(t)
+	raw := MarshalResponse(plainResp)
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := UnmarshalResponse(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One string conversion of the frame plus one fields slice; every
+	// field is sliced out of the converted string without copying.
+	if got > 2 {
+		t.Fatalf("UnmarshalResponse fast path: %.1f allocs/op, want <= 2", got)
+	}
+}
+
+func TestUnmarshalRequestAllocs(t *testing.T) {
+	requireNoRace(t)
+	raw := MarshalRequest(plainReq)
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := UnmarshalRequest(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 2 {
+		t.Fatalf("UnmarshalRequest fast path: %.1f allocs/op, want <= 2", got)
+	}
+}

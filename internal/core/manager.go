@@ -63,6 +63,16 @@ type Manager struct {
 	groups map[string]Group
 	subs   map[int]func(Event)
 	nextID int
+
+	// Snapshot fingerprint of the last Update: discovery is a pure
+	// function of (effective terms, neighbor snapshot, semantics
+	// generation), so when none of the three moved the whole rebuild is
+	// skipped and zero events are emitted.
+	snapValid  bool
+	lastTerms  []string
+	lastNearby []Member
+	lastSemGen uint64
+	skipped    uint64
 }
 
 // NewManager returns a manager for the active user. sem may be nil to
@@ -174,6 +184,13 @@ func (m *Manager) Update(nearby []Member) []Event {
 	sort.Strings(terms)
 	effective.Interests = terms
 
+	semGen := m.sem.Generation()
+	if m.snapValid && semGen == m.lastSemGen &&
+		equalTerms(terms, m.lastTerms) && equalMembers(nearby, m.lastNearby) {
+		m.skipped++
+		return nil
+	}
+
 	next := make(map[string]Group)
 	for _, g := range DiscoverGroups(effective, nearby, m.sem) {
 		next[g.Interest] = g
@@ -212,6 +229,10 @@ func (m *Manager) Update(nearby []Member) []Event {
 	}
 	sortEvents(events)
 	m.groups = next
+	m.snapValid = true
+	m.lastSemGen = semGen
+	m.lastTerms = append(m.lastTerms[:0], terms...)
+	m.lastNearby = append(m.lastNearby[:0], nearby...)
 
 	subs := make([]func(Event), 0, len(m.subs))
 	for _, fn := range m.subs {
@@ -225,6 +246,43 @@ func (m *Manager) Update(nearby []Member) []Event {
 	}
 	m.mu.Lock()
 	return events
+}
+
+// UpdatesSkipped reports how many Update calls were answered from the
+// snapshot fingerprint without re-running discovery.
+func (m *Manager) UpdatesSkipped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.skipped
+}
+
+// equalTerms reports element-wise equality of two term lists.
+func equalTerms(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalMembers reports element-wise equality of two neighbor
+// snapshots, interests included. Order-sensitive on purpose: callers
+// hand in deterministically ordered snapshots, and a conservative
+// mismatch merely costs one rebuild.
+func equalMembers(a, b []Member) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Device != b[i].Device || !equalTerms(a[i].Interests, b[i].Interests) {
+			return false
+		}
+	}
+	return true
 }
 
 // Groups returns the current groups sorted by interest.

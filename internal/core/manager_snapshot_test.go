@@ -1,0 +1,119 @@
+package core
+
+// Tests for the snapshot-fingerprint skip: an Update whose inputs are
+// identical to the previous one must not re-run discovery, while every
+// input that can change the answer — neighbor set, interest edits,
+// manual join/leave, taught semantics — must force a rebuild.
+
+import (
+	"testing"
+
+	"repro/internal/interest"
+)
+
+func TestManagerSkipsIdenticalSnapshot(t *testing.T) {
+	m := newMgr()
+	nearby := []Member{member("bob", "football"), member("carol", "music")}
+	if events := m.Update(nearby); len(events) == 0 {
+		t.Fatal("first update must emit events")
+	}
+	if got := m.UpdatesSkipped(); got != 0 {
+		t.Fatalf("UpdatesSkipped after first update = %d", got)
+	}
+
+	for i := 0; i < 3; i++ {
+		if events := m.Update(nearby); events != nil {
+			t.Fatalf("identical snapshot %d emitted events: %+v", i, events)
+		}
+	}
+	if got := m.UpdatesSkipped(); got != 3 {
+		t.Fatalf("UpdatesSkipped = %d, want 3", got)
+	}
+	// The group state is still fully queryable after skipped rounds.
+	if len(m.Groups()) != 2 {
+		t.Fatalf("groups = %+v", m.Groups())
+	}
+	if ms := m.MembersOf("football"); len(ms) != 2 {
+		t.Fatalf("MembersOf(football) = %v", ms)
+	}
+}
+
+func TestManagerRebuildsOnNeighborChange(t *testing.T) {
+	m := newMgr()
+	nearby := []Member{member("bob", "football")}
+	m.Update(nearby)
+	m.Update(nearby) // skipped
+
+	// Same member, new interest: the fingerprint covers interests too.
+	changed := []Member{member("bob", "football", "music")}
+	events := m.Update(changed)
+	if eventCount(events, EventMemberJoined) != 1 {
+		t.Fatalf("interest change not detected: %+v", events)
+	}
+	if got := m.UpdatesSkipped(); got != 1 {
+		t.Fatalf("UpdatesSkipped = %d, want 1", got)
+	}
+}
+
+func TestManagerRebuildsOnLocalEdits(t *testing.T) {
+	m := newMgr()
+	nearby := []Member{member("bob", "football"), member("carol", "chess")}
+	m.Update(nearby)
+	m.Update(nearby) // skipped
+
+	// Manual join flows through the effective term list, so the
+	// fingerprint catches it without a dedicated invalidation hook.
+	m.JoinManually("chess")
+	events := m.Update(nearby)
+	if eventCount(events, EventGroupFormed) != 1 {
+		t.Fatalf("manual join did not rebuild: %+v", events)
+	}
+
+	m.Update(nearby) // skipped again under the new fingerprint
+	m.LeaveManually("football")
+	events = m.Update(nearby)
+	if eventCount(events, EventGroupDissolved) != 1 {
+		t.Fatalf("manual leave did not rebuild: %+v", events)
+	}
+
+	m.Update(nearby)
+	m.SetInterests([]string{"chess"})
+	if m.Update(nearby) == nil && len(m.Groups()) == 0 {
+		t.Fatal("SetInterests did not rebuild")
+	}
+	if got := m.UpdatesSkipped(); got != 3 {
+		t.Fatalf("UpdatesSkipped = %d, want 3", got)
+	}
+}
+
+func TestManagerRebuildsOnTaughtSemantics(t *testing.T) {
+	sem := interest.NewSemantics()
+	m := NewManager(member("alice", "football"), sem)
+	nearby := []Member{member("bob", "soccer")}
+	if events := m.Update(nearby); len(events) != 0 {
+		t.Fatalf("unrelated terms grouped: %+v", events)
+	}
+	m.Update(nearby) // skipped
+
+	// Teaching an equivalence changes discovery's output for the very
+	// same snapshot, so the semantics generation is part of the
+	// fingerprint.
+	sem.Teach("football", "soccer")
+	events := m.Update(nearby)
+	if eventCount(events, EventGroupFormed) != 1 || eventCount(events, EventMemberJoined) != 1 {
+		t.Fatalf("taught semantics did not rebuild: %+v", events)
+	}
+	if got := m.UpdatesSkipped(); got != 1 {
+		t.Fatalf("UpdatesSkipped = %d, want 1", got)
+	}
+
+	// Re-teaching the same fact is a no-op union: no generation bump,
+	// so the next identical update is skipped again.
+	sem.Teach("soccer", "football")
+	if events := m.Update(nearby); events != nil {
+		t.Fatalf("no-op teach forced a rebuild: %+v", events)
+	}
+	if got := m.UpdatesSkipped(); got != 2 {
+		t.Fatalf("UpdatesSkipped = %d, want 2", got)
+	}
+}

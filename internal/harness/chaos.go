@@ -46,7 +46,7 @@ func RunChaos(cfg ChaosConfig) ([]*simtest.Result, error) {
 // FormatChaos renders chaos results as a table: the fault mix, how the
 // traffic degraded, and how recovery went.
 func FormatChaos(results []*simtest.Result) string {
-	header := []string{"Scenario", "Calls", "Errors", "Lost", "Corrupted", "Resets", "Missed inq", "Max wall", "Reconverged"}
+	header := []string{"Scenario", "Calls", "Errors", "Lost", "Corrupted", "Resets", "Missed inq", "NotMod", "Cache hits", "Invalidated", "Max wall", "Reconverged"}
 	rows := make([][]string, 0, len(results))
 	for _, r := range results {
 		reconv := fmt.Sprintf("round %d", r.RoundsToReconverge)
@@ -61,6 +61,9 @@ func FormatChaos(results []*simtest.Result) string {
 			fmt.Sprintf("%d", r.Faults.MessagesCorrupted),
 			fmt.Sprintf("%d", r.Faults.LinkResets),
 			fmt.Sprintf("%d", r.Faults.InquiriesMissed),
+			fmt.Sprintf("%d", r.Client.NotModified),
+			fmt.Sprintf("%d", r.Client.CacheHits),
+			fmt.Sprintf("%d", r.Client.CacheInvalidations),
 			r.MaxCallWall.Round(time.Millisecond).String(),
 			reconv,
 		})

@@ -43,6 +43,11 @@ func NormalizeAll(terms []string) []string {
 type Semantics struct {
 	mu     sync.Mutex
 	parent map[string]string
+	// gen counts effective Teach calls — merges that actually joined two
+	// classes. Group-discovery caches include it in their snapshot key:
+	// a newly taught synonym can change which groups form even when no
+	// device's interests moved.
+	gen uint64
 }
 
 // NewSemantics returns an empty semantics layer.
@@ -72,6 +77,19 @@ func (s *Semantics) Teach(a, b string) {
 		ra, rb = rb, ra
 	}
 	s.parent[rb] = ra
+	s.gen++
+}
+
+// Generation returns a counter that advances whenever Teach merges two
+// previously distinct classes. Nil and never-taught layers report 0.
+// No-op teaches (same class, empty terms) leave it unchanged.
+func (s *Semantics) Generation() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // find returns the class root of a normalized term, creating the

@@ -23,6 +23,14 @@ type Store struct {
 	accounts map[ids.MemberID]*account
 	active   ids.MemberID // logged-in member, or ""
 	now      func() time.Time
+	// epoch counts wire-visible mutations: account lifecycle, login
+	// state, and every profile field that encodeProfile or the interest
+	// list handlers put on the wire. Bookkeeping that never leaves the
+	// device (visits, inbox/outbox, read marks) does not bump it, so a
+	// remote peer's cached view stays valid across profile views and
+	// message deliveries. Delta-synchronizing clients compare epochs to
+	// skip re-fetching unchanged state.
+	epoch uint64
 }
 
 // NewStore returns an empty store. The now function stamps comments,
@@ -51,7 +59,17 @@ func (s *Store) CreateAccount(member ids.MemberID, password string) error {
 		passwordHash: hashPassword(password),
 		profile:      Profile{Member: member},
 	}
+	s.epoch++
 	return nil
+}
+
+// Epoch returns the store's wire-visible mutation counter. It is
+// monotonic; equal epochs guarantee every remotely observable answer
+// (interest lists, member lists, encoded profiles) is unchanged.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Login authenticates and makes the member the active profile.
@@ -65,6 +83,9 @@ func (s *Store) Login(member ids.MemberID, password string) error {
 	if subtle.ConstantTimeCompare([]byte(acct.passwordHash), []byte(hashPassword(password))) != 1 {
 		return fmt.Errorf("%w: %q", ErrBadCredential, member)
 	}
+	if s.active != member {
+		s.epoch++
+	}
 	s.active = member
 	return nil
 }
@@ -73,6 +94,9 @@ func (s *Store) Login(member ids.MemberID, password string) error {
 func (s *Store) Logout() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.active != "" {
+		s.epoch++
+	}
 	s.active = ""
 }
 
@@ -112,7 +136,10 @@ func (s *Store) ActiveProfile() (Profile, error) {
 	return s.Get(active)
 }
 
-// update applies fn to a member's profile under the lock.
+// update applies fn to a member's profile under the lock without
+// bumping the epoch. Only device-local bookkeeping (visits, inbox,
+// outbox, read marks) goes through here: none of it is ever encoded
+// onto the wire, so remote caches keyed on the epoch stay valid.
 func (s *Store) update(member ids.MemberID, fn func(*Profile) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -123,11 +150,30 @@ func (s *Store) update(member ids.MemberID, fn func(*Profile) error) error {
 	return fn(&acct.profile)
 }
 
+// mutate applies fn under the lock and bumps the epoch when fn reports
+// an actual change. No-op edits (re-adding a held interest, removing an
+// absent friend) deliberately do not bump, so they cannot spuriously
+// invalidate remote caches.
+func (s *Store) mutate(member ids.MemberID, fn func(*Profile) (bool, error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct, ok := s.accounts[member]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchMember, member)
+	}
+	changed, err := fn(&acct.profile)
+	if changed && err == nil {
+		s.epoch++
+	}
+	return err
+}
+
 // SetInfo updates the descriptive fields ("Add/Edit Profile").
 func (s *Store) SetInfo(member ids.MemberID, fullName, location, about string) error {
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
+		changed := p.FullName != fullName || p.Location != location || p.About != about
 		p.FullName, p.Location, p.About = fullName, location, about
-		return nil
+		return changed, nil
 	})
 }
 
@@ -138,35 +184,35 @@ func (s *Store) AddInterest(member ids.MemberID, term string) error {
 	if n == "" {
 		return fmt.Errorf("profile: empty interest")
 	}
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
 		if p.HasInterest(n) {
-			return nil
+			return false, nil
 		}
 		p.Interests = append(p.Interests, n)
-		return nil
+		return true, nil
 	})
 }
 
 // RemoveInterest drops a personal interest.
 func (s *Store) RemoveInterest(member ids.MemberID, term string) error {
 	n := interest.Normalize(term)
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
 		for i, t := range p.Interests {
 			if t == n {
 				p.Interests = append(p.Interests[:i], p.Interests[i+1:]...)
-				return nil
+				return true, nil
 			}
 		}
-		return nil
+		return false, nil
 	})
 }
 
 // AddComment appends a profile comment from another member
 // (PS_ADDPROFILECOMMENT).
 func (s *Store) AddComment(member ids.MemberID, from ids.MemberID, text string) error {
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
 		p.Comments = append(p.Comments, Comment{From: from, Text: text, At: s.now()})
-		return nil
+		return true, nil
 	})
 }
 
@@ -184,25 +230,25 @@ func (s *Store) AddTrusted(member ids.MemberID, friend ids.MemberID) error {
 	if !friend.Valid() {
 		return fmt.Errorf("profile: invalid friend id %q", friend)
 	}
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
 		if p.IsTrusted(friend) {
-			return nil
+			return false, nil
 		}
 		p.Trusted = append(p.Trusted, friend)
-		return nil
+		return true, nil
 	})
 }
 
 // RemoveTrusted drops a member from the trusted-friends list.
 func (s *Store) RemoveTrusted(member ids.MemberID, friend ids.MemberID) error {
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
 		for i, tf := range p.Trusted {
 			if tf == friend {
 				p.Trusted = append(p.Trusted[:i], p.Trusted[i+1:]...)
-				return nil
+				return true, nil
 			}
 		}
-		return nil
+		return false, nil
 	})
 }
 
@@ -211,27 +257,27 @@ func (s *Store) Share(member ids.MemberID, item ContentItem) error {
 	if item.Name == "" {
 		return fmt.Errorf("profile: shared item needs a name")
 	}
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
 		for _, existing := range p.Shared {
 			if existing.Name == item.Name {
-				return fmt.Errorf("profile: %q already shared", item.Name)
+				return false, fmt.Errorf("profile: %q already shared", item.Name)
 			}
 		}
 		p.Shared = append(p.Shared, item)
-		return nil
+		return true, nil
 	})
 }
 
 // Unshare removes a content item.
 func (s *Store) Unshare(member ids.MemberID, name string) error {
-	return s.update(member, func(p *Profile) error {
+	return s.mutate(member, func(p *Profile) (bool, error) {
 		for i, item := range p.Shared {
 			if item.Name == name {
 				p.Shared = append(p.Shared[:i], p.Shared[i+1:]...)
-				return nil
+				return true, nil
 			}
 		}
-		return nil
+		return false, nil
 	})
 }
 
@@ -313,6 +359,7 @@ func (s *Store) LoadFrom(r io.Reader) error {
 	defer s.mu.Unlock()
 	s.accounts = accounts
 	s.active = ""
+	s.epoch++
 	return nil
 }
 

@@ -84,6 +84,46 @@ func TestChaosReplay(t *testing.T) {
 	}
 }
 
+// TestChaosMutationBehindPrimedCache is the delta-synchronization
+// chaos scenario: several traffic rounds prime every client's
+// conditional cache (steady-state reads answer NOT_MODIFIED), then —
+// while links flap — every peer adds a fresh shared interest to its
+// live store. After healing, the oracle includes the brand-new
+// deployment-wide group, so reconvergence proves the caches revalidate
+// against the bumped epochs instead of serving the primed state.
+func TestChaosMutationBehindPrimedCache(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:            "mutation-behind-cache",
+		Seed:            4242,
+		Peers:           6,
+		Flap:            0.08,
+		Loss:            0.05,
+		Rounds:          4,
+		MutateInterests: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if !res.Reconverged {
+		t.Errorf("caches did not revalidate after the mutation (rounds=%d, client=%+v)",
+			res.RoundsToReconverge, res.Client)
+	}
+	// The pre-mutation rounds must actually have primed the caches —
+	// otherwise this scenario degenerates into a plain flap test.
+	if res.Client.NotModified == 0 {
+		t.Errorf("no NOT_MODIFIED rounds observed; cache was never primed: %+v", res.Client)
+	}
+	if res.Client.CacheHits == 0 {
+		t.Errorf("no cache hits observed: %+v", res.Client)
+	}
+	if res.Faults.FlapsObserved == 0 {
+		t.Errorf("flap knob injected nothing: %+v", res.Faults)
+	}
+}
+
 // TestZeroScenarioIsClean pins the baseline: with every knob zero the
 // run must see no faults, no call errors, and immediate reconvergence.
 func TestZeroScenarioIsClean(t *testing.T) {

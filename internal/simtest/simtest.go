@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/geo"
@@ -49,6 +50,12 @@ const (
 // to do.
 var interestPool = []string{"football", "biking", "music", "chess"}
 
+// mutationInterest is the fresh shared term MutateInterests scenarios
+// add mid-run; it is outside interestPool so the mutation is always a
+// real epoch-bumping edit, and shared so healing must form a brand-new
+// deployment-wide group from state no cache has seen.
+const mutationInterest = "origami"
+
 // Scenario describes one seeded chaos run. The zero value of every
 // fault knob disables that fault; Run fills structural defaults.
 type Scenario struct {
@@ -70,6 +77,14 @@ type Scenario struct {
 	// Churn gives every peer random-waypoint mobility during the fault
 	// phase (frozen before reconvergence is checked).
 	Churn bool
+
+	// MutateInterests makes every peer add a shared fresh interest to
+	// its live profile store halfway through the fault phase — behind
+	// any NOT_MODIFIED-primed client caches. The reconvergence oracle
+	// reads live stores, so healing must surface the mutation in every
+	// group view; a cache that answers stale state keeps the run from
+	// converging.
+	MutateInterests bool
 
 	// FaultWindow bounds the plan's active window in modeled time
 	// (default one hour — the fault phase is healed explicitly, the
@@ -141,6 +156,9 @@ type Result struct {
 	Events []faults.Event
 	// Net is the transport's accounting.
 	Net netsim.Counters
+	// Client sums every peer's community.ClientStats: fan-outs, cache
+	// hits, NOT_MODIFIED rounds and invalidations across the deployment.
+	Client community.ClientStats
 
 	// Violations lists every invariant breach (empty on success).
 	Violations []string
@@ -193,6 +211,9 @@ func Run(s Scenario) (*Result, error) {
 	res.Faults = plan.Counters()
 	res.Events = plan.Events()
 	res.Net = dep.Net.Counters()
+	for _, m := range dep.Members() {
+		res.Client.Add(dep.MustPeer(m).Client.Stats())
+	}
 	return res, nil
 }
 
@@ -296,6 +317,12 @@ func driveTraffic(ctx context.Context, s Scenario, dep *scenario.Deployment, clo
 				// Discovery is not budget-measured: its duration is set
 				// by inquiry windows, not by RobustConn deadlines.
 				_ = peer.Daemon.RefreshNow(ctx)
+
+				// Mid-phase mutation: edit the live store behind any
+				// conditional caches primed by the earlier rounds.
+				if s.MutateInterests && round == s.Rounds/2 {
+					_ = peer.Store.AddInterest(m, mutationInterest)
+				}
 
 				ops := []func() error{
 					func() error { _, err := peer.Client.RefreshGroups(ctx); return err },
@@ -466,4 +493,3 @@ func b2i(b bool) int {
 	}
 	return 0
 }
-
