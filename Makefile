@@ -21,10 +21,12 @@ BENCH_RATIO   = BenchmarkNeighbors/brute/devices=1000:BenchmarkNeighbors/grid/de
 # round (primed cache, NOT_MODIFIED answers, fingerprint-skipped
 # rebuild) must cost >= 3x less wall time and move >= 5x fewer wire
 # bytes than a cold round (fresh client, full interest lists, full
-# rebuild).
-COMBENCH_PATTERN = ^(BenchmarkGroupRound|BenchmarkWireCodecSized)$$
-COMBENCH_REQUIRE = BenchmarkGroupRound/cold/peers=10,BenchmarkGroupRound/steady/peers=10,BenchmarkGroupRound/cold/peers=100,BenchmarkGroupRound/steady/peers=100,BenchmarkGroupRound/cold/peers=500,BenchmarkGroupRound/steady/peers=500,BenchmarkWireCodecSized/marshal/fields=500,BenchmarkWireCodecSized/append/fields=500,BenchmarkWireCodecSized/unmarshal/fields=500
-COMBENCH_RATIO   = BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:3,BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:5:wire-bytes/op
+# rebuild). The admission pair pins the overload defense: answering
+# BUSY on the shed fast path must stay >= 5x cheaper than serving a
+# bulk profile transfer, or shedding stops protecting the server.
+COMBENCH_PATTERN = ^(BenchmarkGroupRound|BenchmarkWireCodecSized|BenchmarkServerAdmission)$$
+COMBENCH_REQUIRE = BenchmarkGroupRound/cold/peers=10,BenchmarkGroupRound/steady/peers=10,BenchmarkGroupRound/cold/peers=100,BenchmarkGroupRound/steady/peers=100,BenchmarkGroupRound/cold/peers=500,BenchmarkGroupRound/steady/peers=500,BenchmarkWireCodecSized/marshal/fields=500,BenchmarkWireCodecSized/append/fields=500,BenchmarkWireCodecSized/unmarshal/fields=500,BenchmarkServerAdmission/serve,BenchmarkServerAdmission/shed
+COMBENCH_RATIO   = BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:3,BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:5:wire-bytes/op,BenchmarkServerAdmission/serve:BenchmarkServerAdmission/shed:5
 
 .PHONY: verify build vet phvet test race chaos bench bench-json bench-smoke
 
@@ -45,7 +47,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# chaos runs the seeded fault-injection suite twice under the race
+# chaos runs the seeded fault-injection suites — the link-fault matrix
+# and the endpoint (stall/crash/overload) matrix — twice under the race
 # detector: -count=2 re-runs every scenario from the same seeds, so a
 # pass also demonstrates replay determinism end to end.
 chaos:

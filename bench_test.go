@@ -819,3 +819,58 @@ func BenchmarkChurn(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServerAdmission prices the two HandleFrom fast paths the
+// overload machinery depends on: serve (rate limiter disabled, the
+// request reaches its Table 6 handler) vs shed (per-peer budget
+// exhausted, BUSY returned before any handler work). The committed
+// BENCH_community.json pins serve >= 5x the cost of shed — the
+// property that makes admission control a defense under overload
+// rather than a second source of load.
+func BenchmarkServerAdmission(b *testing.B) {
+	w := newBenchWorld(b, 1)
+	peer := w.peers[0]
+	// GetProfile is the weight-4 bulk transfer the rate limiter exists
+	// to shed: trust gate, profile read, field marshalling. Give the
+	// profile the paper's kind of lived-in state (interests, comments,
+	// visits) so the serve path prices a realistic transfer; the shed
+	// path answers BUSY in constant time no matter how expensive the
+	// request would have been.
+	if err := peer.store.SetInfo("member-00", "Member Zero", "Lappeenranta", "benchmark profile"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		if err := peer.store.AddInterest("member-00", fmt.Sprintf("interest-%02d", i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := peer.store.AddComment("member-00", "member-00", fmt.Sprintf("comment %d from the neighborhood", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := community.Request{Op: community.OpGetProfile, Args: []string{"member-00", "member-00"}}
+	from := ids.DeviceID("load-gen")
+
+	b.Run("serve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if resp := peer.server.HandleFrom(from, req); resp.Status != community.StatusOK {
+				b.Fatalf("serve path answered %+v", resp)
+			}
+		}
+	})
+	b.Run("shed", func(b *testing.B) {
+		shedding, err := community.NewServerWith(peerhood.NewLibrary(peer.daemon), peer.store,
+			community.ServerOptions{RatePerPeer: 1e-9, Burst: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Burst 1 is below the request's weight of 4, so every call
+		// takes the shed path; at 1e-9 tokens per modeled second the
+		// bucket cannot refill to weight 4 within any benchmark run.
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := shedding.HandleFrom(from, req); resp.Status != community.StatusBusy {
+				b.Fatalf("shed path answered %+v", resp)
+			}
+		}
+	})
+}

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	chaos [-n SCENARIOS] [-seed BASE]
+//	chaos [-n SCENARIOS] [-seed BASE] [-endpoint]
+//
+// With -endpoint it runs the endpoint-fault matrix instead: stalled
+// and crashing peers (gray failures) with admission control, circuit
+// breakers, and hedged fan-outs enabled, so the Shed/Breaker/Hedges
+// columns show the degradation machinery at work.
 package main
 
 import (
@@ -21,18 +26,23 @@ import (
 func main() {
 	n := flag.Int("n", 12, "number of seeded scenarios to run")
 	seed := flag.Int64("seed", 1, "base seed of the scenario matrix")
+	endpoint := flag.Bool("endpoint", false, "run the endpoint-fault (stall/crash/resilience) matrix instead of the link-fault matrix")
 	flag.Parse()
 
-	results, err := harness.RunChaos(harness.ChaosConfig{Scenarios: *n, Seed: *seed})
+	results, err := harness.RunChaos(harness.ChaosConfig{Scenarios: *n, Seed: *seed, Endpoint: *endpoint})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("Seeded chaos matrix: %d scenarios, base seed %d.\n", *n, *seed)
+	matrix := "link-fault"
+	if *endpoint {
+		matrix = "endpoint-fault"
+	}
+	fmt.Printf("Seeded %s chaos matrix: %d scenarios, base seed %d.\n", matrix, *n, *seed)
 	fmt.Println("Faults lift mid-run; Reconverged reports the round in which")
 	fmt.Println("every node's group view matched the fault-free oracle.")
-	fmt.Println("NotMod/Cache hits/Invalidated sum the delta-synchronization")
-	fmt.Println("cache counters across every client in the deployment.")
+	fmt.Println("Shed/Breaker/Hedges sum the admission, circuit-breaker, and")
+	fmt.Println("hedged-request counters across every node in the deployment.")
 	fmt.Println()
 	fmt.Print(harness.FormatChaos(results))
 

@@ -10,6 +10,7 @@
 //
 //	groupscale [-peers 1,2,4,8,16] [-scale FACTOR]
 //	groupscale -substrate [-peers 100,500,1000,2000]
+//	groupscale -overload [-peers 100,400,1000]
 //
 // With -substrate it instead measures the radio substrate itself —
 // per-query neighbor-discovery cost, grid index vs brute force — at
@@ -34,6 +35,7 @@ func main() {
 	churn := flag.Bool("churn", false, "also measure group churn vs. walking speed")
 	substrate := flag.Bool("substrate", false, "measure substrate neighbor queries (grid vs brute) instead of the full stack")
 	delta := flag.Bool("delta", false, "measure delta-synchronized group rounds (cold vs steady cache) instead of the full stack")
+	overload := flag.Bool("overload", false, "measure graceful degradation under offered load (admission control, shedding, bounded steady rounds)")
 	flag.Parse()
 
 	peersSet := false
@@ -46,6 +48,9 @@ func main() {
 		// The substrate and delta experiments are about large worlds.
 		*peersFlag = "100,500,1000,2000"
 	}
+	if *overload && !peersSet {
+		*peersFlag = "100,400,1000"
+	}
 
 	var counts []int
 	for _, f := range strings.Split(*peersFlag, ",") {
@@ -55,6 +60,24 @@ func main() {
 			os.Exit(2)
 		}
 		counts = append(counts, n)
+	}
+
+	if *overload {
+		fmt.Println("Graceful degradation under overload: every server runs with a")
+		fmt.Println("small explicit admission capacity (8 sessions, queue depth 16);")
+		fmt.Println("a load generator offers 1×–10× that capacity in raw sessions")
+		fmt.Println("against one hot server while an observer keeps refreshing its")
+		fmt.Println("groups. Fresh arrivals beyond capacity queue up to the bound and")
+		fmt.Println("are then shed with BUSY; the observer's established sessions keep")
+		fmt.Println("service, so its steady round stays bounded at every offered load.")
+		fmt.Println()
+		points, err := harness.RunOverload(harness.OverloadConfig{Devices: counts})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groupscale:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatOverload(points))
+		return
 	}
 
 	if *delta {

@@ -20,3 +20,18 @@ func readsWallClock() time.Time {
 // A bare function-value reference counts too: it smuggles the wall
 // clock somewhere else.
 var clockFn = time.Now // want "time.Now reads the wall clock"
+
+// A hedged send that races the second attempt off the host clock is
+// the exact misuse the resilience layer must avoid: a wall-clock hedge
+// delay makes the winner scheduling-dependent and breaks seed replay.
+func hedgedSendMisuse(primary, hedge func() error) error {
+	done := make(chan error, 2)
+	go func() { done <- primary() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(time.Millisecond): // want "time.After reads the wall clock"
+		go func() { done <- hedge() }()
+		return <-done
+	}
+}

@@ -20,3 +20,18 @@ func pureTimeArithmetic(c Clock) time.Duration {
 	<-c.After(time.Millisecond)
 	return later.Sub(c.Now())
 }
+
+// hedgedSend shows the legal shape of a hedge delay: the race timer
+// comes from the injected clock, so the hedge fires at the same
+// modeled instant on every replay.
+func hedgedSend(c Clock, delay time.Duration, primary, hedge func() error) error {
+	done := make(chan error, 2)
+	go func() { done <- primary() }()
+	select {
+	case err := <-done:
+		return err
+	case <-c.After(delay):
+		go func() { done <- hedge() }()
+		return <-done
+	}
+}

@@ -1,0 +1,251 @@
+package community
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// ServerOptions tunes the server's behavior under overload. The zero
+// value (via NewServer) serves every session it can hold and never
+// rate-limits, which preserves the classic Table 6 behavior; overload
+// experiments shrink the limits explicitly.
+type ServerOptions struct {
+	// MaxSessions bounds the concurrent serving sessions (default 1024).
+	// Serving goroutines are started on demand and exit when idle, so a
+	// generous bound costs nothing in a quiet neighborhood.
+	MaxSessions int
+	// QueueDepth bounds the admission queue holding accepted sessions
+	// that wait for a free serving slot (default 256). A session arriving
+	// with the queue full is shed: it gets one BUSY frame and is closed.
+	QueueDepth int
+	// RatePerPeer is the per-peer request budget in weighted requests
+	// per modeled second; 0 disables rate limiting. Control frames
+	// (PS_PING) weigh nothing, bulk transfers weigh more than small
+	// reads, so pings stay answerable while profiles are throttled.
+	RatePerPeer float64
+	// Burst is the token-bucket depth (default 4×RatePerPeer).
+	Burst float64
+	// WriteTimeout bounds, in modeled time, how long a response write
+	// may wait on a peer that has stopped reading before the session is
+	// aborted (default 30s).
+	WriteTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.Burst <= 0 {
+		o.Burst = 4 * o.RatePerPeer
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// ServerStats counts the server's admission decisions, so overload
+// experiments can see load being shed explicitly instead of latency
+// growing without bound.
+type ServerStats struct {
+	// Admitted counts sessions handed to a serving worker.
+	Admitted uint64
+	// Queued counts sessions that waited in the admission queue before
+	// being served.
+	Queued uint64
+	// Shed counts sessions rejected at admission with a BUSY frame (or
+	// dropped outright when even the shed path was saturated).
+	Shed uint64
+	// RateLimited counts requests refused with BUSY by the per-peer
+	// token bucket.
+	RateLimited uint64
+	// Served counts requests dispatched to a Table 6 handler.
+	Served uint64
+	// SlowWriters counts sessions aborted because a response write
+	// exceeded WriteTimeout — the peer stopped reading.
+	SlowWriters uint64
+	// QueueDepthMax is the admission queue's high-water mark.
+	QueueDepthMax uint64
+}
+
+// Add accumulates another snapshot into s (QueueDepthMax takes the
+// max), so experiments can sum a whole deployment.
+func (s *ServerStats) Add(o ServerStats) {
+	s.Admitted += o.Admitted
+	s.Queued += o.Queued
+	s.Shed += o.Shed
+	s.RateLimited += o.RateLimited
+	s.Served += o.Served
+	s.SlowWriters += o.SlowWriters
+	if o.QueueDepthMax > s.QueueDepthMax {
+		s.QueueDepthMax = o.QueueDepthMax
+	}
+}
+
+type serverCounters struct {
+	admitted      atomic.Uint64
+	queued        atomic.Uint64
+	shed          atomic.Uint64
+	rateLimited   atomic.Uint64
+	served        atomic.Uint64
+	slowWriters   atomic.Uint64
+	queueDepthMax atomic.Uint64
+}
+
+func (c *serverCounters) observeDepth(depth uint64) {
+	for {
+		cur := c.queueDepthMax.Load()
+		if depth <= cur || c.queueDepthMax.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the server's admission counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Admitted:      s.counters.admitted.Load(),
+		Queued:        s.counters.queued.Load(),
+		Shed:          s.counters.shed.Load(),
+		RateLimited:   s.counters.rateLimited.Load(),
+		Served:        s.counters.served.Load(),
+		SlowWriters:   s.counters.slowWriters.Load(),
+		QueueDepthMax: s.counters.queueDepthMax.Load(),
+	}
+}
+
+// opWeight prices one request against the per-peer budget. Pings are
+// free — under overload the server keeps answering the tiny control
+// frames that feed liveness decisions, and sheds the expensive traffic
+// instead. Bulk transfers cost four small reads.
+func opWeight(op string) float64 {
+	switch op {
+	case OpPing:
+		return 0
+	case OpGetProfile, OpFetchShared, OpSharedContent:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// peerBucket is one peer's token bucket, refilled on the modeled
+// clock so rate limiting replays deterministically with the scenario.
+type peerBucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+// allowRequest charges weight against the remote peer's bucket,
+// reporting false when the budget is exhausted.
+func (s *Server) allowRequest(remote ids.DeviceID, weight float64) bool {
+	if s.opts.RatePerPeer <= 0 || weight == 0 {
+		return true
+	}
+	now := s.env.Elapsed()
+	s.rlMu.Lock()
+	defer s.rlMu.Unlock()
+	b, ok := s.buckets[remote]
+	if !ok {
+		b = &peerBucket{tokens: s.opts.Burst, last: now}
+		s.buckets[remote] = b
+	}
+	if now > b.last {
+		b.tokens += s.opts.RatePerPeer * (now - b.last).Seconds()
+		if b.tokens > s.opts.Burst {
+			b.tokens = s.opts.Burst
+		}
+		b.last = now
+	}
+	if b.tokens < weight {
+		return false
+	}
+	b.tokens -= weight
+	return true
+}
+
+// admit routes one accepted session: straight to a worker while slots
+// are free, into the bounded queue while they are not, and to the shed
+// path when even the queue is full. Admission never blocks the accept
+// loop and never spawns an unbounded goroutine.
+func (s *Server) admit(ctx context.Context, conn *netsim.Conn) {
+	s.admMu.Lock()
+	if s.active < s.opts.MaxSessions {
+		s.active++
+		s.admMu.Unlock()
+		s.counters.admitted.Add(1)
+		s.wg.Add(1)
+		go s.worker(ctx, conn)
+		return
+	}
+	if len(s.backlog) < s.opts.QueueDepth {
+		s.backlog = append(s.backlog, conn)
+		depth := uint64(len(s.backlog))
+		s.admMu.Unlock()
+		s.counters.queued.Add(1)
+		s.counters.observeDepth(depth)
+		return
+	}
+	s.admMu.Unlock()
+	s.shed(conn)
+}
+
+// worker serves its session, then keeps draining the backlog until it
+// is empty — so idle servers hold zero serving goroutines and loaded
+// ones hold at most MaxSessions.
+func (s *Server) worker(ctx context.Context, conn *netsim.Conn) {
+	defer s.wg.Done()
+	for {
+		s.serveConn(ctx, conn)
+		s.admMu.Lock()
+		if ctx.Err() != nil || len(s.backlog) == 0 {
+			s.active--
+			s.admMu.Unlock()
+			return
+		}
+		conn = s.backlog[0]
+		s.backlog[0] = nil
+		s.backlog = s.backlog[1:]
+		s.admMu.Unlock()
+		s.counters.admitted.Add(1)
+	}
+}
+
+// shed rejects one session with an explicit BUSY frame. Delivery goes
+// through a single shedder goroutine so a pathological peer (or a
+// stalled outbound pump) can never wedge the accept loop; when the
+// shedder itself is saturated the session is dropped without the
+// courtesy frame — the client sees a reset and backs off anyway.
+func (s *Server) shed(conn *netsim.Conn) {
+	s.counters.shed.Add(1)
+	select {
+	case s.shedQ <- conn:
+	default:
+		conn.Abort()
+	}
+}
+
+// shedder delivers BUSY frames for shed sessions, one at a time.
+func (s *Server) shedder(ctx context.Context) {
+	defer s.wg.Done()
+	busy := MarshalResponse(Response{Status: StatusBusy})
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case conn := <-s.shedQ:
+			// The session is fresh, so its transmit queue is empty and
+			// Send cannot block; Close's flush is bounded by the conn's
+			// own flush timeout.
+			_ = conn.Send(busy)
+			_ = conn.Close()
+		}
+	}
+}

@@ -24,6 +24,13 @@ var (
 	ErrNotTrusted    = fmt.Errorf("community: not a trusted friend")
 	ErrRemote        = fmt.Errorf("community: remote error")
 	ErrClientClosed  = fmt.Errorf("community: client closed")
+	// ErrPeerBusy reports explicit load shedding: the peer answered
+	// BUSY, refusing the session or the request. The peer is healthy.
+	ErrPeerBusy = fmt.Errorf("community: peer shed the request")
+	// ErrPeerCircuitOpen reports that the peer's circuit breaker is
+	// open: recent calls kept failing, so the client skips the peer
+	// until the breaker's next probe window.
+	ErrPeerCircuitOpen = fmt.Errorf("community: peer circuit open")
 )
 
 // MemberInfo locates an online member in the neighborhood.
@@ -48,6 +55,7 @@ type Client struct {
 	cache    map[ids.DeviceID]*peerCache
 	inflight map[flightKey]*flightCall
 	rec      *msc.Recorder
+	resil    *resilience
 	closed   bool
 
 	counters clientCounters
@@ -112,6 +120,22 @@ type ClientStats struct {
 	// SingleflightHits counts calls that were collapsed into an
 	// identical exchange already in flight to the same device.
 	SingleflightHits uint64
+	// BreakerSkips counts calls refused locally because the peer's
+	// circuit breaker was open — failures the client didn't wait for.
+	BreakerSkips uint64
+	// BreakerOpens counts breaker trips (closed→open plus failed
+	// probes re-opening).
+	BreakerOpens uint64
+	// BreakerReadmits counts peers re-admitted after a successful
+	// half-open probe.
+	BreakerReadmits uint64
+	// BusyRejected counts BUSY answers — the peer shedding load
+	// explicitly rather than failing.
+	BusyRejected uint64
+	// HedgesLaunched counts spare sessions raced against a silent
+	// primary; HedgeWins counts races the spare won.
+	HedgesLaunched uint64
+	HedgeWins      uint64
 }
 
 type clientCounters struct {
@@ -123,11 +147,15 @@ type clientCounters struct {
 	cacheInvalidations atomic.Uint64
 	notModified        atomic.Uint64
 	singleflightHits   atomic.Uint64
+	breakerSkips       atomic.Uint64
+	busyRejected       atomic.Uint64
+	hedgesLaunched     atomic.Uint64
+	hedgeWins          atomic.Uint64
 }
 
 // Stats returns a snapshot of the client's transport counters.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{
+	out := ClientStats{
 		CallsAttempted:     c.counters.callsAttempted.Load(),
 		CallsFailed:        c.counters.callsFailed.Load(),
 		FanoutsRun:         c.counters.fanoutsRun.Load(),
@@ -136,7 +164,21 @@ func (c *Client) Stats() ClientStats {
 		CacheInvalidations: c.counters.cacheInvalidations.Load(),
 		NotModified:        c.counters.notModified.Load(),
 		SingleflightHits:   c.counters.singleflightHits.Load(),
+		BreakerSkips:       c.counters.breakerSkips.Load(),
+		BusyRejected:       c.counters.busyRejected.Load(),
+		HedgesLaunched:     c.counters.hedgesLaunched.Load(),
+		HedgeWins:          c.counters.hedgeWins.Load(),
 	}
+	if r := c.resilience(); r != nil {
+		r.mu.Lock()
+		for _, b := range r.breakers {
+			cts := b.Counts()
+			out.BreakerOpens += cts.Opened + cts.Reopened
+			out.BreakerReadmits += cts.Readmitted
+		}
+		r.mu.Unlock()
+	}
+	return out
 }
 
 // Add accumulates another snapshot into s, so experiments can sum the
@@ -150,6 +192,12 @@ func (s *ClientStats) Add(o ClientStats) {
 	s.CacheInvalidations += o.CacheInvalidations
 	s.NotModified += o.NotModified
 	s.SingleflightHits += o.SingleflightHits
+	s.BreakerSkips += o.BreakerSkips
+	s.BreakerOpens += o.BreakerOpens
+	s.BreakerReadmits += o.BreakerReadmits
+	s.BusyRejected += o.BusyRejected
+	s.HedgesLaunched += o.HedgesLaunched
+	s.HedgeWins += o.HedgeWins
 }
 
 // NewClient builds a client for the logged-in user of the device's
@@ -286,25 +334,37 @@ func (c *Client) cacheEntry(dev ids.DeviceID) *peerCache {
 }
 
 // call performs one request/response with a device, recording the MSC
-// arrows.
+// arrows. It is where the client's degradation machinery lives: the
+// peer's circuit breaker gates the attempt, explicit BUSY answers are
+// surfaced as backpressure (and never count against the peer's
+// health), and everything else feeds the breaker's health score.
 func (c *Client) call(ctx context.Context, dev ids.DeviceID, req Request) (Response, error) {
 	c.counters.callsAttempted.Add(1)
+	br := c.breakerFor(dev)
+	if br != nil && !br.Allow() {
+		c.counters.breakerSkips.Add(1)
+		c.counters.callsFailed.Add(1)
+		return Response{}, fmt.Errorf("%w: %s", ErrPeerCircuitOpen, dev)
+	}
 	rc, err := c.conn(ctx, dev)
 	if err != nil {
 		c.counters.callsFailed.Add(1)
+		c.recordOutcome(br, err)
 		return Response{}, err
 	}
 	rec := c.recorder()
 	rec.Record(c.name(), serverName(dev), req.Op)
 	// Marshal into a pooled buffer: the transport copies the payload on
-	// send, so the buffer is reusable as soon as Call returns.
+	// send, so the buffer is reusable as soon as the exchange returns
+	// (the hedged path copies it up front for its own legs).
 	buf := getFrameBuf()
 	*buf = AppendRequest(*buf, req)
-	raw, err := rc.Call(ctx, *buf)
+	raw, err := c.exchange(ctx, dev, rc, *buf, req.Op)
 	putFrameBuf(buf)
 	if err != nil {
 		c.dropConn(dev)
 		c.counters.callsFailed.Add(1)
+		c.recordOutcome(br, err)
 		return Response{}, fmt.Errorf("community: calling %s on %s: %w", req.Op, dev, err)
 	}
 	resp, err := UnmarshalResponse(raw)
@@ -312,10 +372,41 @@ func (c *Client) call(ctx context.Context, dev ids.DeviceID, req Request) (Respo
 		// A mangled frame degrades to a failed call; it must never take
 		// the client down.
 		c.counters.callsFailed.Add(1)
+		c.recordOutcome(br, err)
 		return Response{}, err
+	}
+	if resp.Status == StatusBusy {
+		// Explicit shedding: the peer is alive and chose not to serve
+		// us. Health-wise that is a success — tripping the breaker on
+		// BUSY would turn graceful degradation into self-inflicted
+		// partition.
+		c.counters.busyRejected.Add(1)
+		c.counters.callsFailed.Add(1)
+		if br != nil {
+			br.Record(true)
+		}
+		rec.Record(serverName(dev), c.name(), resp.Status)
+		return Response{}, fmt.Errorf("%w: %s refused %s", ErrPeerBusy, dev, req.Op)
+	}
+	if br != nil {
+		br.Record(true)
 	}
 	rec.Record(serverName(dev), c.name(), resp.Status)
 	return resp, nil
+}
+
+// Ping probes one device's community server. It is free under the
+// server's rate limit and hedge-eligible, so it answers "overloaded or
+// dead?" even when everything else is being shed.
+func (c *Client) Ping(ctx context.Context, dev ids.DeviceID) error {
+	resp, err := c.call(ctx, dev, Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("%w: %s", ErrRemote, resp.Status)
+	}
+	return nil
 }
 
 // singleflightable reports whether identical concurrent requests for
@@ -758,7 +849,7 @@ func (c *Client) SendMessage(ctx context.Context, to ids.MemberID, subject, body
 // answer re-primes it. One exchange either way — the versioned
 // interest-list reply carries the member ID, where the classic path
 // needed PS_GETONLINEMEMBERLIST plus PS_GETINTERESTLIST.
-func (c *Client) memberSummary(ctx context.Context, dev ids.DeviceID) (core.Member, bool) {
+func (c *Client) memberSummary(ctx context.Context, dev ids.DeviceID) (core.Member, bool, error) {
 	var epoch uint64
 	var known bool
 	c.mu.Lock()
@@ -768,12 +859,12 @@ func (c *Client) memberSummary(ctx context.Context, dev ids.DeviceID) (core.Memb
 	c.mu.Unlock()
 	resp, err := c.callShared(ctx, dev, Request{Op: OpGetInterestList, Args: []string{ifEpochArg(epoch, known)}})
 	if err != nil {
-		return core.Member{}, false // call already dropped the conn + cache
+		return core.Member{}, false, err // call already dropped the conn + cache
 	}
 	switch resp.Status {
 	case StatusNotModified:
 		if _, sealed := openVersioned(resp); !sealed {
-			return core.Member{}, false
+			return core.Member{}, false, nil
 		}
 		c.counters.notModified.Add(1)
 		c.mu.Lock()
@@ -783,21 +874,21 @@ func (c *Client) memberSummary(ctx context.Context, dev ids.DeviceID) (core.Memb
 			// concurrent link loss); treat the device as absent this
 			// round and re-fetch next time.
 			c.mu.Unlock()
-			return core.Member{}, false
+			return core.Member{}, false, nil
 		}
 		m := core.Member{Device: dev, ID: pc.member, Interests: pc.interests}
 		online := pc.online
 		c.mu.Unlock()
 		c.counters.cacheHits.Add(1)
-		return m, online
+		return m, online, nil
 	case StatusOK:
 		fields, sealed := openVersioned(resp)
 		if !sealed || len(fields) < 2 {
-			return core.Member{}, false
+			return core.Member{}, false, nil
 		}
 		e, perr := strconv.ParseUint(fields[0], 10, 64)
 		if perr != nil {
-			return core.Member{}, false
+			return core.Member{}, false, nil
 		}
 		member := ids.MemberID(fields[1])
 		interests := fields[2:]
@@ -806,7 +897,7 @@ func (c *Client) memberSummary(ctx context.Context, dev ids.DeviceID) (core.Memb
 		pc.hasSummary, pc.summaryEpoch, pc.online = true, e, true
 		pc.member, pc.interests = member, interests
 		c.mu.Unlock()
-		return core.Member{Device: dev, ID: member, Interests: interests}, true
+		return core.Member{Device: dev, ID: member, Interests: interests}, true, nil
 	case StatusNoMembersYet:
 		if fields, sealed := openVersioned(resp); sealed && len(fields) == 1 {
 			if e, perr := strconv.ParseUint(fields[0], 10, 64); perr == nil {
@@ -817,9 +908,9 @@ func (c *Client) memberSummary(ctx context.Context, dev ids.DeviceID) (core.Memb
 				c.mu.Unlock()
 			}
 		}
-		return core.Member{}, false
+		return core.Member{}, false, nil
 	default:
-		return core.Member{}, false
+		return core.Member{}, false, nil
 	}
 }
 
@@ -832,20 +923,31 @@ func (c *Client) NearbyMembers(ctx context.Context) ([]core.Member, error) {
 		return nil, err
 	}
 	type answer struct {
-		m  core.Member
-		ok bool
+		m   core.Member
+		ok  bool
+		err error
 	}
+	c.counters.fanoutsRun.Add(1)
 	devices := c.lib.DevicesOffering(ServiceName)
 	answers := make([]answer, len(devices))
 	c.runBounded(len(devices), func(i int) {
-		m, ok := c.memberSummary(ctx, devices[i])
-		answers[i] = answer{m: m, ok: ok}
+		m, ok, err := c.memberSummary(ctx, devices[i])
+		answers[i] = answer{m: m, ok: ok, err: err}
 	})
 	var out []core.Member
+	degraded := false
 	for _, a := range answers {
+		if a.err != nil {
+			degraded = true
+		}
 		if a.ok {
 			out = append(out, a.m)
 		}
+	}
+	if degraded {
+		// Partial neighborhood: some device failed to answer (or its
+		// circuit was open) and discovery proceeded without it.
+		c.counters.fanoutsDegraded.Add(1)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil

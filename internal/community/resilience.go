@@ -1,0 +1,339 @@
+package community
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/peerhood"
+	"repro/internal/vtime"
+)
+
+// ResilienceOptions tunes the client's degradation machinery: per-peer
+// circuit breakers that stop wasting fan-out time on peers that keep
+// failing, and hedged requests that race a second session against a
+// stalled one. The zero value enables breakers with defaults and leaves
+// hedging off; a client that never calls SetResilience behaves exactly
+// as before.
+type ResilienceOptions struct {
+	// FailureThreshold is the consecutive-failure count that trips a
+	// peer's breaker (default 3).
+	FailureThreshold int
+	// OpenFor is how long, in modeled time, an open breaker rejects a
+	// peer before probing it again (default 60s). The real wait is
+	// floored at breakerOpenFloor so sub-millisecond scaled windows
+	// don't thrash.
+	OpenFor time.Duration
+	// Hedge enables hedged requests for idempotent reads.
+	Hedge bool
+	// HedgeFactor multiplies the observed p99 latency to get the hedge
+	// delay (default 4 — conservative, so hedges fire on genuine
+	// stragglers, not ordinary jitter).
+	HedgeFactor float64
+	// HedgeMinSamples is how many latency samples must exist before any
+	// hedge fires (default 16).
+	HedgeMinSamples int
+	// HedgeFloor / HedgeCap clamp the hedge delay, in modeled time
+	// (defaults 1s / 30s).
+	HedgeFloor time.Duration
+	HedgeCap   time.Duration
+}
+
+func (o ResilienceOptions) withDefaults() ResilienceOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = 60 * time.Second
+	}
+	if o.HedgeFactor <= 0 {
+		o.HedgeFactor = 4
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 16
+	}
+	if o.HedgeFloor <= 0 {
+		o.HedgeFloor = time.Second
+	}
+	if o.HedgeCap <= 0 {
+		o.HedgeCap = 30 * time.Second
+	}
+	return o
+}
+
+// breakerOpenFloor is the minimum real-time open window. Below this,
+// scheduler jitter is larger than the window itself and the breaker
+// would flap; mirrors peerhood's realTimeout floor in spirit.
+const breakerOpenFloor = 500 * time.Millisecond
+
+// hedgeSampleWindow is how many recent call latencies feed the p99.
+const hedgeSampleWindow = 64
+
+// resilience is the client's degradation state: one breaker per peer
+// and a shared latency window for hedge-delay estimation. All times are
+// real-clock durations — the environment clock is the real clock, and
+// latencies already include the scenario's scale.
+type resilience struct {
+	opts  ResilienceOptions
+	clock vtime.Clock
+	scale vtime.Scale
+
+	mu       sync.Mutex
+	breakers map[ids.DeviceID]*peerhood.Breaker
+	samples  [hedgeSampleWindow]time.Duration
+	next     int
+	count    int
+}
+
+// SetResilience enables the client's circuit breakers (and optionally
+// hedging). Call it before issuing traffic; calling it again replaces
+// the options and resets all breaker state.
+func (c *Client) SetResilience(opts ResilienceOptions) {
+	env := c.lib.Daemon().Network().Environment()
+	r := &resilience{
+		opts:     opts.withDefaults(),
+		clock:    env.Clock(),
+		scale:    env.Scale(),
+		breakers: make(map[ids.DeviceID]*peerhood.Breaker),
+	}
+	c.mu.Lock()
+	c.resil = r
+	c.mu.Unlock()
+}
+
+// resilience returns the client's degradation state, nil when disabled.
+func (c *Client) resilience() *resilience {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resil
+}
+
+// breakerFor returns the peer's breaker, creating it on first use; nil
+// when resilience is disabled.
+func (c *Client) breakerFor(dev ids.DeviceID) *peerhood.Breaker {
+	r := c.resilience()
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[dev]
+	if !ok {
+		openFor := r.scale.ToReal(r.opts.OpenFor)
+		if openFor < breakerOpenFloor {
+			openFor = breakerOpenFloor
+		}
+		b = peerhood.NewBreaker(r.clock, peerhood.BreakerOptions{
+			FailureThreshold: r.opts.FailureThreshold,
+			OpenFor:          openFor,
+		})
+		r.breakers[dev] = b
+	}
+	return b
+}
+
+// recordOutcome feeds one call outcome into the peer's breaker. A
+// cancellation of our own context says nothing about the peer's health
+// and is not recorded.
+func (c *Client) recordOutcome(br *peerhood.Breaker, err error) {
+	if br == nil {
+		return
+	}
+	if err == nil {
+		br.Record(true)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	br.Record(false)
+}
+
+// observe feeds one successful call's real latency into the window.
+func (r *resilience) observe(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[r.next] = d
+	r.next = (r.next + 1) % hedgeSampleWindow
+	if r.count < hedgeSampleWindow {
+		r.count++
+	}
+}
+
+// hedgeDelay derives the current hedge trigger from the p99 of the
+// latency window. ok=false means not enough samples yet.
+func (r *resilience) hedgeDelay() (time.Duration, bool) {
+	r.mu.Lock()
+	n := r.count
+	tmp := make([]time.Duration, n)
+	copy(tmp, r.samples[:n])
+	r.mu.Unlock()
+	if n < r.opts.HedgeMinSamples {
+		return 0, false
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := (n*99+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	d := time.Duration(float64(tmp[idx]) * r.opts.HedgeFactor)
+	if floor := r.scale.ToReal(r.opts.HedgeFloor); d < floor {
+		d = floor
+	}
+	if cap := r.scale.ToReal(r.opts.HedgeCap); d > cap {
+		d = cap
+	}
+	return d, true
+}
+
+// hedgeEligible ops are safe to send twice: idempotent reads, plus the
+// free ping probe. Mutations (messages, comments) must reach the server
+// exactly once and are never hedged.
+func hedgeEligible(op string) bool {
+	return op == OpPing || singleflightable(op)
+}
+
+// timedCall is one exchange with latency observation.
+func (c *Client) timedCall(ctx context.Context, rc *peerhood.RobustConn, payload []byte, r *resilience) ([]byte, error) {
+	if r == nil {
+		return rc.Call(ctx, payload)
+	}
+	start := r.clock.Now()
+	raw, err := rc.Call(ctx, payload)
+	if err == nil {
+		r.observe(r.clock.Now().Sub(start))
+	}
+	return raw, err
+}
+
+// exchange runs one request/response against a peer, hedging eligible
+// reads: once the primary has been silent for a p99-derived delay, a
+// second session is raced against it and the first reply wins. A fresh
+// session matters — the fault plane draws stall fates per session, so a
+// re-dial escapes a stalled one.
+func (c *Client) exchange(ctx context.Context, dev ids.DeviceID, rc *peerhood.RobustConn, payload []byte, op string) ([]byte, error) {
+	r := c.resilience()
+	if r == nil || !r.opts.Hedge || !hedgeEligible(op) {
+		return c.timedCall(ctx, rc, payload, r)
+	}
+	delay, ok := r.hedgeDelay()
+	if !ok {
+		return c.timedCall(ctx, rc, payload, r)
+	}
+	return c.hedgedCall(ctx, dev, rc, payload, delay, r)
+}
+
+// hedgeResult is one leg's outcome; conn is non-nil only for the spare
+// leg, which owns its session until adopted or reaped.
+type hedgeResult struct {
+	raw  []byte
+	err  error
+	conn *peerhood.RobustConn
+}
+
+// hedgedCall races the primary exchange against a late-started spare
+// session. The pooled payload buffer is copied once up front because
+// both legs may outlive the caller's frame.
+func (c *Client) hedgedCall(ctx context.Context, dev ids.DeviceID, rc *peerhood.RobustConn, payload []byte, delay time.Duration, r *resilience) ([]byte, error) {
+	owned := append([]byte(nil), payload...)
+	results := make(chan hedgeResult, 2)
+	go func() {
+		start := r.clock.Now()
+		raw, err := rc.Call(ctx, owned)
+		if err == nil {
+			r.observe(r.clock.Now().Sub(start))
+		}
+		results <- hedgeResult{raw: raw, err: err}
+	}()
+
+	spareCtx, cancelSpare := context.WithCancel(ctx)
+	launched := false
+	outstanding := 1
+	var firstErr error
+	hedgeTimer := r.clock.After(delay)
+	defer func() {
+		// Reap whatever leg is still in flight: cancel it and close the
+		// spare session once it resolves, so neither goroutines nor
+		// connections leak past the call.
+		cancelSpare()
+		if outstanding > 0 {
+			go func(n int) {
+				for i := 0; i < n; i++ {
+					if res := <-results; res.conn != nil {
+						res.conn.Close()
+					}
+				}
+			}(outstanding)
+		}
+	}()
+
+	for {
+		select {
+		case res := <-results:
+			outstanding--
+			if res.err == nil {
+				if res.conn != nil {
+					// The spare won: adopt its healthy session and retire
+					// the one that stalled.
+					c.counters.hedgeWins.Add(1)
+					c.adoptConn(dev, rc, res.conn)
+				}
+				return res.raw, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeTimer:
+			if launched {
+				hedgeTimer = nil
+				continue
+			}
+			launched = true
+			hedgeTimer = nil
+			c.counters.hedgesLaunched.Add(1)
+			outstanding++
+			go func() {
+				spare, err := c.lib.ConnectRobust(spareCtx, dev, ServiceName)
+				if err != nil {
+					results <- hedgeResult{err: err}
+					return
+				}
+				start := r.clock.Now()
+				raw, err := spare.Call(spareCtx, owned)
+				if err != nil {
+					spare.Close()
+					results <- hedgeResult{err: err}
+					return
+				}
+				r.observe(r.clock.Now().Sub(start))
+				results <- hedgeResult{raw: raw, conn: spare}
+			}()
+		}
+	}
+}
+
+// adoptConn swaps the cached session for a peer: if old is still the
+// cached conn it is replaced by won and closed; otherwise won becomes
+// the cache only if the slot is empty (a concurrent dropConn ran).
+func (c *Client) adoptConn(dev ids.DeviceID, old, won *peerhood.RobustConn) {
+	c.mu.Lock()
+	cur, ok := c.conns[dev]
+	switch {
+	case ok && cur == old:
+		c.conns[dev] = won
+		c.mu.Unlock()
+		old.Close()
+	case !ok && !c.closed:
+		c.conns[dev] = won
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+		won.Close()
+	}
+}

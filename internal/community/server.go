@@ -2,6 +2,7 @@ package community
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -13,18 +14,35 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/peerhood"
 	"repro/internal/profile"
+	"repro/internal/radio"
 )
 
 // Server is the application server every PTD runs (§5.2.3.1): it
 // registers the PeerHoodCommunity service into the PeerHood daemon,
 // stays in the listening state, and answers the requests of Table 6
-// against the device's profile store.
+// against the device's profile store. Admission is bounded: sessions
+// beyond MaxSessions wait in a fixed queue, sessions beyond that are
+// shed with an explicit BUSY frame, and per-peer token buckets throttle
+// request floods — overload degrades into visible rejections, never
+// into unbounded goroutines or silent hangs.
 type Server struct {
 	lib   *peerhood.Library
 	store *profile.Store
+	env   *radio.Environment
+	opts  ServerOptions
 
 	mu      sync.Mutex
 	content map[contentKey][]byte
+
+	admMu   sync.Mutex
+	active  int
+	backlog []*netsim.Conn
+	shedQ   chan *netsim.Conn
+
+	rlMu    sync.Mutex
+	buckets map[ids.DeviceID]*peerBucket
+
+	counters serverCounters
 
 	listener *netsim.Listener
 	cancel   context.CancelFunc
@@ -38,17 +56,30 @@ type contentKey struct {
 }
 
 // NewServer creates a server bound to a PeerHood library and the
-// device's profile store.
+// device's profile store, with default admission limits.
 func NewServer(lib *peerhood.Library, store *profile.Store) (*Server, error) {
+	return NewServerWith(lib, store, ServerOptions{})
+}
+
+// NewServerWith is NewServer with explicit overload tuning.
+func NewServerWith(lib *peerhood.Library, store *profile.Store, opts ServerOptions) (*Server, error) {
 	if lib == nil || store == nil {
 		return nil, fmt.Errorf("community: server needs a library and a store")
 	}
+	o := opts.withDefaults()
 	return &Server{
 		lib:     lib,
 		store:   store,
+		env:     lib.Daemon().Network().Environment(),
+		opts:    o,
 		content: make(map[contentKey][]byte),
+		shedQ:   make(chan *netsim.Conn, o.QueueDepth),
+		buckets: make(map[ids.DeviceID]*peerBucket),
 	}, nil
 }
+
+// Options returns the server's effective admission limits.
+func (s *Server) Options() ServerOptions { return s.opts }
 
 // Start registers the service (Figure 8) and begins serving.
 func (s *Server) Start() error {
@@ -67,12 +98,15 @@ func (s *Server) Start() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.listener = listener
 	s.cancel = cancel
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.acceptLoop(ctx)
+	go s.shedder(ctx)
 	return nil
 }
 
-// Stop unregisters the service and stops serving.
+// Stop unregisters the service and stops serving. Sessions still
+// waiting for a worker or a BUSY frame are aborted — a stopping server
+// owes nobody a flush.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	started := s.started
@@ -84,6 +118,21 @@ func (s *Server) Stop() {
 	s.cancel()
 	s.lib.UnregisterService(ServiceName)
 	s.wg.Wait()
+	s.admMu.Lock()
+	backlog := s.backlog
+	s.backlog = nil
+	s.admMu.Unlock()
+	for _, conn := range backlog {
+		conn.Abort()
+	}
+	for {
+		select {
+		case conn := <-s.shedQ:
+			conn.Abort()
+		default:
+			return
+		}
+	}
 }
 
 func (s *Server) acceptLoop(ctx context.Context) {
@@ -93,25 +142,28 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		if err != nil {
 			return
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(ctx, conn)
-		}()
+		s.admit(ctx, conn)
 	}
 }
 
 // serveConn answers requests on one connection until it dies. Response
 // frames are marshaled into one pooled buffer reused across the whole
 // session: Conn.Send copies the payload, so the buffer is free again
-// the moment Send returns.
+// the moment Send returns. Writes carry a modeled-clock deadline, so a
+// peer that sends requests but never reads answers costs one aborted
+// session instead of a wedged worker.
 func (s *Server) serveConn(ctx context.Context, conn *netsim.Conn) {
-	defer func() { _ = conn.Close() }() // session teardown is best-effort
 	buf := getFrameBuf()
 	defer putFrameBuf(buf)
+	remote := conn.Remote()
 	for {
 		frame, err := conn.Recv(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				conn.Abort() // shutdown: don't wait out a flush on a dying world
+			} else {
+				_ = conn.Close() // peer is done; flush what it hasn't read yet
+			}
 			return
 		}
 		req, err := UnmarshalRequest(frame)
@@ -119,13 +171,31 @@ func (s *Server) serveConn(ctx context.Context, conn *netsim.Conn) {
 		if err != nil {
 			resp = Response{Status: StatusBadRequest, Fields: []string{err.Error()}}
 		} else {
-			resp = s.Handle(req)
+			resp = s.HandleFrom(remote, req)
 		}
 		*buf = AppendResponse((*buf)[:0], resp)
-		if err := conn.Send(*buf); err != nil {
+		deadline := s.env.Clock().After(s.env.Scale().ToReal(s.opts.WriteTimeout))
+		if err := conn.SendDeadline(*buf, deadline); err != nil {
+			if errors.Is(err, netsim.ErrSendTimeout) {
+				s.counters.slowWriters.Add(1)
+			}
+			conn.Abort()
 			return
 		}
 	}
+}
+
+// HandleFrom dispatches one request attributed to a remote peer,
+// applying the per-peer rate limit before the Table 6 handlers. The
+// network path calls it with conn.Remote(); benchmarks call it directly
+// to price the serve and shed fast paths without a transport.
+func (s *Server) HandleFrom(remote ids.DeviceID, req Request) Response {
+	if !s.allowRequest(remote, opWeight(req.Op)) {
+		s.counters.rateLimited.Add(1)
+		return Response{Status: StatusBusy}
+	}
+	s.counters.served.Add(1)
+	return s.Handle(req)
 }
 
 // Handle dispatches one request to its Table 6 server function. It is
@@ -133,6 +203,10 @@ func (s *Server) serveConn(ctx context.Context, conn *netsim.Conn) {
 // without a network.
 func (s *Server) Handle(req Request) Response {
 	switch req.Op {
+	case OpPing:
+		// Liveness probe: echo the arguments. Costs nothing against the
+		// rate limit, so peers can tell "overloaded" from "dead".
+		return Response{Status: StatusOK, Fields: req.Args}
 	case OpGetOnlineMemberList:
 		return s.handleOnlineMemberList()
 	case OpGetInterestList:

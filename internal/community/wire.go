@@ -35,6 +35,11 @@ const (
 	OpGetTrustedFriend        = "PS_GETTRUSTEDFRIEND"
 	OpCheckTrusted            = "PS_CHECKTRUSTED"
 	OpFetchShared             = "PS_FETCHSHARED"
+	// OpPing is a liveness/latency probe answered from the admission
+	// layer's fast path — an overload-control extension, not part of the
+	// thesis's Table 6. It is never rate-limited, so a peer can always
+	// distinguish an overloaded server from a dead one.
+	OpPing = "PS_PING"
 )
 
 // Status strings, named as the MSCs show them.
@@ -51,6 +56,10 @@ const (
 	// state is unchanged since the epoch the client quoted — the delta
 	// synchronization extension, not part of the thesis's Table 6.
 	StatusNotModified = "NOT_MODIFIED"
+	// StatusBusy is explicit load shedding: the server refused the
+	// session (admission queue full) or the request (per-peer budget
+	// exhausted). Clients treat it as backpressure, not as peer failure.
+	StatusBusy = "BUSY"
 )
 
 // Request is one client operation.

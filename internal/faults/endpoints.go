@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Endpoint fault defaults, in modeled time.
+const (
+	// defaultStallFor comfortably exceeds any call deadline, so a stalled
+	// session looks wedged rather than merely slow.
+	defaultStallFor   = 5 * time.Minute
+	defaultSlowFactor = 8.0
+	defaultSlowWindow = 2 * time.Second
+)
+
+// EndpointProfile describes end-host faults — the gray failures a link
+// model cannot express. A stalled session accepts requests but
+// withholds its replies: the connection stays up, dials to the device
+// keep succeeding, and only the serving direction goes dark. A slow
+// device serves every byte at a multiple of its normal service time.
+// Both are drawn purely from (seed, device, sequence), like every
+// other fate in this package.
+type EndpointProfile struct {
+	// StallRate is the probability in [0, 1] that one accepted serving
+	// session is stalled. The draw is per (server, peer, connection
+	// sequence): a fresh re-dial to the same device draws a fresh fate,
+	// which is exactly what makes hedged second attempts effective.
+	StallRate float64
+	// StallFor is how long each outbound message on a stalled session is
+	// withheld (default 5m — wedged for any practical call deadline).
+	StallFor time.Duration
+	// SlowRate is the probability in [0, 1] that a device serves at
+	// SlowFactor for one Window.
+	SlowRate float64
+	// SlowFactor multiplies the PHY service time of a slow device
+	// (default 8).
+	SlowFactor float64
+	// Window is the modeled width of one slow interval (default 2s).
+	Window time.Duration
+}
+
+func (ep EndpointProfile) inert() bool { return ep.StallRate == 0 && ep.SlowRate == 0 }
+
+// StallWindow wedges a device's serving side for a modeled interval:
+// every message it sends on an affected session is withheld while the
+// window holds. The window carries its own interval and, like
+// partitions, is independent of the plan's active window.
+type StallWindow struct {
+	Device ids.DeviceID
+	// The stall holds while Start <= elapsed < End.
+	Start, End time.Duration
+}
+
+// CrashWindow removes a device from the world for a modeled interval:
+// its links sever, dials to it fail, and inquiries cannot see it. The
+// window's End is the restart — the device comes back with its state
+// intact and must be rediscovered.
+type CrashWindow struct {
+	Device ids.DeviceID
+	// The crash holds while Start <= elapsed < End.
+	Start, End time.Duration
+}
+
+// SetEndpoints installs the endpoint fault profile.
+func (p *Plan) SetEndpoints(ep EndpointProfile) *Plan {
+	if ep.StallFor <= 0 {
+		ep.StallFor = defaultStallFor
+	}
+	if ep.SlowFactor <= 0 {
+		ep.SlowFactor = defaultSlowFactor
+	}
+	if ep.Window <= 0 {
+		ep.Window = defaultSlowWindow
+	}
+	p.endpoints = ep
+	return p
+}
+
+// AddStall schedules a whole-device stall window.
+func (p *Plan) AddStall(w StallWindow) *Plan {
+	p.stalls = append(p.stalls, w)
+	return p
+}
+
+// AddCrash schedules a crash–restart window for a device.
+func (p *Plan) AddCrash(w CrashWindow) *Plan {
+	p.crashes = append(p.crashes, w)
+	return p
+}
+
+// AffectsEndpoints reports whether the plan can stall or slow an
+// endpoint at all, so conn pumps may skip the per-message queries on
+// fault-free runs.
+func (p *Plan) AffectsEndpoints() bool {
+	return p != nil && (!p.endpoints.inert() || len(p.stalls) > 0)
+}
+
+// SessionStalled reports, purely from the seed and the session
+// identity, whether the serving side of one session is stalled: the
+// device is inside a scheduled stall window, or the per-session
+// StallRate draw came up stalled. server is the device whose replies
+// are withheld; peer and connSeq identify the session on the directed
+// (peer→server dial) pair.
+func (p *Plan) SessionStalled(server, peer ids.DeviceID, connSeq uint64, elapsed time.Duration) bool {
+	if p == nil {
+		return false
+	}
+	for _, w := range p.stalls {
+		if w.Device == server && elapsed >= w.Start && elapsed < w.End {
+			return true
+		}
+	}
+	if p.endpoints.StallRate <= 0 || !p.active(elapsed) {
+		return false
+	}
+	return unit(p.drawHash(kindStall, server, peer, connSeq)) < p.endpoints.StallRate
+}
+
+// StallDelay is the pump-facing form of SessionStalled: the modeled
+// duration one outbound message from server is withheld, zero when the
+// session is healthy. Withheld messages are counted and traced.
+func (p *Plan) StallDelay(server, peer ids.DeviceID, connSeq, msgSeq uint64, elapsed time.Duration) time.Duration {
+	if !p.SessionStalled(server, peer, connSeq, elapsed) {
+		return 0
+	}
+	d := p.endpoints.StallFor
+	if d <= 0 {
+		d = defaultStallFor
+	}
+	p.counters.messagesStalled.Add(1)
+	p.traceMu.Lock()
+	if len(p.trace) >= maxTraceEvents {
+		p.traceDropped++
+	} else {
+		p.trace = append(p.trace, Event{Kind: EventStall, From: server, To: peer, ConnSeq: connSeq, MsgSeq: msgSeq})
+	}
+	p.traceMu.Unlock()
+	return d
+}
+
+// ServeScale is the service-time multiplier for a device: 1 when
+// healthy, SlowFactor while the per-window slow draw holds.
+func (p *Plan) ServeScale(dev ids.DeviceID, elapsed time.Duration) float64 {
+	if p == nil || p.endpoints.SlowRate <= 0 || !p.active(elapsed) {
+		return 1
+	}
+	window := uint64(elapsed / p.endpoints.Window)
+	if unit(p.drawHash(kindSlow, dev, dev, window)) < p.endpoints.SlowRate {
+		p.counters.slowTransfers.Add(1)
+		return p.endpoints.SlowFactor
+	}
+	return 1
+}
+
+// Crashed reports whether a device is inside a scheduled crash window.
+// Crashed devices are folded into LinkDown and Visible, so dials,
+// sweeps, broadcasts and inquiries all agree the device is gone.
+func (p *Plan) Crashed(dev ids.DeviceID, elapsed time.Duration) bool {
+	if p == nil {
+		return false
+	}
+	for _, w := range p.crashes {
+		if w.Device == dev && elapsed >= w.Start && elapsed < w.End {
+			return true
+		}
+	}
+	return false
+}

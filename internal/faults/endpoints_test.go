@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/radio"
+)
+
+func TestSessionStalledIsDeterministic(t *testing.T) {
+	a := New(42).SetEndpoints(EndpointProfile{StallRate: 0.5})
+	b := New(42).SetEndpoints(EndpointProfile{StallRate: 0.5})
+	stalled := 0
+	for seq := uint64(1); seq <= 200; seq++ {
+		got := a.SessionStalled("srv", "cli", seq, time.Second)
+		if got != b.SessionStalled("srv", "cli", seq, time.Second) {
+			t.Fatalf("same seed disagreed on session %d", seq)
+		}
+		if got {
+			stalled++
+		}
+	}
+	if stalled < 60 || stalled > 140 {
+		t.Fatalf("stall rate 0.5 hit %d/200 sessions", stalled)
+	}
+	// A fresh connection sequence redraws the fate: with 200 draws at
+	// rate 0.5 both outcomes must occur, which is what a hedged re-dial
+	// relies on.
+	if stalled == 0 || stalled == 200 {
+		t.Fatalf("per-session draw is degenerate: %d/200", stalled)
+	}
+}
+
+func TestStallWindowWedgesDevice(t *testing.T) {
+	p := New(1).AddStall(StallWindow{Device: "sick", Start: time.Second, End: 3 * time.Second})
+	if p.SessionStalled("sick", "cli", 1, 0) {
+		t.Fatal("stalled before window start")
+	}
+	if !p.SessionStalled("sick", "cli", 1, 2*time.Second) {
+		t.Fatal("not stalled inside window")
+	}
+	if p.SessionStalled("sick", "cli", 7, 3*time.Second) {
+		t.Fatal("stalled at window end")
+	}
+	if p.SessionStalled("healthy", "cli", 1, 2*time.Second) {
+		t.Fatal("window leaked onto another device")
+	}
+	if !p.AffectsEndpoints() {
+		t.Fatal("stall window must arm the endpoint fast-path gate")
+	}
+}
+
+func TestStallDelayCountsAndTraces(t *testing.T) {
+	p := New(1).AddStall(StallWindow{Device: "sick", End: time.Minute})
+	if d := p.StallDelay("sick", "cli", 1, 3, time.Second); d != defaultStallFor {
+		t.Fatalf("StallDelay = %v, want default %v", d, defaultStallFor)
+	}
+	if d := p.StallDelay("other", "cli", 1, 3, time.Second); d != 0 {
+		t.Fatalf("healthy device delayed %v", d)
+	}
+	c := p.Counters()
+	if c.MessagesStalled != 1 {
+		t.Fatalf("MessagesStalled = %d, want 1", c.MessagesStalled)
+	}
+	evs := p.Events()
+	if len(evs) != 1 || evs[0].Kind != EventStall || evs[0].From != "sick" || evs[0].MsgSeq != 3 {
+		t.Fatalf("trace = %+v, want one stall event for sick/3", evs)
+	}
+}
+
+func TestServeScaleSlowWindows(t *testing.T) {
+	p := New(9).SetEndpoints(EndpointProfile{SlowRate: 0.5, SlowFactor: 4})
+	slow := 0
+	for w := 0; w < 100; w++ {
+		elapsed := time.Duration(w) * defaultSlowWindow
+		f := p.ServeScale("dev", elapsed)
+		switch f {
+		case 1:
+		case 4:
+			slow++
+		default:
+			t.Fatalf("ServeScale = %v, want 1 or 4", f)
+		}
+		if f != p.ServeScale("dev", elapsed) {
+			t.Fatal("ServeScale not stable within a window")
+		}
+	}
+	if slow < 20 || slow > 80 {
+		t.Fatalf("slow rate 0.5 hit %d/100 windows", slow)
+	}
+	if p.Counters().SlowTransfers == 0 {
+		t.Fatal("slow transfers not counted")
+	}
+	if p.ServeScale("dev", 0) != 1 && New(9).ServeScale("dev", 0) != p.ServeScale("dev", 0) {
+		t.Fatal("ServeScale not deterministic")
+	}
+}
+
+func TestCrashWindowSeversEverything(t *testing.T) {
+	p := New(5).AddCrash(CrashWindow{Device: "down", Start: time.Second, End: 3 * time.Second})
+	if !p.SeversLinks() {
+		t.Fatal("crash windows must arm SeversLinks")
+	}
+	mid := 2 * time.Second
+	if !p.Crashed("down", mid) {
+		t.Fatal("not crashed inside window")
+	}
+	if p.Crashed("down", 3*time.Second) {
+		t.Fatal("still crashed at restart")
+	}
+	if !p.LinkDown("down", "other", mid) || !p.LinkDown("other", "down", mid) {
+		t.Fatal("links of a crashed device must be down in both orders")
+	}
+	if p.LinkDown("a", "b", mid) {
+		t.Fatal("crash leaked onto an unrelated link")
+	}
+	if p.Visible("other", "down", radio.Bluetooth, mid) {
+		t.Fatal("crashed device visible to inquiry")
+	}
+	if p.Visible("down", "other", radio.Bluetooth, mid) {
+		t.Fatal("crashed querier sees neighbors")
+	}
+	if !p.Visible("other", "down", radio.Bluetooth, 3*time.Second) {
+		t.Fatal("restarted device still invisible")
+	}
+	if p.Counters().CrashDenials == 0 {
+		t.Fatal("crash denials not counted")
+	}
+}
+
+func TestEndpointProfileSurvivesHeal(t *testing.T) {
+	// The probabilistic endpoint profile obeys the plan's active window;
+	// scheduled stall/crash windows carry their own intervals.
+	p := New(3).
+		SetEndpoints(EndpointProfile{StallRate: 1}).
+		SetActiveWindow(10 * time.Second).
+		AddStall(StallWindow{Device: "sick", Start: 0, End: time.Hour})
+	if !p.SessionStalled("any", "cli", 1, time.Second) {
+		t.Fatal("rate-1 stall inactive inside active window")
+	}
+	if p.SessionStalled("any", "cli", 1, 11*time.Second) {
+		t.Fatal("probabilistic stall survived the active window")
+	}
+	if !p.SessionStalled("sick", "cli", 1, 11*time.Second) {
+		t.Fatal("scheduled stall must carry its own interval")
+	}
+}

@@ -3,7 +3,9 @@
 // layer — per-message loss (modeled as retransmissions on the reliable
 // link, with a reset when the budget runs out), payload corruption,
 // extra latency and jitter, bandwidth throttling, flapping links,
-// healing partitions, and inquiry misses on the radio side — and every
+// healing partitions, and inquiry misses on the radio side — plus the
+// end-host faults in endpoints.go (stalled sessions, slow devices,
+// crash–restart schedules) — and every
 // decision it makes is a pure function of (seed, fault kind, link,
 // sequence numbers). There is no shared random-number state: two runs
 // with the same seed and the same application behaviour draw the same
@@ -131,6 +133,8 @@ const (
 	EventReset
 	// EventCorrupt: a delivered payload was mangled.
 	EventCorrupt
+	// EventStall: a reply was withheld by a stalled serving session.
+	EventStall
 )
 
 func (k EventKind) String() string {
@@ -141,6 +145,8 @@ func (k EventKind) String() string {
 		return "reset"
 	case EventCorrupt:
 		return "corrupt"
+	case EventStall:
+		return "stall"
 	default:
 		return "unknown"
 	}
@@ -176,16 +182,27 @@ type Counters struct {
 	FlapsObserved uint64
 	// InquiriesMissed counts Visible queries answered "invisible".
 	InquiriesMissed uint64
+	// MessagesStalled counts replies withheld by stalled serving
+	// sessions.
+	MessagesStalled uint64
+	// SlowTransfers counts PHY charges inflated by a slow-device window.
+	SlowTransfers uint64
+	// CrashDenials counts link and inquiry queries answered "gone"
+	// because a device was inside a crash window (observation count).
+	CrashDenials uint64
 }
 
 // Plan is a fully deterministic fault schedule. Build one with New and
 // the Set/Add configurators, install it, and never mutate it again.
 type Plan struct {
-	seed  uint64
-	link  LinkProfile
-	radio RadioProfile
-	until time.Duration // 0 = active forever
-	parts []partition
+	seed      uint64
+	link      LinkProfile
+	radio     RadioProfile
+	endpoints EndpointProfile
+	until     time.Duration // 0 = active forever
+	parts     []partition
+	stalls    []StallWindow
+	crashes   []CrashWindow
 
 	counters planCounters
 
@@ -265,6 +282,8 @@ const (
 	kindFlap
 	kindMiss
 	kindAsym
+	kindStall
+	kindSlow
 )
 
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection
@@ -417,7 +436,7 @@ func (p *Plan) ScaleTransfer(d time.Duration, elapsed time.Duration) time.Durati
 // sweeps) may skip the per-pair check entirely; this is what keeps a
 // zero-rate plan's overhead off the fault-free fast path.
 func (p *Plan) SeversLinks() bool {
-	return p != nil && (len(p.parts) > 0 || p.link.FlapRate > 0)
+	return p != nil && (len(p.parts) > 0 || len(p.crashes) > 0 || p.link.FlapRate > 0)
 }
 
 // LinkDown reports whether the plan severs the (a, b) link right now:
@@ -427,6 +446,10 @@ func (p *Plan) SeversLinks() bool {
 func (p *Plan) LinkDown(a, b ids.DeviceID, elapsed time.Duration) bool {
 	if p == nil {
 		return false
+	}
+	if p.Crashed(a, elapsed) || p.Crashed(b, elapsed) {
+		p.counters.crashDenials.Add(1)
+		return true
 	}
 	for _, part := range p.parts {
 		if part.severs(a, b, elapsed) {
@@ -455,7 +478,14 @@ func (p *Plan) LinkDown(a, b ids.DeviceID, elapsed time.Duration) bool {
 // Misses are drawn per (querier, target, technology, window);
 // asymmetric visibility blocks one direction of a pair per window.
 func (p *Plan) Visible(querier, target ids.DeviceID, tech radio.Technology, elapsed time.Duration) bool {
-	if p == nil || p.radio.inert() || !p.active(elapsed) {
+	if p == nil {
+		return true
+	}
+	if p.Crashed(querier, elapsed) || p.Crashed(target, elapsed) {
+		p.counters.crashDenials.Add(1)
+		return false
+	}
+	if p.radio.inert() || !p.active(elapsed) {
 		return true
 	}
 	rp := p.radio
@@ -545,6 +575,9 @@ type planCounters struct {
 	messagesDelayed   atomic.Uint64
 	flapsObserved     atomic.Uint64
 	inquiriesMissed   atomic.Uint64
+	messagesStalled   atomic.Uint64
+	slowTransfers     atomic.Uint64
+	crashDenials      atomic.Uint64
 }
 
 // Counters returns a snapshot of the plan's activity totals.
@@ -556,6 +589,9 @@ func (p *Plan) Counters() Counters {
 		MessagesDelayed:   p.counters.messagesDelayed.Load(),
 		FlapsObserved:     p.counters.flapsObserved.Load(),
 		InquiriesMissed:   p.counters.inquiriesMissed.Load(),
+		MessagesStalled:   p.counters.messagesStalled.Load(),
+		SlowTransfers:     p.counters.slowTransfers.Load(),
+		CrashDenials:      p.counters.crashDenials.Load(),
 	}
 }
 

@@ -15,6 +15,10 @@ type ChaosConfig struct {
 	// Seed is the base seed of the matrix (default 1, matching the
 	// committed test suite).
 	Seed int64
+	// Endpoint switches to the endpoint-fault matrix (stalled and
+	// crashing peers with resilience enabled) instead of the link-fault
+	// matrix.
+	Endpoint bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -32,6 +36,9 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 func RunChaos(cfg ChaosConfig) ([]*simtest.Result, error) {
 	cfg = cfg.withDefaults()
 	scenarios := simtest.Matrix(cfg.Scenarios, cfg.Seed)
+	if cfg.Endpoint {
+		scenarios = simtest.EndpointMatrix(cfg.Scenarios, cfg.Seed)
+	}
 	out := make([]*simtest.Result, 0, len(scenarios))
 	for _, sc := range scenarios {
 		res, err := simtest.Run(sc)
@@ -46,7 +53,7 @@ func RunChaos(cfg ChaosConfig) ([]*simtest.Result, error) {
 // FormatChaos renders chaos results as a table: the fault mix, how the
 // traffic degraded, and how recovery went.
 func FormatChaos(results []*simtest.Result) string {
-	header := []string{"Scenario", "Calls", "Errors", "Lost", "Corrupted", "Resets", "Missed inq", "NotMod", "Cache hits", "Invalidated", "Max wall", "Reconverged"}
+	header := []string{"Scenario", "Calls", "Errors", "Lost", "Stalled", "Resets", "Crash den", "Shed", "Breaker", "Hedges", "Cache hits", "Max wall", "Reconverged"}
 	rows := make([][]string, 0, len(results))
 	for _, r := range results {
 		reconv := fmt.Sprintf("round %d", r.RoundsToReconverge)
@@ -58,12 +65,13 @@ func FormatChaos(results []*simtest.Result) string {
 			fmt.Sprintf("%d", r.Calls),
 			fmt.Sprintf("%d", r.CallErrors),
 			fmt.Sprintf("%d", r.Faults.MessagesLost),
-			fmt.Sprintf("%d", r.Faults.MessagesCorrupted),
+			fmt.Sprintf("%d", r.Faults.MessagesStalled),
 			fmt.Sprintf("%d", r.Faults.LinkResets),
-			fmt.Sprintf("%d", r.Faults.InquiriesMissed),
-			fmt.Sprintf("%d", r.Client.NotModified),
+			fmt.Sprintf("%d", r.Faults.CrashDenials),
+			fmt.Sprintf("%d", r.Server.Shed),
+			fmt.Sprintf("%d", r.Client.BreakerOpens),
+			fmt.Sprintf("%d", r.Client.HedgesLaunched),
 			fmt.Sprintf("%d", r.Client.CacheHits),
-			fmt.Sprintf("%d", r.Client.CacheInvalidations),
 			r.MaxCallWall.Round(time.Millisecond).String(),
 			reconv,
 		})

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/scenario"
+	"repro/internal/vtime"
+)
+
+// OverloadPoint is one row of the overload experiment: a neighborhood
+// of Devices peers whose servers run with an explicit, small admission
+// capacity, while a load generator offers Load× that capacity in raw
+// sessions against one hot server. The point records how the server
+// degraded (admitted / queued / shed, bounded queue depth) and what an
+// innocent observer's steady group round cost while the hot peer was
+// under fire.
+type OverloadPoint struct {
+	Devices  int
+	Load     int
+	Capacity int
+	// SteadyRound is the slowest of the observer's measured steady
+	// RefreshGroups rounds (real wall time) under offered load.
+	SteadyRound time.Duration
+	// Server is the hot server's admission accounting.
+	Server community.ServerStats
+	// ObserverDegraded is how many of the observer's fan-outs ran on
+	// partial results.
+	ObserverDegraded uint64
+}
+
+// OverloadConfig parameterizes the sweep.
+type OverloadConfig struct {
+	// Scale is the latency scale (default 1e-4).
+	Scale vtime.Scale
+	// Devices are the neighborhood sizes (default 100, 400, 1000).
+	Devices []int
+	// Loads are offered-session multiples of Capacity (default 1, 4, 10).
+	Loads []int
+	// Capacity is the hot server's MaxSessions (default 8 — small and
+	// explicit, so overload is reachable without thousands of sessions).
+	Capacity int
+	// QueueDepth is the hot server's admission queue bound (default 16).
+	QueueDepth int
+	// Rounds is how many steady observer rounds each point measures
+	// (default 3).
+	Rounds int
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.Scale.Factor() == 1 || c.Scale.Factor() == 0 {
+		c.Scale = vtime.NewScale(1e-4)
+	}
+	if len(c.Devices) == 0 {
+		c.Devices = []int{100, 400, 1000}
+	}
+	if len(c.Loads) == 0 {
+		c.Loads = []int{1, 4, 10}
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	return c
+}
+
+// RunOverload runs the sweep and returns one point per (devices, load)
+// pair.
+func RunOverload(cfg OverloadConfig) ([]OverloadPoint, error) {
+	cfg = cfg.withDefaults()
+	out := make([]OverloadPoint, 0, len(cfg.Devices)*len(cfg.Loads))
+	for _, n := range cfg.Devices {
+		for _, load := range cfg.Loads {
+			p, err := runOverloadPoint(cfg, n, load)
+			if err != nil {
+				return nil, fmt.Errorf("harness: overload point %d×%d: %w", n, load, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// loadSettle is how long (real time) the load generator runs before the
+// observer's measured rounds start, so admission reaches steady state.
+const loadSettle = 50 * time.Millisecond
+
+func runOverloadPoint(cfg OverloadConfig, peers, load int) (OverloadPoint, error) {
+	if peers < 2 {
+		return OverloadPoint{}, fmt.Errorf("need at least two peers")
+	}
+	builder := scenario.NewBuilder().WithScale(cfg.Scale).WithSeed(int64(peers)).
+		WithServerOptions(community.ServerOptions{
+			MaxSessions: cfg.Capacity,
+			QueueDepth:  cfg.QueueDepth,
+		})
+	side := 1 + peers/4
+	for i := 0; i < peers; i++ {
+		builder.AddPeer(scenario.PeerSpec{
+			Member:    ids.MemberID(fmt.Sprintf("peer-%04d", i)),
+			Position:  geo.Pt(float64(i%side)*0.01, float64(i/side)*0.01),
+			Interests: []string{"football"},
+		})
+	}
+	builder.AddPeer(scenario.PeerSpec{
+		Member:    "active",
+		Device:    "active-dev",
+		Position:  geo.Pt(0.005, 0.005),
+		Interests: []string{"football"},
+	})
+	d, err := builder.Build()
+	if err != nil {
+		return OverloadPoint{}, err
+	}
+	defer d.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	active := d.MustPeer("active")
+	if err := active.Daemon.RefreshNow(ctx); err != nil {
+		return OverloadPoint{}, err
+	}
+	// Warm round: the observer's persistent sessions are admitted while
+	// the world is calm — established service survives the overload;
+	// it is fresh arrivals that get queued and shed.
+	if _, err := active.Client.RefreshGroups(ctx); err != nil {
+		return OverloadPoint{}, err
+	}
+
+	hot := d.MustPeer("peer-0000")
+	hotDev := hot.Daemon.Device()
+	point := OverloadPoint{Devices: peers, Load: load, Capacity: cfg.Capacity}
+
+	// Load generator: load×capacity concurrent raw sessions against the
+	// hot server, each pinging in a tight loop and re-dialing whenever
+	// it is shed. Sourced from a handful of neighbor devices so no
+	// single radio serializes the pressure.
+	offered := load * cfg.Capacity
+	gens := 4
+	if peers < gens {
+		gens = peers
+	}
+	loadCtx, stopLoad := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	ping := community.MarshalRequest(community.Request{Op: community.OpPing})
+	for i := 0; i < offered; i++ {
+		src := d.MustPeer(ids.MemberID(fmt.Sprintf("peer-%04d", 1+i%gens))).Lib
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for loadCtx.Err() == nil {
+				conn, err := src.Connect(loadCtx, hotDev, community.ServiceName)
+				if err != nil {
+					continue
+				}
+				for loadCtx.Err() == nil {
+					if err := conn.Send(ping); err != nil {
+						break
+					}
+					if _, err := conn.Recv(loadCtx); err != nil {
+						break
+					}
+				}
+				conn.Abort()
+			}
+		}()
+	}
+	vtime.Real().Sleep(loadSettle)
+
+	// Measured steady rounds while the hot peer is under fire.
+	for r := 0; r < cfg.Rounds; r++ {
+		sw := vtime.NewStopwatch(vtime.Real(), vtime.Identity())
+		if _, err := active.Client.RefreshGroups(ctx); err != nil {
+			stopLoad()
+			wg.Wait()
+			return OverloadPoint{}, err
+		}
+		if wall := sw.Elapsed(); wall > point.SteadyRound {
+			point.SteadyRound = wall
+		}
+	}
+	stopLoad()
+	wg.Wait()
+
+	point.Server = hot.Server.Stats()
+	point.ObserverDegraded = active.Client.Stats().FanoutsDegraded
+	return point, nil
+}
+
+// FormatOverload renders the sweep as a table.
+func FormatOverload(points []OverloadPoint) string {
+	header := []string{"Devices", "Load", "Steady round", "Admitted", "Queued", "Shed", "Depth max", "Slow writers", "Degraded fanouts"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Devices),
+			fmt.Sprintf("%d×", p.Load),
+			p.SteadyRound.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%d", p.Server.Admitted),
+			fmt.Sprintf("%d", p.Server.Queued),
+			fmt.Sprintf("%d", p.Server.Shed),
+			fmt.Sprintf("%d", p.Server.QueueDepthMax),
+			fmt.Sprintf("%d", p.Server.SlowWriters),
+			fmt.Sprintf("%d", p.ObserverDegraded),
+		})
+	}
+	return FormatTable(header, rows)
+}

@@ -103,6 +103,40 @@ func (c *Conn) Send(payload []byte) error {
 	}
 }
 
+// SendDeadline is Send with a deadline on queue admission: when the
+// transmit queue is still full as the deadline channel fires — the
+// signature of a peer that has stopped reading — it gives up with
+// ErrSendTimeout instead of blocking the caller forever. Servers pass a
+// modeled-clock timer here so one stalled reader cannot wedge a
+// serving goroutine.
+func (c *Conn) SendDeadline(payload []byte, deadline <-chan time.Time) error {
+	msg := make([]byte, len(payload))
+	copy(msg, payload)
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return c.errOrClosed()
+	}
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		return c.errOrClosed()
+	default:
+	}
+	c.pending.Add(1)
+	c.mu.Unlock()
+	select {
+	case c.sendQ <- msg:
+		return nil
+	case <-c.closed:
+		c.pending.Done()
+		return c.errOrClosed()
+	case <-deadline:
+		c.pending.Done()
+		return ErrSendTimeout
+	}
+}
+
 // Recv returns the next message in order, blocking until one arrives,
 // the connection dies, or the context is done. Messages already
 // delivered before a link loss remain readable.
@@ -231,6 +265,22 @@ func (c *Conn) pump() {
 				elapsed := c.net.env.Elapsed()
 				transfer = plan.ScaleTransfer(transfer, elapsed)
 				fate = plan.MessageFate(c.local, c.remote, c.connSeq, msgSeq, elapsed)
+				if plan.AffectsEndpoints() {
+					// Endpoint fates: a slow device charges a multiple of the
+					// PHY time for everything it sends; a stalled session
+					// withholds this end's messages — the link stays up and
+					// the other direction keeps flowing, which is the gray
+					// failure shape (connection accepted, replies withheld).
+					transfer = time.Duration(float64(transfer) * plan.ServeScale(c.local, elapsed))
+					if d := plan.StallDelay(c.local, c.remote, c.connSeq, msgSeq, elapsed); d > 0 {
+						select {
+						case <-c.net.env.Clock().After(c.net.env.Scale().ToReal(d)):
+						case <-c.closed:
+							c.pending.Done()
+							return
+						}
+					}
+				}
 			}
 			// Hold the sender's radio for the transfer (and for every
 			// retransmission): connections sharing one device radio

@@ -33,6 +33,7 @@ var (
 	ErrConnClosed    = errors.New("netsim: connection closed")
 	ErrLinkLost      = errors.New("netsim: radio link lost")
 	ErrNetworkClosed = errors.New("netsim: network closed")
+	ErrSendTimeout   = errors.New("netsim: send deadline exceeded")
 )
 
 // sendQueueLen bounds in-flight messages per direction; Send blocks
@@ -161,6 +162,16 @@ func (n *Network) nextConnSeq(from, to ids.DeviceID) uint64 {
 	key := dirPair{from: from, to: to}
 	n.pairSeq[key]++
 	return n.pairSeq[key]
+}
+
+// ConnSeq reports how many connections have been dialed from one
+// device to another so far; the next dial on the pair gets ConnSeq+1.
+// Session-keyed fault draws (faults.Plan.SessionStalled) are pure in
+// this number, so tests use it to pick seeds with known session fates.
+func (n *Network) ConnSeq(from, to ids.DeviceID) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pairSeq[dirPair{from: from, to: to}]
 }
 
 // Environment returns the underlying radio environment.

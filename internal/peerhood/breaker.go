@@ -1,0 +1,171 @@
+package peerhood
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states: closed admits everything, open admits nothing,
+// half-open admits exactly one probe at a time.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerOptions tunes a circuit breaker. OpenFor is in the breaker
+// clock's own units: callers on a scaled environment clock convert
+// modeled durations before constructing the breaker, and manual-clock
+// tests pass raw durations — the breaker itself never touches a scale.
+type BreakerOptions struct {
+	// FailureThreshold is the consecutive-failure count — the health
+	// score — that trips a closed breaker open (default 3).
+	FailureThreshold int
+	// OpenFor is how long an open breaker rejects before it allows a
+	// half-open probe (default 10s on the breaker's clock).
+	OpenFor time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = 10 * time.Second
+	}
+	return o
+}
+
+// BreakerCounts are monotonic totals of a breaker's transitions.
+type BreakerCounts struct {
+	// Opened counts closed→open trips.
+	Opened uint64
+	// Reopened counts half-open→open trips (a probe failed).
+	Reopened uint64
+	// Probes counts half-open admissions.
+	Probes uint64
+	// Readmitted counts recoveries: a success observed while not closed,
+	// re-closing the breaker.
+	Readmitted uint64
+}
+
+// Breaker is a deterministic per-peer circuit breaker: closed→open
+// after FailureThreshold consecutive failures, open→half-open once
+// OpenFor has elapsed on the supplied clock, half-open admits a single
+// probe whose outcome either re-closes or re-opens the circuit. All
+// transitions are pure functions of the Allow/Record sequence and
+// clock readings — no timers, no goroutines — so a vtime.Manual clock
+// drives them deterministically in tests. Safe for concurrent use.
+type Breaker struct {
+	clock vtime.Clock
+	opts  BreakerOptions
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	counts   BreakerCounts
+}
+
+// NewBreaker returns a closed breaker evaluating OpenFor on the given
+// clock.
+func NewBreaker(clock vtime.Clock, opts BreakerOptions) *Breaker {
+	return &Breaker{clock: clock, opts: opts.withDefaults()}
+}
+
+// Allow reports whether a call to the peer may proceed right now. A
+// true return from a non-closed breaker is a probe admission: the
+// caller must Record its outcome, or the half-open state stays
+// occupied and keeps rejecting.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.opts.OpenFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.counts.Probes++
+		return true
+	}
+}
+
+// Record feeds one call outcome into the health score.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		if b.state != BreakerClosed {
+			b.counts.Readmitted++
+		}
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+		b.probing = false
+		b.counts.Reopened++
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.opts.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.clock.Now()
+			b.counts.Opened++
+		}
+	default: // BreakerOpen: a straggler from before the trip; the open
+		// window is not extended, so recovery timing stays deterministic.
+	}
+}
+
+// State returns the breaker's current position without side effects.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Failures returns the current consecutive-failure health score.
+func (b *Breaker) Failures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}
+
+// Counts returns a snapshot of the transition totals.
+func (b *Breaker) Counts() BreakerCounts {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts
+}

@@ -1,0 +1,149 @@
+package peerhood
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func manualBreaker(opts BreakerOptions) (*Breaker, *vtime.Manual) {
+	clk := vtime.NewManual(time.Unix(0, 0))
+	return NewBreaker(clk, opts), clk
+}
+
+func TestBreakerOpensAfterNConsecutiveFailures(t *testing.T) {
+	b, _ := manualBreaker(BreakerOptions{FailureThreshold: 3, OpenFor: 10 * time.Second})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed || b.Failures() != 2 {
+		t.Fatalf("state %v failures %d before threshold", b.State(), b.Failures())
+	}
+	// A success resets the consecutive count: failures must be
+	// consecutive to trip the breaker.
+	b.Record(true)
+	if b.Failures() != 0 {
+		t.Fatalf("success did not reset health score: %d", b.Failures())
+	}
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before OpenFor elapsed")
+	}
+	if c := b.Counts(); c.Opened != 1 {
+		t.Fatalf("Opened = %d, want 1", c.Opened)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := manualBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: 10 * time.Second})
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v", b.State())
+	}
+	clk.Advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("admitted before OpenFor elapsed")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("rejected the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after probe admission", b.State())
+	}
+	// Exactly one probe may be in flight.
+	if b.Allow() {
+		t.Fatal("admitted a second concurrent probe")
+	}
+	// Probe succeeds: breaker closes, traffic resumes.
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state %v after successful probe", b.State())
+	}
+	if c := b.Counts(); c.Probes != 1 || c.Readmitted != 1 {
+		t.Fatalf("counts %+v, want 1 probe / 1 readmit", c)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := manualBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: 5 * time.Second})
+	b.Record(false)
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("rejected the probe")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe", b.State())
+	}
+	// The open window restarts from the failed probe.
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("admitted before the reopened window elapsed")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("rejected the second probe")
+	}
+	if c := b.Counts(); c.Reopened != 1 || c.Probes != 2 {
+		t.Fatalf("counts %+v, want 1 reopen / 2 probes", c)
+	}
+}
+
+// A straggler failure arriving while the breaker is already open must
+// not extend the open window — recovery timing stays a pure function
+// of the trip time.
+func TestBreakerStragglerDoesNotExtendOpenWindow(t *testing.T) {
+	b, clk := manualBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: 10 * time.Second})
+	b.Record(false)
+	clk.Advance(9 * time.Second)
+	b.Record(false) // in-flight call from before the trip resolves late
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("straggler failure extended the open window")
+	}
+}
+
+// Two breakers fed the identical seeded outcome/advance sequence stay
+// in lockstep: the state machine has no hidden nondeterminism.
+func TestBreakerDeterministicAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		opts := BreakerOptions{FailureThreshold: 3, OpenFor: 8 * time.Second}
+		b1, c1 := manualBreaker(opts)
+		b2, c2 := manualBreaker(opts)
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 500; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				d := time.Duration(rng.Intn(5000)) * time.Millisecond
+				c1.Advance(d)
+				c2.Advance(d)
+			case 1:
+				if b1.Allow() != b2.Allow() {
+					t.Fatalf("seed %d step %d: Allow diverged", seed, step)
+				}
+			default:
+				ok := rng.Intn(2) == 0
+				b1.Record(ok)
+				b2.Record(ok)
+			}
+			if b1.State() != b2.State() || b1.Failures() != b2.Failures() {
+				t.Fatalf("seed %d step %d: state diverged: %v/%d vs %v/%d",
+					seed, step, b1.State(), b1.Failures(), b2.State(), b2.Failures())
+			}
+		}
+		if b1.Counts() != b2.Counts() {
+			t.Fatalf("seed %d: counts diverged: %+v vs %+v", seed, b1.Counts(), b2.Counts())
+		}
+	}
+}

@@ -39,6 +39,11 @@ type RobustConn struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// exMu serializes Call exchanges: a request/response pair owns the
+	// session until its reply (or failure) lands, so concurrent Calls
+	// can never read each other's responses.
+	exMu sync.Mutex
+
 	mu       sync.Mutex
 	conn     *netsim.Conn
 	closed   bool
@@ -290,14 +295,38 @@ func (r *RobustConn) Recv(ctx context.Context) ([]byte, error) {
 
 // Call sends a request and waits for one response, with failover
 // retrying the whole exchange — the shape every PeerHood Community
-// operation uses.
+// operation uses. Calls are serialized per connection: a concurrent
+// Call waits for the in-flight exchange rather than interleaving with
+// it, which would pair requests with the wrong responses. Raw
+// Send/Recv remain unserialized for streaming protocols.
 func (r *RobustConn) Call(ctx context.Context, request []byte) ([]byte, error) {
-	return r.do(ctx, func(octx context.Context, conn *netsim.Conn) ([]byte, error) {
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	out, err := r.do(ctx, func(octx context.Context, conn *netsim.Conn) ([]byte, error) {
 		if err := conn.Send(request); err != nil {
 			return nil, err
 		}
 		return conn.Recv(octx)
 	})
+	if err != nil {
+		// The exchange is poisoned: a reply may still be in flight (a
+		// stalled or slow peer answering after our deadline), and the
+		// next Call would read it as its own response. Discard the
+		// session; the next exchange re-dials fresh.
+		r.poison()
+	}
+	return out, err
+}
+
+// poison drops the current session without closing the RobustConn.
+func (r *RobustConn) poison() {
+	r.mu.Lock()
+	conn := r.conn
+	r.conn = nil
+	r.mu.Unlock()
+	if conn != nil {
+		conn.Abort()
+	}
 }
 
 // Close shuts the connection down.

@@ -2,9 +2,12 @@ package peerhood
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/ids"
 	"repro/internal/mobility"
@@ -147,6 +150,59 @@ func TestRobustConnFailsWhenPeerGoneEverywhere(t *testing.T) {
 		}
 	}
 	t.Fatal("Call kept succeeding with peer powered off")
+}
+
+// Concurrent Calls on one RobustConn must never pair a request with
+// another caller's response, even while link faults force failovers
+// mid-storm. Exchange serialization plus the per-conn fault plan makes
+// every reply either match its request or fail cleanly.
+func TestRobustConcurrentCallsStayPaired(t *testing.T) {
+	w := newWorld(t)
+	w.addStatic(t, "a", geo.Pt(0, 0), radio.Bluetooth, radio.WLAN)
+	w.addStatic(t, "b", geo.Pt(5, 0), radio.Bluetooth, radio.WLAN)
+	da := w.daemon(t, "a")
+	db := w.daemon(t, "b")
+	echoService(t, db, "echo")
+	ctx := testCtx(t)
+
+	// A loss plan with a shallow retransmission budget forces periodic
+	// ErrLinkLost resets, so the storm exercises failover re-dials too.
+	w.net.SetFaults(faults.New(77).SetLink(faults.LinkProfile{
+		Loss:           0.12,
+		MaxRetransmits: 2,
+	}))
+
+	rc, err := da.ConnectRobust(ctx, "b", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const callers, perCaller = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*perCaller)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				req := fmt.Sprintf("g%d-i%d", g, i)
+				resp, err := rc.Call(ctx, []byte(req))
+				if err != nil {
+					continue // faults may exhaust the retry budget; mismatches are the bug
+				}
+				if string(resp) != "ok:"+req {
+					errs <- fmt.Errorf("call %s got response %q", req, resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
 }
 
 func TestRobustSendRecvStream(t *testing.T) {

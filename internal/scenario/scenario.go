@@ -52,12 +52,16 @@ func (p PeerSpec) deviceID() ids.DeviceID {
 
 // Builder accumulates a deployment description.
 type Builder struct {
-	scale     vtime.Scale
-	seed      int64
-	semantics *interest.Semantics
-	peers     []PeerSpec
-	gprsProxy ids.DeviceID
-	phys      []radio.PHY
+	scale      vtime.Scale
+	seed       int64
+	semantics  *interest.Semantics
+	peers      []PeerSpec
+	gprsProxy  ids.DeviceID
+	phys       []radio.PHY
+	serverOpts community.ServerOptions
+	hasSrvOpts bool
+	resilience community.ResilienceOptions
+	hasResil   bool
 }
 
 // NewBuilder returns a builder with the benchmark-grade default scale
@@ -95,6 +99,22 @@ func (b *Builder) WithGPRSProxy(dev ids.DeviceID) *Builder {
 // world — e.g. scenario.NewBuilder().WithPHY(radio.PHYForWLANStandard("IEEE 802.11g")).
 func (b *Builder) WithPHY(phy radio.PHY) *Builder {
 	b.phys = append(b.phys, phy)
+	return b
+}
+
+// WithServerOptions sets every server's overload limits (admission
+// queue, per-peer rate limits, write deadlines).
+func (b *Builder) WithServerOptions(opts community.ServerOptions) *Builder {
+	b.serverOpts = opts
+	b.hasSrvOpts = true
+	return b
+}
+
+// WithResilience sets every client's degradation knobs (per-peer
+// circuit breakers, hedged requests).
+func (b *Builder) WithResilience(opts community.ResilienceOptions) *Builder {
+	b.resilience = opts
+	b.hasResil = true
 	return b
 }
 
@@ -211,9 +231,15 @@ func (b *Builder) buildPeer(d *Deployment, spec PeerSpec) (*Peer, error) {
 			return nil, err
 		}
 	}
-	server, err := community.NewServer(lib, store)
-	if err != nil {
-		return nil, err
+	var server *community.Server
+	var err2 error
+	if b.hasSrvOpts {
+		server, err2 = community.NewServerWith(lib, store, b.serverOpts)
+	} else {
+		server, err2 = community.NewServer(lib, store)
+	}
+	if err2 != nil {
+		return nil, err2
 	}
 	if err := server.Start(); err != nil {
 		return nil, err
@@ -226,6 +252,9 @@ func (b *Builder) buildPeer(d *Deployment, spec PeerSpec) (*Peer, error) {
 	client, err := community.NewClient(lib, store, b.semantics)
 	if err != nil {
 		return nil, err
+	}
+	if b.hasResil {
+		client.SetResilience(b.resilience)
 	}
 	return &Peer{Spec: spec, Daemon: daemon, Lib: lib, Store: store, Server: server, Client: client}, nil
 }

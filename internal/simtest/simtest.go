@@ -36,13 +36,28 @@ import (
 
 // Defaults for Scenario knobs left zero.
 const (
-	defaultPeers            = 5
-	defaultRounds           = 2
-	defaultScale            = 1e-3
-	defaultCallTimeout      = 30 * time.Second
-	defaultFaultWindow      = time.Hour // generous: the fault phase always falls inside
+	defaultPeers       = 5
+	defaultRounds      = 2
+	defaultScale       = 1e-3
+	defaultCallTimeout = 30 * time.Second
+	defaultFaultWindow = time.Hour // generous: the fault phase always falls inside
+	// defaultEndpointWindow replaces defaultFaultWindow when endpoint
+	// knobs are set. Endpoint scenarios burn REAL seconds on call
+	// deadlines (the robust-call floor is 2s real, thousands of modeled
+	// seconds at chaos scale), so the modeled hour that comfortably
+	// covers a link-fault phase can expire mid-phase here.
+	defaultEndpointWindow   = 100 * time.Hour
 	defaultReconvergeRounds = 40
 	defaultMaxRetransmits   = 3
+	// defaultStallFor must out-last the robust-call deadline in REAL
+	// time, or "stalled" replies arrive before the deadline and the
+	// gray failure degenerates into mere slowness. The deadline is
+	// floored at 2s real regardless of scale, so at the default 1e-3
+	// scale the stall must exceed 2000 modeled seconds; two modeled
+	// hours (7.2s real) clears it with margin. Withheld messages ride
+	// pump timers that abort with their connection, so the length is
+	// free.
+	defaultStallFor = 2 * time.Hour
 )
 
 // interestPool is the vocabulary scenarios draw member interests from;
@@ -86,6 +101,27 @@ type Scenario struct {
 	// converging.
 	MutateInterests bool
 
+	// Stall is the per-session probability that a serving session
+	// accepts requests but withholds replies — the gray failure a link
+	// model cannot express.
+	Stall float64
+	// StallFor is how long stalled replies are withheld, in modeled
+	// time (faults package default when zero).
+	StallFor time.Duration
+	// Slow is the per-window probability that a device serves at the
+	// fault plane's slow factor.
+	Slow float64
+	// StalledPeers wedges the serving side of the first N peers for the
+	// whole fault phase (scheduled whole-device stall windows).
+	StalledPeers int
+	// CrashedPeers crashes the last N peers for the whole fault phase;
+	// lifting the plan is their restart, so reconvergence doubles as
+	// the crash–restart recovery check.
+	CrashedPeers int
+	// Resilience arms every client's degradation machinery: per-peer
+	// circuit breakers and hedged reads.
+	Resilience bool
+
 	// FaultWindow bounds the plan's active window in modeled time
 	// (default one hour — the fault phase is healed explicitly, the
 	// window just exercises the plumbing).
@@ -116,10 +152,17 @@ func (s Scenario) withDefaults() Scenario {
 		s.CallTimeout = defaultCallTimeout
 	}
 	if s.FaultWindow <= 0 {
-		s.FaultWindow = defaultFaultWindow
+		if s.endpointFaulty() {
+			s.FaultWindow = defaultEndpointWindow
+		} else {
+			s.FaultWindow = defaultFaultWindow
+		}
 	}
 	if s.ReconvergeRounds <= 0 {
 		s.ReconvergeRounds = defaultReconvergeRounds
+	}
+	if s.StallFor <= 0 {
+		s.StallFor = defaultStallFor
 	}
 	if s.Name == "" {
 		s.Name = fmt.Sprintf("seed-%d", s.Seed)
@@ -129,7 +172,13 @@ func (s Scenario) withDefaults() Scenario {
 
 // Faulty reports whether any fault knob is set.
 func (s Scenario) Faulty() bool {
-	return s.Loss > 0 || s.Corrupt > 0 || s.Miss > 0 || s.Flap > 0 || s.Partition || s.Churn
+	return s.Loss > 0 || s.Corrupt > 0 || s.Miss > 0 || s.Flap > 0 || s.Partition || s.Churn ||
+		s.endpointFaulty()
+}
+
+// endpointFaulty reports whether any endpoint-fault knob is set.
+func (s Scenario) endpointFaulty() bool {
+	return s.Stall > 0 || s.Slow > 0 || s.StalledPeers > 0 || s.CrashedPeers > 0
 }
 
 // Result is what one chaos run observed.
@@ -157,8 +206,12 @@ type Result struct {
 	// Net is the transport's accounting.
 	Net netsim.Counters
 	// Client sums every peer's community.ClientStats: fan-outs, cache
-	// hits, NOT_MODIFIED rounds and invalidations across the deployment.
+	// hits, NOT_MODIFIED rounds, breaker trips and hedges across the
+	// deployment.
 	Client community.ClientStats
+	// Server sums every peer's community.ServerStats: admissions, shed
+	// sessions, rate-limited requests and aborted slow writers.
+	Server community.ServerStats
 
 	// Violations lists every invariant breach (empty on success).
 	Violations []string
@@ -213,6 +266,7 @@ func Run(s Scenario) (*Result, error) {
 	res.Net = dep.Net.Counters()
 	for _, m := range dep.Members() {
 		res.Client.Add(dep.MustPeer(m).Client.Stats())
+		res.Server.Add(dep.MustPeer(m).Server.Stats())
 	}
 	return res, nil
 }
@@ -239,6 +293,11 @@ func buildWorld(s Scenario) (*scenario.Deployment, *faults.Plan, error) {
 		b.AddPeer(spec)
 		devices = append(devices, ids.DeviceID("dev-"+string(member)))
 	}
+	if s.Resilience {
+		// Hedging wants a primed latency window; a low sample gate lets
+		// the short chaos workloads reach it.
+		b.WithResilience(community.ResilienceOptions{Hedge: true, HedgeMinSamples: 8})
+	}
 	dep, err := b.Build()
 	if err != nil {
 		return nil, nil, err
@@ -252,7 +311,18 @@ func buildWorld(s Scenario) (*scenario.Deployment, *faults.Plan, error) {
 			FlapRate:       s.Flap,
 		}).
 		SetRadio(faults.RadioProfile{Miss: s.Miss}).
+		SetEndpoints(faults.EndpointProfile{
+			StallRate: s.Stall,
+			StallFor:  s.StallFor,
+			SlowRate:  s.Slow,
+		}).
 		SetActiveWindow(s.FaultWindow)
+	for i := 0; i < s.StalledPeers && i < len(devices); i++ {
+		plan = plan.AddStall(faults.StallWindow{Device: devices[i], Start: 0, End: s.FaultWindow})
+	}
+	for i := 0; i < s.CrashedPeers && i < len(devices); i++ {
+		plan = plan.AddCrash(faults.CrashWindow{Device: devices[len(devices)-1-i], Start: 0, End: s.FaultWindow})
+	}
 	if s.Partition {
 		half := len(devices) / 2
 		plan = plan.AddPartition(faults.PartitionWindow{
@@ -426,6 +496,13 @@ func liveMember(dep *scenario.Deployment, m ids.MemberID) (core.Member, error) {
 	return core.Member{Device: peer.Daemon.Device(), ID: m, Interests: p.Interests}, nil
 }
 
+// reconvergePause is the real-time wait between failed healing rounds.
+// It exists for the breaker scenarios: an open breaker's real-time
+// floor is half a second, and without the pause a fast fail-fast loop
+// would burn its whole round budget before any half-open probe could
+// fire.
+const reconvergePause = 25 * time.Millisecond
+
 // reconverge refreshes every node until each one's group view matches
 // the oracle, or the round budget runs out.
 func reconverge(ctx context.Context, s Scenario, dep *scenario.Deployment) (bool, int) {
@@ -434,7 +511,11 @@ func reconverge(ctx context.Context, s Scenario, dep *scenario.Deployment) (bool
 	for _, m := range members {
 		byDevice[dep.MustPeer(m).Daemon.Device()] = m
 	}
+	clock := dep.Env.Clock()
 	for round := 1; round <= s.ReconvergeRounds; round++ {
+		if round > 1 {
+			clock.Sleep(reconvergePause)
+		}
 		for _, m := range members {
 			peer := dep.MustPeer(m)
 			_ = peer.Daemon.RefreshNow(ctx)
@@ -482,6 +563,38 @@ func Matrix(n int, baseSeed int64) []Scenario {
 		}
 		s.Name = fmt.Sprintf("chaos-%02d-l%02.0f-c%02.0f-m%02.0f-f%02.0f-p%d-ch%d-n%d",
 			i, s.Loss*100, s.Corrupt*100, s.Miss*100, s.Flap*100, b2i(s.Partition), b2i(s.Churn), s.Peers)
+		out = append(out, s)
+	}
+	return out
+}
+
+// EndpointMatrix generates n seeded scenarios composing endpoint
+// faults — per-session stalls, slow devices, wedged peers, crash–
+// restart churn — with the link-level axes, all with client resilience
+// armed: the breakers and hedges must keep every run inside its call
+// budget and reconverging after the heal.
+func EndpointMatrix(n int, baseSeed int64) []Scenario {
+	stalls := []float64{0, 0.15, 0.3}
+	slows := []float64{0, 0.2}
+	losses := []float64{0, 0.05}
+	flaps := []float64{0, 0.04}
+	out := make([]Scenario, 0, n)
+	for i := 0; len(out) < n; i++ {
+		s := Scenario{
+			Seed:         baseSeed + int64(i)*2003,
+			Peers:        4 + (i%2)*2, // 4, 6
+			Stall:        stalls[i%len(stalls)],
+			Slow:         slows[(i/3)%len(slows)],
+			Loss:         losses[(i/6)%len(losses)],
+			Flap:         flaps[(i/12)%len(flaps)],
+			StalledPeers: i % 2,       // every odd scenario wedges one peer
+			CrashedPeers: (i / 2) % 2, // every other pair crash-restarts one
+			Partition:    i%5 == 4,
+			Resilience:   true,
+		}
+		s.Name = fmt.Sprintf("endpoint-%02d-st%02.0f-sl%02.0f-l%02.0f-f%02.0f-w%d-cr%d-p%d-n%d",
+			i, s.Stall*100, s.Slow*100, s.Loss*100, s.Flap*100,
+			s.StalledPeers, s.CrashedPeers, b2i(s.Partition), s.Peers)
 		out = append(out, s)
 	}
 	return out
