@@ -1,9 +1,17 @@
 # Development entry points. `make verify` is what CI runs and what a
 # PR must keep green: build, go vet, the project's own phvet analyzers
-# (walltime / detrand / lockguard / errdrop), and the full test suite
-# under the race detector with the goroutine-leak checker armed.
+# (walltime / detrand / lockguard / errdrop / mapiter / taintclock /
+# goloss), and the full test suite under the race detector with the
+# goroutine-leak checker armed.
 
 GO ?= go
+
+# PHVET_MAXTIME is the committed ceiling on a full phvet run. The
+# loader parses and type-checks packages in parallel waves; if a change
+# serializes it again the run blows this budget and phvet itself fails,
+# the same way benchjson pins the perf floors. Generous vs. the ~3 s
+# local run so a loaded CI box doesn't flake.
+PHVET_MAXTIME ?= 30s
 
 # The substrate benchmarks and the invariants the committed
 # BENCH_netsim.json baseline pins: the named benchmarks must exist, the
@@ -28,7 +36,7 @@ COMBENCH_PATTERN = ^(BenchmarkGroupRound|BenchmarkWireCodecSized|BenchmarkServer
 COMBENCH_REQUIRE = BenchmarkGroupRound/cold/peers=10,BenchmarkGroupRound/steady/peers=10,BenchmarkGroupRound/cold/peers=100,BenchmarkGroupRound/steady/peers=100,BenchmarkGroupRound/cold/peers=500,BenchmarkGroupRound/steady/peers=500,BenchmarkWireCodecSized/marshal/fields=500,BenchmarkWireCodecSized/append/fields=500,BenchmarkWireCodecSized/unmarshal/fields=500,BenchmarkServerAdmission/serve,BenchmarkServerAdmission/shed
 COMBENCH_RATIO   = BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:3,BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:5:wire-bytes/op,BenchmarkServerAdmission/serve:BenchmarkServerAdmission/shed:5
 
-.PHONY: verify build vet phvet test race chaos bench bench-json bench-smoke
+.PHONY: verify build vet phvet vet-baseline test race chaos bench bench-json bench-smoke
 
 verify: build vet phvet race chaos bench-smoke
 
@@ -39,7 +47,16 @@ vet:
 	$(GO) vet ./...
 
 phvet:
-	$(GO) run ./cmd/phvet ./...
+	$(GO) run ./cmd/phvet -baseline PHVET_BASELINE.json -maxtime $(PHVET_MAXTIME) ./...
+
+# vet-baseline regenerates the committed suppression baseline from the
+# current findings. The baseline only ever shrinks: fixing a
+# grandfathered finding makes its entry stale, and a stale entry fails
+# phvet until this target prunes it. Adding NEW entries is a review
+# decision, not a reflex — prefer fixing the finding or a
+# //phvet:ignore with a justification at the site.
+vet-baseline:
+	$(GO) run ./cmd/phvet -write-baseline PHVET_BASELINE.json ./...
 
 test:
 	$(GO) test ./...

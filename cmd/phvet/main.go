@@ -1,51 +1,78 @@
 // Command phvet is the project's static-analysis driver. It enforces
 // the invariants the simulation's reproducibility rests on:
 //
-//	walltime   simulation time flows through internal/vtime only
-//	detrand    randomness comes from explicitly seeded *rand.Rand
-//	lockguard  mutexes are not held across blocking operations
-//	errdrop    wire codec / Close / Write errors are never dropped
+//	walltime    simulation time flows through internal/vtime only
+//	detrand     randomness comes from explicitly seeded *rand.Rand
+//	lockguard   mutexes are not held across blocking operations
+//	errdrop     wire codec / Close / Write errors are never dropped
+//	mapiter     map iteration order stays out of wire bytes, event
+//	            queues, digests and fan-out order
+//	taintclock  helpers that transitively reach the wall clock or the
+//	            global rand poison their simulation-plane callers
+//	goloss      go-launched pump loops are tied to a lifecycle
 //
 // Usage:
 //
-//	go run ./cmd/phvet ./...
+//	go run ./cmd/phvet [flags] ./...
 //
-// Findings print one per line as "file:line: analyzer: message" and the
-// exit status is 1 when any finding survives. Suppress a finding with
+//	-baseline FILE        suppress findings grandfathered in FILE; stale
+//	                      entries (fixed findings still listed) fail the
+//	                      run so the baseline only ever shrinks
+//	-write-baseline FILE  write the current findings to FILE and exit 0
+//	-json                 emit findings as JSON (id, analyzer, file,
+//	                      line, message, baselined)
+//	-annotate             also emit GitHub Actions ::error annotations
+//	                      for non-baselined findings
+//	-maxtime DURATION     fail if the whole run exceeds DURATION (the
+//	                      committed ceiling guarding loader regressions)
+//
+// Findings print one per line as "file:line: analyzer: message [id]"
+// and the exit status is 1 when any non-baselined finding (or stale
+// baseline entry) survives. Suppress a finding in place with
 //
 //	//phvet:ignore <analyzer> <justification>
 //
-// on the offending line or the line directly above it. Exit status 2
-// means phvet itself could not load or type-check the tree.
+// on the offending line or the line directly above it, or grandfather
+// it by ID in the baseline (`make vet-baseline`). Exit status 2 means
+// phvet itself could not load or type-check the tree.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"time"
 
 	"repro/internal/analysis"
 )
 
 func main() {
 	flag.Usage = usage
+	baselinePath := flag.String("baseline", "", "suppress findings listed in this baseline file; stale entries fail")
+	writeBaseline := flag.String("write-baseline", "", "regenerate the baseline file from current findings and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	annotate := flag.Bool("annotate", false, "emit GitHub Actions ::error annotations for failing findings")
+	maxtime := flag.Duration("maxtime", 0, "fail if the full run takes longer than this (0 = no ceiling)")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(run(patterns))
+	os.Exit(run(patterns, *baselinePath, *writeBaseline, *jsonOut, *annotate, *maxtime))
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: phvet [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: phvet [flags] [packages]\n\nanalyzers:\n")
 	for _, a := range analysis.All() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 	}
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
+	flag.PrintDefaults()
 }
 
-func run(patterns []string) int {
+func run(patterns []string, baselinePath, writeBaseline string, jsonOut, annotate bool, maxtime time.Duration) int {
+	start := time.Now()
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phvet: %v\n", err)
@@ -56,25 +83,96 @@ func run(patterns []string) int {
 		fmt.Fprintf(os.Stderr, "phvet: %v\n", err)
 		return 2
 	}
-	cwd, _ := os.Getwd()
-	status := 0
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			for _, e := range pkg.Errors {
 				fmt.Fprintf(os.Stderr, "phvet: %s: %v\n", pkg.Path, e)
 			}
-			status = 2
-			continue
-		}
-		for _, d := range analysis.Run(pkg, analysis.All()) {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-				d.Pos.Filename = rel
-			}
-			fmt.Println(d)
-			if status == 0 {
-				status = 1
-			}
+			return 2
 		}
 	}
-	return status
+
+	cwd, _ := os.Getwd()
+	diags := analysis.RunAll(pkgs, analysis.All())
+	findings := analysis.Findings(cwd, diags)
+
+	if writeBaseline != "" {
+		if err := analysis.WriteBaseline(writeBaseline, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "phvet: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Printf("phvet: wrote %d finding(s) to %s\n", len(findings), writeBaseline)
+		return 0
+	}
+
+	var stale []analysis.Finding
+	if baselinePath != "" {
+		b, err := analysis.ReadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phvet: %v\n", err)
+			return 2
+		}
+		stale = analysis.ApplyBaseline(b, findings)
+	}
+
+	failing := 0
+	baselined := 0
+	for _, f := range findings {
+		if f.Baselined {
+			baselined++
+		} else {
+			failing++
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "phvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Baselined {
+				continue
+			}
+			fmt.Println(f)
+		}
+		if baselined > 0 {
+			fmt.Fprintf(os.Stderr, "phvet: %d baselined finding(s) suppressed (%s)\n", baselined, baselinePath)
+		}
+	}
+	if annotate {
+		for _, f := range findings {
+			if f.Baselined {
+				continue
+			}
+			fmt.Printf("::error file=%s,line=%d,title=phvet %s::%s [%s]\n",
+				f.File, f.Line, f.Analyzer, f.Message, f.ID)
+		}
+		for _, f := range stale {
+			fmt.Printf("::error file=%s,title=phvet stale baseline::baseline entry %s (%s) no longer occurs; run `make vet-baseline` to prune it\n",
+				baselinePath, f.ID, f.Message)
+		}
+	}
+	for _, f := range stale {
+		fmt.Fprintf(os.Stderr, "phvet: stale baseline entry %s: %s:%d: %s (fixed — run `make vet-baseline` to prune)\n",
+			f.ID, f.File, f.Line, f.Message)
+	}
+
+	if maxtime > 0 {
+		if elapsed := time.Since(start); elapsed > maxtime {
+			fmt.Fprintf(os.Stderr, "phvet: run took %v, over the committed %v ceiling — the loader's package-parallel path has regressed\n",
+				elapsed.Round(time.Millisecond), maxtime)
+			return 1
+		}
+	}
+	if failing > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
 }

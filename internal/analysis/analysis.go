@@ -4,14 +4,22 @@
 // then runs project-specific analyzers that enforce the simulation's
 // determinism and concurrency invariants:
 //
-//   - walltime:  simulation time must flow through internal/vtime
-//   - detrand:   randomness must come from an explicitly seeded source
-//   - lockguard: mutexes must not be held across blocking operations
-//   - errdrop:   wire codec, Close and Write errors must not be dropped
+//   - walltime:   simulation time must flow through internal/vtime
+//   - detrand:    randomness must come from an explicitly seeded source
+//   - lockguard:  mutexes must not be held across blocking operations
+//   - errdrop:    wire codec, Close and Write errors must not be dropped
+//   - mapiter:    map iteration order must not escape into ordering-
+//     sensitive sinks (wire writes, event enqueues, digests, fan-outs)
+//   - taintclock: wall-clock/global-rand access reached *indirectly*
+//     through helpers poisons every simulation-plane caller (an
+//     interprocedural call-graph taint pass)
+//   - goloss:     goroutine pump loops must be tied to a tracked
+//     lifecycle (WaitGroup, close/done channel, or context)
 //
 // Findings print as "file:line: analyzer: message". A finding can be
 // suppressed with a "//phvet:ignore <analyzer> <justification>" comment
-// on the offending line or the line directly above it.
+// on the offending line or the line directly above it, or grandfathered
+// in the committed baseline file (see Finding and Baseline).
 package analysis
 
 import (
@@ -22,17 +30,26 @@ import (
 	"sort"
 )
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check run over type-checked packages. Exactly
+// one of Run (per-package) and RunModule (whole-module) is set: a
+// per-package analyzer sees one package at a time, while a module
+// analyzer (taintclock) sees every loaded package at once so it can
+// build a cross-package call graph.
 type Analyzer struct {
 	// Name is the identifier used in diagnostics and ignore comments.
 	Name string
 	// Doc is a one-line description shown by phvet's usage text.
 	Doc string
-	// AppliesTo reports whether the analyzer runs on the package with
-	// the given import path. A nil AppliesTo means every package.
+	// AppliesTo reports whether the analyzer reports findings in the
+	// package with the given import path. A nil AppliesTo means every
+	// package. Module analyzers still *inspect* every loaded package
+	// (the call graph needs them all); AppliesTo only filters where
+	// findings may land.
 	AppliesTo func(pkgPath string) bool
 	// Run inspects the package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects the whole package set at once.
+	RunModule func(mpass *ModulePass)
 }
 
 // Pass carries one package's parsed and type-checked state through an
@@ -68,29 +85,79 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries the whole loaded package set through a module
+// analyzer run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags []Diagnostic
+}
+
+// Applies reports whether findings may land in pkg.
+func (mp *ModulePass) Applies(pkg *Package) bool {
+	return mp.Analyzer.AppliesTo == nil || mp.Analyzer.AppliesTo(pkg.Path)
+}
+
+// Reportf records a finding at pos, resolved through pkg's file set.
+// Findings in packages AppliesTo rejects are dropped silently, so a
+// module analyzer may report wherever its graph walk lands.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	if !mp.Applies(pkg) {
+		return
+	}
+	mp.diags = append(mp.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run executes the analyzers over one loaded package and returns the
-// surviving diagnostics, with //phvet:ignore suppressions applied and
-// the rest ordered by position.
+// surviving diagnostics. It is RunAll over a one-package module; the
+// fixture tests use it to run a single analyzer in isolation.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// RunAll executes the analyzers over the loaded package set and returns
+// the surviving diagnostics: per-package analyzers run on each package
+// they apply to, module analyzers run once over the whole set, then
+// //phvet:ignore suppressions are applied and the rest ordered by
+// position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ignores := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range pkgs {
+		collectIgnoresInto(ignores, pkg.Fset, pkg.Files)
+	}
 	var out []Diagnostic
+	keep := func(diags []Diagnostic) {
+		for _, d := range diags {
+			if !ignores.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+	}
 	for _, a := range analyzers {
-		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+		if a.RunModule != nil {
+			mpass := &ModulePass{Analyzer: a, Pkgs: pkgs}
+			a.RunModule(mpass)
+			keep(mpass.diags)
 			continue
 		}
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-		}
-		a.Run(pass)
-		for _, d := range pass.diags {
-			if ignores.suppresses(d) {
+		for _, pkg := range pkgs {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			out = append(out, d)
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			keep(pass.diags)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -107,5 +174,5 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns every analyzer phvet ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, Detrand, Lockguard, Errdrop}
+	return []*Analyzer{Walltime, Detrand, Lockguard, Errdrop, Mapiter, Taintclock, Goloss}
 }

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is a Diagnostic plus the stable identity the baseline
+// workflow keys on. The ID hashes analyzer, module-relative file and
+// message (plus an ordinal for identical repeats in one file), so it
+// survives unrelated edits that shift line numbers — the committed
+// baseline does not churn every time a file above a grandfathered
+// finding grows a line.
+type Finding struct {
+	ID       string `json:"id"`
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+	// Baselined marks a finding matched by the committed baseline:
+	// reported for visibility but not a failure.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// String formats the finding in the canonical phvet shape.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s [%s]", f.File, f.Line, f.Analyzer, f.Message, f.ID)
+}
+
+// Findings converts diagnostics to findings with stable IDs. Paths are
+// made relative to moduleRoot (kept as-is when they do not lie under
+// it) and slash-normalized so IDs agree across machines.
+func Findings(moduleRoot string, diags []Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	seen := make(map[string]int) // analyzer|file|message -> repeats
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if moduleRoot != "" {
+			if rel, err := filepath.Rel(moduleRoot, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !isParentPath(rel) {
+				file = rel
+			}
+		}
+		file = filepath.ToSlash(file)
+		key := d.Analyzer + "|" + file + "|" + d.Message
+		ord := seen[key]
+		seen[key]++
+		out = append(out, Finding{
+			ID:       findingID(d.Analyzer, file, d.Message, ord),
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Pos.Line,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+func isParentPath(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// findingID is the stable identity: analyzer-prefixed FNV-32a over the
+// position-independent content, with an ordinal distinguishing repeats
+// of the same message in the same file (ordered by line, the only
+// line-number dependence left).
+func findingID(analyzer, file, message string, ordinal int) string {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%s|%s|%d", analyzer, file, message, ordinal)
+	return fmt.Sprintf("%s-%08x", analyzer, h.Sum32())
+}
+
+// Baseline is the committed suppression file: findings that existed
+// when the baseline was last regenerated. New findings fail CI;
+// baselined ones do not; baselined entries that no longer occur are
+// *stale* and fail CI too, so the file can only shrink as debt is paid
+// (regenerate with `make vet-baseline`).
+type Baseline struct {
+	// Comment documents the regeneration workflow inside the JSON file.
+	Comment  string    `json:"comment,omitempty"`
+	Findings []Finding `json:"findings"`
+}
+
+// baselineComment is written into generated baseline files.
+const baselineComment = "phvet suppression baseline: grandfathered findings by stable ID. " +
+	"New findings fail CI; entries here do not; stale entries (no longer reported) fail CI. " +
+	"Regenerate with `make vet-baseline` after fixing findings."
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, so a fresh checkout with no grandfathered findings needs no
+// file at all.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the findings as a fresh baseline, sorted by file
+// then line so diffs stay readable.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Comment: baselineComment, Findings: make([]Finding, len(findings))}
+	copy(b.Findings, findings)
+	sort.Slice(b.Findings, func(i, j int) bool {
+		if b.Findings[i].File != b.Findings[j].File {
+			return b.Findings[i].File < b.Findings[j].File
+		}
+		if b.Findings[i].Line != b.Findings[j].Line {
+			return b.Findings[i].Line < b.Findings[j].Line
+		}
+		return b.Findings[i].ID < b.Findings[j].ID
+	})
+	for i := range b.Findings {
+		b.Findings[i].Baselined = false // meaningless inside the file itself
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline marks findings covered by the baseline and returns the
+// stale baseline entries: grandfathered findings that no longer occur
+// and must be pruned from the file. Matching is by ID only — line
+// numbers in the baseline are documentation.
+func ApplyBaseline(b *Baseline, findings []Finding) (stale []Finding) {
+	matched := make(map[string]bool, len(findings))
+	ids := make(map[string]bool, len(b.Findings))
+	for _, f := range b.Findings {
+		ids[f.ID] = true
+	}
+	for i := range findings {
+		if ids[findings[i].ID] {
+			findings[i].Baselined = true
+			matched[findings[i].ID] = true
+		}
+	}
+	for _, f := range b.Findings {
+		if !matched[f.ID] {
+			stale = append(stale, f)
+		}
+	}
+	return stale
+}

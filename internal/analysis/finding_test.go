@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diag(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestFindingIDsStableAcrossLineDrift is the property the baseline
+// workflow rests on: an unrelated edit that shifts a grandfathered
+// finding down the file must not change its ID.
+func TestFindingIDsStableAcrossLineDrift(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	before := Findings(root, []Diagnostic{
+		diag(filepath.Join(root, "internal/a/a.go"), 10, "mapiter", "iteration order escapes"),
+	})
+	after := Findings(root, []Diagnostic{
+		diag(filepath.Join(root, "internal/a/a.go"), 47, "mapiter", "iteration order escapes"),
+	})
+	if before[0].ID != after[0].ID {
+		t.Errorf("ID changed with line drift: %q vs %q", before[0].ID, after[0].ID)
+	}
+	if before[0].File != "internal/a/a.go" {
+		t.Errorf("file not module-relative: %q", before[0].File)
+	}
+}
+
+// TestFindingIDsDistinguishRepeats: two identical messages in one file
+// must get distinct, order-stable IDs.
+func TestFindingIDsDistinguishRepeats(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	f := filepath.Join(root, "internal/a/a.go")
+	fs := Findings(root, []Diagnostic{
+		diag(f, 5, "errdrop", "error from Close is discarded"),
+		diag(f, 9, "errdrop", "error from Close is discarded"),
+	})
+	if fs[0].ID == fs[1].ID {
+		t.Fatalf("repeated findings share ID %q", fs[0].ID)
+	}
+	again := Findings(root, []Diagnostic{
+		diag(f, 6, "errdrop", "error from Close is discarded"),
+		diag(f, 30, "errdrop", "error from Close is discarded"),
+	})
+	if fs[0].ID != again[0].ID || fs[1].ID != again[1].ID {
+		t.Error("repeat ordinals are not position-order stable")
+	}
+	if fs[0].Analyzer != "errdrop" || fs[0].Line != 5 {
+		t.Errorf("finding fields wrong: %+v", fs[0])
+	}
+}
+
+// TestBaselineRoundTripAndStaleness covers the whole workflow: write,
+// read, match by ID, and detect entries that no longer occur.
+func TestBaselineRoundTripAndStaleness(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "baseline.json")
+	old := Findings(root, []Diagnostic{
+		diag(filepath.Join(root, "a.go"), 1, "mapiter", "first"),
+		diag(filepath.Join(root, "b.go"), 2, "goloss", "second"),
+	})
+	if err := WriteBaseline(path, old); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("round trip lost findings: %d", len(b.Findings))
+	}
+
+	// Current run: "first" persists, "second" was fixed, "third" is new.
+	current := Findings(root, []Diagnostic{
+		diag(filepath.Join(root, "a.go"), 8, "mapiter", "first"),
+		diag(filepath.Join(root, "c.go"), 3, "taintclock", "third"),
+	})
+	stale := ApplyBaseline(b, current)
+	if !current[0].Baselined {
+		t.Error("persisting finding not marked baselined")
+	}
+	if current[1].Baselined {
+		t.Error("new finding wrongly baselined")
+	}
+	if len(stale) != 1 || stale[0].Message != "second" {
+		t.Errorf("stale = %+v, want the fixed 'second' entry", stale)
+	}
+}
+
+// TestBaselineMissingFileIsEmpty: a clean tree needs no baseline file.
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Fatalf("missing baseline not empty: %+v", b.Findings)
+	}
+}

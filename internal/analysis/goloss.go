@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Goloss is the static twin of internal/testutil's runtime goroutine-
+// leak checker: it flags `go` launches whose goroutine runs an
+// unbounded pump loop (`for { ... }` with no condition) with no visible
+// tie to a tracked lifecycle. Every long-lived goroutine in the
+// simulator — conn pumps, link sweepers, accept loops — must die when
+// its owner closes, or device counts in the thousands leak schedulers
+// dry and the leak checker fails tests one package at a time.
+//
+// Lifecycle evidence, any of which silences the finding:
+//
+//   - a sync.WaitGroup Done call (the launcher Waits for it);
+//   - a context.Context Done call (cancellation bounds it);
+//   - ranging over a channel (closing the channel ends it);
+//   - any identifier whose name smells of lifecycle — done, stop, quit,
+//     close(d), shutdown, exit, cancel, kill — consulted anywhere in
+//     the body (covers `case <-c.closed:` and `if n.closed` patterns).
+//
+// Launches of named same-package functions are resolved and their
+// bodies checked; cross-package and func-value launches are skipped
+// (bias toward false negatives). Bodies without an unbounded loop are
+// never flagged: a one-shot goroutine ends itself.
+var Goloss = &Analyzer{
+	Name:      "goloss",
+	Doc:       "flag go-launched unbounded loops not tied to a WaitGroup, context or close/done channel",
+	AppliesTo: inInternal,
+	Run:       runGoloss,
+}
+
+// golossLifecycleRe matches identifier names that tie a goroutine to a
+// lifecycle. Substring match on the lowercased name: "closed",
+// "stopCh", "shutdownC", "ctxDone" all count.
+var golossLifecycleRe = regexp.MustCompile(`(?i)done|stop|quit|clos|shut|exit|cancel|kill|halt`)
+
+func runGoloss(pass *Pass) {
+	// Index same-package function declarations so `go d.serveSDP()`
+	// resolves to a checkable body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, gs, decls)
+			if body == nil {
+				return true
+			}
+			if !hasUnboundedLoop(body) || hasLifecycleEvidence(pass, body) {
+				return true
+			}
+			pass.Reportf(gs.Go,
+				"goroutine runs an unbounded loop with no lifecycle tie; bind it to a WaitGroup, a context, or a close/done channel so Close can reap it")
+			return true
+		})
+	}
+}
+
+// goBody resolves the launched goroutine's body: a function literal
+// in place, or the declaration of a same-package named function or
+// method. nil when the body is not visible here.
+func goBody(pass *Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[obj]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[obj]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasUnboundedLoop reports whether the body contains a `for { ... }`
+// with no condition outside nested function literals. Conditional and
+// three-clause loops have their own exit; ranging is bounded by the
+// collection (channel ranges end on close and count as evidence
+// anyway).
+func hasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if v.Cond == nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasLifecycleEvidence scans the body (nested literals included — a
+// deferred closure calling wg.Done still ties the goroutine) for any
+// of the lifecycle shapes.
+func hasLifecycleEvidence(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if golossLifecycleRe.MatchString(v.Name) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[v.X]; ok && isChannel(tv.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if obj, _ := methodFunc(pass.Info, v); obj != nil && obj.Name() == "Done" {
+				if isMethodOf(obj, "sync", "WaitGroup") || isMethodOf(obj, "context", "Context") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+func TestGolossFindsOrphanPumps(t *testing.T) {
+	checkFixture(t, Goloss, "repro/internal/fixture", "goloss")
+}
+
+func TestGolossScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/netsim", true},
+		{"repro/internal/peerhood", true},
+		{"repro/cmd/simworld", false},
+		{"repro/examples/campus", false},
+	}
+	for _, c := range cases {
+		if got := Goloss.AppliesTo(c.path); got != c.want {
+			t.Errorf("Goloss.AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

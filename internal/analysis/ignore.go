@@ -23,11 +23,11 @@ type ignoreSet struct {
 	byLine map[string]map[int]map[string]bool
 }
 
-// collectIgnores scans every comment in the files for phvet:ignore
-// directives. A directive claims its own line and the line below it, so
-// both trailing-comment and comment-above styles work.
-func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
-	set := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+// collectIgnoresInto scans every comment in the files for phvet:ignore
+// directives and merges them into set. A directive claims its own line
+// and the line below it, so both trailing-comment and comment-above
+// styles work.
+func collectIgnoresInto(set *ignoreSet, fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -44,7 +44,6 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
 			}
 		}
 	}
-	return set
 }
 
 // parseIgnoreNames extracts the analyzer list from the directive body.

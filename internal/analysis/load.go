@@ -9,8 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one module package, parsed and type-checked.
@@ -25,6 +28,10 @@ type Package struct {
 	// checker fills Info with everything it could resolve — but the
 	// driver reports them and fails the run.
 	Errors []error
+
+	// imports are the module-internal import paths, scanned from the
+	// parsed files; they drive the parallel scheduling below.
+	imports []string
 }
 
 // Loader loads and type-checks packages of a single module using only
@@ -32,13 +39,28 @@ type Package struct {
 // from source; all other imports (the standard library) resolve through
 // go/importer's source importer. Test files are not loaded: phvet's
 // invariants deliberately exempt _test.go code.
+//
+// Loading is parallel in two phases. Parsing fans out over a worker
+// pool: every package reachable from the patterns through
+// module-internal imports is parsed concurrently (token.FileSet is
+// documented safe for concurrent use). Type-checking then proceeds in
+// dependency waves — each wave checks, in parallel, every package
+// whose module-internal imports are already checked — so independent
+// subtrees of the import graph overlap instead of serializing. The
+// standard-library source importer is not concurrency-safe and is
+// guarded by a mutex; after the first package warms its cache the
+// guarded calls are cheap map hits.
 type Loader struct {
 	fset       *token.FileSet
 	moduleRoot string
 	modulePath string
-	std        types.Importer
-	pkgs       map[string]*Package // memo by import path
-	loading    map[string]bool     // cycle detection
+	workers    int
+
+	stdMu sync.Mutex
+	std   types.Importer
+
+	mu   sync.Mutex
+	pkgs map[string]*Package // memo by import path, complete once checked
 }
 
 // NewLoader returns a loader rooted at the directory containing go.mod.
@@ -57,10 +79,21 @@ func NewLoader(root string) (*Loader, error) {
 		fset:       fset,
 		moduleRoot: modRoot,
 		modulePath: modPath,
+		workers:    loaderWorkers(),
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
-		loading:    make(map[string]bool),
 	}, nil
+}
+
+// loaderWorkers sizes the pool: GOMAXPROCS, overridable for tests and
+// triage via PHVET_WORKERS (1 = the old sequential behavior).
+func loaderWorkers() int {
+	if s := os.Getenv("PHVET_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // ModulePath reports the module's import path from go.mod.
@@ -116,27 +149,214 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 		dirSet[filepath.Clean(dir)] = true
 	}
-	var dirs []string
+	var targets []string
 	for d := range dirSet {
-		dirs = append(dirs, d)
+		path, err := l.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, path)
 	}
-	sort.Strings(dirs)
+	sort.Strings(targets)
+
+	parsed, err := l.parseClosure(targets)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.checkWaves(parsed); err != nil {
+		return nil, err
+	}
 
 	var out []*Package
-	for _, dir := range dirs {
-		path, err := l.importPathFor(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkg, err := l.loadPath(path, dir)
-		if err != nil {
-			return nil, err
-		}
-		if pkg != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, path := range targets {
+		if pkg := l.pkgs[path]; pkg != nil {
 			out = append(out, pkg)
 		}
 	}
 	return out, nil
+}
+
+// parseClosure parses, with a worker pool, every not-yet-loaded package
+// reachable from the target paths through module-internal imports,
+// breadth-first: each round parses the whole frontier in parallel, then
+// the freshly scanned imports form the next frontier. A target
+// directory with no non-test sources is skipped; an *imported* one is
+// an error (the import cannot resolve). Returns the freshly parsed
+// packages.
+func (l *Loader) parseClosure(targets []string) (map[string]*Package, error) {
+	parsed := make(map[string]*Package)
+	queued := make(map[string]bool)
+	viaImport := make(map[string]bool)
+	var pending []string
+	add := func(path string, imported bool) {
+		if imported {
+			viaImport[path] = true
+		}
+		if queued[path] {
+			return
+		}
+		l.mu.Lock()
+		_, done := l.pkgs[path]
+		l.mu.Unlock()
+		if done {
+			return
+		}
+		queued[path] = true
+		pending = append(pending, path)
+	}
+	for _, t := range targets {
+		add(t, false)
+	}
+	for len(pending) > 0 {
+		batch := pending
+		pending = nil
+		results := make([]*Package, len(batch))
+		errs := make([]error, len(batch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, l.workers)
+		for i, path := range batch {
+			wg.Add(1)
+			go func(i int, path string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = l.parsePackage(path)
+			}(i, path)
+		}
+		wg.Wait()
+		for i, path := range batch {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			if results[i] == nil {
+				if viaImport[path] {
+					return nil, fmt.Errorf("analysis: no Go files in %s", l.dirFor(path))
+				}
+				continue
+			}
+			parsed[path] = results[i]
+			for _, imp := range results[i].imports {
+				add(imp, true)
+			}
+		}
+	}
+	return parsed, nil
+}
+
+// parsePackage parses the non-test sources of one import path and scans
+// its module-internal imports. Returns (nil, nil) when the directory
+// has no sources.
+func (l *Loader) parsePackage(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	files, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	seen := make(map[string]bool)
+	for _, file := range files {
+		f, err := parser.ParseFile(l.fset, file, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if l.isModulePath(p) && !seen[p] {
+				seen[p] = true
+				pkg.imports = append(pkg.imports, p)
+			}
+		}
+	}
+	sort.Strings(pkg.imports)
+	return pkg, nil
+}
+
+func (l *Loader) isModulePath(p string) bool {
+	return p == l.modulePath || strings.HasPrefix(p, l.modulePath+"/")
+}
+
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	return filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+}
+
+// checkWaves type-checks the parsed packages in dependency waves: every
+// package whose module-internal imports are all checked goes into the
+// current wave, and the wave runs on the worker pool. A wave that
+// cannot form while packages remain is an import cycle.
+func (l *Loader) checkWaves(parsed map[string]*Package) error {
+	remaining := make(map[string]*Package, len(parsed))
+	for p, pkg := range parsed {
+		remaining[p] = pkg
+	}
+	for len(remaining) > 0 {
+		var wave []*Package
+		for _, pkg := range remaining {
+			ready := true
+			for _, imp := range pkg.imports {
+				if _, pending := remaining[imp]; pending {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, pkg)
+			}
+		}
+		if len(wave) == 0 {
+			var stuck []string
+			for p := range remaining {
+				stuck = append(stuck, p)
+			}
+			sort.Strings(stuck)
+			return fmt.Errorf("analysis: import cycle through %s", stuck[0])
+		}
+		sort.Slice(wave, func(i, j int) bool { return wave[i].Path < wave[j].Path })
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, l.workers)
+		for _, pkg := range wave {
+			delete(remaining, pkg.Path)
+			wg.Add(1)
+			go func(pkg *Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				l.checkPackage(pkg)
+			}(pkg)
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
+// checkPackage type-checks one parsed package (all of whose
+// module-internal imports are already in the memo) and publishes it.
+func (l *Loader) checkPackage(pkg *Package) {
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(l),
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	// Check returns the (possibly partial) package even on error; the
+	// collected pkg.Errors carry the details.
+	pkg.Types, _ = conf.Check(pkg.Path, l.fset, pkg.Files, pkg.Info)
+	l.mu.Lock()
+	l.pkgs[pkg.Path] = pkg
+	l.mu.Unlock()
 }
 
 // goDirsUnder lists directories under base that contain at least one
@@ -197,71 +417,27 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.modulePath + "/" + filepath.ToSlash(rel), nil
 }
 
-// loadPath parses and type-checks the package at the import path,
-// memoized. Returns (nil, nil) when the directory has no non-test
-// sources.
-func (l *Loader) loadPath(path, dir string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-
-	files, err := goSourceFiles(dir)
-	if err != nil {
-		return nil, err
-	}
-	if len(files) == 0 {
-		return nil, nil
-	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
-	for _, file := range files {
-		f, err := parser.ParseFile(l.fset, file, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: %w", err)
-		}
-		pkg.Files = append(pkg.Files, f)
-	}
-	pkg.Info = &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-	}
-	conf := types.Config{
-		Importer: (*moduleImporter)(l),
-		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
-	}
-	// Check returns the (possibly partial) package even on error; the
-	// collected pkg.Errors carry the details.
-	pkg.Types, _ = conf.Check(path, l.fset, pkg.Files, pkg.Info)
-	l.pkgs[path] = pkg
-	return pkg, nil
-}
-
-// moduleImporter resolves module-internal imports from source and
-// defers everything else to the standard-library source importer.
+// moduleImporter resolves module-internal imports from the memo (the
+// wave scheduler guarantees dependencies are checked first) and defers
+// everything else to the mutex-guarded standard-library source
+// importer.
 type moduleImporter Loader
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	l := (*Loader)(m)
-	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
-		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
-		dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
-		pkg, err := l.loadPath(path, dir)
-		if err != nil {
-			return nil, err
-		}
+	if l.isModulePath(path) {
+		l.mu.Lock()
+		pkg := l.pkgs[path]
+		l.mu.Unlock()
 		if pkg == nil {
-			return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+			return nil, fmt.Errorf("analysis: no Go files in %s", l.dirFor(path))
 		}
 		if pkg.Types == nil {
 			return nil, fmt.Errorf("analysis: type-checking %s failed", path)
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }

@@ -77,3 +77,47 @@ func pkgPaths(pkgs []*Package) []string {
 	}
 	return out
 }
+
+// TestLoaderParallelMatchesSequential pins the parallel loader against
+// the one-worker configuration: same packages, same types, same
+// analyzer verdicts, regardless of pool size or scheduling.
+func TestLoaderParallelMatchesSequential(t *testing.T) {
+	load := func(workers int) []*Package {
+		t.Helper()
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.workers = workers
+		// simtest sits near the top of the module's import graph, so
+		// this exercises multi-wave scheduling over shared deps.
+		pkgs, err := l.Load("internal/simtest", "internal/harness")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkgs
+	}
+	seq := load(1)
+	par := load(8)
+	if len(seq) != len(par) {
+		t.Fatalf("package count: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Path != par[i].Path {
+			t.Errorf("package %d: %s vs %s", i, seq[i].Path, par[i].Path)
+		}
+		if len(seq[i].Errors) != len(par[i].Errors) {
+			t.Errorf("%s: %d vs %d type errors", seq[i].Path, len(seq[i].Errors), len(par[i].Errors))
+		}
+	}
+	sd := RunAll(seq, All())
+	pd := RunAll(par, All())
+	if len(sd) != len(pd) {
+		t.Fatalf("diagnostics: sequential %d, parallel %d", len(sd), len(pd))
+	}
+	for i := range sd {
+		if sd[i].String() != pd[i].String() {
+			t.Errorf("diagnostic %d differs:\n  seq: %s\n  par: %s", i, sd[i], pd[i])
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags `range` statements over maps whose iteration order
+// escapes into an ordering-sensitive sink. Map iteration order is
+// randomized per run, so any byte sequence, event ordering or digest it
+// reaches differs between replays of the same seed — exactly the class
+// of nondeterminism the chaos suite's byte-for-byte replay contract
+// forbids.
+//
+// Sinks, checked inside the loop body:
+//
+//   - append to a slice declared outside the loop, unless that slice is
+//     sorted later in the same function (the canonical collect-then-
+//     sort-keys pattern stays legal);
+//   - a channel send (event enqueue in iteration order);
+//   - a call to an ordering-sensitive method: Send/Enqueue/Dispatch/
+//     Publish/Broadcast (fan-out order), Write/WriteString/WriteByte
+//     (wire bytes, digest input — hash.Hash is an io.Writer), or a
+//     Marshal*/Encode*/Append* codec call.
+//
+// Order-insensitive bodies — counting, summing, max-finding, writes
+// into another map, deletes — are untouched. Closures inside the body
+// are skipped (they typically run later, off the iteration order);
+// the bias, as everywhere in phvet, is toward false negatives.
+var Mapiter = &Analyzer{
+	Name:      "mapiter",
+	Doc:       "flag map iteration order escaping into slices (unsorted), channels, wire writes or digests",
+	AppliesTo: inInternal,
+	Run:       runMapiter,
+}
+
+// mapiterSinkMethods are method names whose call inside a map-range
+// body consumes the iteration order: transport sends, event/dispatch
+// fan-outs, and byte-stream writes (bytes.Buffer, strings.Builder,
+// hash.Hash and net conns all expose Write*).
+var mapiterSinkMethods = map[string]bool{
+	"Send":        true,
+	"Enqueue":     true,
+	"Dispatch":    true,
+	"Publish":     true,
+	"Broadcast":   true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// mapiterCodecPrefixes extend the sink set to the wire codec surface:
+// marshalling in iteration order commits the order to wire bytes.
+var mapiterCodecPrefixes = [...]string{"Marshal", "Encode", "Append"}
+
+func runMapiter(pass *Pass) {
+	for _, f := range pass.Files {
+		// Walk with explicit function context so the sorted-later
+		// exemption can scan the rest of the enclosing function.
+		var walk func(n ast.Node, fn ast.Node)
+		walk = func(n ast.Node, fn ast.Node) {
+			ast.Inspect(n, func(c ast.Node) bool {
+				switch v := c.(type) {
+				case *ast.FuncDecl:
+					if v == n {
+						return true
+					}
+					walk(v, v)
+					return false
+				case *ast.FuncLit:
+					if v == n {
+						return true
+					}
+					walk(v, v)
+					return false
+				case *ast.RangeStmt:
+					if isMapType(exprType(pass, v.X)) {
+						checkMapRange(pass, v, fn)
+					}
+				}
+				return true
+			})
+		}
+		walk(f, nil)
+	}
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for sinks. fn is the
+// enclosing function (FuncDecl or FuncLit) used to look for a
+// subsequent sort of an append target; nil at file scope.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, fn ast.Node) {
+	mapExpr := types.ExprString(rng.X)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later; not this iteration order
+		case *ast.RangeStmt:
+			if v != rng && isMapType(exprType(pass, v.X)) {
+				return false // the nested range reports for itself
+			}
+		case *ast.SendStmt:
+			pass.Reportf(v.Arrow,
+				"iteration order of map %s escapes into a channel send; enqueue from sorted keys instead",
+				mapExpr)
+		case *ast.AssignStmt:
+			checkMapRangeAppend(pass, v, rng, fn, mapExpr)
+		case *ast.CallExpr:
+			if obj, _ := methodFunc(pass.Info, v); obj != nil {
+				name := obj.Name()
+				if mapiterSinkMethods[name] || hasAnyPrefix(name, mapiterCodecPrefixes[:]) {
+					pass.Reportf(v.Pos(),
+						"iteration order of map %s escapes into ordering-sensitive call %s; iterate sorted keys instead",
+						mapExpr, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAppend flags `dst = append(dst, ...)` inside a map-range
+// body when dst outlives the loop and is never sorted afterwards in the
+// same function.
+func checkMapRangeAppend(pass *Pass, assign *ast.AssignStmt, rng *ast.RangeStmt, fn ast.Node, mapExpr string) {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(assign.Lhs) {
+			continue
+		}
+		target := assignTargetObj(pass.Info, assign.Lhs[i])
+		if target == nil {
+			continue
+		}
+		// A target rooted at a variable declared inside the loop body
+		// (`cp := *s; cp.Xs = append(cp.Xs, ...)`) dies with the
+		// iteration; its order cannot escape.
+		if rng.Body.Pos() <= target.Pos() && target.Pos() <= rng.Body.End() {
+			continue
+		}
+		if fn != nil && sortedInFunc(pass, fn, target) {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"iteration order of map %s escapes into append to %s, which is never sorted in this function; sort it (or collect+sort keys) before the order can reach the wire, an event queue or a digest",
+			mapExpr, types.ExprString(assign.Lhs[i]))
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// assignTargetObj resolves the assignment target to the object of its
+// *root* variable: `keys` for keys, `cp` for cp.Technologies. The root
+// decides lifetime (loop-local copies are exempt) and is what a later
+// sort call must mention.
+func assignTargetObj(info *types.Info, lhs ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if obj := info.Defs[e]; obj != nil {
+				return obj
+			}
+			return info.Uses[e]
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedInFunc reports whether the enclosing function also passes
+// target to a sort/slices ordering call — the collect-then-sort idiom.
+func sortedInFunc(pass *Pass, fn ast.Node, target types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSortCall(pass.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(pass.Info, arg, target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether call orders its argument: a package-level
+// function of sort or slices, or any function whose name says it sorts
+// (sortEvents, sortConns, SortByID — the house idiom for a shared
+// comparator).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj := packageFunc(info, fun.Sel); obj != nil {
+			switch obj.Pkg().Path() {
+			case "sort", "slices":
+				return true
+			}
+		}
+		return sortishName(fun.Sel.Name)
+	case *ast.Ident:
+		return sortishName(fun.Name)
+	}
+	return false
+}
+
+// sortishName matches function names that promise ordering.
+func sortishName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// exprMentions reports whether e references obj anywhere (covers
+// sort.Strings(keys), sort.Slice(keys, ...), sort.Sort(byID(keys))).
+func exprMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// hasAnyPrefix reports whether s starts with any of the prefixes.
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

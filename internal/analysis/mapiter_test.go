@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+func TestMapiterFindsOrderingSinks(t *testing.T) {
+	checkFixture(t, Mapiter, "repro/internal/fixture", "mapiter")
+}
+
+func TestMapiterScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/netsim", true},
+		{"repro/internal/vtime", true}, // waking waiters in map order is still an ordering bug
+		{"repro/cmd/chaos", false},     // report tools may print in any order
+		{"repro/examples/bus", false},
+	}
+	for _, c := range cases {
+		if got := Mapiter.AppliesTo(c.path); got != c.want {
+			t.Errorf("Mapiter.AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

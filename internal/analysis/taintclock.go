@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Taintclock upgrades walltime/detrand from direct-call detection to an
+// interprocedural call-graph taint pass. A module function that calls
+// time.Now (or any other forbidden wall-clock/global-rand function) is
+// a taint *seed*; taint propagates callee-to-caller across the whole
+// loaded package set, and every call site in a simulation-plane package
+// that reaches a tainted helper is a finding — so wrapping the wall
+// clock in a helper (or a helper of a helper, in any package) no longer
+// hides it from phvet.
+//
+// Two escape hatches keep the sanctioned real-time edges quiet:
+//
+//   - package allowlist: internal/vtime (the clock implementations) and
+//     internal/testutil (the leak checker polls real teardown) never
+//     seed or carry taint — calling into them is the *fix*, not the bug;
+//   - a seed call suppressed in place with //phvet:ignore walltime (or
+//     detrand) marks its enclosing function as a justified real-time
+//     edge — the justification text covers the whole function, so its
+//     callers are not poisoned. New helpers without a justification
+//     poison every transitive caller.
+//
+// Direct forbidden calls are walltime/detrand findings already;
+// taintclock reports only the *indirect* sites (calls to tainted module
+// functions), each with its witness path to the root clock/rand call.
+//
+// Known false negatives, by design: calls through interfaces do not
+// propagate (the interface method has no body), and function values
+// passed around taint only the function that references them.
+var Taintclock = &Analyzer{
+	Name:      "taintclock",
+	Doc:       "interprocedural taint: flag simulation-plane calls that transitively reach the wall clock or global rand",
+	AppliesTo: taintReportsIn,
+	RunModule: runTaintclock,
+}
+
+// taintReportsIn scopes reporting to the simulation plane: internal/
+// minus the allowlisted real-time packages.
+func taintReportsIn(pkgPath string) bool {
+	return inInternal(pkgPath) && !taintAllowedPkg(pkgPath)
+}
+
+// taintAllowedPkg is the package-level allowlist for the real-time
+// edge: the virtual-clock implementations and the test-teardown
+// utilities read the host clock on purpose, and functions there neither
+// seed nor carry taint.
+func taintAllowedPkg(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/vtime") ||
+		strings.Contains(pkgPath, "/internal/testutil")
+}
+
+// taintSeedName classifies obj as a forbidden wall-clock or global-rand
+// function and returns its display name ("time.Now", "rand.Intn"), or
+// "".
+func taintSeedName(obj *types.Func) string {
+	if obj.Pkg() == nil || obj.Type().(*types.Signature).Recv() != nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if walltimeForbidden[obj.Name()] {
+			return "time." + obj.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if !detrandAllowed[obj.Name()] {
+			return "rand." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// taintFn is one module function's node in the call graph.
+type taintFn struct {
+	obj  *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+	// seed is the forbidden function this body calls directly ("" when
+	// none survives suppression).
+	seed string
+	// sanctioned marks a function whose direct seed call carries a
+	// //phvet:ignore — a justified real-time edge that stops taint.
+	sanctioned bool
+	// callees are module functions this body references, with one
+	// representative position each.
+	callees map[*types.Func]token.Pos
+
+	// taint state, filled by propagation:
+	tainted bool
+	// via is the callee that tainted this function (nil for seeds).
+	via *types.Func
+}
+
+func runTaintclock(mp *ModulePass) {
+	modulePkgs := make(map[*types.Package]*Package, len(mp.Pkgs))
+	for _, pkg := range mp.Pkgs {
+		if pkg.Types != nil {
+			modulePkgs[pkg.Types] = pkg
+		}
+	}
+
+	// Pass 1: build one node per declared function/method, recording
+	// direct seeds (minus suppressed ones) and module-internal edges.
+	fns := make(map[*types.Func]*taintFn)
+	var order []*taintFn // deterministic propagation order
+	for _, pkg := range mp.Pkgs {
+		ignores := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+		collectIgnoresInto(ignores, pkg.Fset, pkg.Files)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &taintFn{obj: obj, pkg: pkg, decl: fd, callees: make(map[*types.Func]token.Pos)}
+				buildTaintNode(fn, ignores, modulePkgs)
+				fns[obj] = fn
+				order = append(order, fn)
+			}
+		}
+	}
+
+	// Pass 2: propagate taint callee-to-caller to a fixed point. The
+	// allowlisted packages and sanctioned functions are barriers: they
+	// never become tainted, so taint cannot flow through them. Callees
+	// are visited in source-position order so the chosen witness edge —
+	// and with it the finding message — is replay-stable.
+	for _, fn := range order {
+		if fn.seed != "" && !taintAllowedPkg(fn.pkg.Path) {
+			fn.tainted = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			if fn.tainted || fn.sanctioned || taintAllowedPkg(fn.pkg.Path) {
+				continue
+			}
+			for _, callee := range sortedCallees(fn.callees) {
+				if c := fns[callee]; c != nil && c.tainted {
+					fn.tainted = true
+					fn.via = callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: report every call site of a tainted module function, with
+	// its witness path down to the root forbidden call.
+	for _, fn := range order {
+		if !mp.Applies(fn.pkg) || fn.sanctioned {
+			continue
+		}
+		type site struct {
+			callee *types.Func
+			pos    token.Pos
+		}
+		var sites []site
+		for callee, pos := range fn.callees {
+			if c := fns[callee]; c != nil && c.tainted {
+				sites = append(sites, site{callee, pos})
+			}
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, s := range sites {
+			mp.Reportf(fn.pkg, s.pos,
+				"call to %s reaches the wall clock/global rand (%s); thread a vtime.Clock or seeded *rand.Rand through, or justify the edge with //phvet:ignore at the root call",
+				s.callee.Name(), taintPath(fns, s.callee))
+		}
+	}
+
+	// Package-level var initializers reference functions outside any
+	// body; a stored tainted helper smuggles the clock just like a
+	// stored time.Now does for walltime.
+	for _, pkg := range mp.Pkgs {
+		if !mp.Applies(pkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				ast.Inspect(gd, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok && fl != nil {
+						return true // literal bodies still reference in this scope
+					}
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj, ok := pkg.Info.Uses[id].(*types.Func)
+					if !ok {
+						return true
+					}
+					if c := fns[obj]; c != nil && c.tainted {
+						mp.Reportf(pkg, id.Pos(),
+							"call to %s reaches the wall clock/global rand (%s); thread a vtime.Clock or seeded *rand.Rand through, or justify the edge with //phvet:ignore at the root call",
+							obj.Name(), taintPath(fns, obj))
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// buildTaintNode walks one function body, classifying every referenced
+// function object as a seed or a module-internal edge. References count
+// like calls (a stored time.Now function value smuggles the clock just
+// as effectively), matching walltime's ident-based detection.
+func buildTaintNode(fn *taintFn, ignores *ignoreSet, modulePkgs map[*types.Package]*Package) {
+	info := fn.pkg.Info
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		if name := taintSeedName(obj); name != "" {
+			pos := fn.pkg.Fset.Position(id.Pos())
+			if ignores.suppresses(Diagnostic{Pos: pos, Analyzer: "walltime"}) ||
+				ignores.suppresses(Diagnostic{Pos: pos, Analyzer: "detrand"}) ||
+				ignores.suppresses(Diagnostic{Pos: pos, Analyzer: "taintclock"}) {
+				fn.sanctioned = true
+				return true
+			}
+			fn.seed = name
+			return true
+		}
+		if _, ok := modulePkgs[obj.Pkg()]; ok && obj != fn.obj {
+			if _, dup := fn.callees[obj]; !dup {
+				fn.callees[obj] = id.Pos()
+			}
+		}
+		return true
+	})
+}
+
+// sortedCallees returns the edge targets ordered by the position of
+// their first reference, keeping propagation and witness paths
+// deterministic.
+func sortedCallees(callees map[*types.Func]token.Pos) []*types.Func {
+	out := make([]*types.Func, 0, len(callees))
+	for c := range callees {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return callees[out[i]] < callees[out[j]] })
+	return out
+}
+
+// taintPath renders the witness chain from callee down to the root
+// forbidden call, e.g. "stamp → now → time.Now".
+func taintPath(fns map[*types.Func]*taintFn, callee *types.Func) string {
+	var parts []string
+	for cur := callee; cur != nil; {
+		fn := fns[cur]
+		if fn == nil {
+			break
+		}
+		parts = append(parts, cur.Name())
+		if fn.seed != "" {
+			parts = append(parts, fn.seed)
+			break
+		}
+		if len(parts) >= 8 { // witness, not a stack trace
+			parts = append(parts, "…")
+			break
+		}
+		cur = fn.via
+	}
+	return strings.Join(parts, " → ")
+}

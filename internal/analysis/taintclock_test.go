@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+func TestTaintclockFindsIndirectClockAccess(t *testing.T) {
+	checkFixture(t, Taintclock, "repro/internal/fixture", "taintclock")
+}
+
+// TestTaintclockScope pins the reporting scope and the package-level
+// allowlist: the clock implementations and the leak checker are the
+// sanctioned real-time edges.
+func TestTaintclockScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/netsim", true},
+		{"repro/internal/community", true},
+		{"repro/internal/faults", true},
+		{"repro/internal/simtest", true},
+		{"repro/internal/vtime", false},
+		{"repro/internal/testutil", false},
+		{"repro/cmd/table8", false},
+		{"repro/examples/quickstart", false},
+	}
+	for _, c := range cases {
+		if got := Taintclock.AppliesTo(c.path); got != c.want {
+			t.Errorf("Taintclock.AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	for _, allowed := range []string{"repro/internal/vtime", "repro/internal/testutil"} {
+		if !taintAllowedPkg(allowed) {
+			t.Errorf("taintAllowedPkg(%q) = false, want true", allowed)
+		}
+	}
+}
+
+// TestTaintclockCrossPackage proves taint crosses package boundaries:
+// internal/profile transitively uses vtime (allowlisted), so a full
+// multi-package run over real module packages must stay quiet, while
+// the module-level machinery (RunAll with several packages) holds
+// together.
+func TestTaintclockCrossPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("internal/profile", "internal/interest", "internal/ids", "internal/vtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			t.Fatalf("type error in %s: %v", p.Path, e)
+		}
+	}
+	diags := RunAll(pkgs, []*Analyzer{Taintclock})
+	for _, d := range diags {
+		t.Errorf("unexpected cross-package taint finding: %s", d)
+	}
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises goloss: every launch below runs an
+// unbounded pump loop no lifecycle can reap.
+package fixture
+
+func process(int)  {}
+func step()        {}
+func spin()        {}
+
+// orphanPump is the classic leak: a receive loop that only ends when
+// the process does.
+func orphanPump(jobs chan int) {
+	go func() { // want "unbounded loop with no lifecycle tie"
+		for {
+			j := <-jobs
+			process(j)
+		}
+	}()
+}
+
+// runForever leaks through a named launch: the body is resolved
+// in-package and checked the same way.
+func runForever() {
+	for {
+		step()
+	}
+}
+
+func launchNamed() {
+	go runForever() // want "unbounded loop with no lifecycle tie"
+}
+
+// pumper leaks through a method launch.
+type pumper struct{ in chan int }
+
+func (p *pumper) loop() {
+	for {
+		process(<-p.in)
+	}
+}
+
+func launchMethod(p *pumper) {
+	go p.loop() // want "unbounded loop with no lifecycle tie"
+}
+
+// suppressed proves //phvet:ignore silences the launch site.
+func suppressed() {
+	go func() { //phvet:ignore goloss fixture: suppression covers the launch site
+		for {
+			spin()
+		}
+	}()
+}

@@ -1,0 +1,109 @@
+// The legal goroutine shapes: close/done channels, WaitGroups,
+// contexts, channel ranges, bounded loops and one-shot bodies.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work(int) {}
+
+// closedPump is the house pump shape: the closed channel reaps it.
+type conn struct {
+	sendQ  chan int
+	closed chan struct{}
+}
+
+func (c *conn) pump() {
+	for {
+		select {
+		case <-c.closed:
+			return
+		case m := <-c.sendQ:
+			work(m)
+		}
+	}
+}
+
+func launchPump(c *conn) {
+	go c.pump()
+}
+
+// waitGroupLoop is tracked by its WaitGroup: Wait hangs visibly if the
+// loop wedges, which is a lifecycle, not a leak.
+func waitGroupLoop(wg *sync.WaitGroup, jobs chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			j, ok := <-jobs
+			if !ok {
+				return
+			}
+			work(j)
+		}
+	}()
+}
+
+// ctxLoop is bounded by cancellation.
+func ctxLoop(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				work(j)
+			}
+		}
+	}()
+}
+
+// rangeLoop ends when the channel closes.
+func rangeLoop(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// oneShot ends itself: no loop, no finding.
+func oneShot(result chan int) {
+	go func() {
+		result <- 42
+	}()
+}
+
+// boundedLoop has its own exit condition.
+func boundedLoop(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+	}()
+}
+
+// stopField proves the looser evidence: a lifecycle-named field
+// consulted in the loop counts even outside a select.
+type sweeper struct {
+	mu      sync.Mutex
+	stopped bool
+}
+
+func (s *sweeper) sweep() {
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		work(0)
+	}
+}
+
+func launchSweeper(s *sweeper) {
+	go s.sweep()
+}

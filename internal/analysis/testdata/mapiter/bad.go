@@ -1,0 +1,64 @@
+// Package fixture exercises the mapiter analyzer's ordering-sensitive
+// sinks: every range below lets map iteration order escape into bytes,
+// events or collection order.
+package fixture
+
+import "bytes"
+
+// fanout enqueues to per-peer channels in map order: the event order
+// downstream differs between replays of the same seed.
+func fanout(peers map[string]chan []byte, payload []byte) {
+	for _, ch := range peers {
+		ch <- payload // want "escapes into a channel send"
+	}
+}
+
+// collectUnsorted returns keys in iteration order; the caller's loop
+// over them inherits the nondeterminism.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys, which is never sorted"
+	}
+	return keys
+}
+
+// digest feeds a byte stream in map order: the resulting bytes (and any
+// hash of them) differ run to run.
+func digest(m map[string]string, buf *bytes.Buffer) {
+	for k, v := range m {
+		buf.WriteString(k) // want "ordering-sensitive call WriteString"
+		buf.WriteString(v) // want "ordering-sensitive call WriteString"
+	}
+}
+
+type queue struct{ items []string }
+
+func (q *queue) Enqueue(s string) { q.items = append(q.items, s) }
+
+// dispatchOrder enqueues work in map order.
+func dispatchOrder(q *queue, pending map[string]bool) {
+	for id := range pending {
+		q.Enqueue(id) // want "ordering-sensitive call Enqueue"
+	}
+}
+
+// fieldAppend shows the sink through a struct field, not just a local.
+type batch struct{ out []int }
+
+func (b *batch) drain(m map[int]int) {
+	for _, v := range m {
+		b.out = append(b.out, v) // want "append to b.out, which is never sorted"
+	}
+}
+
+// suppressed proves //phvet:ignore works for mapiter: the order is
+// genuinely free here (summed downstream), so the directive silences
+// the finding.
+func suppressed(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) //phvet:ignore mapiter fixture: values are summed downstream; order-free
+	}
+	return vals
+}

@@ -1,0 +1,111 @@
+// The legal map-range shapes: collect-then-sort, order-free
+// aggregation, and iteration whose order dies inside the loop.
+package fixture
+
+import (
+	"sort"
+	"strings"
+)
+
+// collectSorted is the canonical fix: the append target is sorted in
+// the same function before the order can escape.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type entry struct {
+	k string
+	v int
+}
+
+// collectSortSlice covers the sort.Slice form of the same idiom.
+func collectSortSlice(m map[string]int) []entry {
+	var entries []entry
+	for k, v := range m {
+		entries = append(entries, entry{k, v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+	return entries
+}
+
+// counting aggregates commutatively: no order escapes.
+func counting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// mapToMap re-keys into another map: the destination has no order.
+func mapToMap(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// localScratch appends to a slice born inside the loop body: its order
+// dies with the iteration.
+func localScratch(m map[string]string) int {
+	n := 0
+	for k, v := range m {
+		var parts []string
+		parts = append(parts, k, v)
+		n += len(strings.Join(parts, "/"))
+	}
+	return n
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}
+
+// sortHelper delegates ordering to a package helper whose name promises
+// a sort; the analyzer trusts sort-named functions that take the target.
+func sortHelper(m map[string]int) []entry {
+	var entries []entry
+	for k, v := range m {
+		entries = append(entries, entry{k, v})
+	}
+	sortEntries(entries)
+	return entries
+}
+
+func sortEntries(es []entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].k < es[j].k })
+}
+
+type record struct {
+	id   string
+	tags []string
+}
+
+// loopLocalCopy appends to a field of a struct copied inside the loop
+// body: the root variable cp is loop-local, so no order outlives the
+// iteration (each copy lands keyed in a map).
+func loopLocalCopy(src map[string]*record, dst map[string]record) {
+	for id, r := range src {
+		cp := *r
+		cp.tags = append(cp.tags, "seen")
+		dst[id] = cp
+	}
+}
+
+// maxKey picks an extremum: order-free.
+func maxKey(m map[int]int) int {
+	best := 0
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}

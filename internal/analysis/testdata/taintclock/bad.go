@@ -1,0 +1,57 @@
+// Package fixture exercises taintclock's interprocedural taint: the
+// direct time.Now/rand calls below are walltime/detrand territory; what
+// taintclock must catch is every *caller* that reaches them through
+// helpers.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// root reads the clock directly (a walltime finding, not repeated by
+// taintclock) and seeds the taint.
+func root() time.Time {
+	return time.Now()
+}
+
+// helper is one hop away: the call to root is an indirect clock read.
+func helper() time.Time {
+	return root() // want "call to root reaches the wall clock"
+}
+
+// caller is two hops away; the witness path names the whole chain.
+func caller() int64 {
+	return helper().UnixNano() // want "call to helper reaches the wall clock"
+}
+
+// draw seeds rand taint through the process-global source.
+func draw() int {
+	return rand.Intn(6)
+}
+
+func gamble() int {
+	return draw() // want "call to draw reaches the wall clock"
+}
+
+// stamped shows taint through a method: the method body seeds, the
+// call site is the finding.
+type stamped struct{ at time.Time }
+
+func (s *stamped) touch() {
+	s.at = time.Now()
+}
+
+func useStamped(s *stamped) {
+	s.touch() // want "call to touch reaches the wall clock"
+}
+
+// ignoredCaller proves //phvet:ignore suppresses the indirect finding
+// at the call site too.
+func ignoredCaller() time.Time {
+	return helper() //phvet:ignore taintclock fixture: suppression works on indirect findings
+}
+
+// valueRef proves a bare reference to a tainted helper counts like a
+// call: storing it smuggles the clock somewhere else.
+var valueRef = helper // want "call to helper reaches the wall clock"

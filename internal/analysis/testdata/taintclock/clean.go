@@ -1,0 +1,56 @@
+// The legal shapes: injected clocks, seeded sources, pure time
+// arithmetic, and a justified real-time edge whose suppression stops
+// taint from poisoning its callers.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the injected dependency simulation code should use; calling
+// through it never taints.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// onClock threads the injected clock: no taint anywhere.
+func onClock(c Clock) time.Duration {
+	start := c.Now()
+	<-c.After(time.Millisecond)
+	return c.Now().Sub(start)
+}
+
+// seededDraw owns an explicitly seeded source: detrand-legal and
+// taint-free.
+func seededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func usesSeeded() int {
+	return seededDraw(42)
+}
+
+// sanctionedEdge is a justified real-time edge: the in-place
+// suppression marks the whole function as the sanctioned boundary, so
+// its callers stay clean.
+func sanctionedEdge() time.Time {
+	return time.Now() //phvet:ignore walltime fixture: justified real-time edge stops taint
+}
+
+// usesSanctioned must NOT be poisoned: the justification at the root
+// covers this path.
+func usesSanctioned() time.Time {
+	return sanctionedEdge()
+}
+
+// pureArithmetic never samples any clock.
+func pureArithmetic() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+func usesPure() time.Time {
+	return pureArithmetic()
+}

@@ -234,9 +234,16 @@ func (m *Manager) Update(nearby []Member) []Event {
 	m.lastTerms = append(m.lastTerms[:0], terms...)
 	m.lastNearby = append(m.lastNearby[:0], nearby...)
 
-	subs := make([]func(Event), 0, len(m.subs))
-	for _, fn := range m.subs {
-		subs = append(subs, fn)
+	// Notify in subscription order: collecting callbacks in map order
+	// would fan events out in a different order each run.
+	subIDs := make([]int, 0, len(m.subs))
+	for id := range m.subs {
+		subIDs = append(subIDs, id)
+	}
+	sort.Ints(subIDs)
+	subs := make([]func(Event), 0, len(subIDs))
+	for _, id := range subIDs {
+		subs = append(subs, m.subs[id])
 	}
 	m.mu.Unlock()
 	for _, fn := range subs {

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSubscribersNotifiedInSubscriptionOrder is a regression test: the
+// event fan-out used to collect callbacks by ranging over the
+// subscriber map, so two handlers saw the same events in a different
+// interleaving each run. Callbacks must fire in subscription order.
+func TestSubscribersNotifiedInSubscriptionOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		m := newMgr()
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			m.Subscribe(func(Event) { order = append(order, i) })
+		}
+		events := m.Update([]Member{member("bob", "football")})
+		if len(events) == 0 {
+			t.Fatal("no events; fan-out untested")
+		}
+		if len(order) != 8*len(events) {
+			t.Fatalf("trial %d: %d callback firings, want %d", trial, len(order), 8*len(events))
+		}
+		// Each subscriber receives all events before the next
+		// subscriber runs, in subscription order.
+		for i, got := range order {
+			if want := i / len(events); got != want {
+				t.Fatalf("trial %d: firing %d came from subscriber %d, want %d (full order %v)",
+					trial, i, got, want, order)
+			}
+		}
+	}
+}

@@ -192,9 +192,8 @@ func (s *Semantics) Classes() [][]string {
 	sort.Strings(roots)
 	out := make([][]string, 0, len(roots))
 	for _, root := range roots {
-		terms := byRoot[root]
-		sort.Strings(terms)
-		out = append(out, terms)
+		sort.Strings(byRoot[root])
+		out = append(out, byRoot[root])
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -115,6 +116,12 @@ func (n *Network) SendBroadcast(from ids.DeviceID, tech radio.Technology, port s
 			targets = append(targets, target{dev: key.dev, sub: sub})
 		}
 	}
+	// Draw loss decisions in a deterministic order: consuming the seeded
+	// rng in map-iteration order would assign different drop fates to
+	// the same subscribers run to run, breaking seed replay. One
+	// subscriber key matches per device at this port, so sorting by
+	// device keeps each key's registration order intact.
+	sort.SliceStable(targets, func(i, j int) bool { return targets[i].dev < targets[j].dev })
 	// Pre-draw loss decisions under the lock so rng access is serialized.
 	drops := make([]bool, len(targets))
 	for i := range drops {

@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/radio"
+)
+
+// TestBroadcastLossDrawOrderDeterministic is a regression test for a
+// seed-replay bug: loss fates were drawn from the seeded rng while
+// iterating the subscriber table in map order, so the same seed dropped
+// a different subset of subscribers each run. Fates now attach to
+// subscribers in sorted device order, making the received set a pure
+// function of the seed. Fresh identical worlds must therefore agree on
+// exactly who heard the probe, every time.
+func TestBroadcastLossDrawOrderDeterministic(t *testing.T) {
+	receivers := func() string {
+		env := radio.NewEnvironment(WithTestScale())
+		net := New(env, 7)
+		defer net.Close()
+		addStatic(t, env, "src", geo.Pt(0, 0), radio.WLAN)
+		subs := make(map[ids.DeviceID]*BroadcastSub, 8)
+		for i := 0; i < 8; i++ {
+			id := ids.DeviceID(fmt.Sprintf("dst%d", i))
+			addStatic(t, env, id, geo.Pt(float64(i+1), 0), radio.WLAN)
+			sub, err := net.SubscribeBroadcast(id, "disc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs[id] = sub
+		}
+		net.SetBroadcastLoss(0.5)
+		if _, err := net.SendBroadcast("src", radio.WLAN, "disc", []byte("probe")); err != nil {
+			t.Fatal(err)
+		}
+		// Delivery is synchronous into the subscriber buffers, so a
+		// non-blocking receive tells us who heard it.
+		var got []string
+		for id, sub := range subs {
+			select {
+			case <-sub.ch:
+				got = append(got, string(id))
+			default:
+			}
+		}
+		sort.Strings(got)
+		return strings.Join(got, ",")
+	}
+
+	want := receivers()
+	for trial := 1; trial < 6; trial++ {
+		if have := receivers(); have != want {
+			t.Fatalf("trial %d: received set %q != first run %q — loss draws are not replay-stable", trial, have, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,6 +156,24 @@ func (n *Network) SetFaults(p *faults.Plan) {
 // faultPlan returns the installed plan, or nil.
 func (n *Network) faultPlan() *faults.Plan { return n.plan.Load() }
 
+// sortConnsDet orders connections deterministically — by dialer pair,
+// then connection sequence — so that shutdown and sweep failures hit
+// conns in a stable order instead of whatever order the conns map
+// yields this run. Failure order is observable (error delivery,
+// deregistration events), so it must replay.
+func sortConnsDet(conns []*Conn) {
+	sort.Slice(conns, func(i, j int) bool {
+		a, b := conns[i], conns[j]
+		if a.local != b.local {
+			return a.local < b.local
+		}
+		if a.remote != b.remote {
+			return a.remote < b.remote
+		}
+		return a.connSeq < b.connSeq
+	})
+}
+
 // nextConnSeq numbers a new connection on its directed dialer pair.
 func (n *Network) nextConnSeq(from, to ids.DeviceID) uint64 {
 	n.mu.Lock()
@@ -192,6 +211,7 @@ func (n *Network) Close() {
 	for c := range n.conns {
 		live = append(live, c)
 	}
+	sortConnsDet(live)
 	n.conns = make(map[*Conn]bool)
 	n.kickSweeperLocked()
 	n.mu.Unlock()
@@ -265,6 +285,7 @@ func (n *Network) sweepLinks() {
 		for c := range n.conns {
 			live = append(live, c)
 		}
+		sortConnsDet(live)
 		n.mu.Unlock()
 		// Outside the lock: linkUp re-enters n.mu and failing a conn
 		// re-enters the network to deregister itself.

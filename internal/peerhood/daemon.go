@@ -257,10 +257,13 @@ func (d *Daemon) Stop() {
 		d.cancel()
 	}
 	d.running = false
+	// Close listeners in name order so shutdown errors and listener
+	// teardown replay identically run to run.
 	svcs := make([]*localService, 0, len(d.services))
 	for _, s := range d.services {
 		svcs = append(svcs, s)
 	}
+	sort.Slice(svcs, func(i, j int) bool { return svcs[i].desc.Name < svcs[j].desc.Name })
 	probeCancel := d.probeCancel
 	d.mu.Unlock()
 	if probeCancel != nil {
@@ -448,7 +451,16 @@ func (d *Daemon) checkMonitors() {
 	}
 	var firings []firing
 	d.mu.Lock()
-	for _, m := range d.monitors {
+	// Fire callbacks in registration order (monitor IDs are monotonic);
+	// map order would interleave appeared/disappeared events
+	// differently each run.
+	monIDs := make([]int, 0, len(d.monitors))
+	for id := range d.monitors {
+		monIDs = append(monIDs, id)
+	}
+	sort.Ints(monIDs)
+	for _, id := range monIDs {
+		m := d.monitors[id]
 		present := d.reachableAnyTech(m.device)
 		if !m.primed {
 			m.primed = true

@@ -371,6 +371,7 @@ func (e *Environment) NeighborsBruteAt(id ids.DeviceID, tech Technology, elapsed
 		all = append(all, other)
 	}
 	e.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	if !ok || !self.powered || !self.hasRadio {
 		return nil
 	}

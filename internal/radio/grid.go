@@ -104,6 +104,10 @@ func (e *Environment) buildView(tech Technology, elapsed time.Duration) *worldVi
 		})
 	}
 	e.mu.RUnlock()
+	// Build cell buckets in device order: queries sort their output, but
+	// a deterministic view also keeps bucket layout reproducible for
+	// anything that iterates cells directly.
+	sort.Slice(copies, func(i, j int) bool { return copies[i].id < copies[j].id })
 
 	v := &worldView{
 		elapsed: elapsed,
