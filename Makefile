@@ -36,6 +36,21 @@ COMBENCH_PATTERN = ^(BenchmarkGroupRound|BenchmarkWireCodecSized|BenchmarkServer
 COMBENCH_REQUIRE = BenchmarkGroupRound/cold/peers=10,BenchmarkGroupRound/steady/peers=10,BenchmarkGroupRound/cold/peers=100,BenchmarkGroupRound/steady/peers=100,BenchmarkGroupRound/cold/peers=500,BenchmarkGroupRound/steady/peers=500,BenchmarkWireCodecSized/marshal/fields=500,BenchmarkWireCodecSized/append/fields=500,BenchmarkWireCodecSized/unmarshal/fields=500,BenchmarkServerAdmission/serve,BenchmarkServerAdmission/shed
 COMBENCH_RATIO   = BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:3,BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady/peers=500:5:wire-bytes/op,BenchmarkServerAdmission/serve:BenchmarkServerAdmission/shed:5
 
+# The discrete-event engine benchmarks and the floors the committed
+# BENCH_des.json baseline pins: at 1000 devices the same discovery
+# sweep must cost >= 1.15x more per device-round on the goroutine
+# engine than on the event engine, and growing the event engine's world
+# 10x (1000 -> 10000 devices) may cost at most 2x per device-round
+# (expressed as the 1k row keeping >= 0.5x of the 10k row) — wall-clock
+# scales with executed events, not with device count. One iteration is
+# one whole sweep, so the suite runs at -benchtime 1x; the smoke run
+# passes -short, which skips the half-minute 50k sweep (hence the
+# smaller require list).
+DESBENCH_PATTERN = ^BenchmarkDESScaleDiscovery$$
+DESBENCH_REQUIRE_SMOKE = BenchmarkDESScaleDiscovery/engine=goroutine/devices=1000,BenchmarkDESScaleDiscovery/engine=des/devices=1000,BenchmarkDESScaleDiscovery/engine=des/devices=10000
+DESBENCH_REQUIRE = $(DESBENCH_REQUIRE_SMOKE),BenchmarkDESScaleDiscovery/engine=des/devices=50000
+DESBENCH_RATIO   = BenchmarkDESScaleDiscovery/engine=goroutine/devices=1000:BenchmarkDESScaleDiscovery/engine=des/devices=1000:1.15:ns/dev-round,BenchmarkDESScaleDiscovery/engine=des/devices=1000:BenchmarkDESScaleDiscovery/engine=des/devices=10000:0.5:ns/dev-round
+
 .PHONY: verify build vet phvet vet-baseline test race chaos bench bench-json bench-smoke
 
 verify: build vet phvet race chaos bench-smoke
@@ -65,9 +80,11 @@ race:
 	$(GO) test -race ./...
 
 # chaos runs the seeded fault-injection suites — the link-fault matrix
-# and the endpoint (stall/crash/overload) matrix — twice under the race
-# detector: -count=2 re-runs every scenario from the same seeds, so a
-# pass also demonstrates replay determinism end to end.
+# and the endpoint (stall/crash/overload) matrix, each on both
+# transport engines (the TestChaos*DES variants re-run the matrices on
+# the discrete-event engine) — twice under the race detector: -count=2
+# re-runs every scenario from the same seeds, so a pass also
+# demonstrates replay determinism end to end.
 chaos:
 	$(GO) test -race -count=2 -run 'TestChaos|TestZeroScenario' ./internal/simtest/
 
@@ -85,6 +102,8 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_netsim.json -require '$(BENCH_REQUIRE)' -ratio '$(BENCH_RATIO)' < bench.out
 	$(GO) test -run '^$$' -bench '$(COMBENCH_PATTERN)' -benchmem -benchtime 20x -count=5 . > bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_community.json -require '$(COMBENCH_REQUIRE)' -ratio '$(COMBENCH_RATIO)' < bench.out
+	$(GO) test -run '^$$' -bench '$(DESBENCH_PATTERN)' -benchtime 1x -count=5 . > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_des.json -require '$(DESBENCH_REQUIRE)' -ratio '$(DESBENCH_RATIO)' < bench.out
 	rm -f bench.out
 
 # bench-smoke is the CI guard: every benchmark still compiles and runs
@@ -95,4 +114,6 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -o /dev/null -require '$(BENCH_REQUIRE)' < bench-smoke.out
 	$(GO) test -run '^$$' -bench '$(COMBENCH_PATTERN)' -benchmem -benchtime 1x . > bench-smoke.out
 	$(GO) run ./cmd/benchjson -o /dev/null -require '$(COMBENCH_REQUIRE)' < bench-smoke.out
+	$(GO) test -run '^$$' -short -bench '$(DESBENCH_PATTERN)' -benchtime 1x . > bench-smoke.out
+	$(GO) run ./cmd/benchjson -o /dev/null -require '$(DESBENCH_REQUIRE_SMOKE)' < bench-smoke.out
 	rm -f bench-smoke.out

@@ -680,6 +680,47 @@ func BenchmarkScaleDiscovery(b *testing.B) {
 	}
 }
 
+// BenchmarkDESScaleDiscovery runs the engine-scaling discovery sweep
+// (internal/harness/enginescale.go): every device runs an inquiry
+// window, queries its neighborhood and exchanges interest
+// advertisements with a capped fan-out, on the goroutine transport
+// engine and on the discrete-event engine. One iteration is one whole
+// sweep (two rounds per device), so run it with -benchtime 1x. ns/op
+// includes world construction; the reported ns/dev-round metric is the
+// sweep-only cost per device-round, and its flatness across 1k → 10k →
+// 50k devices is the event engine's scaling claim (the goroutine
+// engine's reference row grows with device count — BENCH_des.json pins
+// both floors). The 50k sweep is a half-minute experiment and skips
+// under -short so bench-smoke stays fast.
+func BenchmarkDESScaleDiscovery(b *testing.B) {
+	run := func(b *testing.B, n int, des bool) {
+		var last harness.EngineScalePoint
+		for i := 0; i < b.N; i++ {
+			ps, err := harness.RunEngineScale(harness.EngineScaleConfig{Seed: 7, DES: des}, []int{n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = ps[0]
+		}
+		b.ReportMetric(last.NsPerDeviceRound, "ns/dev-round")
+		if des {
+			b.ReportMetric(last.EventsPerSec, "events/sec")
+		}
+		if last.Groups == 0 || last.Delivered == 0 {
+			b.Fatalf("sweep exchanged nothing: %+v", last)
+		}
+	}
+	b.Run("engine=goroutine/devices=1000", func(b *testing.B) { run(b, 1000, false) })
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("engine=des/devices=%d", n), func(b *testing.B) {
+			if n == 50000 && testing.Short() {
+				b.Skip("50k sweep skipped under -short")
+			}
+			run(b, n, true)
+		})
+	}
+}
+
 // --- Delta synchronization: cold vs steady group rounds --------------
 
 // benchDeltaVocab models realistic member profiles; every peer carries

@@ -11,11 +11,17 @@
 //	groupscale [-peers 1,2,4,8,16] [-scale FACTOR]
 //	groupscale -substrate [-peers 100,500,1000,2000]
 //	groupscale -overload [-peers 100,400,1000]
+//	groupscale -des [-peers 1000,10000,50000]
 //
 // With -substrate it instead measures the radio substrate itself —
 // per-query neighbor-discovery cost, grid index vs brute force — at
 // thousand-device scale, where the full-stack experiment would be
 // dominated by protocol time.
+//
+// With -des it runs the engine-scaling sweep on the discrete-event
+// transport engine — virtual time advanced by popping the event queue —
+// at sizes the goroutine engine's timer waits cannot reach, printing a
+// goroutine-engine reference row for each size small enough to run.
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 	substrate := flag.Bool("substrate", false, "measure substrate neighbor queries (grid vs brute) instead of the full stack")
 	delta := flag.Bool("delta", false, "measure delta-synchronized group rounds (cold vs steady cache) instead of the full stack")
 	overload := flag.Bool("overload", false, "measure graceful degradation under offered load (admission control, shedding, bounded steady rounds)")
+	desFlag := flag.Bool("des", false, "run the discovery sweep on the discrete-event engine (with goroutine-engine reference rows at small sizes)")
 	flag.Parse()
 
 	peersSet := false
@@ -51,6 +58,9 @@ func main() {
 	if *overload && !peersSet {
 		*peersFlag = "100,400,1000"
 	}
+	if *desFlag && !peersSet {
+		*peersFlag = "1000,10000,50000"
+	}
 
 	var counts []int
 	for _, f := range strings.Split(*peersFlag, ",") {
@@ -60,6 +70,37 @@ func main() {
 			os.Exit(2)
 		}
 		counts = append(counts, n)
+	}
+
+	if *desFlag {
+		fmt.Println("Engine-scaling discovery sweep: every device runs an inquiry")
+		fmt.Println("window, queries its neighborhood and exchanges interest")
+		fmt.Println("advertisements with a capped fan-out. The discrete-event engine")
+		fmt.Println("collapses shared deadlines into event windows, so wall-clock")
+		fmt.Println("scales with executed events; goroutine-engine reference rows run")
+		fmt.Println("for sizes up to 2000 devices.")
+		fmt.Println()
+		const oracleCap = 2000
+		var points []harness.EngineScalePoint
+		for _, n := range counts {
+			if n > oracleCap {
+				continue
+			}
+			ps, err := harness.RunEngineScale(harness.EngineScaleConfig{Seed: 7}, []int{n})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "groupscale:", err)
+				os.Exit(1)
+			}
+			points = append(points, ps...)
+		}
+		ps, err := harness.RunEngineScale(harness.EngineScaleConfig{Seed: 7, DES: true}, counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groupscale:", err)
+			os.Exit(1)
+		}
+		points = append(points, ps...)
+		fmt.Print(harness.FormatEngineScale(points))
+		return
 	}
 
 	if *overload {

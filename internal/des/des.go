@@ -1,0 +1,440 @@
+// Package des is the sharded discrete-event simulation core: virtual
+// time advances by popping a priority event queue instead of sleeping,
+// so a modeled hour costs whatever its events cost and nothing more.
+// It is the engine that takes the netsim substrate from the ~2k-device
+// ceiling of goroutine-per-connection pumps and real timers to
+// 10k–50k-device sweeps (ROADMAP "discrete-event core").
+//
+// # Model
+//
+// An event is a closure scheduled at a virtual instant and homed on a
+// 64-bit entity key (a device, a connection end, a timer). Events are
+// sharded by home — shard = home mod nshards — and each shard keeps its
+// own priority queue. Execution proceeds in windows: the scheduler
+// finds the earliest pending instant T across all shards, sets the
+// virtual clock to T, and runs every event at T. Within a window,
+// shards execute their events in parallel between barriers; events an
+// event schedules at or before T land in a follow-up pass of the same
+// window, so causality at one instant is a deterministic fixpoint, not
+// a race.
+//
+// # Determinism
+//
+// Every event carries a key (time, tiebreak, home, seq) and all
+// ordering — per-shard pop order and the canonical trace — uses that
+// key alone, never the shard index, so one seed produces the same
+// execution with 1, 4 or 16 shards. The tiebreak is splitmix64 of the
+// scheduler seed with the event's home and sequence, which decorrelates
+// equal-time events without giving any fixed home priority. Events
+// scheduled from inside an event derive their sequence from the parent
+// event's key and a per-parent child counter — a pure function of the
+// cascade, so replays are byte-for-byte (TraceHash). Events scheduled
+// from outside any event (live goroutines in integrated mode) draw
+// from a global counter and are deterministic only as far as their
+// callers are; the differential suite in internal/simtest holds the
+// integrated engine to counter- and membership-level equivalence with
+// the goroutine engine instead.
+package des
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduler is a sharded discrete-event scheduler. Create one with
+// NewScheduler, drive it either synchronously (Run, for pure event
+// workloads) or in the background (Start/Stop, for integrated mode
+// where live goroutines block on its Clock), and read the replay
+// evidence from TraceHash/EventsExecuted.
+type Scheduler struct {
+	seed   uint64
+	shards []*shard
+	base   time.Time
+
+	// nowNS is the current virtual instant in nanoseconds since base;
+	// read lock-free by Clock.Now on every caller.
+	nowNS atomic.Int64
+
+	// pending counts queued events across all shards; extSeq numbers
+	// events scheduled from outside any event context.
+	pending atomic.Int64
+	extSeq  atomic.Uint64
+
+	// activity is the quiescence counter the background runner settles
+	// on: every schedule, execution batch and wake bumps it, and the
+	// runner only advances virtual time after it has stayed still
+	// through a yield-and-wait window (see settle).
+	activity atomic.Uint64
+
+	// kick (capacity 1) nudges the background runner out of its idle
+	// wait when an event is scheduled or Stop is called.
+	kick chan struct{}
+
+	// trace is the FNV-1a fold of every executed event's key in
+	// canonical order; executed counts them. Only the runner writes
+	// them (runMu), so reads are only exact between runs/windows.
+	trace    atomic.Uint64
+	executed atomic.Uint64
+
+	// runMu serializes window execution: Run and the Start runner must
+	// not interleave.
+	runMu sync.Mutex
+
+	stopMu  sync.Mutex
+	stopped bool
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+// shard is one home-partitioned event queue.
+type shard struct {
+	mu sync.Mutex
+	q  eventHeap
+}
+
+// event is one scheduled closure. The key (at, tie, home, seq) is the
+// total execution order; fn runs at virtual instant at. release, when
+// set, marks a clock wake (timer fire) that Stop must still deliver so
+// no goroutine stays parked on a dead scheduler.
+type event struct {
+	at   int64
+	tie  uint64
+	home uint64
+	seq  uint64
+	fn   func(ctx *Ctx)
+	// release unblocks the event's waiter without running fn; nil for
+	// ordinary events.
+	release func()
+}
+
+// less is the total event order: time, then seeded tiebreak, then
+// (home, seq) as the final disambiguator. The shard index never
+// participates, which is what makes the trace shard-count-invariant.
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.tie != o.tie {
+		return e.tie < o.tie
+	}
+	if e.home != o.home {
+		return e.home < o.home
+	}
+	return e.seq < o.seq
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].less(h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)         { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Ctx is the execution context handed to every event. Scheduling
+// through it derives the child's sequence from this event's key, so
+// cascades replay byte-for-byte; scheduling through the Scheduler
+// draws from the global counter instead.
+type Ctx struct {
+	s      *Scheduler
+	home   uint64
+	seq    uint64
+	childN uint64
+}
+
+// Scheduler returns the scheduler this event runs on.
+func (c *Ctx) Scheduler() *Scheduler { return c.s }
+
+// At schedules fn after d (clamped to now) with a sequence derived
+// from this event: child i of event (home, seq) always gets the same
+// key, whatever the shard count.
+func (c *Ctx) At(d time.Duration, home uint64, fn func(ctx *Ctx)) {
+	c.childN++
+	seq := splitmix64((c.seq ^ splitmix64(c.home)) + c.childN)
+	c.s.schedule(d, home, seq, fn, nil)
+}
+
+// NewScheduler returns a scheduler with the given seed and shard
+// count (floored at 1). The virtual epoch is a fixed instant so two
+// schedulers with one seed agree on every timestamp.
+func NewScheduler(seed int64, shards int) *Scheduler {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Scheduler{
+		seed:   splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15),
+		shards: make([]*shard, shards),
+		base:   time.Unix(1_000_000_000, 0).UTC(),
+		kick:   make(chan struct{}, 1),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{}
+	}
+	s.trace.Store(fnvOffset)
+	return s
+}
+
+// Shards reports the shard count.
+func (s *Scheduler) Shards() int { return len(s.shards) }
+
+// Now returns the current virtual instant.
+func (s *Scheduler) Now() time.Time { return s.base.Add(time.Duration(s.nowNS.Load())) }
+
+// NowNS returns the current virtual instant in nanoseconds since the
+// virtual epoch.
+func (s *Scheduler) NowNS() int64 { return s.nowNS.Load() }
+
+// At schedules fn after d (clamped to now) on the given home, with a
+// globally drawn sequence. Use Ctx.At from inside events when replay
+// determinism of the cascade matters.
+func (s *Scheduler) At(d time.Duration, home uint64, fn func(ctx *Ctx)) {
+	s.schedule(d, home, s.extSeq.Add(1), fn, nil)
+}
+
+// schedule enqueues one event; release is non-nil for clock wakes.
+func (s *Scheduler) schedule(d time.Duration, home, seq uint64, fn func(ctx *Ctx), release func()) {
+	if d < 0 {
+		d = 0
+	}
+	at := s.nowNS.Load() + int64(d)
+	e := &event{
+		at:      at,
+		tie:     splitmix64(s.seed ^ splitmix64(home)*0x9e3779b97f4a7c15 ^ seq),
+		home:    home,
+		seq:     seq,
+		fn:      fn,
+		release: release,
+	}
+	sh := s.shards[home%uint64(len(s.shards))]
+	sh.mu.Lock()
+	heap.Push(&sh.q, e)
+	sh.mu.Unlock()
+	s.pending.Add(1)
+	s.Bump()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Bump records external activity for the quiescence heuristic. The
+// netsim integration calls it on operations the scheduler cannot see
+// (queue admissions, channel deliveries) so the background runner
+// keeps virtual time still while live goroutines are mid-operation.
+func (s *Scheduler) Bump() { s.activity.Add(1) }
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int { return int(s.pending.Load()) }
+
+// EventsExecuted reports how many events have run.
+func (s *Scheduler) EventsExecuted() uint64 { return s.executed.Load() }
+
+// TraceHash is the FNV-1a fold of every executed event's key in
+// canonical (globally sorted) order. Two runs from one seed — at any
+// shard count — must produce the same hash for pure event cascades;
+// the determinism suite pins exactly that.
+func (s *Scheduler) TraceHash() uint64 { return s.trace.Load() }
+
+// Run drains the queue synchronously: windows execute until no events
+// remain. It is the pure-DES entry point; do not mix with Start.
+func (s *Scheduler) Run() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	for s.pending.Load() > 0 {
+		s.runWindow()
+	}
+}
+
+// RunUntil drains the queue up to and including virtual instant
+// (base + d); later events stay queued and virtual time parks at the
+// horizon, so a workload with self-rescheduling events (heartbeats)
+// still terminates.
+func (s *Scheduler) RunUntil(d time.Duration) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	horizon := int64(d)
+	for s.pending.Load() > 0 {
+		next, ok := s.peekNext()
+		if !ok || next > horizon {
+			break
+		}
+		s.runWindow()
+	}
+	if s.nowNS.Load() < horizon {
+		s.nowNS.Store(horizon)
+	}
+}
+
+// peekNext reports the earliest pending instant across shards.
+func (s *Scheduler) peekNext() (int64, bool) {
+	next, ok := int64(0), false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if len(sh.q) > 0 && (!ok || sh.q[0].at < next) {
+			next, ok = sh.q[0].at, true
+		}
+		sh.mu.Unlock()
+	}
+	return next, ok
+}
+
+// runWindow advances virtual time to the earliest pending instant and
+// executes every event at it, in passes: each pass pops the instant's
+// events from all shards, folds them into the trace in global key
+// order, then executes them shard-parallel with a barrier at the end.
+// Events scheduled during a pass at (or clamped to) the same instant
+// run in a later pass of the same window.
+func (s *Scheduler) runWindow() {
+	t, ok := s.peekNext()
+	if !ok {
+		return
+	}
+	s.nowNS.Store(t)
+	for {
+		batches := s.collectAt(t)
+		if len(batches) == 0 {
+			return
+		}
+		s.foldTrace(batches)
+		s.executeBarrier(batches)
+	}
+}
+
+// collectAt pops every event scheduled at instant t, one ordered batch
+// per shard (only non-empty batches are returned).
+func (s *Scheduler) collectAt(t int64) [][]*event {
+	var batches [][]*event
+	popped := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var batch []*event
+		for len(sh.q) > 0 && sh.q[0].at == t {
+			batch = append(batch, heap.Pop(&sh.q).(*event))
+		}
+		sh.mu.Unlock()
+		if len(batch) > 0 {
+			popped += len(batch)
+			batches = append(batches, batch)
+		}
+	}
+	if popped > 0 {
+		s.pending.Add(int64(-popped))
+	}
+	return batches
+}
+
+// foldTrace merges the pass's per-shard batches (each already in key
+// order) into the canonical global order and folds their keys into the
+// trace hash. The merge ignores which shard a batch came from — only
+// the key decides — so the hash is shard-count-invariant.
+func (s *Scheduler) foldTrace(batches [][]*event) {
+	idx := make([]int, len(batches))
+	h := s.trace.Load()
+	total := 0
+	for {
+		best := -1
+		for i, batch := range batches {
+			if idx[i] >= len(batch) {
+				continue
+			}
+			if best < 0 || batch[idx[i]].less(batches[best][idx[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := batches[best][idx[best]]
+		idx[best]++
+		total++
+		h = fnv1a(h, uint64(e.at))
+		h = fnv1a(h, e.tie)
+		h = fnv1a(h, e.home)
+		h = fnv1a(h, e.seq)
+	}
+	s.trace.Store(h)
+	s.executed.Add(uint64(total))
+	s.activity.Add(uint64(total))
+}
+
+// executeBarrier runs the pass's batches, one goroutine per shard
+// batch, and waits for all of them: the cross-shard synchronization
+// barrier. A single-batch pass runs inline.
+func (s *Scheduler) executeBarrier(batches [][]*event) {
+	runBatch := func(batch []*event) {
+		for _, e := range batch {
+			ctx := &Ctx{s: s, home: e.home, seq: e.seq}
+			if e.fn != nil {
+				e.fn(ctx)
+			} else if e.release != nil {
+				e.release()
+			}
+		}
+	}
+	if len(batches) == 1 {
+		runBatch(batches[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, batch := range batches[1:] {
+		wg.Add(1)
+		batch := batch
+		go func() {
+			defer wg.Done()
+			runBatch(batch)
+		}()
+	}
+	runBatch(batches[0])
+	wg.Wait()
+}
+
+// drainReleases pops every queued event and runs the release hooks
+// (clock wakes) so no goroutine stays parked on a stopped scheduler;
+// ordinary event closures are dropped unrun.
+func (s *Scheduler) drainReleases() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		q := sh.q
+		sh.q = nil
+		sh.mu.Unlock()
+		s.pending.Add(int64(-len(q)))
+		for _, e := range q {
+			if e.release != nil {
+				e.release()
+			}
+		}
+	}
+}
+
+// fnv1a constants and fold (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv1a(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// splitmix64 is the finalizer from Vigna's splitmix64 generator — the
+// same mixer the faults plane uses for its pure draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,291 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// This file is the engine-scaling experiment: the same discovery sweep
+// — every device runs an inquiry window, queries its neighborhood, and
+// exchanges interest advertisements with a capped fan-out, then forms
+// its groups — on the goroutine transport engine and on the
+// discrete-event engine. On the goroutine engine every modeled duration
+// is a (scaled) real timer wait, so wall-clock grows with device count
+// times timer granularity; on the event engine shared deadlines
+// collapse into windows and wall-clock grows with executed events,
+// which is what lets one process push the sweep to 10k–50k devices.
+
+// EngineScalePoint is one measured sweep at one world size.
+type EngineScalePoint struct {
+	Devices int
+	// Engine is "goroutine" or "des".
+	Engine string
+	// Wall is the real wall-clock cost of the whole sweep.
+	Wall time.Duration
+	// Virtual is how much virtual (clock) time the sweep consumed.
+	Virtual time.Duration
+	// Events and EventsPerSec are the event engine's executed-event
+	// count and throughput (zero on the goroutine engine).
+	Events       uint64
+	EventsPerSec float64
+	// NsPerDeviceRound is Wall divided by device-rounds — the figure
+	// whose growth (or flatness) is the scaling claim.
+	NsPerDeviceRound float64
+	// Groups totals the groups every device formed across rounds, and
+	// Delivered the transport's delivered messages — evidence the sweep
+	// actually exchanged interests rather than timing empty air.
+	Groups    int
+	Delivered uint64
+}
+
+// EngineScaleConfig parameterizes the sweep.
+type EngineScaleConfig struct {
+	// Scale is the modeled-to-real latency scale (default 1e-3).
+	Scale vtime.Scale
+	// Seed drives placement and interests.
+	Seed int64
+	// Rounds is how many discovery rounds each device runs (default 2).
+	Rounds int
+	// Fanout caps how many neighbors each device exchanges interests
+	// with per round (default 3).
+	Fanout int
+	// Wave bounds concurrent device drivers (default 2048), so a 50k
+	// sweep doesn't need 50k simultaneously running goroutines.
+	Wave int
+	// DES selects the discrete-event engine; Shards overrides its shard
+	// count (default 8).
+	DES    bool
+	Shards int
+}
+
+func (c EngineScaleConfig) withDefaults() EngineScaleConfig {
+	if c.Scale.Factor() == 1 || c.Scale.Factor() == 0 {
+		c.Scale = vtime.NewScale(1e-3)
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 3
+	}
+	if c.Wave <= 0 {
+		c.Wave = 2048
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	return c
+}
+
+// engineScalePool is the interest vocabulary; small enough that groups
+// form, large enough that not every pair shares one.
+var engineScalePool = []string{"football", "biking", "music", "chess", "films", "news", "games", "food"}
+
+func engineScaleInterests(i int) []string {
+	out := []string{engineScalePool[i%len(engineScalePool)]}
+	if second := engineScalePool[(i*5+3)%len(engineScalePool)]; second != out[0] {
+		out = append(out, second)
+	}
+	return out
+}
+
+func engineScaleAd(dev ids.DeviceID, interests []string) []byte {
+	return []byte("ad|" + string(dev) + "|" + strings.Join(interests, ","))
+}
+
+func engineScaleParse(payload []byte) ([]string, bool) {
+	parts := strings.Split(string(payload), "|")
+	if len(parts) != 3 || parts[0] != "ad" {
+		return nil, false
+	}
+	return strings.Split(parts[2], ","), true
+}
+
+// RunEngineScale measures the discovery sweep at each world size.
+func RunEngineScale(cfg EngineScaleConfig, deviceCounts []int) ([]EngineScalePoint, error) {
+	cfg = cfg.withDefaults()
+	out := make([]EngineScalePoint, 0, len(deviceCounts))
+	for _, n := range deviceCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("harness: engine scale: need at least one device, got %d", n)
+		}
+		p, err := runEngineScalePoint(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("harness: engine scale point %d: %w", n, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func runEngineScalePoint(cfg EngineScaleConfig, n int) (EngineScalePoint, error) {
+	ctx := context.Background()
+	seed := cfg.Seed + int64(n)
+	opts := []radio.Option{radio.WithScale(cfg.Scale)}
+	var sched *des.Scheduler
+	if cfg.DES {
+		sched = des.NewScheduler(seed, cfg.Shards)
+		opts = append(opts, radio.WithClock(sched.Clock()))
+	}
+	env := radio.NewEnvironment(opts...)
+	devs, err := placeUniform(env, n, seed)
+	if err != nil {
+		return EngineScalePoint{}, err
+	}
+	var net *netsim.Network
+	if cfg.DES {
+		net = netsim.NewDES(env, seed, sched)
+		sched.Start()
+		defer sched.Stop()
+	} else {
+		net = netsim.New(env, seed)
+	}
+	defer net.Close()
+
+	// Every device serves its interest advertisement on port "esd":
+	// one accept loop per device, one short-lived handler per exchange.
+	for i, dev := range devs {
+		l, err := net.Listen(dev, "esd")
+		if err != nil {
+			return EngineScalePoint{}, err
+		}
+		ad := engineScaleAd(dev, engineScaleInterests(i))
+		go func() {
+			for {
+				c, err := l.Accept(ctx)
+				if err != nil {
+					return
+				}
+				go func(c *netsim.Conn) {
+					defer func() { _ = c.Close() }()
+					for {
+						if _, err := c.Recv(ctx); err != nil {
+							return
+						}
+						if c.Send(ad) != nil {
+							return
+						}
+					}
+				}(c)
+			}
+		}()
+	}
+
+	clock := env.Clock()
+	inquiry := env.Scale().ToReal(env.PHY(radio.Bluetooth).InquiryDuration)
+	var groupsTotal atomic.Int64
+	virtStart := clock.Now()
+	sw := vtime.NewStopwatch(vtime.Real(), vtime.Identity())
+
+	for round := 0; round < cfg.Rounds; round++ {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		workers := cfg.Wave
+		if workers > n {
+			workers = n
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					driveEngineScaleDevice(ctx, cfg, env, net, clock, inquiry, devs, i, &groupsTotal)
+				}
+			}()
+		}
+		for i := range devs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	wall := sw.Elapsed()
+	point := EngineScalePoint{
+		Devices:          n,
+		Engine:           "goroutine",
+		Wall:             wall,
+		Virtual:          clock.Now().Sub(virtStart),
+		NsPerDeviceRound: float64(wall.Nanoseconds()) / float64(n*cfg.Rounds),
+		Groups:           int(groupsTotal.Load()),
+		Delivered:        net.Counters().MessagesDelivered,
+	}
+	if cfg.DES {
+		point.Engine = "des"
+		point.Events = sched.EventsExecuted()
+		if s := wall.Seconds(); s > 0 {
+			point.EventsPerSec = float64(point.Events) / s
+		}
+	}
+	return point, nil
+}
+
+// driveEngineScaleDevice runs one device's discovery round: inquiry
+// window, neighborhood query, capped-fanout interest exchange, group
+// formation.
+func driveEngineScaleDevice(ctx context.Context, cfg EngineScaleConfig, env *radio.Environment, net *netsim.Network, clock vtime.Clock, inquiry time.Duration, devs []ids.DeviceID, i int, groupsTotal *atomic.Int64) {
+	clock.Sleep(inquiry)
+	dev := devs[i]
+	// Pin the neighborhood query to an inquiry-sized epoch. The world is
+	// static here, so the answer is the same at any instant — but on the
+	// event engine every device wakes at its own virtual nanosecond, and
+	// un-pinned queries would each rebuild the O(n) world snapshot
+	// instead of sharing one per epoch (the radio package's query-epoch
+	// rule; at 10k devices that rebuild is the whole sweep's cost).
+	epoch := env.Elapsed().Truncate(env.PHY(radio.Bluetooth).InquiryDuration)
+	neigh := env.NeighborsAt(dev, radio.Bluetooth, epoch)
+	self := core.Member{Device: dev, ID: ids.MemberID(dev), Interests: engineScaleInterests(i)}
+	var nearby []core.Member
+	ad := engineScaleAd(dev, self.Interests)
+	for j := 0; j < cfg.Fanout && j < len(neigh); j++ {
+		c, err := net.Dial(ctx, dev, neigh[j], radio.Bluetooth, "esd")
+		if err != nil {
+			continue
+		}
+		if c.Send(ad) == nil {
+			if msg, err := c.Recv(ctx); err == nil {
+				if ints, ok := engineScaleParse(msg); ok {
+					nearby = append(nearby, core.Member{Device: neigh[j], ID: ids.MemberID(neigh[j]), Interests: ints})
+				}
+			}
+		}
+		_ = c.Close()
+	}
+	groupsTotal.Add(int64(len(core.DiscoverGroups(self, nearby, nil))))
+}
+
+// FormatEngineScale renders the series as a table.
+func FormatEngineScale(points []EngineScalePoint) string {
+	header := []string{"Devices", "Engine", "Wall", "Virtual", "Events", "Events/s", "ns/dev-round", "Groups", "Delivered"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		events, eps := "-", "-"
+		if p.Engine == "des" {
+			events = fmt.Sprintf("%d", p.Events)
+			eps = fmt.Sprintf("%.0f", p.EventsPerSec)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Devices),
+			p.Engine,
+			p.Wall.Round(time.Millisecond).String(),
+			p.Virtual.Round(time.Millisecond).String(),
+			events,
+			eps,
+			fmt.Sprintf("%.0f", p.NsPerDeviceRound),
+			fmt.Sprintf("%d", p.Groups),
+			fmt.Sprintf("%d", p.Delivered),
+		})
+	}
+	return FormatTable(header, rows)
+}

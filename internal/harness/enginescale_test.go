@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestEngineScaleBothEngines runs the discovery sweep small on both
+// engines and checks each produced real work: groups formed, messages
+// delivered, and — on the event engine — a nonzero executed-event
+// count with virtual time consumed.
+func TestEngineScaleBothEngines(t *testing.T) {
+	for _, des := range []bool{false, true} {
+		name := "goroutine"
+		if des {
+			name = "des"
+		}
+		t.Run(name, func(t *testing.T) {
+			points, err := RunEngineScale(EngineScaleConfig{Seed: 7, DES: des, Rounds: 2}, []int{40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := points[0]
+			if p.Engine != name {
+				t.Errorf("engine label %q, want %q", p.Engine, name)
+			}
+			if p.Groups == 0 {
+				t.Error("sweep formed no groups")
+			}
+			if p.Delivered == 0 {
+				t.Error("sweep delivered no messages")
+			}
+			if p.Virtual <= 0 {
+				t.Error("sweep consumed no virtual time")
+			}
+			if des {
+				if p.Events == 0 {
+					t.Error("event engine executed no events")
+				}
+				if p.EventsPerSec <= 0 {
+					t.Error("event engine reported no throughput")
+				}
+			}
+		})
+	}
+}
+
+// TestEngineScaleDESPushesPastGoroutineSizes is the scaled smoke: the
+// event engine must complete a 1000-device sweep in test time — the
+// regime the full benchmark (BenchmarkDESScaleDiscovery) extends to
+// 10k–50k devices.
+func TestEngineScaleDESPushesPastGoroutineSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled sweep skipped in -short mode")
+	}
+	points, err := RunEngineScale(EngineScaleConfig{Seed: 11, DES: true}, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.Groups == 0 || p.Delivered == 0 {
+		t.Errorf("1000-device DES sweep did no work: %+v", p)
+	}
+}

@@ -38,6 +38,10 @@ type Conn struct {
 	pending sync.WaitGroup // accepted sends not yet delivered or dropped
 	closed  chan struct{}
 	once    sync.Once
+
+	// des holds this end's event-engine state (engine_des.go); nil on
+	// the goroutine engine.
+	des *desConnState
 }
 
 // newConnPair wires up both ends and starts their pumps; registering
@@ -47,17 +51,24 @@ func newConnPair(n *Network, from, to ids.DeviceID, tech radio.Technology, port 
 	seq := n.nextConnSeq(from, to)
 	a := &Conn{
 		net: n, local: from, remote: to, tech: tech, port: port, connSeq: seq,
-		sendQ:  make(chan []byte, sendQueueLen),
 		recvQ:  make(chan []byte, sendQueueLen),
 		closed: make(chan struct{}),
 	}
 	b := &Conn{
 		net: n, local: to, remote: from, tech: tech, port: port, connSeq: seq,
-		sendQ:  make(chan []byte, sendQueueLen),
 		recvQ:  make(chan []byte, sendQueueLen),
 		closed: make(chan struct{}),
 	}
 	a.peer, b.peer = b, a
+	if n.sched != nil {
+		// Event engine: no pumps; Send schedules delivery events, and
+		// the admission semaphore replaces the transmit queue.
+		a.des, b.des = newDESConnState(), newDESConnState()
+		n.trackConn(a)
+		return a, b
+	}
+	a.sendQ = make(chan []byte, sendQueueLen)
+	b.sendQ = make(chan []byte, sendQueueLen)
 	n.trackConn(a)
 	go a.pump()
 	go b.pump()
@@ -79,6 +90,9 @@ func (c *Conn) Port() string { return c.port }
 // Send enqueues a message for in-order delivery to the peer. It blocks
 // only if the transmit queue is full.
 func (c *Conn) Send(payload []byte) error {
+	if c.des != nil {
+		return c.desSend(payload, nil)
+	}
 	msg := make([]byte, len(payload))
 	copy(msg, payload)
 	c.mu.Lock()
@@ -110,6 +124,9 @@ func (c *Conn) Send(payload []byte) error {
 // modeled-clock timer here so one stalled reader cannot wedge a
 // serving goroutine.
 func (c *Conn) SendDeadline(payload []byte, deadline <-chan time.Time) error {
+	if c.des != nil {
+		return c.desSend(payload, deadline)
+	}
 	msg := make([]byte, len(payload))
 	copy(msg, payload)
 	c.mu.Lock()

@@ -1,0 +1,339 @@
+package netsim_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// This file is the differential property suite of the engine seam: the
+// goroutine engine (New) and the discrete-event engine (NewDES) are two
+// implementations of one transport contract, and on workloads whose
+// observables are time-independent they must agree exactly — same
+// delivered message and byte counts, same fault-plan accounting, same
+// learned group membership — across 500+ seeded scenario×epoch cases at
+// n ≤ 200 devices.
+//
+// Why these workloads are engine-invariant: every fault fate is a pure
+// hash of (pair, connSeq, msgSeq) — elapsed time only gates the active
+// window, which the suite opens wider than any run can last — and each
+// connection drives a lockstep request/reply exchange, so the per-
+// direction message sequence (and therefore every draw) is a pure
+// function of the seed no matter how the engines interleave pairs.
+// Loss, corruption, retransmit budgets, extra latency and jitter are
+// all in play; faults whose draws are keyed by elapsed time (flap and
+// partition windows, bandwidth throttles) are exercised on both engines
+// by the chaos matrices instead, where the oracle is post-heal
+// reconvergence rather than exact counter equality.
+
+const (
+	// diffScale keeps the goroutine engine's modeled sleeps in the
+	// nanosecond range so hundreds of scenarios stay fast.
+	diffScale = 1e-6
+	// diffWindow is the fault plan's active window: wide enough
+	// (modeled) that no run — on either engine — can outlast it.
+	diffWindow = 1_000_000 * time.Hour
+	// diffCaseFloor is the satellite's contract: at least this many
+	// scenario×epoch cases.
+	diffCaseFloor = 500
+)
+
+// diffScenario is one seeded world: n devices in Bluetooth range,
+// paired off, each pair running msgs lockstep exchanges per epoch over
+// a fresh connection per epoch.
+type diffScenario struct {
+	name          string
+	seed          int64
+	n             int // devices; even
+	msgs          int // lockstep request/reply exchanges per pair per epoch
+	epochs        int
+	loss, corrupt float64
+	retr          int // MaxRetransmits
+	latency       time.Duration
+	jitter        time.Duration
+}
+
+// diffMatrix sweeps the window-independent fault axes; the scenario ×
+// epoch case count must clear diffCaseFloor.
+func diffMatrix() []diffScenario {
+	sizes := []int{2, 4, 6, 8, 12, 16, 24, 40}
+	losses := []float64{0, 0.05, 0.15, 0.3}
+	corrupts := []float64{0, 0.1, 0.25}
+	retrs := []int{1, 3}
+	out := make([]diffScenario, 0, 128)
+	for i := 0; len(out) < 126; i++ {
+		sc := diffScenario{
+			seed:    9000 + int64(i)*6151,
+			n:       sizes[i%len(sizes)],
+			msgs:    2 + i%3,
+			epochs:  3 + i%3,
+			loss:    losses[i%len(losses)],
+			corrupt: corrupts[(i/4)%len(corrupts)],
+			retr:    retrs[(i/12)%len(retrs)],
+		}
+		if i%5 == 4 {
+			sc.latency = 5 * time.Millisecond
+			sc.jitter = 10 * time.Millisecond
+		}
+		sc.name = fmt.Sprintf("diff-%03d-n%d-l%02.0f-c%02.0f-r%d-m%d-e%d",
+			i, sc.n, sc.loss*100, sc.corrupt*100, sc.retr, sc.msgs, sc.epochs)
+		out = append(out, sc)
+	}
+	// The n ≤ 200 ceiling: two wide worlds, faulty enough that resets
+	// and corruption hit many pairs.
+	out = append(out,
+		diffScenario{name: "diff-big-n100", seed: 424243, n: 100, msgs: 2, epochs: 3, loss: 0.1, corrupt: 0.1, retr: 3},
+		diffScenario{name: "diff-big-n200", seed: 424244, n: 200, msgs: 2, epochs: 3, loss: 0.05, corrupt: 0.05, retr: 3},
+	)
+	return out
+}
+
+func diffDev(i int) ids.DeviceID { return ids.DeviceID(fmt.Sprintf("d%03d", i)) }
+
+// diffInterests assigns device i a deterministic interest set drawn
+// from a small pool, so pairs overlap and group discovery has work.
+func diffInterests(i int) []string {
+	pool := []string{"football", "biking", "music", "chess"}
+	out := []string{pool[i%len(pool)]}
+	if i%3 == 0 {
+		second := pool[(i/3)%len(pool)]
+		if second != out[0] {
+			out = append(out, second)
+		}
+	}
+	return out
+}
+
+// diffPayload encodes a device's interest advertisement; diffParse
+// inverts it, rejecting frames whose framing was corrupted. The
+// corruption mutation is itself a deterministic function of the message
+// keys, so both engines reject (or mis-learn) identically.
+func diffPayload(dev ids.DeviceID, interests []string) []byte {
+	return []byte("ints|" + string(dev) + "|" + strings.Join(interests, ","))
+}
+
+func diffParse(payload []byte) ([]string, bool) {
+	parts := strings.Split(string(payload), "|")
+	if len(parts) != 3 || parts[0] != "ints" {
+		return nil, false
+	}
+	return strings.Split(parts[2], ","), true
+}
+
+// diffLearned accumulates what each device learned about its peers'
+// interests from successfully parsed exchanges.
+type diffLearned struct {
+	mu sync.Mutex
+	m  map[ids.DeviceID]map[ids.DeviceID][]string
+}
+
+func (l *diffLearned) learn(local, remote ids.DeviceID, payload []byte) {
+	ints, ok := diffParse(payload)
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m[local] == nil {
+		l.m[local] = make(map[ids.DeviceID][]string)
+	}
+	l.m[local][remote] = ints
+}
+
+// views folds the learned state into each device's canonical group
+// view via the same core.DiscoverGroups the product stack uses:
+// device → interest → sorted members.
+func (l *diffLearned) views(n int) map[string]map[string][]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]map[string][]string, n)
+	for i := 0; i < n; i++ {
+		dev := diffDev(i)
+		self := core.Member{Device: dev, ID: ids.MemberID(dev), Interests: diffInterests(i)}
+		var nearby []core.Member
+		peers := make([]ids.DeviceID, 0, len(l.m[dev]))
+		for p := range l.m[dev] {
+			peers = append(peers, p)
+		}
+		sort.Slice(peers, func(a, b int) bool { return peers[a] < peers[b] })
+		for _, p := range peers {
+			nearby = append(nearby, core.Member{Device: p, ID: ids.MemberID(p), Interests: l.m[dev][p]})
+		}
+		view := make(map[string][]string)
+		for _, g := range core.DiscoverGroups(self, nearby, nil) {
+			ms := make([]string, 0, len(g.Members))
+			for _, m := range g.Members {
+				ms = append(ms, string(m.ID))
+			}
+			sort.Strings(ms)
+			view[g.Interest] = ms
+		}
+		out[string(dev)] = view
+	}
+	return out
+}
+
+// runDiffWorld executes one scenario on one engine and returns its
+// observables.
+func runDiffWorld(t *testing.T, sc diffScenario, useDES bool) (netsim.Counters, faults.Counters, map[string]map[string][]string) {
+	t.Helper()
+	ctx := context.Background()
+	opts := []radio.Option{radio.WithScale(vtime.NewScale(diffScale))}
+	var sched *des.Scheduler
+	if useDES {
+		sched = des.NewScheduler(sc.seed, 8)
+		opts = append(opts, radio.WithClock(sched.Clock()))
+	}
+	env := radio.NewEnvironment(opts...)
+	for i := 0; i < sc.n; i++ {
+		pos := geo.Pt(20+4*float64(i%16)/16, 20+4*float64(i/16)/16)
+		if err := env.Add(diffDev(i), mobility.Static{At: pos}, radio.Bluetooth); err != nil {
+			t.Fatalf("placing %s: %v", diffDev(i), err)
+		}
+	}
+	var net *netsim.Network
+	if useDES {
+		net = netsim.NewDES(env, sc.seed, sched)
+		sched.Start()
+		defer sched.Stop()
+	} else {
+		net = netsim.New(env, sc.seed)
+	}
+	defer net.Close()
+
+	plan := faults.New(sc.seed).
+		SetLink(faults.LinkProfile{
+			Loss:           sc.loss,
+			MaxRetransmits: sc.retr,
+			Corrupt:        sc.corrupt,
+			ExtraLatency:   sc.latency,
+			Jitter:         sc.jitter,
+		}).
+		SetActiveWindow(diffWindow)
+	net.SetFaults(plan)
+
+	learned := &diffLearned{m: make(map[ids.DeviceID]map[ids.DeviceID][]string)}
+
+	// Odd devices listen; a handler answers every request with its own
+	// advertisement until the connection dies.
+	var handlers sync.WaitGroup
+	for i := 1; i < sc.n; i += 2 {
+		dev := diffDev(i)
+		l, err := net.Listen(dev, "diff")
+		if err != nil {
+			t.Fatalf("listen %s: %v", dev, err)
+		}
+		hello := diffPayload(dev, diffInterests(i))
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			for {
+				c, err := l.Accept(ctx)
+				if err != nil {
+					return
+				}
+				handlers.Add(1)
+				go func(c *netsim.Conn) {
+					defer handlers.Done()
+					defer c.Close()
+					for {
+						msg, err := c.Recv(ctx)
+						if err != nil {
+							return
+						}
+						learned.learn(c.Local(), c.Remote(), msg)
+						if c.Send(hello) != nil {
+							return
+						}
+					}
+				}(c)
+			}
+		}()
+	}
+
+	// Even devices dial their partner once per epoch and run the
+	// lockstep exchange; any link fate ends the pair's epoch early.
+	for e := 0; e < sc.epochs; e++ {
+		var wg sync.WaitGroup
+		for p := 0; p < sc.n/2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				a, b := diffDev(2*p), diffDev(2*p+1)
+				hello := diffPayload(a, diffInterests(2*p))
+				conn, err := net.Dial(ctx, a, b, radio.Bluetooth, "diff")
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				for k := 0; k < sc.msgs; k++ {
+					if conn.Send(hello) != nil {
+						return
+					}
+					msg, err := conn.Recv(ctx)
+					if err != nil {
+						return
+					}
+					learned.learn(conn.Local(), conn.Remote(), msg)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	counters := net.Counters()
+	views := learned.views(sc.n)
+	net.Close() // explicit, so the accept loops retire before we return
+	handlers.Wait()
+	return counters, plan.Counters(), views
+}
+
+// TestDifferentialEngines is the engine-equivalence property suite:
+// every seeded scenario runs on both engines and must produce identical
+// transport counters, identical fault-plan counters, and identical
+// learned group views.
+func TestDifferentialEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is long; skipped in -short mode")
+	}
+	matrix := diffMatrix()
+	cases := 0
+	for _, sc := range matrix {
+		cases += sc.epochs
+	}
+	if cases < diffCaseFloor {
+		t.Fatalf("differential matrix covers %d scenario×epoch cases, want >= %d", cases, diffCaseFloor)
+	}
+	for _, sc := range matrix {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			gNet, gFaults, gViews := runDiffWorld(t, sc, false)
+			dNet, dFaults, dViews := runDiffWorld(t, sc, true)
+			if gNet != dNet {
+				t.Errorf("transport counters diverged:\n  goroutine: %+v\n  DES:       %+v", gNet, dNet)
+			}
+			if !reflect.DeepEqual(gFaults, dFaults) {
+				t.Errorf("fault counters diverged:\n  goroutine: %+v\n  DES:       %+v", gFaults, dFaults)
+			}
+			if !reflect.DeepEqual(gViews, dViews) {
+				t.Errorf("group views diverged:\n  goroutine: %v\n  DES:       %v", gViews, dViews)
+			}
+		})
+	}
+}

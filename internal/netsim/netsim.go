@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/des"
 	"repro/internal/faults"
 	"repro/internal/ids"
 	"repro/internal/radio"
@@ -82,6 +83,19 @@ type Network struct {
 	// same device over the same technology contend for airtime.
 	txMu    sync.Mutex
 	txLocks map[txKey]*sync.Mutex
+
+	// sched selects the engine: nil runs the goroutine engine (conn
+	// pumps + sweepLinks goroutine); non-nil runs the discrete-event
+	// engine (engine_des.go), where sends schedule delivery events and
+	// the sweep is a self-rescheduling event. Set once at construction,
+	// never mutated.
+	sched *des.Scheduler
+
+	// airFree is the event engine's per-(device, technology) airtime
+	// ledger — the virtual instant each radio frees — standing in for
+	// txLocks, which serialize goroutines the event engine doesn't have.
+	airMu   sync.Mutex
+	airFree map[txKey]int64
 }
 
 type txKey struct {
@@ -125,7 +139,8 @@ func normPair(a, b ids.DeviceID) devPair {
 	return devPair{a: a, b: b}
 }
 
-// New returns a network over the given environment.
+// New returns a network over the given environment, on the goroutine
+// engine.
 func New(env *radio.Environment, seed int64) *Network {
 	return &Network{
 		env:         env,
@@ -139,6 +154,24 @@ func New(env *radio.Environment, seed int64) *Network {
 		pairSeq:     make(map[dirPair]uint64),
 	}
 }
+
+// NewDES returns a network driven by the given discrete-event
+// scheduler instead of per-connection goroutines: same API, same
+// semantics, but message transfers, fault fates and link sweeps are
+// scheduled events, so virtual time advances by popping the event
+// queue rather than sleeping. The environment must ride the same
+// scheduler's clock (radio.WithClock(sched.Clock())), or transport
+// events and radio time would disagree.
+func NewDES(env *radio.Environment, seed int64, sched *des.Scheduler) *Network {
+	n := New(env, seed)
+	n.sched = sched
+	n.airFree = make(map[txKey]int64)
+	return n
+}
+
+// Scheduler returns the discrete-event scheduler driving this network,
+// or nil on the goroutine engine.
+func (n *Network) Scheduler() *des.Scheduler { return n.sched }
 
 // SetFaults installs (or, with nil, removes) a fault-injection plan on
 // the transport: message fates, bandwidth throttling and link flaps /
@@ -233,7 +266,11 @@ func (n *Network) trackConn(c *Conn) {
 	}
 	n.mu.Unlock()
 	if start {
-		go n.sweepLinks()
+		if n.sched != nil {
+			n.armSweepEvent()
+		} else {
+			go n.sweepLinks()
+		}
 	}
 }
 

@@ -39,10 +39,13 @@ type Environment struct {
 	devices map[ids.DeviceID]*device
 	gen     uint64 // bumped under mu by every world mutation
 
-	// viewMu guards the per-technology query-epoch snapshot cache (see
-	// grid.go for the snapshot rule).
-	viewMu sync.Mutex
-	views  map[Technology]*worldView
+	// viewMu guards the per-technology query-epoch snapshot cache (a
+	// few recent epochs per technology; see grid.go for the snapshot
+	// rule), and buildMu single-flights cache misses so one snapshot
+	// build serves every device querying at a new epoch.
+	viewMu  sync.Mutex
+	views   map[Technology][]*worldView
+	buildMu sync.Mutex
 
 	// inqFaults holds the installed inquiry-fault filter (boxed so the
 	// interface can be swapped atomically; nil box or nil filter means
@@ -120,7 +123,7 @@ func NewEnvironment(opts ...Option) *Environment {
 		scale:   vtime.Identity(),
 		phys:    make(map[Technology]PHY),
 		devices: make(map[ids.DeviceID]*device),
-		views:   make(map[Technology]*worldView),
+		views:   make(map[Technology][]*worldView),
 	}
 	for _, t := range AllTechnologies() {
 		e.phys[t] = DefaultPHY(t)

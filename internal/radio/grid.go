@@ -61,25 +61,59 @@ func cellOf(p geo.Point, cell float64) cellKey {
 	return cellKey{x: int64(math.Floor(p.X / cell)), y: int64(math.Floor(p.Y / cell))}
 }
 
-// view returns the snapshot for (tech, elapsed), reusing the cached one
-// when neither the modeled time nor the world generation has changed.
-// Concurrent builders may race benignly: views for the same epoch and
-// generation are identical, so last-writer-wins caching is safe.
+// viewCacheSize bounds how many query epochs stay cached per
+// technology. One slot is not enough: concurrent discovery rounds
+// straddle an epoch boundary (some devices already in the next epoch
+// while stragglers finish the previous one), and with a single slot
+// their interleaved queries evict each other's snapshot on every call
+// — each rebuilding the O(n) view the cache exists to amortize. A few
+// slots cover every epoch a staggered round can have in flight.
+const viewCacheSize = 4
+
+// view returns the snapshot for (tech, elapsed), reusing a cached one
+// when both the modeled time and the world generation match. Misses
+// are single-flighted through buildMu: at a new epoch every device
+// queries at once, and without the gate each concurrent miss would
+// redundantly build the same O(n) snapshot.
 func (e *Environment) view(tech Technology, elapsed time.Duration) *worldView {
 	e.mu.RLock()
 	gen := e.gen
 	e.mu.RUnlock()
-	e.viewMu.Lock()
-	v := e.views[tech]
-	e.viewMu.Unlock()
-	if v != nil && v.elapsed == elapsed && v.gen == gen {
+	if v := e.cachedView(tech, elapsed, gen); v != nil {
 		return v
 	}
-	v = e.buildView(tech, elapsed)
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if v := e.cachedView(tech, elapsed, gen); v != nil {
+		return v // built while we waited for the gate
+	}
+	v := e.buildView(tech, elapsed)
 	e.viewMu.Lock()
-	e.views[tech] = v
+	kept := append(make([]*worldView, 0, viewCacheSize), v)
+	for _, o := range e.views[tech] {
+		if len(kept) == viewCacheSize {
+			break
+		}
+		if o.gen == gen { // stale generations can never hit again
+			kept = append(kept, o)
+		}
+	}
+	e.views[tech] = kept
 	e.viewMu.Unlock()
 	return v
+}
+
+// cachedView scans the technology's cached epochs for an exact
+// (elapsed, gen) match.
+func (e *Environment) cachedView(tech Technology, elapsed time.Duration, gen uint64) *worldView {
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	for _, v := range e.views[tech] {
+		if v.elapsed == elapsed && v.gen == gen {
+			return v
+		}
+	}
+	return nil
 }
 
 // buildView takes the O(n) snapshot: device states are copied under the

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/community"
+	"repro/internal/des"
 	"repro/internal/geo"
 	"repro/internal/ids"
 	"repro/internal/interest"
@@ -62,7 +63,14 @@ type Builder struct {
 	hasSrvOpts bool
 	resilience community.ResilienceOptions
 	hasResil   bool
+	useDES     bool
+	desShards  int
 }
+
+// desDefaultShards is the event scheduler's shard count when WithDES
+// is given no override; homes are hashed so any count yields the same
+// trace, this only sets the intra-window parallelism.
+const desDefaultShards = 8
 
 // NewBuilder returns a builder with the benchmark-grade default scale
 // (one modeled second per 10 ms).
@@ -118,6 +126,19 @@ func (b *Builder) WithResilience(opts community.ResilienceOptions) *Builder {
 	return b
 }
 
+// WithDES switches the deployment to the discrete-event engine: the
+// world runs on a des.Scheduler's virtual clock (radio environment,
+// transport, daemons, servers), message transfers and link sweeps are
+// scheduled events, and wall-clock time is spent per event rather than
+// per timer wait. shards > 0 overrides the scheduler's shard count;
+// pass 0 for the default. The goroutine engine remains the default and
+// the differential oracle.
+func (b *Builder) WithDES(shards int) *Builder {
+	b.useDES = true
+	b.desShards = shards
+	return b
+}
+
 // AddPeer appends a participant.
 func (b *Builder) AddPeer(spec PeerSpec) *Builder {
 	b.peers = append(b.peers, spec)
@@ -138,7 +159,8 @@ type Peer struct {
 type Deployment struct {
 	Env   *radio.Environment
 	Net   *netsim.Network
-	Proxy *netsim.Proxy // nil unless a GPRS proxy was configured
+	Proxy *netsim.Proxy  // nil unless a GPRS proxy was configured
+	Sched *des.Scheduler // nil unless built WithDES
 	peers map[ids.MemberID]*Peer
 }
 
@@ -151,9 +173,24 @@ func (b *Builder) Build() (*Deployment, error) {
 	for _, phy := range b.phys {
 		opts = append(opts, radio.WithPHY(phy))
 	}
+	var sched *des.Scheduler
+	if b.useDES {
+		shards := b.desShards
+		if shards <= 0 {
+			shards = desDefaultShards
+		}
+		sched = des.NewScheduler(b.seed, shards)
+		opts = append(opts, radio.WithClock(sched.Clock()))
+	}
 	env := radio.NewEnvironment(opts...)
-	net := netsim.New(env, b.seed)
-	d := &Deployment{Env: env, Net: net, peers: make(map[ids.MemberID]*Peer, len(b.peers))}
+	var net *netsim.Network
+	if sched != nil {
+		net = netsim.NewDES(env, b.seed, sched)
+		sched.Start()
+	} else {
+		net = netsim.New(env, b.seed)
+	}
+	d := &Deployment{Env: env, Net: net, Sched: sched, peers: make(map[ids.MemberID]*Peer, len(b.peers))}
 
 	if b.gprsProxy != "" {
 		if err := env.Add(b.gprsProxy, mobility.Static{}, radio.GPRS); err != nil {
@@ -316,4 +353,10 @@ func (d *Deployment) Stop() {
 		d.Proxy.Stop()
 	}
 	d.Net.Close()
+	// Last: conn teardown above unblocks the deployment's goroutines
+	// through their own error paths; stopping the scheduler then
+	// releases any waiter still parked on its clock.
+	if d.Sched != nil {
+		d.Sched.Stop()
+	}
 }

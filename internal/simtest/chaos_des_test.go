@@ -1,0 +1,116 @@
+package simtest
+
+import (
+	"testing"
+)
+
+// This file re-runs the chaos matrices on the discrete-event engine
+// (Scenario.DES): the same seeded fault plans, the same traffic, the
+// same reconvergence oracle, with virtual time advanced by popping the
+// event queue instead of sleeping. Every invariant the goroutine-engine
+// suite enforces must hold unchanged — the engines are two
+// implementations of one transport contract, and post-heal
+// reconvergence to the fault-free oracle is the contract's observable.
+
+// desChaosScenarios mirrors the goroutine suite's matrix size.
+const desChaosScenarios = 54
+
+// desEndpointScenarios mirrors the endpoint suite's matrix size.
+const desEndpointScenarios = 10
+
+// assertChaosInvariants applies the suite's standard checks to one run.
+func assertChaosInvariants(t *testing.T, sc Scenario, res *Result) {
+	t.Helper()
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if !res.Reconverged {
+		t.Errorf("group views never reconverged (rounds=%d, faults=%+v)",
+			res.RoundsToReconverge, res.Faults)
+	}
+	if res.Calls == 0 {
+		t.Error("scenario drove no traffic")
+	}
+	if res.MaxCallWall > res.CallBudget {
+		t.Errorf("slowest call %v exceeded budget %v", res.MaxCallWall, res.CallBudget)
+	}
+	if sc.Loss >= 0.15 && res.Faults.MessagesLost == 0 {
+		t.Errorf("loss=%v lost no messages: %+v", sc.Loss, res.Faults)
+	}
+}
+
+// TestChaosSuiteDES runs the full link-fault matrix on the
+// discrete-event engine.
+func TestChaosSuiteDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is long; skipped in -short mode")
+	}
+	for _, sc := range Matrix(desChaosScenarios, 1) {
+		sc := sc
+		sc.DES = true
+		sc.Name = "des-" + sc.Name
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("scenario could not run: %v", err)
+			}
+			assertChaosInvariants(t, sc, res)
+		})
+	}
+}
+
+// TestChaosEndpointSuiteDES runs the endpoint-fault matrix (stalls,
+// slow devices, wedges, crash–restart, with resilience armed) on the
+// discrete-event engine.
+func TestChaosEndpointSuiteDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is long; skipped in -short mode")
+	}
+	for _, sc := range EndpointMatrix(desEndpointScenarios, 11) {
+		sc := sc
+		sc.DES = true
+		sc.Name = "des-" + sc.Name
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("scenario could not run: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if !res.Reconverged {
+				t.Errorf("group views never reconverged (rounds=%d, faults=%+v)",
+					res.RoundsToReconverge, res.Faults)
+			}
+			if res.Calls == 0 {
+				t.Error("scenario drove no traffic")
+			}
+		})
+	}
+}
+
+// TestZeroScenarioDESIsClean pins the event engine's baseline: with
+// every fault knob zero, no call errors, no counted faults, and
+// first-round reconvergence — identical to the goroutine engine's
+// zero-scenario pin.
+func TestZeroScenarioDESIsClean(t *testing.T) {
+	res, err := Run(Scenario{Name: "zero-des", Seed: 5, Peers: 4, DES: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallErrors != 0 {
+		t.Errorf("fault-free run had %d call errors", res.CallErrors)
+	}
+	if res.Faults.MessagesLost != 0 || res.Faults.MessagesCorrupted != 0 || res.Faults.InquiriesMissed != 0 {
+		t.Errorf("fault-free run counted faults: %+v", res.Faults)
+	}
+	if !res.Reconverged || res.RoundsToReconverge != 1 {
+		t.Errorf("fault-free run took %d rounds to converge (reconverged=%v)",
+			res.RoundsToReconverge, res.Reconverged)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations in fault-free run: %v", res.Violations)
+	}
+}

@@ -136,6 +136,13 @@ type Scenario struct {
 	CallTimeout time.Duration
 	// ReconvergeRounds bounds the healing loop (default 40).
 	ReconvergeRounds int
+
+	// DES runs the deployment on the discrete-event engine
+	// (scenario.Builder.WithDES): virtual time advances by popping the
+	// event queue instead of sleeping. Every fault knob and the whole
+	// verification pipeline is engine-agnostic, so the same Scenario can
+	// be run on both engines and compared.
+	DES bool
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -278,6 +285,9 @@ func Run(s Scenario) (*Result, error) {
 func buildWorld(s Scenario) (*scenario.Deployment, *faults.Plan, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	b := scenario.NewBuilder().WithScale(vtime.NewScale(s.Scale)).WithSeed(s.Seed)
+	if s.DES {
+		b.WithDES(0)
+	}
 	devices := make([]ids.DeviceID, 0, s.Peers)
 	for i := 0; i < s.Peers; i++ {
 		member := ids.MemberID(fmt.Sprintf("m%02d", i))

@@ -13,6 +13,9 @@ type Manual struct {
 	mu      sync.Mutex
 	now     time.Time
 	waiters waiterHeap
+	// seq numbers After registrations; equal-deadline waiters fire in
+	// registration order instead of unstable heap order (see Less).
+	seq uint64
 }
 
 // NewManual returns a manual clock starting at the given time.
@@ -44,7 +47,8 @@ func (m *Manual) After(d time.Duration) <-chan time.Time {
 		ch <- m.now
 		return ch
 	}
-	heap.Push(&m.waiters, &waiter{deadline: deadline, ch: ch})
+	m.seq++
+	heap.Push(&m.waiters, &waiter{deadline: deadline, seq: m.seq, ch: ch})
 	return ch
 }
 
@@ -72,13 +76,25 @@ func (m *Manual) Advance(d time.Duration) {
 
 type waiter struct {
 	deadline time.Time
+	seq      uint64
 	ch       chan time.Time
 }
 
 type waiterHeap []*waiter
 
-func (h waiterHeap) Len() int           { return len(h) }
-func (h waiterHeap) Less(i, j int) bool { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Len() int { return len(h) }
+
+// Less orders waiters by deadline, then by registration sequence: two
+// timers armed for the same instant must fire in the order they were
+// armed, or an Advance past simultaneous deadlines wakes goroutines in
+// whatever order the heap's internal swaps happen to leave — a replay
+// hazard for anything observing wake order.
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
 func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *waiterHeap) Push(x any)        { *h = append(*h, x.(*waiter)) }
 func (h *waiterHeap) Pop() any {

@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"container/heap"
 	"testing"
 	"time"
 )
@@ -88,6 +89,49 @@ func TestManualManyTimersOneAdvance(t *testing.T) {
 		case <-ch:
 		default:
 			t.Fatalf("timer %d did not fire", i+1)
+		}
+	}
+}
+
+// TestManualEqualDeadlinesWakeInRegistrationOrder pins the fix for the
+// simultaneous-deadline wake order: waiters armed for the same instant
+// used to pop in whatever order the heap's sift swaps left them (an
+// artifact of insertion history, not a rule), so replays could wake the
+// same goroutines in different orders. Waiters now carry a registration
+// sequence and equal deadlines pop strictly in it.
+func TestManualEqualDeadlinesWakeInRegistrationOrder(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	const n = 64
+	// Interleave two deadline cohorts so the heap has to do real work:
+	// evens at +1s, odds at +2s, registered alternately.
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			m.After(time.Second)
+		} else {
+			m.After(2 * time.Second)
+		}
+	}
+	// Pop the heap the way Advance does and record the order. The test
+	// is in-package on purpose: wake order is the property under test,
+	// and channel receives in a black-box test would re-serialize it
+	// through the goroutine scheduler.
+	m.mu.Lock()
+	var got []*waiter
+	for len(m.waiters) > 0 {
+		got = append(got, heap.Pop(&m.waiters).(*waiter))
+	}
+	m.mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("popped %d waiters, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.deadline.After(b.deadline) {
+			t.Fatalf("pop %d: deadline %v popped before %v", i, a.deadline, b.deadline)
+		}
+		if a.deadline.Equal(b.deadline) && a.seq >= b.seq {
+			t.Fatalf("pop %d: equal deadlines popped out of registration order: seq %d before %d",
+				i, a.seq, b.seq)
 		}
 	}
 }
