@@ -915,3 +915,48 @@ func BenchmarkServerAdmission(b *testing.B) {
 		}
 	})
 }
+
+// --- Epidemic dissemination: gossip vs fan-out wire cost -------------
+
+// BenchmarkGossipConvergence is the epidemic-dissemination headline:
+// a field of Bluetooth-scale proximity clusters where every device
+// must come to hold each radio neighbor's current interest record.
+// The fanout mode re-pulls every neighbor's full record each round;
+// the gossip mode runs internal/gossip (greedy rumors with death by
+// redundancy feedback, bloom have-digests, periodic anti-entropy).
+// Each case reports rounds-to-converge and the steady wire bytes per
+// round once converged; BENCH_gossip.json pins the 1000-device
+// fanout:gossip steady-byte ratio as a floor — the epidemic must stay
+// an order cheaper per round, or the claim regressed. The 10k and 50k
+// cases run the epidemic on the discrete-event engine, where the
+// steady per-device cost must stay flat (the 50k case is skipped
+// under -short).
+func BenchmarkGossipConvergence(b *testing.B) {
+	run := func(b *testing.B, n int, mode string, des bool) {
+		var last harness.GossipScalePoint
+		for i := 0; i < b.N; i++ {
+			p, err := harness.RunGossipScaleMode(harness.GossipScaleConfig{Seed: 7, DES: des}, n, mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = p
+		}
+		b.ReportMetric(last.SteadyBytesPerRound, "wire-bytes/round")
+		b.ReportMetric(float64(last.ConvergedRound), "rounds-to-converge")
+		if last.Messages == 0 {
+			b.Fatalf("run moved no messages: %+v", last)
+		}
+		if mode == "gossip" && (last.Stats.RumorsDied == 0 || last.Stats.AERuns == 0) {
+			b.Fatalf("epidemic never exercised death or anti-entropy: %+v", last.Stats)
+		}
+	}
+	b.Run("mode=fanout/devices=1000", func(b *testing.B) { run(b, 1000, "fanout", false) })
+	b.Run("mode=gossip/devices=1000", func(b *testing.B) { run(b, 1000, "gossip", false) })
+	b.Run("mode=gossip/engine=des/devices=10000", func(b *testing.B) { run(b, 10000, "gossip", true) })
+	b.Run("mode=gossip/engine=des/devices=50000", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("50k sweep skipped under -short")
+		}
+		run(b, 50000, "gossip", true)
+	})
+}

@@ -12,6 +12,7 @@
 //	groupscale -substrate [-peers 100,500,1000,2000]
 //	groupscale -overload [-peers 100,400,1000]
 //	groupscale -des [-peers 1000,10000,50000]
+//	groupscale -gossip [-peers 1000,10000,50000]
 //
 // With -substrate it instead measures the radio substrate itself —
 // per-query neighbor-discovery cost, grid index vs brute force — at
@@ -22,6 +23,14 @@
 // transport engine — virtual time advanced by popping the event queue —
 // at sizes the goroutine engine's timer waits cannot reach, printing a
 // goroutine-engine reference row for each size small enough to run.
+//
+// With -gossip it compares dissemination strategies for neighborhood
+// group state over a field of proximity clusters: the fan-out baseline
+// (re-poll every neighbor's full record each round) against the
+// epidemic engine (rumor mongering + bloom digests + anti-entropy),
+// reporting rounds-to-converge and steady wire bytes per round.
+// Fan-out reference rows run for sizes up to 2000 devices; the
+// epidemic runs on the discrete-event engine beyond that.
 package main
 
 import (
@@ -43,6 +52,7 @@ func main() {
 	delta := flag.Bool("delta", false, "measure delta-synchronized group rounds (cold vs steady cache) instead of the full stack")
 	overload := flag.Bool("overload", false, "measure graceful degradation under offered load (admission control, shedding, bounded steady rounds)")
 	desFlag := flag.Bool("des", false, "run the discovery sweep on the discrete-event engine (with goroutine-engine reference rows at small sizes)")
+	gossipFlag := flag.Bool("gossip", false, "compare epidemic dissemination (rumor mongering + anti-entropy) against the fan-out baseline")
 	flag.Parse()
 
 	peersSet := false
@@ -58,7 +68,7 @@ func main() {
 	if *overload && !peersSet {
 		*peersFlag = "100,400,1000"
 	}
-	if *desFlag && !peersSet {
+	if (*desFlag || *gossipFlag) && !peersSet {
 		*peersFlag = "1000,10000,50000"
 	}
 
@@ -100,6 +110,46 @@ func main() {
 		}
 		points = append(points, ps...)
 		fmt.Print(harness.FormatEngineScale(points))
+		return
+	}
+
+	if *gossipFlag {
+		fmt.Println("Epidemic dissemination vs fan-out: every device in a field of")
+		fmt.Println("Bluetooth-scale proximity clusters must hold each radio")
+		fmt.Println("neighbor's current interest record. Fan-out re-pulls every")
+		fmt.Println("neighbor's full record each round; the gossip engine pushes")
+		fmt.Println("rumors that die under redundancy feedback, skips pushes covered")
+		fmt.Println("by bloom have-digests, and reconciles by periodic anti-entropy —")
+		fmt.Println("so its steady wire bytes per round collapse after convergence.")
+		fmt.Println("Fan-out reference rows run up to 2000 devices; larger epidemic")
+		fmt.Println("rows run on the discrete-event engine.")
+		fmt.Println()
+		const fanoutCap = 2000
+		var points []harness.GossipScalePoint
+		for _, n := range counts {
+			if n <= fanoutCap {
+				p, err := harness.RunGossipScaleMode(harness.GossipScaleConfig{Seed: 7}, n, "fanout")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "groupscale:", err)
+					os.Exit(1)
+				}
+				points = append(points, p)
+				p, err = harness.RunGossipScaleMode(harness.GossipScaleConfig{Seed: 7}, n, "gossip")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "groupscale:", err)
+					os.Exit(1)
+				}
+				points = append(points, p)
+				continue
+			}
+			p, err := harness.RunGossipScaleMode(harness.GossipScaleConfig{Seed: 7, DES: true}, n, "gossip")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "groupscale:", err)
+				os.Exit(1)
+			}
+			points = append(points, p)
+		}
+		fmt.Print(harness.FormatGossipScale(points))
 		return
 	}
 

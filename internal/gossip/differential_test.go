@@ -1,0 +1,341 @@
+package gossip_test
+
+// Differential convergence oracle: the epidemic engine and the
+// request/response fan-out engine are two implementations of one
+// observable — a member's proximity-scoped group view. This suite
+// builds full community stacks (daemon, server, client, gossip node)
+// through scenario.Builder, drives both engines to quiescence in a
+// fault-free world, and requires every member's gossip view to
+// DeepEqual its fan-out client view AND the analytic oracle
+// (core.DiscoverGroups over true radio neighborhoods and live profile
+// stores). Each scenario then mutates live profiles across several
+// epochs — every epoch is a fresh case: bumped store epochs must
+// become fresh rumors, supersede stale records, and re-converge.
+//
+// The matrix alternates the goroutine and discrete-event transports
+// and three topologies (dense mesh, partitioned clusters with a
+// bridge node, a multi-hop chain), following the discipline of
+// internal/netsim/differential_test.go.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/gossip"
+	"repro/internal/ids"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+	"repro/internal/vtime"
+)
+
+// Suite size: smallScenarios × epochsPerScenario epoch-cases plus the
+// two large single-epoch worlds. The floor is pinned by
+// TestDifferentialCaseFloor.
+const (
+	diffSmallScenarios    = 34
+	diffEpochsPerScenario = 3
+	diffLargeCases        = 2
+	diffCaseFloor         = 100
+	diffMaxRounds         = 60
+)
+
+// diffView is a canonical group view: interest → sorted member IDs.
+type diffView map[string][]string
+
+func canonicalGroups(groups []core.Group) diffView {
+	out := make(diffView, len(groups))
+	for _, g := range groups {
+		ms := make([]string, 0, len(g.Members))
+		for _, m := range g.Members {
+			ms = append(ms, string(m.ID))
+		}
+		sort.Strings(ms)
+		out[g.Interest] = ms
+	}
+	return out
+}
+
+// diffOracle computes the fault-free truth for one member:
+// DiscoverGroups over its actual radio neighbors with everyone's
+// interests read from the live profile stores.
+func diffOracle(dep *scenario.Deployment, m ids.MemberID, byDevice map[ids.DeviceID]ids.MemberID) (diffView, error) {
+	self, err := diffLiveMember(dep, m)
+	if err != nil {
+		return nil, err
+	}
+	var nearby []core.Member
+	for _, dev := range dep.Env.Neighbors(self.Device, radio.Bluetooth) {
+		other, ok := byDevice[dev]
+		if !ok {
+			continue
+		}
+		om, err := diffLiveMember(dep, other)
+		if err != nil {
+			return nil, err
+		}
+		nearby = append(nearby, om)
+	}
+	return canonicalGroups(core.DiscoverGroups(self, nearby, nil)), nil
+}
+
+func diffLiveMember(dep *scenario.Deployment, m ids.MemberID) (core.Member, error) {
+	peer := dep.MustPeer(m)
+	p, err := peer.Store.ActiveProfile()
+	if err != nil {
+		return core.Member{}, err
+	}
+	return core.Member{Device: peer.Daemon.Device(), ID: m, Interests: p.Interests}, nil
+}
+
+// diffPos places member i of n in one of three topologies:
+//
+//	layout 0 — dense mesh: a tight grid, everyone in Bluetooth range
+//	           of everyone;
+//	layout 1 — two clusters 15 m apart (cross-cluster links are out of
+//	           the 10 m Bluetooth range) joined by one bridge device
+//	           that reaches both: gossip carries records multi-hop,
+//	           but views stay proximity-scoped;
+//	layout 2 — a chain with 6 m spacing: each device reaches only its
+//	           immediate neighbors, so every view differs.
+func diffPos(layout, i, n int) geo.Point {
+	switch layout {
+	case 1:
+		if i == n-1 {
+			return geo.Pt(27.5, 20) // the bridge
+		}
+		cx := 20.0
+		if i%2 == 1 {
+			cx = 35.0
+		}
+		// Spread each cluster's members on a small radius-2 arc.
+		step := float64(i/2) * 0.7
+		return geo.Pt(cx+2-0.1*step, 18+step)
+	case 2:
+		return geo.Pt(10+6*float64(i), 20)
+	default:
+		// A 0.4 m grid: even 200 devices span under 8 m corner to
+		// corner, inside everyone's Bluetooth range.
+		return geo.Pt(20+0.4*float64(i%10), 20+0.4*float64(i/10))
+	}
+}
+
+// diffInterests assigns member i a deterministic subset of the pool,
+// varied by scenario index so group structure differs per scenario.
+func diffInterests(scn, i int) []string {
+	pool := []string{"football", "biking", "music", "chess", "cinema"}
+	out := []string{pool[(i+scn)%len(pool)]}
+	if i%2 == 0 {
+		out = append(out, pool[(2*i+scn)%len(pool)])
+	}
+	return out
+}
+
+// buildDiffWorld assembles a gossip-enabled deployment.
+func buildDiffWorld(t *testing.T, scn, n, layout int, seed int64, des bool, cfg gossip.Config) (*scenario.Deployment, []ids.MemberID, map[ids.DeviceID]ids.MemberID) {
+	t.Helper()
+	b := scenario.NewBuilder().
+		WithSeed(seed).
+		WithScale(vtime.NewScale(1e-6)).
+		WithGossip(cfg)
+	if des {
+		b.WithDES(4)
+	}
+	for i := 0; i < n; i++ {
+		b.AddPeer(scenario.PeerSpec{
+			Member:    ids.MemberID(fmt.Sprintf("m%03d", i)),
+			Position:  diffPos(layout, i, n),
+			Interests: diffInterests(scn, i),
+		})
+	}
+	dep, err := b.Build()
+	if err != nil {
+		t.Fatalf("building world: %v", err)
+	}
+	t.Cleanup(dep.Stop)
+	members := dep.Members()
+	byDevice := make(map[ids.DeviceID]ids.MemberID, len(members))
+	for _, m := range members {
+		byDevice[dep.MustPeer(m).Daemon.Device()] = m
+	}
+	return dep, members, byDevice
+}
+
+// convergeCase drives both engines until every probed member's client
+// view and gossip view equal the oracle in the same sweep, or the
+// round budget runs out. probe nil means probe everyone.
+func convergeCase(ctx context.Context, t *testing.T, dep *scenario.Deployment, members, probe []ids.MemberID, byDevice map[ids.DeviceID]ids.MemberID) bool {
+	t.Helper()
+	if probe == nil {
+		probe = members
+	}
+	for round := 0; round < diffMaxRounds; round++ {
+		for _, m := range probe {
+			peer := dep.MustPeer(m)
+			if err := peer.Daemon.RefreshNow(ctx); err != nil {
+				t.Fatalf("refresh %s: %v", m, err)
+			}
+			if _, err := peer.Client.RefreshGroups(ctx); err != nil {
+				t.Fatalf("refresh groups %s: %v", m, err)
+			}
+		}
+		for _, m := range members {
+			dep.MustPeer(m).Gossip.Round(ctx)
+		}
+		converged := true
+		for _, m := range probe {
+			want, err := diffOracle(dep, m, byDevice)
+			if err != nil {
+				t.Fatalf("oracle %s: %v", m, err)
+			}
+			peer := dep.MustPeer(m)
+			if !reflect.DeepEqual(canonicalGroups(peer.Client.Groups()), want) {
+				converged = false
+				break
+			}
+			peer.Gossip.Refresh()
+			if !reflect.DeepEqual(canonicalGroups(peer.Gossip.Groups()), want) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return true
+		}
+	}
+	// Report one divergent member for the failure message.
+	for _, m := range probe {
+		want, _ := diffOracle(dep, m, byDevice)
+		peer := dep.MustPeer(m)
+		cv := canonicalGroups(peer.Client.Groups())
+		gv := canonicalGroups(peer.Gossip.Groups())
+		if !reflect.DeepEqual(cv, want) || !reflect.DeepEqual(gv, want) {
+			t.Errorf("member %s diverged after %d rounds:\n  oracle: %v\n  client: %v\n  gossip: %v",
+				m, diffMaxRounds, want, cv, gv)
+			return false
+		}
+	}
+	return false
+}
+
+// TestDifferentialConvergence is the small-world matrix: 34 scenarios
+// alternating transports and topologies, each converged across 3
+// profile epochs — 102 cases.
+func TestDifferentialConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is long; skipped in -short mode")
+	}
+	for scn := 0; scn < diffSmallScenarios; scn++ {
+		scn := scn
+		layout := scn % 3
+		n := 4 + (scn%4)*2 // 4, 6, 8, 10
+		des := scn%2 == 1
+		engine := "go"
+		if des {
+			engine = "des"
+		}
+		name := fmt.Sprintf("scn-%02d-%s-layout%d-n%d", scn, engine, layout, n)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dep, members, byDevice := buildDiffWorld(t, scn, n, layout, 1000+int64(scn)*131, des, gossip.Config{})
+			ctx := context.Background()
+			for epoch := 0; epoch < diffEpochsPerScenario; epoch++ {
+				if epoch > 0 {
+					// Mutate a rotating third of the members: the store
+					// epoch bumps, the next refreshSelf re-hots the
+					// record, and both engines must chase the new truth.
+					for i, m := range members {
+						if i%3 == epoch%3 {
+							if err := dep.MustPeer(m).Store.AddInterest(m, fmt.Sprintf("epoch-%d", epoch)); err != nil {
+								t.Fatalf("mutating %s: %v", m, err)
+							}
+						}
+					}
+				}
+				if !convergeCase(ctx, t, dep, members, nil, byDevice) {
+					t.Fatalf("epoch case %d did not converge", epoch)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialConvergenceLarge runs the two big single-epoch
+// worlds (n=100 goroutine, n=200 DES — the issue's n ≤ 200 ceiling).
+// Gossip views are verified for every member; the O(n²)-cost fan-out
+// comparison probes a spread subset, which transitively pins the rest
+// through the shared oracle.
+func TestDifferentialConvergenceLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is long; skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		n    int
+		des  bool
+	}{
+		{"go-n100", 100, false},
+		{"des-n200", 200, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			// Fanout 3 spreads rumors in O(log4 n) rounds — the round
+			// count, not the per-round push volume, dominates the big
+			// worlds' wall time.
+			dep, members, byDevice := buildDiffWorld(t, 50, tc.n, 0, 9000+int64(tc.n), tc.des, gossip.Config{Fanout: 3})
+			probe := make([]ids.MemberID, 0, 12)
+			for i := 0; i < len(members) && len(probe) < 12; i += len(members)/12 + 1 {
+				probe = append(probe, members[i])
+			}
+			ctx := context.Background()
+			if !convergeCase(ctx, t, dep, members, probe, byDevice) {
+				t.Fatal("large world did not converge")
+			}
+			// Beyond the probed clients: every member's gossip view must
+			// reach its oracle. The probe set converging first does not
+			// imply the stragglers have — keep driving rounds until the
+			// whole deployment agrees.
+			for round := 0; ; round++ {
+				var diverged ids.MemberID
+				var got, want diffView
+				for _, m := range members {
+					w, err := diffOracle(dep, m, byDevice)
+					if err != nil {
+						t.Fatal(err)
+					}
+					peer := dep.MustPeer(m)
+					peer.Gossip.Refresh()
+					if g := canonicalGroups(peer.Gossip.Groups()); !reflect.DeepEqual(g, w) {
+						diverged, got, want = m, g, w
+						break
+					}
+				}
+				if diverged == "" {
+					break
+				}
+				if round >= diffMaxRounds {
+					t.Fatalf("member %s gossip view still diverged after %d extra rounds:\n  got  %v\n  want %v",
+						diverged, round, got, want)
+				}
+				for _, m := range members {
+					dep.MustPeer(m).Gossip.Round(ctx)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialCaseFloor pins the suite size the issue requires:
+// at least 100 scenario×epoch cases.
+func TestDifferentialCaseFloor(t *testing.T) {
+	total := diffSmallScenarios*diffEpochsPerScenario + diffLargeCases
+	if total < diffCaseFloor {
+		t.Fatalf("differential suite has %d cases, need >= %d", total, diffCaseFloor)
+	}
+}

@@ -1,0 +1,304 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// testWorld builds a static all-in-range world of n gossip nodes on
+// the goroutine engine and returns the started nodes in device order.
+type testWorld struct {
+	env   *radio.Environment
+	net   *netsim.Network
+	nodes []*Node
+}
+
+func newTestWorld(t *testing.T, n int, cfg Config, interests func(i int) []string, epochs []uint64) *testWorld {
+	t.Helper()
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-6)))
+	net := netsim.New(env, 1)
+	t.Cleanup(net.Close)
+	w := &testWorld{env: env, net: net}
+	for i := 0; i < n; i++ {
+		dev := ids.DeviceIDf("dev-%03d", i)
+		// A tight circle well inside Bluetooth range.
+		at := geo.Pt(float64(i%10)*0.5, float64(i/10)*0.5)
+		if err := env.Add(dev, mobility.Static{At: at}, radio.Bluetooth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		dev := ids.DeviceIDf("dev-%03d", i)
+		node, err := NewNode(Params{
+			Device: dev,
+			Member: ids.MemberID(fmt.Sprintf("m-%03d", i)),
+			Self: func() Record {
+				return Record{Epoch: epochs[i], Interests: interests(i)}
+			},
+			Neighbors: func() []ids.DeviceID { return env.Neighbors(dev, radio.Bluetooth) },
+			Net:       net,
+			Seed:      42,
+			Config:    cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Stop)
+		w.nodes = append(w.nodes, node)
+	}
+	return w
+}
+
+// sweep drives one sequential round on every node.
+func (w *testWorld) sweep(ctx context.Context) {
+	for _, n := range w.nodes {
+		n.Round(ctx)
+	}
+}
+
+// converged reports whether every node knows every other node's
+// current record.
+func (w *testWorld) converged(epochs []uint64) bool {
+	for _, n := range w.nodes {
+		for j := range w.nodes {
+			if !n.HasRecord(ids.DeviceIDf("dev-%03d", j), epochs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func flatInterests(terms ...string) func(int) []string {
+	return func(int) []string { return terms }
+}
+
+// TestGossipSpreadsRecords proves the epidemic basics: rumor pushes
+// alone (anti-entropy off) spread every record to every node in a
+// bounded number of rounds.
+func TestGossipSpreadsRecords(t *testing.T) {
+	t.Parallel()
+	const n = 8
+	epochs := make([]uint64, n)
+	for i := range epochs {
+		epochs[i] = 1
+	}
+	w := newTestWorld(t, n, Config{DisableAntiEntropy: true, HotCount: 3}, flatInterests("football"), epochs)
+	ctx := context.Background()
+	for r := 0; r < 40 && !w.converged(epochs); r++ {
+		w.sweep(ctx)
+	}
+	if !w.converged(epochs) {
+		t.Fatal("rumor mongering did not converge in 40 rounds")
+	}
+}
+
+// TestAntiEntropyAloneConverges proves the reconciliation guarantee in
+// isolation: with rumor pushes disabled entirely, periodic digest
+// exchange still reaches full convergence.
+func TestAntiEntropyAloneConverges(t *testing.T) {
+	t.Parallel()
+	const n = 6
+	epochs := make([]uint64, n)
+	for i := range epochs {
+		epochs[i] = 1
+	}
+	w := newTestWorld(t, n, Config{DisableRumors: true, AEEvery: 1}, flatInterests("biking"), epochs)
+	ctx := context.Background()
+	for r := 0; r < 60 && !w.converged(epochs); r++ {
+		w.sweep(ctx)
+	}
+	if !w.converged(epochs) {
+		t.Fatal("anti-entropy alone did not converge in 60 rounds")
+	}
+	for _, node := range w.nodes {
+		s := node.Stats()
+		if s.PushesSent != 0 {
+			t.Fatalf("rumor push ran with DisableRumors: %+v", s)
+		}
+		if s.AERuns == 0 {
+			t.Fatalf("no anti-entropy exchanges ran: %+v", s)
+		}
+	}
+}
+
+// TestRumorsDieAndPushesStop pins the greedy feedback counter: once
+// the world has converged and acks report every push redundant, hot
+// counters decay to zero and rumor traffic stops entirely (skipped or
+// no-op rounds), instead of pushing the same records forever.
+func TestRumorsDieAndPushesStop(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	epochs := make([]uint64, n)
+	for i := range epochs {
+		epochs[i] = 1
+	}
+	w := newTestWorld(t, n, Config{DisableAntiEntropy: true, HotCount: 2}, flatInterests("chess"), epochs)
+	ctx := context.Background()
+	for r := 0; r < 60; r++ {
+		w.sweep(ctx)
+	}
+	if !w.converged(epochs) {
+		t.Fatal("did not converge")
+	}
+	// Quiescence: another sweep sends no rumor frames at all.
+	var before, after uint64
+	for _, node := range w.nodes {
+		before += node.Stats().PushesSent
+	}
+	w.sweep(ctx)
+	for _, node := range w.nodes {
+		after += node.Stats().PushesSent
+		if node.Stats().RumorsDied == 0 {
+			t.Fatalf("node never decayed a rumor: %+v", node.Stats())
+		}
+	}
+	if after != before {
+		t.Fatalf("converged world still pushes rumors: %d -> %d", before, after)
+	}
+}
+
+// TestEpochSupersedes proves a re-advertised profile (bumped epoch)
+// re-enters the hot set and replaces the stale record everywhere.
+func TestEpochSupersedes(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	epochs := make([]uint64, n)
+	for i := range epochs {
+		epochs[i] = 1
+	}
+	w := newTestWorld(t, n, Config{HotCount: 3, AEEvery: 2}, flatInterests("music"), epochs)
+	ctx := context.Background()
+	for r := 0; r < 40 && !w.converged(epochs); r++ {
+		w.sweep(ctx)
+	}
+	if !w.converged(epochs) {
+		t.Fatal("initial convergence failed")
+	}
+	// Node 2 edits its profile: epoch bumps, record goes hot again.
+	epochs[2] = 9
+	for r := 0; r < 40 && !w.converged(epochs); r++ {
+		w.sweep(ctx)
+	}
+	if !w.converged(epochs) {
+		t.Fatal("epoch bump did not propagate")
+	}
+	for _, node := range w.nodes {
+		for _, rec := range node.Records() {
+			if rec.Device == "dev-002" && rec.Epoch != 9 {
+				t.Fatalf("stale epoch survived: %+v", rec)
+			}
+		}
+	}
+}
+
+// TestGroupViewMatchesOracle proves the engine's group views equal
+// DiscoverGroups over the true world state once records converged.
+func TestGroupViewMatchesOracle(t *testing.T) {
+	t.Parallel()
+	const n = 6
+	epochs := make([]uint64, n)
+	for i := range epochs {
+		epochs[i] = 1
+	}
+	interests := func(i int) []string {
+		if i%2 == 0 {
+			return []string{"football", "music"}
+		}
+		return []string{"music"}
+	}
+	w := newTestWorld(t, n, Config{}, interests, epochs)
+	ctx := context.Background()
+	for r := 0; r < 40 && !w.converged(epochs); r++ {
+		w.sweep(ctx)
+	}
+	if !w.converged(epochs) {
+		t.Fatal("did not converge")
+	}
+	for i, node := range w.nodes {
+		node.Refresh()
+		groups := node.Groups()
+		want := map[string]int{"music": n}
+		if i%2 == 0 {
+			want["football"] = n/2 + n%2
+		}
+		if len(groups) != len(want) {
+			t.Fatalf("node %d groups = %+v, want interests %v", i, groups, want)
+		}
+		for _, g := range groups {
+			if len(g.Members) != want[g.Interest] {
+				t.Fatalf("node %d group %q has %d members, want %d", i, g.Interest, len(g.Members), want[g.Interest])
+			}
+		}
+	}
+}
+
+// TestDESEngineGossip re-runs the spread test on the discrete-event
+// transport: the node never sleeps or reads clocks, so the same code
+// must converge identically behind netsim.NewDES.
+func TestDESEngineGossip(t *testing.T) {
+	t.Parallel()
+	const n = 8
+	sched := des.NewScheduler(7, 4)
+	env := radio.NewEnvironment(radio.WithScale(vtime.NewScale(1e-6)), radio.WithClock(sched.Clock()))
+	for i := 0; i < n; i++ {
+		if err := env.Add(ids.DeviceIDf("des-%03d", i), mobility.Static{At: geo.Pt(float64(i)*0.4, 0)}, radio.Bluetooth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := netsim.NewDES(env, 7, sched)
+	sched.Start()
+	t.Cleanup(sched.Stop)
+	t.Cleanup(net.Close)
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		dev := ids.DeviceIDf("des-%03d", i)
+		node, err := NewNode(Params{
+			Device:    dev,
+			Member:    ids.MemberID(fmt.Sprintf("dm-%03d", i)),
+			Self:      func() Record { return Record{Epoch: 1, Interests: []string{"football"}} },
+			Neighbors: func() []ids.DeviceID { return env.Neighbors(dev, radio.Bluetooth) },
+			Net:       net,
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Stop)
+		nodes = append(nodes, node)
+	}
+	ctx := context.Background()
+	for r := 0; r < 40; r++ {
+		for _, node := range nodes {
+			node.Round(ctx)
+		}
+		done := true
+		for _, node := range nodes {
+			for j := 0; j < n; j++ {
+				if !node.HasRecord(ids.DeviceIDf("des-%03d", j), 1) {
+					done = false
+				}
+			}
+		}
+		if done {
+			return
+		}
+	}
+	t.Fatal("gossip did not converge on the DES engine in 40 rounds")
+}

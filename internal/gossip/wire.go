@@ -1,0 +1,548 @@
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/ids"
+)
+
+// Wire format. Every gossip frame is
+//
+//	magic(1) version(1) kind(1) body... checksum(8)
+//
+// where the checksum is FNV-64a over magic..body, little-endian. The
+// body is built from uvarints and length-prefixed strings. Decoding is
+// strict: the checksum must match, every length must fit the declared
+// caps, and the body must be consumed exactly — anything else is an
+// error, never a panic. The fuzz suite holds the codec to that under
+// faults.Mangle-style corruption (bit flips, truncation, insertion).
+
+const (
+	frameMagic   = 0x67 // 'g'
+	frameVersion = 1
+
+	kindRumor  = 1
+	kindAck    = 2
+	kindDigest = 3
+	kindDelta  = 4
+
+	maxWireString    = 4096
+	maxWireRecords   = 8192
+	maxWireInterests = 256
+	maxWireView      = 256
+	maxWireMask      = 1024
+)
+
+// Frame kind tags for stats and tests.
+const (
+	KindRumor  = kindRumor
+	KindAck    = kindAck
+	KindDigest = kindDigest
+	KindDelta  = kindDelta
+)
+
+var (
+	// ErrBadFrame reports any malformed gossip frame: short, wrong
+	// magic/version/kind, checksum mismatch, over-cap length, or
+	// trailing garbage.
+	ErrBadFrame = errors.New("gossip: bad frame")
+)
+
+// Record is one epoch-versioned member profile as it rides the wire: a
+// member identity, the device carrying it, the store epoch at capture
+// time (PR 4's wire-visible mutation counter — newer epoch supersedes),
+// and the advertised interests.
+type Record struct {
+	Member    ids.MemberID
+	Device    ids.DeviceID
+	Epoch     uint64
+	Interests []string
+}
+
+// Key is the record's identity in "have" digests: member|epoch. A
+// re-advertised profile (new epoch) is a new rumor with a fresh key, so
+// stale blooms never suppress fresh state.
+func (r Record) Key() string {
+	return string(r.Member) + "|" + fmt.Sprintf("%x", r.Epoch)
+}
+
+// ViewEntry is one peer descriptor in the CyclonSN-style sampling view:
+// the device to dial, the member it carries, and the entry's age in
+// shuffle rounds (older entries are evicted first).
+type ViewEntry struct {
+	Device ids.DeviceID
+	Member ids.MemberID
+	Age    uint32
+}
+
+// FrameRumor is a rumor push: the sender's hot records the receiver's
+// cached digest did not cover, plus a view sample for shuffling.
+type FrameRumor struct {
+	From    ids.DeviceID
+	Records []Record
+	View    []ViewEntry
+}
+
+// FrameAck answers a rumor push. KnownMask has bit i set when pushed
+// record i was already known (the feedback that decays hot counters),
+// Bloom is the responder's current "have" digest (cached by the
+// initiator to skip future no-op pushes), View is the shuffle reply.
+type FrameAck struct {
+	KnownMask []byte
+	Bloom     *Bloom
+	View      []ViewEntry
+}
+
+// FrameDigest opens an anti-entropy exchange: the initiator's full
+// "have" digest and a view sample.
+type FrameDigest struct {
+	From  ids.DeviceID
+	Bloom *Bloom
+	View  []ViewEntry
+}
+
+// FrameDelta carries reconciliation records. The responder's delta also
+// carries its own bloom so the initiator can compute the reverse delta;
+// the initiator's closing delta carries no bloom.
+type FrameDelta struct {
+	From    ids.DeviceID
+	Records []Record
+	Bloom   *Bloom
+}
+
+// --- encoding ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendRecord(b []byte, r Record) []byte {
+	b = appendString(b, string(r.Member))
+	b = appendString(b, string(r.Device))
+	b = binary.AppendUvarint(b, r.Epoch)
+	b = binary.AppendUvarint(b, uint64(len(r.Interests)))
+	for _, it := range r.Interests {
+		b = appendString(b, it)
+	}
+	return b
+}
+
+func appendRecords(b []byte, rs []Record) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rs)))
+	for _, r := range rs {
+		b = appendRecord(b, r)
+	}
+	return b
+}
+
+func appendView(b []byte, v []ViewEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	for _, e := range v {
+		b = appendString(b, string(e.Device))
+		b = appendString(b, string(e.Member))
+		b = binary.AppendUvarint(b, uint64(e.Age))
+	}
+	return b
+}
+
+func appendBloom(b []byte, f *Bloom) []byte {
+	if f == nil || f.nbits == 0 {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(f.nbits))
+	b = binary.AppendUvarint(b, uint64(f.k))
+	b = binary.AppendUvarint(b, uint64(f.count))
+	b = binary.AppendUvarint(b, f.salt)
+	return append(b, f.bits...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func sealFrame(body []byte) []byte {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return binary.LittleEndian.AppendUint64(body, h.Sum64())
+}
+
+func frameHeader(kind byte) []byte {
+	return []byte{frameMagic, frameVersion, kind}
+}
+
+// MarshalRumor encodes a rumor push frame.
+func MarshalRumor(f FrameRumor) []byte {
+	b := frameHeader(kindRumor)
+	b = appendString(b, string(f.From))
+	b = appendRecords(b, f.Records)
+	b = appendView(b, f.View)
+	return sealFrame(b)
+}
+
+// MarshalAck encodes a rumor acknowledgement frame.
+func MarshalAck(f FrameAck) []byte {
+	b := frameHeader(kindAck)
+	b = appendBytes(b, f.KnownMask)
+	b = appendBloom(b, f.Bloom)
+	b = appendView(b, f.View)
+	return sealFrame(b)
+}
+
+// MarshalDigest encodes an anti-entropy digest frame.
+func MarshalDigest(f FrameDigest) []byte {
+	b := frameHeader(kindDigest)
+	b = appendString(b, string(f.From))
+	b = appendBloom(b, f.Bloom)
+	b = appendView(b, f.View)
+	return sealFrame(b)
+}
+
+// MarshalDelta encodes an anti-entropy delta frame.
+func MarshalDelta(f FrameDelta) []byte {
+	b := frameHeader(kindDelta)
+	b = appendString(b, string(f.From))
+	b = appendRecords(b, f.Records)
+	b = appendBloom(b, f.Bloom)
+	return sealFrame(b)
+}
+
+// --- decoding ---
+
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrBadFrame
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) str(maxLen int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) || r.off+int(n) > len(r.b) {
+		return "", ErrBadFrame
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *wireReader) bytes(maxLen int) ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxLen) || r.off+int(n) > len(r.b) {
+		return nil, ErrBadFrame
+	}
+	p := append([]byte(nil), r.b[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return p, nil
+}
+
+func (r *wireReader) record() (Record, error) {
+	var rec Record
+	m, err := r.str(maxWireString)
+	if err != nil {
+		return rec, err
+	}
+	d, err := r.str(maxWireString)
+	if err != nil {
+		return rec, err
+	}
+	epoch, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if n > maxWireInterests {
+		return rec, ErrBadFrame
+	}
+	var interests []string
+	if n > 0 {
+		interests = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			it, err := r.str(maxWireString)
+			if err != nil {
+				return rec, err
+			}
+			interests = append(interests, it)
+		}
+	}
+	rec.Member = ids.MemberID(m)
+	rec.Device = ids.DeviceID(d)
+	rec.Epoch = epoch
+	rec.Interests = interests
+	return rec, nil
+}
+
+func (r *wireReader) records() ([]Record, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireRecords {
+		return nil, ErrBadFrame
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Cap the pre-allocation: a mangled count still has to be backed
+	// by actual bytes before it grows the slice.
+	recs := make([]Record, 0, min(int(n), 64))
+	for i := uint64(0); i < n; i++ {
+		rec, err := r.record()
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func (r *wireReader) view() ([]ViewEntry, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireView {
+		return nil, ErrBadFrame
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]ViewEntry, 0, min(int(n), 64))
+	for i := uint64(0); i < n; i++ {
+		dev, err := r.str(maxWireString)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := r.str(maxWireString)
+		if err != nil {
+			return nil, err
+		}
+		age, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if age > 1<<30 {
+			return nil, ErrBadFrame
+		}
+		out = append(out, ViewEntry{Device: ids.DeviceID(dev), Member: ids.MemberID(mem), Age: uint32(age)})
+	}
+	return out, nil
+}
+
+func (r *wireReader) bloom() (*Bloom, error) {
+	nbits, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nbits == 0 {
+		return nil, nil
+	}
+	if nbits > bloomMaxBits {
+		return nil, ErrBadFrame
+	}
+	k, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > bloomMaxK {
+		return nil, ErrBadFrame
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<32-1 {
+		return nil, ErrBadFrame
+	}
+	salt, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nbytes := int((nbits + 7) / 8)
+	if r.off+nbytes > len(r.b) {
+		return nil, ErrBadFrame
+	}
+	bits := append([]byte(nil), r.b[r.off:r.off+nbytes]...)
+	r.off += nbytes
+	return &Bloom{bits: bits, nbits: uint32(nbits), k: uint8(k), count: uint32(count), salt: salt}, nil
+}
+
+// openFrame validates magic/version/kind and the trailing checksum and
+// returns a reader positioned at the body.
+func openFrame(data []byte, kind byte) (*wireReader, error) {
+	if len(data) < 3+8 {
+		return nil, ErrBadFrame
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	if binary.LittleEndian.Uint64(sum) != h.Sum64() {
+		return nil, ErrBadFrame
+	}
+	if body[0] != frameMagic || body[1] != frameVersion || body[2] != kind {
+		return nil, ErrBadFrame
+	}
+	return &wireReader{b: body, off: 3}, nil
+}
+
+func (r *wireReader) finish() error {
+	if r.off != len(r.b) {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// FrameKind peeks at a sealed frame's kind without validating the body.
+// It still verifies the checksum, so a mangled kind byte is rejected
+// rather than misrouted.
+func FrameKind(data []byte) (byte, error) {
+	if len(data) < 3+8 {
+		return 0, ErrBadFrame
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	if binary.LittleEndian.Uint64(sum) != h.Sum64() {
+		return 0, ErrBadFrame
+	}
+	if body[0] != frameMagic || body[1] != frameVersion {
+		return 0, ErrBadFrame
+	}
+	k := body[2]
+	if k < kindRumor || k > kindDelta {
+		return 0, ErrBadFrame
+	}
+	return k, nil
+}
+
+// UnmarshalRumor decodes a rumor push frame.
+func UnmarshalRumor(data []byte) (FrameRumor, error) {
+	var f FrameRumor
+	r, err := openFrame(data, kindRumor)
+	if err != nil {
+		return f, err
+	}
+	from, err := r.str(maxWireString)
+	if err != nil {
+		return f, err
+	}
+	recs, err := r.records()
+	if err != nil {
+		return f, err
+	}
+	view, err := r.view()
+	if err != nil {
+		return f, err
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.From = ids.DeviceID(from)
+	f.Records = recs
+	f.View = view
+	return f, nil
+}
+
+// UnmarshalAck decodes a rumor acknowledgement frame.
+func UnmarshalAck(data []byte) (FrameAck, error) {
+	var f FrameAck
+	r, err := openFrame(data, kindAck)
+	if err != nil {
+		return f, err
+	}
+	mask, err := r.bytes(maxWireMask)
+	if err != nil {
+		return f, err
+	}
+	bloom, err := r.bloom()
+	if err != nil {
+		return f, err
+	}
+	view, err := r.view()
+	if err != nil {
+		return f, err
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.KnownMask = mask
+	f.Bloom = bloom
+	f.View = view
+	return f, nil
+}
+
+// UnmarshalDigest decodes an anti-entropy digest frame.
+func UnmarshalDigest(data []byte) (FrameDigest, error) {
+	var f FrameDigest
+	r, err := openFrame(data, kindDigest)
+	if err != nil {
+		return f, err
+	}
+	from, err := r.str(maxWireString)
+	if err != nil {
+		return f, err
+	}
+	bloom, err := r.bloom()
+	if err != nil {
+		return f, err
+	}
+	view, err := r.view()
+	if err != nil {
+		return f, err
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.From = ids.DeviceID(from)
+	f.Bloom = bloom
+	f.View = view
+	return f, nil
+}
+
+// UnmarshalDelta decodes an anti-entropy delta frame.
+func UnmarshalDelta(data []byte) (FrameDelta, error) {
+	var f FrameDelta
+	r, err := openFrame(data, kindDelta)
+	if err != nil {
+		return f, err
+	}
+	from, err := r.str(maxWireString)
+	if err != nil {
+		return f, err
+	}
+	recs, err := r.records()
+	if err != nil {
+		return f, err
+	}
+	bloom, err := r.bloom()
+	if err != nil {
+		return f, err
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.From = ids.DeviceID(from)
+	f.Records = recs
+	f.Bloom = bloom
+	return f, nil
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/community"
 	"repro/internal/des"
 	"repro/internal/geo"
+	"repro/internal/gossip"
 	"repro/internal/ids"
 	"repro/internal/interest"
 	"repro/internal/mobility"
@@ -65,6 +66,8 @@ type Builder struct {
 	hasResil   bool
 	useDES     bool
 	desShards  int
+	useGossip  bool
+	gossipCfg  gossip.Config
 }
 
 // desDefaultShards is the event scheduler's shard count when WithDES
@@ -139,6 +142,19 @@ func (b *Builder) WithDES(shards int) *Builder {
 	return b
 }
 
+// WithGossip attaches an epidemic discovery engine to every peer: a
+// gossip.Node reading the live profile store (interest edits bump the
+// store epoch and become fresh rumors) and the daemon's radio
+// neighborhood, serving on the gossip port next to the community
+// server. Rounds are driven explicitly (Peer.Gossip.Round), so the
+// engine works identically on the goroutine and DES transports. The
+// zero Config takes the package defaults.
+func (b *Builder) WithGossip(cfg gossip.Config) *Builder {
+	b.useGossip = true
+	b.gossipCfg = cfg
+	return b
+}
+
 // AddPeer appends a participant.
 func (b *Builder) AddPeer(spec PeerSpec) *Builder {
 	b.peers = append(b.peers, spec)
@@ -153,6 +169,7 @@ type Peer struct {
 	Store  *profile.Store
 	Server *community.Server
 	Client *community.Client
+	Gossip *gossip.Node // nil unless built WithGossip
 }
 
 // Deployment is a running world.
@@ -293,7 +310,33 @@ func (b *Builder) buildPeer(d *Deployment, spec PeerSpec) (*Peer, error) {
 	if b.hasResil {
 		client.SetResilience(b.resilience)
 	}
-	return &Peer{Spec: spec, Daemon: daemon, Lib: lib, Store: store, Server: server, Client: client}, nil
+	var gnode *gossip.Node
+	if b.useGossip {
+		env := d.Env
+		gnode, err = gossip.NewNode(gossip.Params{
+			Device: dev,
+			Member: spec.Member,
+			Self: func() gossip.Record {
+				rec := gossip.Record{Epoch: store.Epoch()}
+				if p, err := store.ActiveProfile(); err == nil {
+					rec.Interests = append([]string(nil), p.Interests...)
+				}
+				return rec
+			},
+			Neighbors: func() []ids.DeviceID { return env.Neighbors(dev, radio.Bluetooth) },
+			Net:       d.Net,
+			Sem:       b.semantics,
+			Seed:      b.seed,
+			Config:    b.gossipCfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := gnode.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return &Peer{Spec: spec, Daemon: daemon, Lib: lib, Store: store, Server: server, Client: client, Gossip: gnode}, nil
 }
 
 // Peer returns a participant by member ID.
@@ -345,6 +388,9 @@ func (d *Deployment) StartAll() error {
 // Stop tears the whole deployment down.
 func (d *Deployment) Stop() {
 	for _, p := range d.peers {
+		if p.Gossip != nil {
+			p.Gossip.Stop()
+		}
 		p.Client.Close()
 		p.Server.Stop()
 		p.Daemon.Stop()

@@ -1,0 +1,179 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// This file extends the chaos battery to the epidemic engine
+// (Scenario.Gossip): every member runs a gossip.Node beside its
+// fan-out client, rumor/anti-entropy rounds execute under the same
+// seeded fault plans, and after healing BOTH engines must reconverge
+// to the same fault-free oracle. Replay must stay byte-for-byte
+// deterministic with gossip traffic in the run.
+
+// gossipChaosScenarios is the size of the gossip link-fault matrix.
+const gossipChaosScenarios = 16
+
+// gossipDESChaosScenarios mirrors it on the discrete-event engine.
+const gossipDESChaosScenarios = 8
+
+// assertGossipInvariants layers the gossip-specific checks over the
+// standard chaos invariants.
+func assertGossipInvariants(t *testing.T, sc Scenario, res *Result) {
+	t.Helper()
+	assertChaosInvariants(t, sc, res)
+	if res.Gossip.Rounds == 0 {
+		t.Errorf("gossip scenario drove no gossip rounds: %+v", res.Gossip)
+	}
+	if sc.GossipAntiEntropyOnly {
+		if res.Gossip.PushesSent != 0 {
+			t.Errorf("anti-entropy-only scenario pushed rumors: %+v", res.Gossip)
+		}
+		if res.Gossip.AERuns == 0 {
+			t.Errorf("anti-entropy-only scenario ran no reconciliation: %+v", res.Gossip)
+		}
+	}
+}
+
+// TestChaosGossipSuite runs the seeded gossip matrix on the goroutine
+// engine.
+func TestChaosGossipSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is long; skipped in -short mode")
+	}
+	for _, sc := range GossipMatrix(gossipChaosScenarios, 21) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("scenario could not run: %v", err)
+			}
+			assertGossipInvariants(t, sc, res)
+		})
+	}
+}
+
+// TestChaosGossipSuiteDES re-runs a slice of the gossip matrix on the
+// discrete-event engine: the node never reads clocks or sleeps, so the
+// identical code must satisfy the identical invariants there.
+func TestChaosGossipSuiteDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is long; skipped in -short mode")
+	}
+	for _, sc := range GossipMatrix(gossipDESChaosScenarios, 31) {
+		sc := sc
+		sc.DES = true
+		sc.Name = "des-" + sc.Name
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("scenario could not run: %v", err)
+			}
+			assertGossipInvariants(t, sc, res)
+		})
+	}
+}
+
+// TestChaosGossipReplay runs a loss-only gossip scenario twice from
+// one seed: fault counters, the event trace, AND the aggregated gossip
+// statistics (pushes, skips, deaths, anti-entropy pulls) must replay
+// byte-for-byte. Gossip rounds run in sequential lockstep after the
+// concurrent traffic phase, so the whole run stays a pure function of
+// the seed.
+func TestChaosGossipReplay(t *testing.T) {
+	sc := Scenario{
+		Name:   "gossip-replay",
+		Seed:   999,
+		Peers:  6,
+		Loss:   0.2,
+		Gossip: true,
+	}
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Faults != r2.Faults {
+		t.Errorf("fault counters diverged across replays:\n  run1: %+v\n  run2: %+v", r1.Faults, r2.Faults)
+	}
+	if !reflect.DeepEqual(r1.Events, r2.Events) {
+		t.Errorf("event traces diverged across replays: %d vs %d events", len(r1.Events), len(r2.Events))
+	}
+	if r1.Gossip != r2.Gossip {
+		t.Errorf("gossip stats diverged across replays:\n  run1: %+v\n  run2: %+v", r1.Gossip, r2.Gossip)
+	}
+	if r1.Faults.MessagesLost == 0 {
+		t.Errorf("replay scenario injected nothing: %+v", r1.Faults)
+	}
+	if r1.Gossip.Rounds == 0 {
+		t.Errorf("replay scenario ran no gossip rounds: %+v", r1.Gossip)
+	}
+	if !r1.Reconverged || !r2.Reconverged {
+		t.Errorf("replay runs did not reconverge: %v / %v", r1.Reconverged, r2.Reconverged)
+	}
+}
+
+// TestChaosGossipAntiEntropyOnly is the dedicated reconciliation
+// scenario: rumor pushes fully suppressed under heavy loss, so
+// periodic digest exchange is the only propagation path — and it must
+// still reach the oracle after the heal.
+func TestChaosGossipAntiEntropyOnly(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:                  "gossip-ae-only",
+		Seed:                  1717,
+		Peers:                 6,
+		Loss:                  0.25,
+		Gossip:                true,
+		GossipAntiEntropyOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if !res.Reconverged {
+		t.Errorf("anti-entropy alone did not reconverge (rounds=%d, gossip=%+v)",
+			res.RoundsToReconverge, res.Gossip)
+	}
+	if res.Gossip.PushesSent != 0 {
+		t.Errorf("rumor pushes ran while suppressed: %+v", res.Gossip)
+	}
+	if res.Gossip.AERuns == 0 {
+		t.Errorf("no anti-entropy exchanges ran: %+v", res.Gossip)
+	}
+	if res.Faults.MessagesLost == 0 {
+		t.Errorf("loss knob injected nothing: %+v", res.Faults)
+	}
+}
+
+// TestZeroGossipScenarioIsClean pins the fault-free gossip baseline:
+// no faults counted, no violations, first-round reconvergence of both
+// engines, and zero rejected gossip frames.
+func TestZeroGossipScenarioIsClean(t *testing.T) {
+	res, err := Run(Scenario{Name: "gossip-zero", Seed: 8, Peers: 4, Gossip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallErrors != 0 {
+		t.Errorf("fault-free run had %d call errors", res.CallErrors)
+	}
+	if res.Faults.MessagesLost != 0 || res.Faults.MessagesCorrupted != 0 {
+		t.Errorf("fault-free run counted faults: %+v", res.Faults)
+	}
+	if !res.Reconverged {
+		t.Errorf("fault-free gossip run did not reconverge: %+v", res.Gossip)
+	}
+	if res.Gossip.FramesRejected != 0 {
+		t.Errorf("fault-free run rejected gossip frames: %+v", res.Gossip)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations in fault-free run: %v", res.Violations)
+	}
+}

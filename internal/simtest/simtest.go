@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/geo"
+	"repro/internal/gossip"
 	"repro/internal/ids"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
@@ -137,6 +138,22 @@ type Scenario struct {
 	// ReconvergeRounds bounds the healing loop (default 40).
 	ReconvergeRounds int
 
+	// Gossip attaches the epidemic discovery engine to every peer
+	// (scenario.Builder.WithGossip). Gossip rounds are driven in
+	// sequential lockstep — sorted member order, one exchange at a time
+	// — after the concurrent traffic phase and during every healing
+	// round, so the per-pair fault draws stay a pure function of the
+	// seed and runs replay byte for byte. Reconvergence then requires
+	// the gossip engine's group views to match the fault-free oracle in
+	// addition to the fan-out clients'.
+	Gossip bool
+	// GossipAntiEntropyOnly disables rumor mongering entirely
+	// (gossip.Config.DisableRumors): the run must converge on periodic
+	// anti-entropy reconciliation alone, which is the degenerate state
+	// a lossy world pushes the epidemic toward when every rumor dies
+	// before spreading.
+	GossipAntiEntropyOnly bool
+
 	// DES runs the deployment on the discrete-event engine
 	// (scenario.Builder.WithDES): virtual time advances by popping the
 	// event queue instead of sleeping. Every fault knob and the whole
@@ -219,6 +236,10 @@ type Result struct {
 	// Server sums every peer's community.ServerStats: admissions, shed
 	// sessions, rate-limited requests and aborted slow writers.
 	Server community.ServerStats
+	// Gossip sums every peer's gossip.Stats when the epidemic engine is
+	// attached: pushes sent/skipped, rumors died, anti-entropy runs and
+	// records reconciled across the deployment.
+	Gossip gossip.Stats
 
 	// Violations lists every invariant breach (empty on success).
 	Violations []string
@@ -254,6 +275,16 @@ func Run(s Scenario) (*Result, error) {
 	env.SetInquiryFaults(plan)
 	driveTraffic(ctx, s, dep, clock, res)
 
+	// Gossip rounds run under the active faults too, but strictly after
+	// the concurrent traffic (wg.Wait above) and in sequential lockstep:
+	// each directed pair's connection sequence — what the fault plane
+	// draws fates from — stays a pure function of the seed.
+	if s.Gossip {
+		for sweep := 0; sweep < gossipFaultSweeps; sweep++ {
+			driveGossipSweep(ctx, dep)
+		}
+	}
+
 	// Heal: lift the plan entirely and freeze mobility, so the
 	// reconvergence oracle is computed over a static, fault-free world.
 	dep.Net.SetFaults(nil)
@@ -274,8 +305,29 @@ func Run(s Scenario) (*Result, error) {
 	for _, m := range dep.Members() {
 		res.Client.Add(dep.MustPeer(m).Client.Stats())
 		res.Server.Add(dep.MustPeer(m).Server.Stats())
+		if g := dep.MustPeer(m).Gossip; g != nil {
+			res.Gossip.Add(g.Stats())
+		}
 	}
 	return res, nil
+}
+
+// gossipFaultSweeps is how many sequential gossip sweeps run while the
+// fault plan is active: enough for rumors to spread (and die) under
+// fire, before healing hands convergence to the reconverge loop.
+const gossipFaultSweeps = 4
+
+// driveGossipSweep runs one gossip round on every peer in sorted
+// member order, one at a time. Each Round fully settles its exchanges
+// (the protocol's closing acks guarantee the partner applied the
+// frames) before the next peer starts, which keeps the whole epidemic
+// schedule deterministic.
+func driveGossipSweep(ctx context.Context, dep *scenario.Deployment) {
+	for _, m := range dep.Members() {
+		if g := dep.MustPeer(m).Gossip; g != nil {
+			g.Round(ctx)
+		}
+	}
 }
 
 // buildWorld assembles the deployment and the fault plan for a
@@ -307,6 +359,16 @@ func buildWorld(s Scenario) (*scenario.Deployment, *faults.Plan, error) {
 		// Hedging wants a primed latency window; a low sample gate lets
 		// the short chaos workloads reach it.
 		b.WithResilience(community.ResilienceOptions{Hedge: true, HedgeMinSamples: 8})
+	}
+	if s.Gossip {
+		cfg := gossip.Config{DisableRumors: s.GossipAntiEntropyOnly}
+		if s.GossipAntiEntropyOnly {
+			// With the push phase suppressed, reconciliation is the only
+			// propagation path; run it every other round so convergence
+			// lands inside the healing budget.
+			cfg.AEEvery = 2
+		}
+		b.WithGossip(cfg)
 	}
 	dep, err := b.Build()
 	if err != nil {
@@ -531,6 +593,12 @@ func reconverge(ctx context.Context, s Scenario, dep *scenario.Deployment) (bool
 			_ = peer.Daemon.RefreshNow(ctx)
 			_, _ = peer.Client.RefreshGroups(ctx)
 		}
+		// One sequential gossip sweep per healing round: the epidemic
+		// converges alongside the fan-out clients and must reach the
+		// same oracle.
+		if s.Gossip {
+			driveGossipSweep(ctx, dep)
+		}
 		converged := true
 		for _, m := range members {
 			want, err := oracleView(dep, m, byDevice)
@@ -542,6 +610,13 @@ func reconverge(ctx context.Context, s Scenario, dep *scenario.Deployment) (bool
 			if !reflect.DeepEqual(got, want) {
 				converged = false
 				break
+			}
+			if g := dep.MustPeer(m).Gossip; g != nil {
+				g.Refresh()
+				if !reflect.DeepEqual(canonical(g.Groups()), want) {
+					converged = false
+					break
+				}
 			}
 		}
 		if converged {
@@ -605,6 +680,35 @@ func EndpointMatrix(n int, baseSeed int64) []Scenario {
 		s.Name = fmt.Sprintf("endpoint-%02d-st%02.0f-sl%02.0f-l%02.0f-f%02.0f-w%d-cr%d-p%d-n%d",
 			i, s.Stall*100, s.Slow*100, s.Loss*100, s.Flap*100,
 			s.StalledPeers, s.CrashedPeers, b2i(s.Partition), s.Peers)
+		out = append(out, s)
+	}
+	return out
+}
+
+// GossipMatrix generates n seeded link-fault scenarios with the
+// epidemic engine running beside the fan-out clients: both must
+// reconverge to the same fault-free oracle after healing. Every fourth
+// scenario suppresses rumor pushes entirely (anti-entropy only), so
+// the matrix continuously proves the reconciliation path converges on
+// its own under loss, corruption and partitions.
+func GossipMatrix(n int, baseSeed int64) []Scenario {
+	losses := []float64{0, 0.05, 0.15, 0.3}
+	corrupts := []float64{0, 0.1}
+	flaps := []float64{0, 0.04}
+	out := make([]Scenario, 0, n)
+	for i := 0; len(out) < n; i++ {
+		s := Scenario{
+			Seed:                  baseSeed + int64(i)*3001,
+			Peers:                 4 + (i%3)*2, // 4, 6, 8
+			Loss:                  losses[i%len(losses)],
+			Corrupt:               corrupts[(i/4)%len(corrupts)],
+			Flap:                  flaps[(i/8)%len(flaps)],
+			Partition:             i%3 == 1,
+			Gossip:                true,
+			GossipAntiEntropyOnly: i%4 == 3,
+		}
+		s.Name = fmt.Sprintf("gossip-%02d-l%02.0f-c%02.0f-f%02.0f-p%d-ae%d-n%d",
+			i, s.Loss*100, s.Corrupt*100, s.Flap*100, b2i(s.Partition), b2i(s.GossipAntiEntropyOnly), s.Peers)
 		out = append(out, s)
 	}
 	return out
