@@ -42,14 +42,24 @@ COMBENCH_RATIO   = BenchmarkGroupRound/cold/peers=500:BenchmarkGroupRound/steady
 # engine than on the event engine, and growing the event engine's world
 # 10x (1000 -> 10000 devices) may cost at most 2x per device-round
 # (expressed as the 1k row keeping >= 0.5x of the 10k row) — wall-clock
-# scales with executed events, not with device count. One iteration is
-# one whole sweep, so the suite runs at -benchtime 1x; the smoke run
-# passes -short, which skips the half-minute 50k sweep (hence the
-# smaller require list).
+# scales with executed events, not with device count. The sweep now
+# reaches 100k devices, and the 50k workers=1 / workers=max pair pins
+# the multi-core shard-execution speedup: on multi-core hardware the
+# 1-worker run must cost >= 2x the GOMAXPROCS run per device-round.
+# That ratio is only appended when nproc > 1 — on a single-core box
+# both legs run the same sequential barrier and the floor would be
+# vacuous noise. One iteration is one whole sweep, so the suite runs at
+# -benchtime 1x; the smoke run passes -short, which skips every 50k+
+# sweep (hence the smaller require list).
 DESBENCH_PATTERN = ^BenchmarkDESScaleDiscovery$$
 DESBENCH_REQUIRE_SMOKE = BenchmarkDESScaleDiscovery/engine=goroutine/devices=1000,BenchmarkDESScaleDiscovery/engine=des/devices=1000,BenchmarkDESScaleDiscovery/engine=des/devices=10000
-DESBENCH_REQUIRE = $(DESBENCH_REQUIRE_SMOKE),BenchmarkDESScaleDiscovery/engine=des/devices=50000
+DESBENCH_REQUIRE = $(DESBENCH_REQUIRE_SMOKE),BenchmarkDESScaleDiscovery/engine=des/devices=50000,BenchmarkDESScaleDiscovery/engine=des/devices=100000,BenchmarkDESScaleDiscovery/engine=des/devices=50000/workers=1,BenchmarkDESScaleDiscovery/engine=des/devices=50000/workers=max
 DESBENCH_RATIO   = BenchmarkDESScaleDiscovery/engine=goroutine/devices=1000:BenchmarkDESScaleDiscovery/engine=des/devices=1000:1.15:ns/dev-round,BenchmarkDESScaleDiscovery/engine=des/devices=1000:BenchmarkDESScaleDiscovery/engine=des/devices=10000:0.5:ns/dev-round
+DESBENCH_RATIO_MULTICORE = BenchmarkDESScaleDiscovery/engine=des/devices=50000/workers=1:BenchmarkDESScaleDiscovery/engine=des/devices=50000/workers=max:2:ns/dev-round
+NPROC := $(shell nproc 2>/dev/null || echo 1)
+ifneq ($(NPROC),1)
+DESBENCH_RATIO := $(DESBENCH_RATIO),$(DESBENCH_RATIO_MULTICORE)
+endif
 
 # The epidemic-dissemination benchmarks and the floor the committed
 # BENCH_gossip.json baseline pins: at 1000 devices the fan-out

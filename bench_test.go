@@ -684,39 +684,60 @@ func BenchmarkScaleDiscovery(b *testing.B) {
 // (internal/harness/enginescale.go): every device runs an inquiry
 // window, queries its neighborhood and exchanges interest
 // advertisements with a capped fan-out, on the goroutine transport
-// engine and on the discrete-event engine. One iteration is one whole
-// sweep (two rounds per device), so run it with -benchtime 1x. ns/op
-// includes world construction; the reported ns/dev-round metric is the
-// sweep-only cost per device-round, and its flatness across 1k → 10k →
-// 50k devices is the event engine's scaling claim (the goroutine
-// engine's reference row grows with device count — BENCH_des.json pins
-// both floors). The 50k sweep is a half-minute experiment and skips
-// under -short so bench-smoke stays fast.
+// engine and on the discrete-event engine — where the drivers are
+// event cascades, so one sweep is one synchronous Run over the worker
+// pool. One iteration is one whole sweep (two rounds per device), so
+// run it with -benchtime 1x. ns/op includes world construction; the
+// reported ns/dev-round metric is the sweep-only cost per
+// device-round, and its flatness across 1k → 10k → 50k → 100k devices
+// is the event engine's scaling claim (the goroutine engine's
+// reference row grows with device count — BENCH_des.json pins both
+// floors). The workers=1 and workers=max legs at 50k isolate the
+// multi-core speedup of parallel shard-batch execution; on multi-core
+// hardware the Makefile enforces their ns/dev-round ratio. Sweeps of
+// 50k+ are half-minute-plus experiments and skip under -short so
+// bench-smoke stays fast.
 func BenchmarkDESScaleDiscovery(b *testing.B) {
-	run := func(b *testing.B, n int, des bool) {
+	run := func(b *testing.B, n int, cfg harness.EngineScaleConfig) {
 		var last harness.EngineScalePoint
 		for i := 0; i < b.N; i++ {
-			ps, err := harness.RunEngineScale(harness.EngineScaleConfig{Seed: 7, DES: des}, []int{n})
+			ps, err := harness.RunEngineScale(cfg, []int{n})
 			if err != nil {
 				b.Fatal(err)
 			}
 			last = ps[0]
 		}
 		b.ReportMetric(last.NsPerDeviceRound, "ns/dev-round")
-		if des {
+		if cfg.DES {
 			b.ReportMetric(last.EventsPerSec, "events/sec")
 		}
 		if last.Groups == 0 || last.Delivered == 0 {
 			b.Fatalf("sweep exchanged nothing: %+v", last)
 		}
 	}
-	b.Run("engine=goroutine/devices=1000", func(b *testing.B) { run(b, 1000, false) })
-	for _, n := range []int{1000, 10000, 50000} {
+	b.Run("engine=goroutine/devices=1000", func(b *testing.B) {
+		run(b, 1000, harness.EngineScaleConfig{Seed: 7})
+	})
+	for _, n := range []int{1000, 10000, 50000, 100000} {
 		b.Run(fmt.Sprintf("engine=des/devices=%d", n), func(b *testing.B) {
-			if n == 50000 && testing.Short() {
-				b.Skip("50k sweep skipped under -short")
+			if n >= 50000 && testing.Short() {
+				b.Skip("50k+ sweep skipped under -short")
 			}
-			run(b, n, true)
+			run(b, n, harness.EngineScaleConfig{Seed: 7, DES: true})
+		})
+	}
+	// Worker-count legs: same 50k sweep pinned to one executor vs the
+	// GOMAXPROCS default. Stable names (workers=max, not the number) so
+	// the committed baseline compares across machines.
+	for _, leg := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run("engine=des/devices=50000/"+leg.name, func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("50k+ sweep skipped under -short")
+			}
+			run(b, 50000, harness.EngineScaleConfig{Seed: 7, DES: true, Workers: leg.workers})
 		})
 	}
 }

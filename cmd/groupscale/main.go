@@ -11,8 +11,12 @@
 //	groupscale [-peers 1,2,4,8,16] [-scale FACTOR]
 //	groupscale -substrate [-peers 100,500,1000,2000]
 //	groupscale -overload [-peers 100,400,1000]
-//	groupscale -des [-peers 1000,10000,50000]
+//	groupscale -des [-peers 1000,10000,50000,100000] [-workers N]
 //	groupscale -gossip [-peers 1000,10000,50000]
+//
+// Every mode accepts -cpuprofile/-memprofile to write pprof profiles
+// of the run, for hunting the next engine bottleneck without ad-hoc
+// patches.
 //
 // With -substrate it instead measures the radio substrate itself —
 // per-query neighbor-discovery cost, grid index vs brute force — at
@@ -37,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -53,7 +59,40 @@ func main() {
 	overload := flag.Bool("overload", false, "measure graceful degradation under offered load (admission control, shedding, bounded steady rounds)")
 	desFlag := flag.Bool("des", false, "run the discovery sweep on the discrete-event engine (with goroutine-engine reference rows at small sizes)")
 	gossipFlag := flag.Bool("gossip", false, "compare epidemic dissemination (rumor mongering + anti-entropy) against the fan-out baseline")
+	workers := flag.Int("workers", 0, "event-scheduler executor count for -des/-gossip (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groupscale: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "groupscale: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "groupscale: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "groupscale: memprofile:", err)
+			}
+			_ = f.Close()
+		}()
+	}
 
 	peersSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -68,7 +107,10 @@ func main() {
 	if *overload && !peersSet {
 		*peersFlag = "100,400,1000"
 	}
-	if (*desFlag || *gossipFlag) && !peersSet {
+	if *desFlag && !peersSet {
+		*peersFlag = "1000,10000,50000,100000"
+	}
+	if *gossipFlag && !peersSet {
 		*peersFlag = "1000,10000,50000"
 	}
 
@@ -103,7 +145,7 @@ func main() {
 			}
 			points = append(points, ps...)
 		}
-		ps, err := harness.RunEngineScale(harness.EngineScaleConfig{Seed: 7, DES: true}, counts)
+		ps, err := harness.RunEngineScale(harness.EngineScaleConfig{Seed: 7, DES: true, Workers: *workers}, counts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "groupscale:", err)
 			os.Exit(1)
@@ -142,7 +184,7 @@ func main() {
 				points = append(points, p)
 				continue
 			}
-			p, err := harness.RunGossipScaleMode(harness.GossipScaleConfig{Seed: 7, DES: true}, n, "gossip")
+			p, err := harness.RunGossipScaleMode(harness.GossipScaleConfig{Seed: 7, DES: true, Workers: *workers}, n, "gossip")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "groupscale:", err)
 				os.Exit(1)

@@ -13,10 +13,15 @@
 // own priority queue. Execution proceeds in windows: the scheduler
 // finds the earliest pending instant T across all shards, sets the
 // virtual clock to T, and runs every event at T. Within a window,
-// shards execute their events in parallel between barriers; events an
+// shards execute their events in parallel between barriers — a
+// persistent worker pool (default GOMAXPROCS, see SetWorkers) shares
+// the per-pass shard batches, so the sweep uses every core; events an
 // event schedules at or before T land in a follow-up pass of the same
 // window, so causality at one instant is a deterministic fixpoint, not
-// a race.
+// a race. The trace hash is folded in global key order before a pass
+// executes, so it can never observe worker interleaving: determinism
+// depends only on event keys, proven by the sequential-vs-parallel
+// identical-trace tests.
 //
 // # Determinism
 //
@@ -38,6 +43,7 @@ package des
 
 import (
 	"container/heap"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +87,15 @@ type Scheduler struct {
 	// runMu serializes window execution: Run and the Start runner must
 	// not interleave.
 	runMu sync.Mutex
+
+	// workers is how many OS-schedulable executors share each pass's
+	// shard batches (default GOMAXPROCS); jobs feeds the persistent
+	// pool, live only while a run loop holds runMu. The pool is pure
+	// execution fan-out: the trace is folded in global key order
+	// *before* a pass runs, so worker interleaving can never reach it.
+	workers int
+	jobs    chan poolJob
+	poolWG  sync.WaitGroup
 
 	stopMu  sync.Mutex
 	stopped bool
@@ -171,10 +186,11 @@ func NewScheduler(seed int64, shards int) *Scheduler {
 		shards = 1
 	}
 	s := &Scheduler{
-		seed:   splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15),
-		shards: make([]*shard, shards),
-		base:   time.Unix(1_000_000_000, 0).UTC(),
-		kick:   make(chan struct{}, 1),
+		seed:    splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15),
+		shards:  make([]*shard, shards),
+		base:    time.Unix(1_000_000_000, 0).UTC(),
+		kick:    make(chan struct{}, 1),
+		workers: runtime.GOMAXPROCS(0),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{}
@@ -185,6 +201,89 @@ func NewScheduler(seed int64, shards int) *Scheduler {
 
 // Shards reports the shard count.
 func (s *Scheduler) Shards() int { return len(s.shards) }
+
+// SetWorkers sets how many executors (the calling run loop plus n-1
+// pool goroutines) share each pass's shard batches; n < 1 is floored
+// to 1, which runs every batch inline on the run loop. Call it before
+// Run/RunUntil/Start — the pool is sized when a run loop begins.
+// Worker count never affects the trace hash, only wall-clock.
+func (s *Scheduler) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers reports the configured executor count.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// poolJob asks one pool worker to join a pass's batch claim loop; wg
+// is the pass barrier the worker signals when the claim loop is dry.
+type poolJob struct {
+	run func()
+	wg  *sync.WaitGroup
+}
+
+// startPool brings up the persistent worker pool (workers-1 goroutines;
+// the run loop itself is the last executor). Caller holds runMu.
+func (s *Scheduler) startPool() {
+	if s.workers <= 1 || s.jobs != nil {
+		return
+	}
+	s.jobs = make(chan poolJob, s.workers)
+	for i := 0; i < s.workers-1; i++ {
+		s.poolWG.Add(1)
+		go func() {
+			defer s.poolWG.Done()
+			for job := range s.jobs {
+				job.run()
+				job.wg.Done()
+			}
+		}()
+	}
+}
+
+// stopPool tears the pool down and waits for the workers to exit, so
+// a run loop never leaks goroutines past its return. Caller holds
+// runMu; passes never straddle this (executeBarrier waits for every
+// job it issued).
+func (s *Scheduler) stopPool() {
+	if s.jobs == nil {
+		return
+	}
+	close(s.jobs)
+	s.poolWG.Wait()
+	s.jobs = nil
+}
+
+// panicCell captures the first panic raised by any batch executor so
+// the pass barrier still completes — a panicking event must not wedge
+// the other shards' workers — and the run loop can rethrow it after
+// the barrier with normal panic semantics.
+type panicCell struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+// capture is deferred around each batch; it records the first panic
+// and swallows it so the executor can signal the barrier.
+func (p *panicCell) capture() {
+	if r := recover(); r != nil {
+		p.mu.Lock()
+		if !p.set {
+			p.val, p.set = r, true
+		}
+		p.mu.Unlock()
+	}
+}
+
+// rethrow re-raises the captured panic on the run loop, if any.
+func (p *panicCell) rethrow() {
+	if p.set {
+		panic(p.val)
+	}
+}
 
 // Now returns the current virtual instant.
 func (s *Scheduler) Now() time.Time { return s.base.Add(time.Duration(s.nowNS.Load())) }
@@ -249,6 +348,8 @@ func (s *Scheduler) TraceHash() uint64 { return s.trace.Load() }
 func (s *Scheduler) Run() {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
+	s.startPool()
+	defer s.stopPool()
 	for s.pending.Load() > 0 {
 		s.runWindow()
 	}
@@ -261,6 +362,8 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(d time.Duration) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
+	s.startPool()
+	defer s.stopPool()
 	horizon := int64(d)
 	for s.pending.Load() > 0 {
 		next, ok := s.peekNext()
@@ -366,35 +469,60 @@ func (s *Scheduler) foldTrace(batches [][]*event) {
 	s.activity.Add(uint64(total))
 }
 
-// executeBarrier runs the pass's batches, one goroutine per shard
-// batch, and waits for all of them: the cross-shard synchronization
-// barrier. A single-batch pass runs inline.
+// executeBarrier runs the pass's batches across the worker pool and
+// waits for all of them: the cross-shard synchronization barrier. The
+// run loop and up to workers-1 pool workers each pull the next
+// unclaimed batch from a shared counter until none remain, so load
+// balances when batches outnumber workers and idle workers cost
+// nothing when they don't. A single-batch pass — or a workers=1 /
+// poolless scheduler — runs inline, byte-for-byte the sequential
+// semantics. A panicking event is captured so every executor still
+// reaches the barrier, then rethrown on the run loop.
 func (s *Scheduler) executeBarrier(batches [][]*event) {
-	runBatch := func(batch []*event) {
-		for _, e := range batch {
-			ctx := &Ctx{s: s, home: e.home, seq: e.seq}
-			if e.fn != nil {
-				e.fn(ctx)
-			} else if e.release != nil {
-				e.release()
-			}
+	var pan panicCell
+	if len(batches) == 1 || s.jobs == nil {
+		for _, batch := range batches {
+			s.runBatch(batch, &pan)
 		}
-	}
-	if len(batches) == 1 {
-		runBatch(batches[0])
+		pan.rethrow()
 		return
 	}
-	var wg sync.WaitGroup
-	for _, batch := range batches[1:] {
-		wg.Add(1)
-		batch := batch
-		go func() {
-			defer wg.Done()
-			runBatch(batch)
-		}()
+	var next atomic.Int64
+	claim := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(batches) {
+				return
+			}
+			s.runBatch(batches[i], &pan)
+		}
 	}
-	runBatch(batches[0])
+	helpers := len(batches) - 1
+	if m := s.workers - 1; helpers > m {
+		helpers = m
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		s.jobs <- poolJob{run: claim, wg: &wg}
+	}
+	claim()
 	wg.Wait()
+	pan.rethrow()
+}
+
+// runBatch executes one shard batch in key order; a panic skips the
+// batch's remaining events and is parked in pan for the run loop.
+func (s *Scheduler) runBatch(batch []*event, pan *panicCell) {
+	defer pan.capture()
+	for _, e := range batch {
+		ctx := &Ctx{s: s, home: e.home, seq: e.seq}
+		if e.fn != nil {
+			e.fn(ctx)
+		} else if e.release != nil {
+			e.release()
+		}
+	}
 }
 
 // drainReleases pops every queued event and runs the release hooks

@@ -1,0 +1,14 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain arms the goroutine-leak checker over the whole package: a
+// run loop (Run, RunUntil or the Start runner) that leaks its worker
+// pool, or a Stop that leaves clock waiters parked, fails the package.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

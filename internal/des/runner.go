@@ -98,8 +98,18 @@ func (s *Scheduler) Stop() {
 }
 
 // run is the runner loop: wait for events, settle, execute one window.
+// It owns the worker pool for its lifetime so integrated-mode windows
+// get the same multi-core batch execution as Run.
 func (s *Scheduler) run(stopCh chan struct{}, doneCh chan struct{}) {
 	defer close(doneCh)
+	s.runMu.Lock()
+	s.startPool()
+	s.runMu.Unlock()
+	defer func() {
+		s.runMu.Lock()
+		s.stopPool()
+		s.runMu.Unlock()
+	}()
 	for {
 		select {
 		case <-stopCh:

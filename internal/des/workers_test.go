@@ -1,0 +1,110 @@
+package des
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runCascadeWorkers is runCascade with an explicit executor count.
+func runCascadeWorkers(seed int64, shards, workers, nroots, depth int) (uint64, uint64) {
+	s := NewScheduler(seed, shards)
+	s.SetWorkers(workers)
+	seedCascade(s, nroots, depth)
+	s.Run()
+	return s.TraceHash(), s.EventsExecuted()
+}
+
+// TestWorkersTraceInvariant is the tentpole determinism proof: one
+// seed must produce an identical trace hash across {1,4,16} shards ×
+// {1,4,16} workers — worker interleaving must never reach the trace,
+// because the pass is folded in global key order before it executes.
+// Run under -race this also proves the claim-loop barrier is sound.
+func TestWorkersTraceInvariant(t *testing.T) {
+	const nroots, depth = 40, 5
+	for _, seed := range []int64{3, 1337} {
+		h1, n1 := runCascadeWorkers(seed, 1, 1, nroots, depth)
+		if n1 == 0 {
+			t.Fatalf("seed %d: cascade executed no events", seed)
+		}
+		for _, shards := range []int{1, 4, 16} {
+			for _, workers := range []int{1, 4, 16} {
+				h, n := runCascadeWorkers(seed, shards, workers, nroots, depth)
+				if h != h1 || n != n1 {
+					t.Errorf("seed %d: shards=%d workers=%d trace (%#x, %d events) != sequential (%#x, %d events)",
+						seed, shards, workers, h, n, h1, n1)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersExceedShards: more workers than shards (and than batches)
+// must neither deadlock the barrier nor change the trace — surplus
+// workers simply find the claim counter exhausted.
+func TestWorkersExceedShards(t *testing.T) {
+	hSeq, nSeq := runCascadeWorkers(11, 2, 1, 30, 4)
+	hPar, nPar := runCascadeWorkers(11, 2, 16, 30, 4)
+	if hPar != hSeq || nPar != nSeq {
+		t.Fatalf("workers=16 over 2 shards: trace %#x/%d != sequential %#x/%d", hPar, nPar, hSeq, nSeq)
+	}
+}
+
+// TestSetWorkersFloorsAtOne: SetWorkers(0) and negative counts mean
+// "inline", not a dead scheduler.
+func TestSetWorkersFloorsAtOne(t *testing.T) {
+	s := NewScheduler(1, 4)
+	s.SetWorkers(0)
+	if got := s.Workers(); got != 1 {
+		t.Fatalf("SetWorkers(0) left Workers()=%d, want 1", got)
+	}
+	ran := false
+	s.At(time.Second, 1, func(ctx *Ctx) { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("workers=1 scheduler executed nothing")
+	}
+}
+
+// TestPanickingEventDoesNotWedgeBarrier: an event that panics mid-pass
+// must not wedge the cross-shard barrier — every other shard's batch
+// still completes, the panic resurfaces on the Run caller (normal
+// panic semantics), the pool is torn down (the package leak checker
+// enforces that), and the scheduler still drains a later workload.
+func TestPanickingEventDoesNotWedgeBarrier(t *testing.T) {
+	s := NewScheduler(5, 8)
+	s.SetWorkers(4)
+	var ran atomic.Int64
+	const n = 64
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(time.Second, uint64(i), func(ctx *Ctx) {
+			if i == 13 {
+				panic("boom")
+			}
+			ran.Add(1)
+		})
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic from an event did not surface on Run")
+			} else if r != "boom" {
+				t.Errorf("Run surfaced %v, want the event's panic value", r)
+			}
+		}()
+		s.Run()
+	}()
+	// The panicking shard's batch stops at the panic; every other
+	// shard's events at the instant still execute.
+	if got := ran.Load(); got < n-n/8 {
+		t.Fatalf("only %d/%d non-panicking events ran: the barrier wedged sibling batches", got, n-1)
+	}
+	// The scheduler survives: a fresh workload drains normally.
+	after := false
+	s.At(time.Minute, 99, func(ctx *Ctx) { after = true })
+	s.Run()
+	if !after {
+		t.Fatal("scheduler unusable after a panicking event")
+	}
+}

@@ -22,15 +22,26 @@ import (
 // its groups — on the goroutine transport engine and on the
 // discrete-event engine. On the goroutine engine every modeled duration
 // is a (scaled) real timer wait, so wall-clock grows with device count
-// times timer granularity; on the event engine shared deadlines
-// collapse into windows and wall-clock grows with executed events,
-// which is what lets one process push the sweep to 10k–50k devices.
+// times timer granularity; on the event engine the workload drivers ARE
+// events (esDriver): each device's round is a self-rescheduling cascade
+// of DialEvent/SendEvent/RecvEvent/CloseEvent continuations, so the
+// sweep spawns O(shards) goroutines instead of O(devices), shared
+// deadlines collapse into windows, and the scheduler's worker pool
+// executes the per-window shard batches on every core — which is what
+// pushes the sweep from the goroutine engine's ~2k ceiling to 100k
+// devices. The Wave-pool goroutine drivers survive behind
+// DriverGoroutines as the differential oracle at n ≤ 200.
 
 // EngineScalePoint is one measured sweep at one world size.
 type EngineScalePoint struct {
 	Devices int
-	// Engine is "goroutine" or "des".
+	// Engine is "goroutine" (goroutine transport engine), "des" (event
+	// drivers on the discrete-event engine) or "des-goro" (the oracle:
+	// goroutine Wave-pool drivers on the discrete-event engine).
 	Engine string
+	// Workers is the event engine's executor count (0 on the goroutine
+	// engine).
+	Workers int
 	// Wall is the real wall-clock cost of the whole sweep.
 	Wall time.Duration
 	// Virtual is how much virtual (clock) time the sweep consumed.
@@ -47,6 +58,11 @@ type EngineScalePoint struct {
 	// actually exchanged interests rather than timing empty air.
 	Groups    int
 	Delivered uint64
+	// TraceHash is the scheduler's canonical event-trace fold after the
+	// sweep (zero on the goroutine engine). For pure event drivers it
+	// must be invariant across shard and worker counts — the harness
+	// determinism tests pin exactly that.
+	TraceHash uint64
 }
 
 // EngineScaleConfig parameterizes the sweep.
@@ -60,13 +76,22 @@ type EngineScaleConfig struct {
 	// Fanout caps how many neighbors each device exchanges interests
 	// with per round (default 3).
 	Fanout int
-	// Wave bounds concurrent device drivers (default 2048), so a 50k
-	// sweep doesn't need 50k simultaneously running goroutines.
+	// Wave bounds concurrent device drivers on the goroutine-driver
+	// paths only — the plain goroutine engine and the DriverGoroutines
+	// oracle — where a sweep must not need 50k simultaneous goroutines
+	// (default 2048). The DES path schedules drivers as events and
+	// never reads it.
 	Wave int
-	// DES selects the discrete-event engine; Shards overrides its shard
-	// count (default 8).
-	DES    bool
-	Shards int
+	// DES selects the discrete-event engine with event-native workload
+	// drivers; Shards overrides its shard count (default 8) and Workers
+	// its executor count (default GOMAXPROCS).
+	DES     bool
+	Shards  int
+	Workers int
+	// DriverGoroutines runs the Wave-pool goroutine drivers on the DES
+	// engine (integrated mode) instead of event drivers — the
+	// differential oracle the event cascade is held to at small n.
+	DriverGoroutines bool
 }
 
 func (c EngineScaleConfig) withDefaults() EngineScaleConfig {
@@ -136,6 +161,9 @@ func runEngineScalePoint(cfg EngineScaleConfig, n int) (EngineScalePoint, error)
 	var sched *des.Scheduler
 	if cfg.DES {
 		sched = des.NewScheduler(seed, cfg.Shards)
+		if cfg.Workers > 0 {
+			sched.SetWorkers(cfg.Workers)
+		}
 		opts = append(opts, radio.WithClock(sched.Clock()))
 	}
 	env := radio.NewEnvironment(opts...)
@@ -144,23 +172,37 @@ func runEngineScalePoint(cfg EngineScaleConfig, n int) (EngineScalePoint, error)
 		return EngineScalePoint{}, err
 	}
 	var net *netsim.Network
+	eventDrivers := cfg.DES && !cfg.DriverGoroutines
 	if cfg.DES {
 		net = netsim.NewDES(env, seed, sched)
-		sched.Start()
-		defer sched.Stop()
+		if !eventDrivers {
+			// Goroutine drivers block on the scheduler's clock, so the
+			// background runner must advance time; event drivers drain
+			// synchronously with Run and never need it.
+			sched.Start()
+			defer sched.Stop()
+		}
 	} else {
 		net = netsim.New(env, seed)
 	}
 	defer net.Close()
 
-	// Every device serves its interest advertisement on port "esd":
-	// one accept loop per device, one short-lived handler per exchange.
+	// Every device serves its interest advertisement on port "esd". On
+	// the goroutine-driver paths that is one accept loop per device plus
+	// one short-lived handler goroutine per exchange; with event drivers
+	// the listener's AcceptEvent handler arms a RecvEvent/SendEvent
+	// serve chain instead, and no serving goroutine ever exists.
 	for i, dev := range devs {
 		l, err := net.Listen(dev, "esd")
 		if err != nil {
 			return EngineScalePoint{}, err
 		}
 		ad := engineScaleAd(dev, engineScaleInterests(i))
+		if eventDrivers {
+			srv := &esServer{ad: ad}
+			l.AcceptEvent(srv.accept)
+			continue
+		}
 		go func() {
 			for {
 				c, err := l.Accept(ctx)
@@ -188,27 +230,45 @@ func runEngineScalePoint(cfg EngineScaleConfig, n int) (EngineScalePoint, error)
 	virtStart := clock.Now()
 	sw := vtime.NewStopwatch(vtime.Real(), vtime.Identity())
 
-	for round := 0; round < cfg.Rounds; round++ {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		workers := cfg.Wave
-		if workers > n {
-			workers = n
-		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					driveEngineScaleDevice(ctx, cfg, env, net, clock, inquiry, devs, i, &groupsTotal)
-				}
-			}()
-		}
+	if eventDrivers {
+		// Drivers as events: seed every device's first round (device
+		// order, so the pre-run sequence draws replay), then drain the
+		// cascade on the calling goroutine — the worker pool inside Run
+		// is the only concurrency.
 		for i := range devs {
-			idx <- i
+			d := &esDriver{
+				cfg: cfg, env: env, net: net,
+				dev: devs[i], home: netsim.DeviceHome(devs[i]),
+				inquiry: inquiry, groupsTotal: &groupsTotal,
+				self: core.Member{Device: devs[i], ID: ids.MemberID(devs[i]), Interests: engineScaleInterests(i)},
+			}
+			d.ad = engineScaleAd(d.dev, d.self.Interests)
+			sched.At(inquiry, d.home, d.startRound)
 		}
-		close(idx)
-		wg.Wait()
+		sched.Run()
+	} else {
+		for round := 0; round < cfg.Rounds; round++ {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			workers := cfg.Wave
+			if workers > n {
+				workers = n
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						driveEngineScaleDevice(ctx, cfg, env, net, clock, inquiry, devs, i, &groupsTotal)
+					}
+				}()
+			}
+			for i := range devs {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		}
 	}
 
 	wall := sw.Elapsed()
@@ -223,12 +283,124 @@ func runEngineScalePoint(cfg EngineScaleConfig, n int) (EngineScalePoint, error)
 	}
 	if cfg.DES {
 		point.Engine = "des"
+		if cfg.DriverGoroutines {
+			point.Engine = "des-goro"
+		}
+		point.Workers = sched.Workers()
 		point.Events = sched.EventsExecuted()
+		point.TraceHash = sched.TraceHash()
 		if s := wall.Seconds(); s > 0 {
 			point.EventsPerSec = float64(point.Events) / s
 		}
 	}
 	return point, nil
+}
+
+// esServer is one device's event-mode advertisement service: the
+// accept handler arms a recursive serve chain — receive an ad, answer
+// with ours, wait for the next — that lives entirely in delivery
+// events, replacing the accept-loop and per-exchange handler
+// goroutines of the goroutine-driver paths.
+type esServer struct {
+	ad []byte
+}
+
+func (s *esServer) accept(ctx *des.Ctx, c *netsim.Conn) {
+	s.serve(ctx, c)
+}
+
+func (s *esServer) serve(ctx *des.Ctx, c *netsim.Conn) {
+	c.RecvEvent(ctx, func(ctx *des.Ctx, _ []byte, err error) {
+		if err != nil {
+			c.CloseEvent(ctx)
+			return
+		}
+		if c.SendEvent(ctx, s.ad) != nil {
+			c.CloseEvent(ctx)
+			return
+		}
+		s.serve(ctx, c)
+	})
+}
+
+// esDriver is one device's workload driver as an event cascade: the
+// event-native translation of driveEngineScaleDevice, step for step —
+// the inquiry window is a scheduled delay instead of a clock sleep,
+// each capped-fanout exchange is a DialEvent → SendEvent → RecvEvent →
+// CloseEvent continuation chain instead of four blocking calls, and
+// the next round reschedules startRound. Every continuation runs on
+// this device's home (dial completions, deliveries and teardowns are
+// all scheduled there), so driver state needs no locks: events on one
+// home are ordered, whatever the shard or worker count.
+type esDriver struct {
+	cfg         EngineScaleConfig
+	env         *radio.Environment
+	net         *netsim.Network
+	dev         ids.DeviceID
+	home        uint64
+	inquiry     time.Duration
+	groupsTotal *atomic.Int64
+	self        core.Member
+	ad          []byte
+
+	round  int
+	neigh  []ids.DeviceID
+	j      int
+	nearby []core.Member
+}
+
+// startRound fires after the device's inquiry window: neighborhood
+// query (epoch-pinned, see driveEngineScaleDevice), then the exchange
+// chain.
+func (d *esDriver) startRound(ctx *des.Ctx) {
+	epoch := d.env.Elapsed().Truncate(d.env.PHY(radio.Bluetooth).InquiryDuration)
+	d.neigh = d.env.NeighborsAt(d.dev, radio.Bluetooth, epoch)
+	d.nearby = d.nearby[:0]
+	d.j = 0
+	d.nextExchange(ctx)
+}
+
+// nextExchange dials the next capped-fanout neighbor, or finishes the
+// round when the cap (or the neighborhood) is exhausted. Failures at
+// any step skip to the next neighbor, exactly like the blocking
+// driver.
+func (d *esDriver) nextExchange(ctx *des.Ctx) {
+	if d.j >= d.cfg.Fanout || d.j >= len(d.neigh) {
+		d.finishRound(ctx)
+		return
+	}
+	peer := d.neigh[d.j]
+	d.j++
+	d.net.DialEvent(ctx, d.dev, peer, radio.Bluetooth, "esd", func(ctx *des.Ctx, c *netsim.Conn, err error) {
+		if err != nil {
+			d.nextExchange(ctx)
+			return
+		}
+		if c.SendEvent(ctx, d.ad) != nil {
+			c.CloseEvent(ctx)
+			d.nextExchange(ctx)
+			return
+		}
+		c.RecvEvent(ctx, func(ctx *des.Ctx, msg []byte, err error) {
+			if err == nil {
+				if ints, ok := engineScaleParse(msg); ok {
+					d.nearby = append(d.nearby, core.Member{Device: peer, ID: ids.MemberID(peer), Interests: ints})
+				}
+			}
+			c.CloseEvent(ctx)
+			d.nextExchange(ctx)
+		})
+	})
+}
+
+// finishRound forms the round's groups and schedules the next round's
+// inquiry window, retiring the cascade after the last round.
+func (d *esDriver) finishRound(ctx *des.Ctx) {
+	d.groupsTotal.Add(int64(len(core.DiscoverGroups(d.self, d.nearby, nil))))
+	d.round++
+	if d.round < d.cfg.Rounds {
+		ctx.At(d.inquiry, d.home, d.startRound)
+	}
 }
 
 // driveEngineScaleDevice runs one device's discovery round: inquiry
@@ -267,17 +439,21 @@ func driveEngineScaleDevice(ctx context.Context, cfg EngineScaleConfig, env *rad
 
 // FormatEngineScale renders the series as a table.
 func FormatEngineScale(points []EngineScalePoint) string {
-	header := []string{"Devices", "Engine", "Wall", "Virtual", "Events", "Events/s", "ns/dev-round", "Groups", "Delivered"}
+	header := []string{"Devices", "Engine", "Workers", "Wall", "Virtual", "Events", "Events/s", "ns/dev-round", "Groups", "Delivered"}
 	rows := make([][]string, 0, len(points))
 	for _, p := range points {
-		events, eps := "-", "-"
-		if p.Engine == "des" {
+		events, eps, workers := "-", "-", "-"
+		if p.Events > 0 {
 			events = fmt.Sprintf("%d", p.Events)
 			eps = fmt.Sprintf("%.0f", p.EventsPerSec)
+		}
+		if p.Workers > 0 {
+			workers = fmt.Sprintf("%d", p.Workers)
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", p.Devices),
 			p.Engine,
+			workers,
 			p.Wall.Round(time.Millisecond).String(),
 			p.Virtual.Round(time.Millisecond).String(),
 			events,

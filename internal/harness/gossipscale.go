@@ -85,9 +85,11 @@ type GossipScaleConfig struct {
 	// Wave bounds concurrently driven devices per sweep (default 1024).
 	Wave int
 	// DES selects the discrete-event engine; Shards overrides its
-	// shard count (default 8).
-	DES    bool
-	Shards int
+	// shard count (default 8) and Workers its executor count (default
+	// GOMAXPROCS).
+	DES     bool
+	Shards  int
+	Workers int
 	// Gossip overrides the engine knobs (zero = package defaults).
 	Gossip gossip.Config
 }
@@ -162,6 +164,9 @@ func runGossipScalePoint(cfg GossipScaleConfig, n int, mode string) (GossipScale
 	var sched *des.Scheduler
 	if cfg.DES {
 		sched = des.NewScheduler(seed, cfg.Shards)
+		if cfg.Workers > 0 {
+			sched.SetWorkers(cfg.Workers)
+		}
 		opts = append(opts, radio.WithClock(sched.Clock()))
 	}
 	env := radio.NewEnvironment(opts...)

@@ -249,6 +249,9 @@ func (c *Conn) fail(err error) {
 		c.mu.Unlock()
 		close(c.closed)
 		c.net.dropConn(c)
+		if c.des != nil {
+			c.desNotifyWaiter()
+		}
 	})
 }
 

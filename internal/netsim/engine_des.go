@@ -83,6 +83,11 @@ type desConnState struct {
 	early    map[uint64]*desMsg
 	rbuf     []*desMsg
 	armed    bool // a flush retry event is scheduled
+
+	// waiter is the parked RecvEvent continuation (events.go), invoked
+	// by the delivery or teardown event that produces its outcome; nil
+	// when no event receive is outstanding.
+	waiter recvFn
 }
 
 func newDESConnState() *desConnState {
@@ -144,7 +149,16 @@ func (c *Conn) desSend(payload []byte, deadline <-chan time.Time) error {
 			return ErrSendTimeout
 		}
 	}
+	c.desLaunch(msg, sched.At)
+	return nil
+}
 
+// desLaunch draws an admitted message's fate, advances the airtime and
+// per-direction delivery ledgers, and schedules the delivery event
+// through at — Scheduler.At for live-goroutine senders, Ctx.At for
+// event senders (which keys the delivery from the calling event, so
+// pure event-driver cascades replay byte-for-byte).
+func (c *Conn) desLaunch(msg []byte, at func(d time.Duration, home uint64, fn func(ctx *des.Ctx))) {
 	env := c.net.env
 	scale := env.Scale()
 	phy := env.PHY(c.tech)
@@ -168,7 +182,7 @@ func (c *Conn) desSend(payload []byte, deadline <-chan time.Time) error {
 	}
 	charges := time.Duration(1 + fate.Retransmits)
 	busy := charges * scale.ToReal(transfer)
-	now := sched.NowNS()
+	now := c.net.sched.NowNS()
 	// The pump's shape: stall first (not holding the radio), then the
 	// radio for every charge, then the fate's extra delay.
 	ready := now + int64(scale.ToReal(stall))
@@ -182,10 +196,9 @@ func (c *Conn) desSend(payload []byte, deadline <-chan time.Time) error {
 
 	c.pending.Add(1)
 	m := &desMsg{seq: seq, payload: msg, fate: fate, plan: plan}
-	sched.At(time.Duration(deliverAt-now), homeOf(c.remote), func(ctx *des.Ctx) {
+	at(time.Duration(deliverAt-now), homeOf(c.remote), func(ctx *des.Ctx) {
 		c.desDeliver(ctx, m)
 	})
-	return nil
 }
 
 // desRelease returns one message's admission: the sender's pending
@@ -211,7 +224,7 @@ func (c *Conn) desDeliver(ctx *des.Ctx, m *desMsg) {
 	if m.fate.Reset {
 		c.desAbandon()
 		n.counters.linkFailures.Add(1)
-		c.failBoth(fmt.Errorf("%w: %s -> %s over %v (retransmission budget exhausted)", ErrLinkLost, c.local, c.remote, c.tech))
+		c.desTeardown(ctx, fmt.Errorf("%w: %s -> %s over %v (retransmission budget exhausted)", ErrLinkLost, c.local, c.remote, c.tech))
 		return
 	}
 	if m.fate.Corrupt {
@@ -221,7 +234,7 @@ func (c *Conn) desDeliver(ctx *des.Ctx, m *desMsg) {
 	if !n.linkUp(c.local, c.remote, c.tech) {
 		c.desAbandon()
 		n.counters.linkFailures.Add(1)
-		c.failBoth(fmt.Errorf("%w: %s -> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
+		c.desTeardown(ctx, fmt.Errorf("%w: %s -> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
 		return
 	}
 	p := c.peer
@@ -238,10 +251,88 @@ func (c *Conn) desDeliver(ctx *des.Ctx, m *desMsg) {
 	if arm {
 		p.des.armed = true
 	}
+	fn, payload, ok := p.desPopWaiterLocked()
 	p.des.mu.Unlock()
 	if arm {
 		ctx.At(n.env.Scale().ToReal(desFlushRetry), homeOf(c.remote), p.desFlushEvent)
 	}
+	if ok {
+		fn(ctx, payload, nil)
+	}
+}
+
+// desPopWaiterLocked pairs the armed RecvEvent waiter with the next
+// queued payload; both must exist. Callers hold des.mu and invoke the
+// returned continuation after unlocking. This event runs on
+// homeOf(receiver) — the same home every delivery to this end uses —
+// so waiter hand-off order is the event order, not a race.
+func (c *Conn) desPopWaiterLocked() (recvFn, []byte, bool) {
+	if c.des.waiter == nil {
+		return nil, nil, false
+	}
+	select {
+	case msg := <-c.recvQ:
+		fn := c.des.waiter
+		c.des.waiter = nil
+		return fn, msg, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// desTeardown fails both ends from inside an event: armed RecvEvent
+// waiters are popped first and their error callbacks scheduled as
+// children of this event — keyed by the cascade, not the global
+// counter, so event-driver teardown replays byte-for-byte. The
+// callback drains any already-delivered message before reporting the
+// close, matching Recv's drain-after-close.
+func (c *Conn) desTeardown(ctx *des.Ctx, err error) {
+	ends := [2]*Conn{c, c.peer}
+	var fns [2]recvFn
+	for i, e := range ends {
+		e.des.mu.Lock()
+		fns[i] = e.des.waiter
+		e.des.waiter = nil
+		e.des.mu.Unlock()
+	}
+	c.failBoth(err)
+	for i, fn := range fns {
+		if fn == nil {
+			continue
+		}
+		e, fn := ends[i], fn
+		ctx.At(0, homeOf(e.local), func(ctx *des.Ctx) {
+			select {
+			case msg := <-e.recvQ:
+				fn(ctx, msg, nil)
+			default:
+				fn(ctx, nil, e.errOrClosed())
+			}
+		})
+	}
+}
+
+// desNotifyWaiter is the fail-path hook for conn deaths that happen
+// outside any event (network close, abort, the goroutine-driver
+// oracle): it schedules the armed waiter's error callback through the
+// global counter. Event-path teardown (desTeardown) pops the waiter
+// first, so this never double-fires.
+func (c *Conn) desNotifyWaiter() {
+	c.des.mu.Lock()
+	fn := c.des.waiter
+	c.des.waiter = nil
+	c.des.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	c.net.sched.At(0, homeOf(c.local), func(ctx *des.Ctx) {
+		select {
+		case msg := <-c.recvQ:
+			fn(ctx, msg, nil)
+		default:
+			fn(ctx, nil, c.errOrClosed())
+		}
+	})
 }
 
 // enqueueLocked appends an in-sequence arrival and pulls any parked
@@ -293,9 +384,13 @@ func (c *Conn) desFlushEvent(ctx *des.Ctx) {
 	c.des.mu.Lock()
 	again := c.desFlushLocked()
 	c.des.armed = again
+	fn, payload, ok := c.desPopWaiterLocked()
 	c.des.mu.Unlock()
 	if again {
 		ctx.At(c.net.env.Scale().ToReal(desFlushRetry), homeOf(c.local), c.desFlushEvent)
+	}
+	if ok {
+		fn(ctx, payload, nil)
 	}
 }
 
@@ -345,7 +440,7 @@ func (n *Network) desSweepEvent(ctx *des.Ctx) {
 	for _, c := range live {
 		if !n.linkUp(c.local, c.remote, c.tech) {
 			n.counters.linkFailures.Add(1)
-			c.failBoth(fmt.Errorf("%w: %s <-> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
+			c.desTeardown(ctx, fmt.Errorf("%w: %s <-> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
 		}
 	}
 	ctx.At(n.sweepInterval(), sweepHome, n.desSweepEvent)

@@ -466,6 +466,11 @@ type Listener struct {
 	incoming chan *Conn
 	done     chan struct{}
 	once     sync.Once
+
+	// acceptFn is the event-mode accept handler (AcceptEvent,
+	// events.go); nil means inbound event dials use the Accept queue.
+	acceptMu sync.Mutex
+	acceptFn func(ctx *des.Ctx, c *Conn)
 }
 
 // Accept blocks until a connection arrives, the listener closes, or the

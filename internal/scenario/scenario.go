@@ -66,6 +66,7 @@ type Builder struct {
 	hasResil   bool
 	useDES     bool
 	desShards  int
+	desWorkers int
 	useGossip  bool
 	gossipCfg  gossip.Config
 }
@@ -142,6 +143,17 @@ func (b *Builder) WithDES(shards int) *Builder {
 	return b
 }
 
+// WithDESWorkers overrides the event scheduler's executor count
+// (default GOMAXPROCS): how many workers share each window's shard
+// batches. Worker count trades wall-clock only — the trace hash and
+// every observable are invariant under it. Implies WithDES semantics
+// only when WithDES is also called; on the goroutine engine it is
+// ignored.
+func (b *Builder) WithDESWorkers(workers int) *Builder {
+	b.desWorkers = workers
+	return b
+}
+
 // WithGossip attaches an epidemic discovery engine to every peer: a
 // gossip.Node reading the live profile store (interest edits bump the
 // store epoch and become fresh rumors) and the daemon's radio
@@ -197,6 +209,9 @@ func (b *Builder) Build() (*Deployment, error) {
 			shards = desDefaultShards
 		}
 		sched = des.NewScheduler(b.seed, shards)
+		if b.desWorkers > 0 {
+			sched.SetWorkers(b.desWorkers)
+		}
 		opts = append(opts, radio.WithClock(sched.Clock()))
 	}
 	env := radio.NewEnvironment(opts...)

@@ -160,6 +160,12 @@ type Scenario struct {
 	// verification pipeline is engine-agnostic, so the same Scenario can
 	// be run on both engines and compared.
 	DES bool
+
+	// DESWorkers overrides the event scheduler's executor count
+	// (scenario.Builder.WithDESWorkers); 0 keeps the GOMAXPROCS
+	// default. Observables are worker-invariant, so differential and
+	// chaos scenarios pass at any setting.
+	DESWorkers int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -339,6 +345,9 @@ func buildWorld(s Scenario) (*scenario.Deployment, *faults.Plan, error) {
 	b := scenario.NewBuilder().WithScale(vtime.NewScale(s.Scale)).WithSeed(s.Seed)
 	if s.DES {
 		b.WithDES(0)
+		if s.DESWorkers > 0 {
+			b.WithDESWorkers(s.DESWorkers)
+		}
 	}
 	devices := make([]ids.DeviceID, 0, s.Peers)
 	for i := 0; i < s.Peers; i++ {
