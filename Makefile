@@ -75,6 +75,20 @@ GOSSIPBENCH_REQUIRE_SMOKE = BenchmarkGossipConvergence/mode=fanout/devices=1000,
 GOSSIPBENCH_REQUIRE = $(GOSSIPBENCH_REQUIRE_SMOKE),BenchmarkGossipConvergence/mode=gossip/engine=des/devices=50000
 GOSSIPBENCH_RATIO   = BenchmarkGossipConvergence/mode=fanout/devices=1000:BenchmarkGossipConvergence/mode=gossip/devices=1000:3:wire-bytes/round
 
+# The store-carry-forward benchmarks and the floors the committed
+# BENCH_dtn.json baseline pins: on the sparse bus-line world — where
+# delivery depends entirely on couriers carrying custody between
+# partitioned stops — epidemic spray must cost at least 2x the social
+# strategy's copies per delivered message (measured headroom ~4.8x;
+# 2x absorbs seed and knob drift). The campus world is denser, so
+# epidemic wastes less there; its pin is a milder 1.3x. The DES row
+# re-runs the bus/social case on the event engine and is skipped by
+# the -short smoke run.
+DTNBENCH_PATTERN = ^BenchmarkDTNDelivery$$
+DTNBENCH_REQUIRE_SMOKE = BenchmarkDTNDelivery/world=bus/strategy=epidemic/devices=200,BenchmarkDTNDelivery/world=bus/strategy=social/devices=200,BenchmarkDTNDelivery/world=campus/strategy=epidemic/devices=200,BenchmarkDTNDelivery/world=campus/strategy=social/devices=200
+DTNBENCH_REQUIRE = $(DTNBENCH_REQUIRE_SMOKE),BenchmarkDTNDelivery/world=bus/strategy=social/engine=des/devices=200
+DTNBENCH_RATIO   = BenchmarkDTNDelivery/world=bus/strategy=epidemic/devices=200:BenchmarkDTNDelivery/world=bus/strategy=social/devices=200:2:copies/delivered,BenchmarkDTNDelivery/world=campus/strategy=epidemic/devices=200:BenchmarkDTNDelivery/world=campus/strategy=social/devices=200:1.3:copies/delivered
+
 .PHONY: verify build vet phvet vet-baseline test race chaos fuzz bench bench-json bench-smoke
 
 verify: build vet phvet race chaos fuzz bench-smoke
@@ -103,21 +117,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# chaos runs the seeded fault-injection suites — the link-fault matrix
-# and the endpoint (stall/crash/overload) matrix, each on both
-# transport engines (the TestChaos*DES variants re-run the matrices on
-# the discrete-event engine) — twice under the race detector: -count=2
-# re-runs every scenario from the same seeds, so a pass also
-# demonstrates replay determinism end to end.
+# chaos runs the seeded fault-injection suites — the link-fault
+# matrix, the endpoint (stall/crash/overload) matrix, and the
+# store-carry-forward DTN matrix, each on both transport engines (the
+# TestChaos*DES variants re-run the matrices on the discrete-event
+# engine) — twice under the race detector: -count=2 re-runs every
+# scenario from the same seeds, so a pass also demonstrates replay
+# determinism end to end. The explicit -timeout has headroom over go
+# test's 10m default: three matrices × two engines × two counts under
+# the race detector brush 10m on a single-core box.
 chaos:
-	$(GO) test -race -count=2 -run 'TestChaos|TestZeroScenario|TestZeroGossipScenario' ./internal/simtest/
+	$(GO) test -race -count=2 -timeout 40m -run 'TestChaos|TestZeroScenario|TestZeroGossipScenario|TestZeroDTNScenario' ./internal/simtest/
 
 # fuzz replays the committed never-panic corpora (valid frames plus
-# faults.Mangle damage and truncations) through the community and
-# gossip wire decoders as ordinary deterministic tests — the seed
+# faults.Mangle damage and truncations) through the community, gossip
+# and DTN wire decoders as ordinary deterministic tests — the seed
 # corpus of each fuzzer, not an open-ended fuzzing session.
 fuzz:
-	$(GO) test -run 'TestCorruptionCorpus|TestCodecRejectsMangledFrames|Fuzz' ./internal/community/ ./internal/gossip/
+	$(GO) test -run 'TestCorruptionCorpus|TestCodecRejectsMangledFrames|Fuzz' ./internal/community/ ./internal/gossip/ ./internal/dtn/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -137,6 +154,8 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_des.json -require '$(DESBENCH_REQUIRE)' -ratio '$(DESBENCH_RATIO)' < bench.out
 	$(GO) test -run '^$$' -bench '$(GOSSIPBENCH_PATTERN)' -benchtime 1x -count=5 . > bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_gossip.json -require '$(GOSSIPBENCH_REQUIRE)' -ratio '$(GOSSIPBENCH_RATIO)' < bench.out
+	$(GO) test -run '^$$' -bench '$(DTNBENCH_PATTERN)' -benchtime 1x -count=5 . > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_dtn.json -require '$(DTNBENCH_REQUIRE)' -ratio '$(DTNBENCH_RATIO)' < bench.out
 	rm -f bench.out
 
 # bench-smoke is the CI guard: every benchmark still compiles and runs
@@ -151,4 +170,6 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -o /dev/null -require '$(DESBENCH_REQUIRE_SMOKE)' < bench-smoke.out
 	$(GO) test -run '^$$' -short -bench '$(GOSSIPBENCH_PATTERN)' -benchtime 1x . > bench-smoke.out
 	$(GO) run ./cmd/benchjson -o /dev/null -require '$(GOSSIPBENCH_REQUIRE_SMOKE)' < bench-smoke.out
+	$(GO) test -run '^$$' -short -bench '$(DTNBENCH_PATTERN)' -benchtime 1x . > bench-smoke.out
+	$(GO) run ./cmd/benchjson -o /dev/null -require '$(DTNBENCH_REQUIRE_SMOKE)' < bench-smoke.out
 	rm -f bench-smoke.out

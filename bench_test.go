@@ -981,3 +981,48 @@ func BenchmarkGossipConvergence(b *testing.B) {
 		run(b, 50000, "gossip", true)
 	})
 }
+
+// --- Store-carry-forward delivery: epidemic vs social relay cost -----
+
+// BenchmarkDTNDelivery is the DTN headline: sparse bus-line and campus
+// worlds where most source/destination pairs never meet, so delivery
+// rides on couriers carrying custody across partitions. Each case
+// reports the delivery ratio, the mean delivery latency in contact
+// rounds, and the headline copies-per-delivered-message — the wire
+// cost of getting one message through. BENCH_dtn.json pins the
+// epidemic:social copies-per-delivered ratio as a floor in both
+// worlds: the GROUPS-NET-style social strategy must stay at least 2x
+// cheaper than epidemic spray on the bus line (its sparsest, most
+// courier-dependent world), or the claim regressed. The DES case runs
+// the identical harness on the discrete-event engine.
+func BenchmarkDTNDelivery(b *testing.B) {
+	run := func(b *testing.B, n int, world, strat string, des bool) {
+		var last harness.DTNScalePoint
+		for i := 0; i < b.N; i++ {
+			p, err := harness.RunDTNScaleMode(harness.DTNScaleConfig{Seed: 7, DES: des}, n, world, strat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = p
+		}
+		b.ReportMetric(last.CopiesPerDelivered, "copies/delivered")
+		b.ReportMetric(last.DeliveryRatio, "delivery-ratio")
+		b.ReportMetric(last.MeanLatency, "latency-rounds")
+		if last.Sent == 0 || last.Delivered == 0 {
+			b.Fatalf("run delivered nothing: %+v", last)
+		}
+		if strat == "social" && last.DeliveryRatio < 0.9 {
+			b.Fatalf("social delivery ratio %.2f below 0.9: %+v", last.DeliveryRatio, last)
+		}
+	}
+	b.Run("world=bus/strategy=epidemic/devices=200", func(b *testing.B) { run(b, 200, "bus", "epidemic", false) })
+	b.Run("world=bus/strategy=social/devices=200", func(b *testing.B) { run(b, 200, "bus", "social", false) })
+	b.Run("world=campus/strategy=epidemic/devices=200", func(b *testing.B) { run(b, 200, "campus", "epidemic", false) })
+	b.Run("world=campus/strategy=social/devices=200", func(b *testing.B) { run(b, 200, "campus", "social", false) })
+	b.Run("world=bus/strategy=social/engine=des/devices=200", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("DES DTN sweep skipped under -short")
+		}
+		run(b, 200, "bus", "social", true)
+	})
+}

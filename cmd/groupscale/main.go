@@ -10,9 +10,11 @@
 //
 //	groupscale [-peers 1,2,4,8,16] [-scale FACTOR]
 //	groupscale -substrate [-peers 100,500,1000,2000]
-//	groupscale -overload [-peers 100,400,1000]
+//	groupscale -overload [-des] [-peers 100,400,1000]
+//	groupscale -delta [-des] [-peers 100,500,1000,2000]
 //	groupscale -des [-peers 1000,10000,50000,100000] [-workers N]
 //	groupscale -gossip [-peers 1000,10000,50000]
+//	groupscale -dtn [-peers 100,200,400]
 //
 // Every mode accepts -cpuprofile/-memprofile to write pprof profiles
 // of the run, for hunting the next engine bottleneck without ad-hoc
@@ -35,6 +37,13 @@
 // reporting rounds-to-converge and steady wire bytes per round.
 // Fan-out reference rows run for sizes up to 2000 devices; the
 // epidemic runs on the discrete-event engine beyond that.
+//
+// With -dtn it runs the store-carry-forward delivery experiment over
+// sparse mobility worlds (bus routes and campus grids) where couriers
+// are the only path between communities: epidemic spray-and-wait
+// against the social group-encounter strategy, reporting delivery
+// ratio, mean latency in contact rounds, and copies per delivered
+// message.
 package main
 
 import (
@@ -59,7 +68,8 @@ func main() {
 	overload := flag.Bool("overload", false, "measure graceful degradation under offered load (admission control, shedding, bounded steady rounds)")
 	desFlag := flag.Bool("des", false, "run the discovery sweep on the discrete-event engine (with goroutine-engine reference rows at small sizes)")
 	gossipFlag := flag.Bool("gossip", false, "compare epidemic dissemination (rumor mongering + anti-entropy) against the fan-out baseline")
-	workers := flag.Int("workers", 0, "event-scheduler executor count for -des/-gossip (0 = GOMAXPROCS)")
+	dtnFlag := flag.Bool("dtn", false, "run the store-carry-forward delivery experiment (epidemic spray vs social relay) over sparse mobility worlds")
+	workers := flag.Int("workers", 0, "event-scheduler executor count for -des modes (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -113,6 +123,9 @@ func main() {
 	if *gossipFlag && !peersSet {
 		*peersFlag = "1000,10000,50000"
 	}
+	if *dtnFlag && !peersSet {
+		*peersFlag = "100,200,400"
+	}
 
 	var counts []int
 	for _, f := range strings.Split(*peersFlag, ",") {
@@ -124,7 +137,7 @@ func main() {
 		counts = append(counts, n)
 	}
 
-	if *desFlag {
+	if *desFlag && !*dtnFlag && !*overload && !*delta && !*gossipFlag {
 		fmt.Println("Engine-scaling discovery sweep: every device runs an inquiry")
 		fmt.Println("window, queries its neighborhood and exchanges interest")
 		fmt.Println("advertisements with a capped fan-out. The discrete-event engine")
@@ -195,6 +208,24 @@ func main() {
 		return
 	}
 
+	if *dtnFlag {
+		fmt.Println("Store-carry-forward delivery over sparse mobility: communities")
+		fmt.Println("sit far outside each other's radio range and couriers (buses on")
+		fmt.Println("a line, students on a campus grid) are the only inter-community")
+		fmt.Println("path. Epidemic spray hands out bounded copy budgets to whoever")
+		fmt.Println("it meets; the social strategy relays only through couriers that")
+		fmt.Println("have shared a group with the destination — fewer copies for the")
+		fmt.Println("same deliveries.")
+		fmt.Println()
+		points, err := harness.RunDTNScale(harness.DTNScaleConfig{Seed: 7, DES: *desFlag, Workers: *workers}, counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groupscale:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatDTNScale(points))
+		return
+	}
+
 	if *overload {
 		fmt.Println("Graceful degradation under overload: every server runs with a")
 		fmt.Println("small explicit admission capacity (8 sessions, queue depth 16);")
@@ -204,7 +235,12 @@ func main() {
 		fmt.Println("are then shed with BUSY; the observer's established sessions keep")
 		fmt.Println("service, so its steady round stays bounded at every offered load.")
 		fmt.Println()
-		points, err := harness.RunOverload(harness.OverloadConfig{Devices: counts})
+		if *desFlag {
+			fmt.Println("(-des: offered sessions run as event-native cascades on the")
+			fmt.Println("discrete-event engine; the observer stays the blocking client.)")
+			fmt.Println()
+		}
+		points, err := harness.RunOverload(harness.OverloadConfig{Devices: counts, DES: *desFlag, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "groupscale:", err)
 			os.Exit(1)
@@ -219,7 +255,14 @@ func main() {
 		fmt.Println("lists on the wire) vs steady state (epoch-primed cache,")
 		fmt.Println("NOT_MODIFIED answers, group rebuild skipped).")
 		fmt.Println()
-		points, err := harness.RunDeltaScale(vtime.NewScale(1e-4), counts)
+		if *desFlag {
+			fmt.Println("(-des: the transport rides the discrete-event engine; the")
+			fmt.Println("measured client stays the blocking differential oracle.)")
+			fmt.Println()
+		}
+		points, err := harness.RunDeltaScaleConfig(harness.DeltaScaleConfig{
+			Scale: vtime.NewScale(1e-4), DES: *desFlag, Workers: *workers,
+		}, counts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "groupscale:", err)
 			os.Exit(1)

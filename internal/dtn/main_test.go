@@ -1,0 +1,11 @@
+package dtn
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

@@ -1,0 +1,190 @@
+package dtn
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Strategy selects the relay decision rule applied at every contact.
+type Strategy uint8
+
+const (
+	// Epidemic is binary spray-and-wait: a custodian holding more than
+	// one copy of a bundle hands half its budget to any peer that lacks
+	// the bundle; a custodian down to its last copy only delivers
+	// directly to the destination.
+	Epidemic Strategy = iota
+	// Social is the GROUPS-NET-style rule: a peer takes custody only
+	// when it is the destination or a strictly better relay — its
+	// social utility toward the destination (shared interest-group
+	// encounters, fed by internal/core group views) exceeds the
+	// current custodian's. A custodian down to its last copy hands
+	// custody over entirely, so single copies climb the social
+	// gradient instead of waiting for a direct meeting.
+	Social
+)
+
+// String names the strategy for test output and bench legs.
+func (s Strategy) String() string {
+	switch s {
+	case Social:
+		return "social"
+	default:
+		return "epidemic"
+	}
+}
+
+// EvictionPolicy selects the victim when the relay buffer is full. All
+// three policies are total orders (ties broken by enqueue order, then
+// bundle id), so eviction is deterministic under identical seeds on
+// both engines. Locally originated bundles live in the source outbox
+// and are never evicted — a source retains its message until a
+// delivered-ack or TTL expiry.
+type EvictionPolicy uint8
+
+const (
+	// EvictOldest drops the bundle that has been buffered longest.
+	EvictOldest EvictionPolicy = iota
+	// EvictLargest drops the bundle with the largest payload.
+	EvictLargest
+	// EvictSocialTail drops the bundle whose destination the custodian
+	// has the least social utility toward.
+	EvictSocialTail
+)
+
+// String names the policy for test output.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictLargest:
+		return "drop-largest"
+	case EvictSocialTail:
+		return "drop-social-tail"
+	default:
+		return "drop-oldest"
+	}
+}
+
+// maxMetInterests bounds the per-device encounter memory feeding social
+// utility.
+const maxMetInterests = 64
+
+// bundleState is one bundle under custody plus its local bookkeeping:
+// the enqueue sequence (eviction tie-breaker and offer order) and the
+// local copy budget.
+type bundleState struct {
+	b      Bundle
+	enq    uint64
+	copies int
+}
+
+// utilityLocked is the social utility of this custodian toward dst: the
+// number of distinct interest groups it has co-appeared in with dst
+// across its encounter history. Callers hold n.mu.
+func (n *Node) utilityLocked(dst ids.DeviceID) int {
+	return len(n.met[dst])
+}
+
+// absorbGroupsLocked folds a group-view snapshot into the encounter
+// memory: for every group the local device is in, remember the shared
+// interest against each co-member's device. The memory is what makes
+// the social strategy predictive — a courier that has met the campus
+// chess group keeps routing chess traffic toward it after moving on.
+// Callers hold n.mu.
+func (n *Node) absorbGroupsLocked(groups []core.Group) {
+	for _, g := range groups {
+		for _, m := range g.Members {
+			if m.Device == "" || m.Device == n.dev {
+				continue
+			}
+			set := n.met[m.Device]
+			if set == nil {
+				set = make(map[string]struct{}, 4)
+				n.met[m.Device] = set
+			}
+			if len(set) < maxMetInterests {
+				set[g.Interest] = struct{}{}
+			}
+		}
+	}
+}
+
+// offerEligibleLocked reports whether a buffered bundle rides the next
+// OFFER to peer. Direct delivery is always offered; beyond that the
+// epidemic strategy only offers bundles it can still split, while the
+// social strategy offers everything and lets the responder's utility
+// comparison filter. Callers hold n.mu.
+func (n *Node) offerEligibleLocked(bs *bundleState, peer ids.DeviceID) bool {
+	if bs.b.Dst == peer {
+		return true
+	}
+	if n.cfg.Strategy == Epidemic {
+		return bs.copies > 1
+	}
+	return true
+}
+
+// wantLocked is the responder's custody decision for one offered
+// summary. Callers hold n.mu; duplicates and delivered bundles are
+// filtered by the caller.
+func (n *Node) wantLocked(s Summary) bool {
+	if s.Dst == n.dev {
+		return true
+	}
+	if n.cfg.Strategy == Epidemic {
+		return true
+	}
+	return n.utilityLocked(s.Dst) > int(s.Utility)
+}
+
+// allocateCopiesLocked decides the copy budget shipped to peer for one
+// wanted bundle and the budget retained locally. Direct delivery ships
+// everything; a splittable budget is halved (binary spray); a social
+// last copy is handed over entirely (custody transfer). retained == 0
+// means the local copy is released once the transfer is acked.
+// Callers hold n.mu.
+func (n *Node) allocateCopiesLocked(bs *bundleState, peer ids.DeviceID) (give, retained int) {
+	if bs.b.Dst == peer {
+		return bs.copies, 0
+	}
+	if bs.copies > 1 {
+		return bs.copies / 2, bs.copies - bs.copies/2
+	}
+	// Last copy: only the social strategy offers it to a non-destination,
+	// and then it is a full custody handoff.
+	return 1, 0
+}
+
+// evictVictimLocked picks the eviction victim among the relay buffer
+// plus the incoming candidate under the configured policy. It returns
+// the victim id and whether the victim is the incoming bundle itself
+// (meaning custody is refused instead). Callers hold n.mu and
+// guarantee the buffer is at capacity.
+func (n *Node) evictVictimLocked(incoming *bundleState) (string, bool) {
+	cands := make([]*bundleState, 0, len(n.buffer)+1)
+	for _, bs := range n.buffer {
+		cands = append(cands, bs)
+	}
+	cands = append(cands, incoming)
+	worse := func(a, b *bundleState) bool {
+		switch n.cfg.Eviction {
+		case EvictLargest:
+			if len(a.b.Payload) != len(b.b.Payload) {
+				return len(a.b.Payload) > len(b.b.Payload)
+			}
+		case EvictSocialTail:
+			ua, ub := n.utilityLocked(a.b.Dst), n.utilityLocked(b.b.Dst)
+			if ua != ub {
+				return ua < ub
+			}
+		}
+		if a.enq != b.enq {
+			return a.enq < b.enq
+		}
+		return a.b.ID < b.b.ID
+	}
+	sort.Slice(cands, func(i, j int) bool { return worse(cands[i], cands[j]) })
+	victim := cands[0]
+	return victim.b.ID, victim == incoming
+}

@@ -1,0 +1,472 @@
+package dtn
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+
+	"repro/internal/ids"
+)
+
+// Wire format. Every DTN frame is
+//
+//	magic(1) version(1) kind(1) body... checksum(8)
+//
+// where the checksum is FNV-64a over magic..body, little-endian — the
+// same sealed-frame discipline as the gossip and community codecs. The
+// body is built from uvarints and length-prefixed strings. Decoding is
+// strict: the checksum must match, every length must fit the declared
+// caps, and the body must be consumed exactly — anything else is an
+// error, never a panic. The fuzz suite holds the codec to that under
+// faults.Mangle-style corruption (bit flips, truncation, insertion).
+//
+// A contact is a four-frame handshake: the initiator OFFERs bundle
+// summaries (plus a delivered-ids vaccine sample), the responder
+// replies WANT with the subset it takes custody of (plus its own
+// vaccine sample), the initiator ships the BUNDLES with allocated copy
+// budgets, and the responder closes with ACK naming what it accepted —
+// so both sides are fully settled when the initiator's Round returns.
+
+const (
+	frameMagic   = 0x64 // 'd'
+	frameVersion = 1
+
+	kindOffer   = 1
+	kindWant    = 2
+	kindBundles = 3
+	kindAck     = 4
+
+	maxWireString    = 4096
+	maxWireSummaries = 4096
+	maxWireIDs       = 4096
+	maxWireBundles   = 1024
+	maxWirePayload   = 1 << 16
+	maxWireTTL       = 1 << 30
+	maxWireCopies    = 1 << 20
+	maxWireUtility   = 1 << 30
+)
+
+// Frame kind tags for stats and tests.
+const (
+	KindOffer   = kindOffer
+	KindWant    = kindWant
+	KindBundles = kindBundles
+	KindAck     = kindAck
+)
+
+// ErrBadFrame reports any malformed DTN frame: short, wrong
+// magic/version/kind, checksum mismatch, over-cap length, or trailing
+// garbage.
+var ErrBadFrame = errors.New("dtn: bad frame")
+
+// Summary advertises one buffered bundle in an OFFER: its identity,
+// destination, remaining TTL in rounds, and the offering custodian's
+// social utility toward the destination (zero under the epidemic
+// strategy). The responder compares Utility against its own to decide
+// whether it is a strictly better relay.
+type Summary struct {
+	ID      string
+	Dst     ids.DeviceID
+	TTL     uint32
+	Utility uint32
+}
+
+// Bundle is one addressed message under custody as it rides the wire:
+// identity (source-scoped), source, destination, remaining TTL in
+// rounds, the copy budget allocated to the receiving custodian, and the
+// payload.
+type Bundle struct {
+	ID      string
+	Src     ids.DeviceID
+	Dst     ids.DeviceID
+	TTL     uint32
+	Copies  uint32
+	Payload []byte
+}
+
+// FrameOffer opens a contact: the initiator's eligible bundle
+// summaries plus a bounded sample of bundle ids it knows were
+// delivered (the anti-packet vaccine that lets custodians purge dead
+// copies).
+type FrameOffer struct {
+	From      ids.DeviceID
+	Summaries []Summary
+	Delivered []string
+}
+
+// FrameWant answers an OFFER: the ids the responder takes custody of,
+// plus its own delivered-ids vaccine sample for the initiator.
+type FrameWant struct {
+	Want      []string
+	Delivered []string
+}
+
+// FrameBundles ships the wanted bundles with their allocated copy
+// budgets.
+type FrameBundles struct {
+	From    ids.DeviceID
+	Bundles []Bundle
+}
+
+// FrameAck closes a contact: the ids the responder actually accepted
+// custody of (stored, or consumed as destination). The initiator only
+// splits or releases its local copies for acked ids, so a lost ack
+// never loses custody.
+type FrameAck struct {
+	Accepted []string
+}
+
+// --- encoding ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendIDs(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func sealFrame(body []byte) []byte {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return binary.LittleEndian.AppendUint64(body, h.Sum64())
+}
+
+func frameHeader(kind byte) []byte {
+	return []byte{frameMagic, frameVersion, kind}
+}
+
+// MarshalOffer encodes a contact-opening offer frame.
+func MarshalOffer(f FrameOffer) []byte {
+	b := frameHeader(kindOffer)
+	b = appendString(b, string(f.From))
+	b = binary.AppendUvarint(b, uint64(len(f.Summaries)))
+	for _, s := range f.Summaries {
+		b = appendString(b, s.ID)
+		b = appendString(b, string(s.Dst))
+		b = binary.AppendUvarint(b, uint64(s.TTL))
+		b = binary.AppendUvarint(b, uint64(s.Utility))
+	}
+	b = appendIDs(b, f.Delivered)
+	return sealFrame(b)
+}
+
+// MarshalWant encodes an offer answer frame.
+func MarshalWant(f FrameWant) []byte {
+	b := frameHeader(kindWant)
+	b = appendIDs(b, f.Want)
+	b = appendIDs(b, f.Delivered)
+	return sealFrame(b)
+}
+
+// MarshalBundles encodes a bundle transfer frame.
+func MarshalBundles(f FrameBundles) []byte {
+	b := frameHeader(kindBundles)
+	b = appendString(b, string(f.From))
+	b = binary.AppendUvarint(b, uint64(len(f.Bundles)))
+	for _, bl := range f.Bundles {
+		b = appendString(b, bl.ID)
+		b = appendString(b, string(bl.Src))
+		b = appendString(b, string(bl.Dst))
+		b = binary.AppendUvarint(b, uint64(bl.TTL))
+		b = binary.AppendUvarint(b, uint64(bl.Copies))
+		b = appendBytes(b, bl.Payload)
+	}
+	return sealFrame(b)
+}
+
+// MarshalAck encodes a contact-closing acceptance frame.
+func MarshalAck(f FrameAck) []byte {
+	b := frameHeader(kindAck)
+	b = appendIDs(b, f.Accepted)
+	return sealFrame(b)
+}
+
+// --- decoding ---
+
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrBadFrame
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) str(maxLen int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) || r.off+int(n) > len(r.b) {
+		return "", ErrBadFrame
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *wireReader) bytes(maxLen int) ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxLen) || r.off+int(n) > len(r.b) {
+		return nil, ErrBadFrame
+	}
+	p := append([]byte(nil), r.b[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return p, nil
+}
+
+func (r *wireReader) idList(maxN int) ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxN) {
+		return nil, ErrBadFrame
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Cap the pre-allocation: a mangled count still has to be backed
+	// by actual bytes before it grows the slice.
+	out := make([]string, 0, min(int(n), 64))
+	for i := uint64(0); i < n; i++ {
+		s, err := r.str(maxWireString)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (r *wireReader) finish() error {
+	if r.off != len(r.b) {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// openFrame validates magic/version/kind and the trailing checksum and
+// returns a reader positioned at the body.
+func openFrame(data []byte, kind byte) (*wireReader, error) {
+	if len(data) < 3+8 {
+		return nil, ErrBadFrame
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	if binary.LittleEndian.Uint64(sum) != h.Sum64() {
+		return nil, ErrBadFrame
+	}
+	if body[0] != frameMagic || body[1] != frameVersion || body[2] != kind {
+		return nil, ErrBadFrame
+	}
+	return &wireReader{b: body, off: 3}, nil
+}
+
+// FrameKind peeks at a sealed frame's kind without validating the body.
+// It still verifies the checksum, so a mangled kind byte is rejected
+// rather than misrouted.
+func FrameKind(data []byte) (byte, error) {
+	if len(data) < 3+8 {
+		return 0, ErrBadFrame
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	if binary.LittleEndian.Uint64(sum) != h.Sum64() {
+		return 0, ErrBadFrame
+	}
+	if body[0] != frameMagic || body[1] != frameVersion {
+		return 0, ErrBadFrame
+	}
+	k := body[2]
+	if k < kindOffer || k > kindAck {
+		return 0, ErrBadFrame
+	}
+	return k, nil
+}
+
+// UnmarshalOffer decodes a contact-opening offer frame.
+func UnmarshalOffer(data []byte) (FrameOffer, error) {
+	var f FrameOffer
+	r, err := openFrame(data, kindOffer)
+	if err != nil {
+		return f, err
+	}
+	from, err := r.str(maxWireString)
+	if err != nil {
+		return f, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return f, err
+	}
+	if n > maxWireSummaries {
+		return f, ErrBadFrame
+	}
+	var sums []Summary
+	if n > 0 {
+		sums = make([]Summary, 0, min(int(n), 64))
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := r.str(maxWireString)
+		if err != nil {
+			return f, err
+		}
+		dst, err := r.str(maxWireString)
+		if err != nil {
+			return f, err
+		}
+		ttl, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		util, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		if ttl == 0 || ttl > maxWireTTL || util > maxWireUtility {
+			return f, ErrBadFrame
+		}
+		sums = append(sums, Summary{ID: id, Dst: ids.DeviceID(dst), TTL: uint32(ttl), Utility: uint32(util)})
+	}
+	delivered, err := r.idList(maxWireIDs)
+	if err != nil {
+		return f, err
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.From = ids.DeviceID(from)
+	f.Summaries = sums
+	f.Delivered = delivered
+	return f, nil
+}
+
+// UnmarshalWant decodes an offer answer frame.
+func UnmarshalWant(data []byte) (FrameWant, error) {
+	var f FrameWant
+	r, err := openFrame(data, kindWant)
+	if err != nil {
+		return f, err
+	}
+	want, err := r.idList(maxWireIDs)
+	if err != nil {
+		return f, err
+	}
+	delivered, err := r.idList(maxWireIDs)
+	if err != nil {
+		return f, err
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.Want = want
+	f.Delivered = delivered
+	return f, nil
+}
+
+// UnmarshalBundles decodes a bundle transfer frame.
+func UnmarshalBundles(data []byte) (FrameBundles, error) {
+	var f FrameBundles
+	r, err := openFrame(data, kindBundles)
+	if err != nil {
+		return f, err
+	}
+	from, err := r.str(maxWireString)
+	if err != nil {
+		return f, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return f, err
+	}
+	if n > maxWireBundles {
+		return f, ErrBadFrame
+	}
+	var bundles []Bundle
+	if n > 0 {
+		bundles = make([]Bundle, 0, min(int(n), 64))
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := r.str(maxWireString)
+		if err != nil {
+			return f, err
+		}
+		src, err := r.str(maxWireString)
+		if err != nil {
+			return f, err
+		}
+		dst, err := r.str(maxWireString)
+		if err != nil {
+			return f, err
+		}
+		ttl, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		copies, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		if ttl == 0 || ttl > maxWireTTL || copies == 0 || copies > maxWireCopies {
+			return f, ErrBadFrame
+		}
+		payload, err := r.bytes(maxWirePayload)
+		if err != nil {
+			return f, err
+		}
+		bundles = append(bundles, Bundle{
+			ID:      id,
+			Src:     ids.DeviceID(src),
+			Dst:     ids.DeviceID(dst),
+			TTL:     uint32(ttl),
+			Copies:  uint32(copies),
+			Payload: payload,
+		})
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.From = ids.DeviceID(from)
+	f.Bundles = bundles
+	return f, nil
+}
+
+// UnmarshalAck decodes a contact-closing acceptance frame.
+func UnmarshalAck(data []byte) (FrameAck, error) {
+	var f FrameAck
+	r, err := openFrame(data, kindAck)
+	if err != nil {
+		return f, err
+	}
+	acc, err := r.idList(maxWireIDs)
+	if err != nil {
+		return f, err
+	}
+	if err := r.finish(); err != nil {
+		return f, err
+	}
+	f.Accepted = acc
+	return f, nil
+}

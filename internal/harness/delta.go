@@ -18,6 +18,8 @@ import (
 // cache, NOT_MODIFIED answers and a skipped group rebuild).
 type DeltaScalePoint struct {
 	Devices int
+	// Engine is "goroutine" or "des".
+	Engine string
 	// ColdWall / SteadyWall are the real wall cost of one full
 	// RefreshGroups round in each regime.
 	ColdWall   time.Duration
@@ -85,17 +87,47 @@ func dedupTerms(terms []string) []string {
 	return out
 }
 
-// RunDeltaScale measures cold-vs-steady group rounds at each neighbor
-// count. Peers stand on a tight grid inside one Bluetooth cell with
-// overlapping multi-term profiles; only the active peer drives rounds,
-// so the byte counters isolate a single client's traffic.
-func RunDeltaScale(scale vtime.Scale, deviceCounts []int) ([]DeltaScalePoint, error) {
-	if scale.Factor() == 1 {
-		scale = vtime.NewScale(1e-4)
+// DeltaScaleConfig parameterizes the sweep.
+type DeltaScaleConfig struct {
+	// Scale is the latency scale (default 1e-4).
+	Scale vtime.Scale
+	// DES runs the point on the discrete-event engine in integrated
+	// mode — the measured client stays the blocking differential
+	// oracle while the transport underneath it rides the scheduler —
+	// the same engine flag the DTN, gossip and overload sweeps take.
+	// Shards overrides the scheduler's shard count (default 8) and
+	// Workers its executor count.
+	DES     bool
+	Shards  int
+	Workers int
+}
+
+func (c DeltaScaleConfig) withDefaults() DeltaScaleConfig {
+	if c.Scale.Factor() == 1 || c.Scale.Factor() == 0 {
+		c.Scale = vtime.NewScale(1e-4)
 	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	return c
+}
+
+// RunDeltaScale measures cold-vs-steady group rounds at each neighbor
+// count on the goroutine engine; RunDeltaScaleConfig is the full form.
+func RunDeltaScale(scale vtime.Scale, deviceCounts []int) ([]DeltaScalePoint, error) {
+	return RunDeltaScaleConfig(DeltaScaleConfig{Scale: scale}, deviceCounts)
+}
+
+// RunDeltaScaleConfig measures cold-vs-steady group rounds at each
+// neighbor count. Peers stand on a tight grid inside one Bluetooth
+// cell with overlapping multi-term profiles; only the active peer
+// drives rounds, so the byte counters isolate a single client's
+// traffic.
+func RunDeltaScaleConfig(cfg DeltaScaleConfig, deviceCounts []int) ([]DeltaScalePoint, error) {
+	cfg = cfg.withDefaults()
 	out := make([]DeltaScalePoint, 0, len(deviceCounts))
 	for _, n := range deviceCounts {
-		p, err := runDeltaPoint(scale, n)
+		p, err := runDeltaPoint(cfg, n)
 		if err != nil {
 			return nil, fmt.Errorf("harness: delta point %d: %w", n, err)
 		}
@@ -104,11 +136,17 @@ func RunDeltaScale(scale vtime.Scale, deviceCounts []int) ([]DeltaScalePoint, er
 	return out, nil
 }
 
-func runDeltaPoint(scale vtime.Scale, peers int) (DeltaScalePoint, error) {
+func runDeltaPoint(cfg DeltaScaleConfig, peers int) (DeltaScalePoint, error) {
 	if peers < 1 {
 		return DeltaScalePoint{}, fmt.Errorf("need at least one peer")
 	}
-	builder := scenario.NewBuilder().WithScale(scale).WithSeed(int64(peers))
+	builder := scenario.NewBuilder().WithScale(cfg.Scale).WithSeed(int64(peers))
+	if cfg.DES {
+		builder.WithDES(cfg.Shards)
+		if cfg.Workers > 0 {
+			builder.WithDESWorkers(cfg.Workers)
+		}
+	}
 	side := 1 + peers/4
 	for i := 0; i < peers; i++ {
 		builder.AddPeer(scenario.PeerSpec{
@@ -136,7 +174,10 @@ func runDeltaPoint(scale vtime.Scale, peers int) (DeltaScalePoint, error) {
 		return DeltaScalePoint{}, err
 	}
 
-	point := DeltaScalePoint{Devices: peers}
+	point := DeltaScalePoint{Devices: peers, Engine: "goroutine"}
+	if cfg.DES {
+		point.Engine = "des"
+	}
 	round := func(wall *time.Duration, bytes *uint64) error {
 		before := d.Net.Counters().BytesDelivered
 		sw := vtime.NewStopwatch(vtime.Real(), vtime.Identity())
@@ -162,12 +203,17 @@ func runDeltaPoint(scale vtime.Scale, peers int) (DeltaScalePoint, error) {
 
 // FormatDeltaScale renders the delta series as a table.
 func FormatDeltaScale(points []DeltaScalePoint) string {
-	header := []string{"Devices", "Cold round", "Steady round", "Speedup",
+	header := []string{"Devices", "Engine", "Cold round", "Steady round", "Speedup",
 		"Cold bytes", "Steady bytes", "Byte ratio", "NotMod", "Cache hits"}
 	rows := make([][]string, 0, len(points))
 	for _, p := range points {
+		engine := p.Engine
+		if engine == "" {
+			engine = "goroutine"
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", p.Devices),
+			engine,
 			p.ColdWall.Round(10 * time.Microsecond).String(),
 			p.SteadyWall.Round(10 * time.Microsecond).String(),
 			fmt.Sprintf("%.1fx", p.WallSpeedup()),

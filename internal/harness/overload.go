@@ -4,11 +4,16 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/community"
+	"repro/internal/des"
 	"repro/internal/geo"
 	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/peerhood"
+	"repro/internal/radio"
 	"repro/internal/scenario"
 	"repro/internal/vtime"
 )
@@ -24,6 +29,9 @@ type OverloadPoint struct {
 	Devices  int
 	Load     int
 	Capacity int
+	// Engine is "goroutine" or "des" (event-native load drivers on the
+	// discrete-event engine).
+	Engine string
 	// SteadyRound is the slowest of the observer's measured steady
 	// RefreshGroups rounds (real wall time) under offered load.
 	SteadyRound time.Duration
@@ -50,6 +58,17 @@ type OverloadConfig struct {
 	// Rounds is how many steady observer rounds each point measures
 	// (default 3).
 	Rounds int
+	// DES runs the point on the discrete-event engine with the load
+	// generator as event-native session cascades — the engine-scale
+	// driver discipline: each offered session is a self-rescheduling
+	// DialEvent/SendEvent/RecvEvent chain on the scheduler, so offered
+	// load costs O(1) goroutines at any multiple. The measured observer
+	// stays the blocking client (integrated mode), exactly as in the
+	// DTN and gossip sweeps. Shards overrides the scheduler's shard
+	// count (default 8) and Workers its executor count.
+	DES     bool
+	Shards  int
+	Workers int
 }
 
 func (c OverloadConfig) withDefaults() OverloadConfig {
@@ -70,6 +89,9 @@ func (c OverloadConfig) withDefaults() OverloadConfig {
 	}
 	if c.Rounds <= 0 {
 		c.Rounds = 3
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
 	}
 	return c
 }
@@ -104,6 +126,12 @@ func runOverloadPoint(cfg OverloadConfig, peers, load int) (OverloadPoint, error
 			MaxSessions: cfg.Capacity,
 			QueueDepth:  cfg.QueueDepth,
 		})
+	if cfg.DES {
+		builder.WithDES(cfg.Shards)
+		if cfg.Workers > 0 {
+			builder.WithDESWorkers(cfg.Workers)
+		}
+	}
 	side := 1 + peers/4
 	for i := 0; i < peers; i++ {
 		builder.AddPeer(scenario.PeerSpec{
@@ -139,41 +167,55 @@ func runOverloadPoint(cfg OverloadConfig, peers, load int) (OverloadPoint, error
 
 	hot := d.MustPeer("peer-0000")
 	hotDev := hot.Daemon.Device()
-	point := OverloadPoint{Devices: peers, Load: load, Capacity: cfg.Capacity}
+	point := OverloadPoint{Devices: peers, Load: load, Capacity: cfg.Capacity, Engine: "goroutine"}
+	if cfg.DES {
+		point.Engine = "des"
+	}
 
 	// Load generator: load×capacity concurrent raw sessions against the
 	// hot server, each pinging in a tight loop and re-dialing whenever
 	// it is shed. Sourced from a handful of neighbor devices so no
-	// single radio serializes the pressure.
+	// single radio serializes the pressure. On the goroutine engine
+	// each session is a goroutine; on the event engine each session is
+	// an olSession event cascade.
 	offered := load * cfg.Capacity
 	gens := 4
 	if peers < gens {
 		gens = peers
 	}
-	loadCtx, stopLoad := context.WithCancel(ctx)
-	var wg sync.WaitGroup
+	var stopLoad func()
 	ping := community.MarshalRequest(community.Request{Op: community.OpPing})
-	for i := 0; i < offered; i++ {
-		src := d.MustPeer(ids.MemberID(fmt.Sprintf("peer-%04d", 1+i%gens))).Lib
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for loadCtx.Err() == nil {
-				conn, err := src.Connect(loadCtx, hotDev, community.ServiceName)
-				if err != nil {
-					continue
-				}
+	if cfg.DES {
+		stopLoad = startEventLoad(d, offered, gens, hotDev, ping)
+	} else {
+		loadCtx, cancelLoad := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for i := 0; i < offered; i++ {
+			src := d.MustPeer(ids.MemberID(fmt.Sprintf("peer-%04d", 1+i%gens))).Lib
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
 				for loadCtx.Err() == nil {
-					if err := conn.Send(ping); err != nil {
-						break
+					conn, err := src.Connect(loadCtx, hotDev, community.ServiceName)
+					if err != nil {
+						continue
 					}
-					if _, err := conn.Recv(loadCtx); err != nil {
-						break
+					for loadCtx.Err() == nil {
+						if err := conn.Send(ping); err != nil {
+							break
+						}
+						if _, err := conn.Recv(loadCtx); err != nil {
+							break
+						}
 					}
+					conn.Abort()
 				}
-				conn.Abort()
-			}
-		}()
+			}()
+		}
+		stopLoad = func() {
+			cancelLoad()
+			wg.Wait()
+		}
 	}
 	vtime.Real().Sleep(loadSettle)
 
@@ -182,7 +224,6 @@ func runOverloadPoint(cfg OverloadConfig, peers, load int) (OverloadPoint, error
 		sw := vtime.NewStopwatch(vtime.Real(), vtime.Identity())
 		if _, err := active.Client.RefreshGroups(ctx); err != nil {
 			stopLoad()
-			wg.Wait()
 			return OverloadPoint{}, err
 		}
 		if wall := sw.Elapsed(); wall > point.SteadyRound {
@@ -190,21 +231,126 @@ func runOverloadPoint(cfg OverloadConfig, peers, load int) (OverloadPoint, error
 		}
 	}
 	stopLoad()
-	wg.Wait()
 
 	point.Server = hot.Server.Stats()
 	point.ObserverDegraded = active.Client.Stats().FanoutsDegraded
 	return point, nil
 }
 
+// olRedialDelay is the modeled pause before a shed or failed session
+// dials again — the event-engine stand-in for the goroutine loop's
+// natural re-dial latency.
+const olRedialDelay = 20 * time.Millisecond
+
+// olSession is one offered load session as an event cascade — the
+// event-native translation of the goroutine load generator's
+// dial/ping/redial loop, in the engine-scale driver discipline: every
+// step is a DialEvent/SendEvent/RecvEvent continuation scheduled on
+// the session's home, so offered load needs no goroutines however
+// large the multiple. A session that is shed (error at any step)
+// schedules its re-dial after olRedialDelay instead of recursing
+// inside the same event.
+type olSession struct {
+	net   *netsim.Network
+	src   ids.DeviceID
+	hot   ids.DeviceID
+	home  uint64
+	port  string
+	ping  []byte
+	retry time.Duration
+	stop  *atomic.Bool
+	done  *sync.WaitGroup
+}
+
+// run dials the hot server; retirement (stop flag) is checked at every
+// continuation so stopEventLoad's Wait returns once in-flight
+// exchanges drain.
+func (s *olSession) run(ctx *des.Ctx) {
+	if s.stop.Load() {
+		s.done.Done()
+		return
+	}
+	s.net.DialEvent(ctx, s.src, s.hot, radio.Bluetooth, s.port, func(ctx *des.Ctx, c *netsim.Conn, err error) {
+		if err != nil {
+			s.later(ctx)
+			return
+		}
+		s.exchange(ctx, c)
+	})
+}
+
+// later schedules the next dial attempt; synchronous dial failures
+// must not recurse inside the calling event.
+func (s *olSession) later(ctx *des.Ctx) {
+	if s.stop.Load() {
+		s.done.Done()
+		return
+	}
+	ctx.At(s.retry, s.home, s.run)
+}
+
+// exchange is the ping loop: send, await the reply in a parked
+// RecvEvent, repeat until the server sheds the session.
+func (s *olSession) exchange(ctx *des.Ctx, c *netsim.Conn) {
+	if s.stop.Load() {
+		c.CloseEvent(ctx)
+		s.done.Done()
+		return
+	}
+	if c.SendEvent(ctx, s.ping) != nil {
+		c.CloseEvent(ctx)
+		s.later(ctx)
+		return
+	}
+	c.RecvEvent(ctx, func(ctx *des.Ctx, _ []byte, err error) {
+		if err != nil {
+			c.CloseEvent(ctx)
+			s.later(ctx)
+			return
+		}
+		s.exchange(ctx, c)
+	})
+}
+
+// startEventLoad seeds one olSession cascade per offered session on
+// the deployment's scheduler and returns the stop function: it flips
+// the shared flag and waits for every cascade to notice it at its next
+// continuation — a parked session always has either a reply or a
+// teardown coming to wake it, so the wait terminates.
+func startEventLoad(d *scenario.Deployment, offered, gens int, hotDev ids.DeviceID, ping []byte) (stop func()) {
+	retry := d.Env.Scale().ToReal(olRedialDelay)
+	port := peerhood.ServicePort(ids.ServiceName(community.ServiceName))
+	var flag atomic.Bool
+	var done sync.WaitGroup
+	for i := 0; i < offered; i++ {
+		src := d.MustPeer(ids.MemberID(fmt.Sprintf("peer-%04d", 1+i%gens))).Daemon.Device()
+		s := &olSession{
+			net: d.Net, src: src, hot: hotDev,
+			home: netsim.DeviceHome(src), port: port, ping: ping,
+			retry: retry, stop: &flag, done: &done,
+		}
+		done.Add(1)
+		d.Sched.At(0, s.home, s.run)
+	}
+	return func() {
+		flag.Store(true)
+		done.Wait()
+	}
+}
+
 // FormatOverload renders the sweep as a table.
 func FormatOverload(points []OverloadPoint) string {
-	header := []string{"Devices", "Load", "Steady round", "Admitted", "Queued", "Shed", "Depth max", "Slow writers", "Degraded fanouts"}
+	header := []string{"Devices", "Load", "Engine", "Steady round", "Admitted", "Queued", "Shed", "Depth max", "Slow writers", "Degraded fanouts"}
 	rows := make([][]string, 0, len(points))
 	for _, p := range points {
+		engine := p.Engine
+		if engine == "" {
+			engine = "goroutine"
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", p.Devices),
 			fmt.Sprintf("%d×", p.Load),
+			engine,
 			p.SteadyRound.Round(10 * time.Microsecond).String(),
 			fmt.Sprintf("%d", p.Server.Admitted),
 			fmt.Sprintf("%d", p.Server.Queued),

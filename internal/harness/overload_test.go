@@ -52,3 +52,40 @@ func TestOverloadShedsAndStaysBounded(t *testing.T) {
 		t.Error("FormatOverload returned empty table")
 	}
 }
+
+// TestOverloadDESEventLoad runs the same overload point with the load
+// generator as event-native session cascades on the discrete-event
+// engine: the offered load must still reach the server (sessions
+// admitted, pressure past capacity shed), the queue bound must hold,
+// and the observer's steady round must stay bounded — the degradation
+// contract is engine-independent.
+func TestOverloadDESEventLoad(t *testing.T) {
+	cfg := OverloadConfig{
+		Scale:   vtime.NewScale(1e-4),
+		Devices: []int{24},
+		Loads:   []int{10},
+		Rounds:  2,
+		DES:     true,
+	}
+	points, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatalf("RunOverload: %v", err)
+	}
+	p := points[0]
+	if p.Engine != "des" {
+		t.Errorf("engine = %q, want des", p.Engine)
+	}
+	if p.Server.Admitted == 0 {
+		t.Error("event-native load admitted no sessions; the cascades never reached the server")
+	}
+	if p.Server.Shed == 0 {
+		t.Error("10× event-native load shed no sessions; admission control is not engaging")
+	}
+	if max := p.Server.QueueDepthMax; max > 16 {
+		t.Errorf("queue depth reached %d, bound is 16", max)
+	}
+	const budget = 2 * time.Second
+	if p.SteadyRound > budget {
+		t.Errorf("steady round took %v, budget %v", p.SteadyRound, budget)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -15,6 +16,13 @@ import (
 // Messages are delivered in order after the PHY transfer time; when the
 // radio link breaks (range exit, power off, partition) both ends fail
 // with ErrLinkLost.
+//
+// Lifecycle contract: an end belongs to its holder until the holder's
+// first Close or Abort; operations racing with (or following) that
+// end's own Close/Abort are a misuse. The connection tolerates it —
+// the ops valve below keeps a straggler from ever touching a recycled
+// pair — but such a pair is leaked to the garbage collector instead of
+// reused.
 type Conn struct {
 	net    *Network
 	local  ids.DeviceID
@@ -27,7 +35,8 @@ type Conn struct {
 	// draws. Both ends share the value.
 	connSeq uint64
 
-	peer *Conn // other end
+	peer *Conn     // other end
+	pair *connPair // shared allocation unit both ends live in
 
 	sendQ chan []byte
 	recvQ chan []byte
@@ -37,42 +46,138 @@ type Conn struct {
 	closing bool
 	pending sync.WaitGroup // accepted sends not yet delivered or dropped
 	closed  chan struct{}
-	once    sync.Once
+	failed  atomic.Bool // fail() has run (first caller wins)
+
+	// released latches this end's user hold being dropped: the first
+	// Close or Abort wins, later ones are no-ops.
+	released atomic.Bool
+
+	// ops counts user operations (Send/Recv variants) currently inside
+	// this end. A nonzero count when the last pair reference drops means
+	// a straggler raced its own end's close; the pair is then orphaned
+	// to the GC rather than recycled under the straggler.
+	ops atomic.Int32
 
 	// des holds this end's event-engine state (engine_des.go); nil on
 	// the goroutine engine.
 	des *desConnState
 }
 
+// connPair owns both connection ends and their event-engine state in
+// one allocation, recycled through the network's pair pool when every
+// holder lets go. refs counts the holders: the two user ends (dropped
+// at each end's first Close/Abort), the pump goroutines on the
+// goroutine engine, every scheduled delivery/teardown/flush event on
+// the event engine, Close's flush waiter, and transient holds the link
+// sweeps take while failing dead conns outside the network lock.
+type connPair struct {
+	ends [2]Conn
+	des  [2]desConnState
+	refs atomic.Int32
+}
+
+func (p *connPair) ref() { p.refs.Add(1) }
+
+// unref drops one hold on this end's pair; the last drop recycles it.
+func (c *Conn) unref() {
+	if c.pair.refs.Add(-1) == 0 {
+		c.net.recyclePair(c.pair)
+	}
+}
+
+// releaseUser drops this end's user hold exactly once.
+func (c *Conn) releaseUser() {
+	if c.released.CompareAndSwap(false, true) {
+		c.unref()
+	}
+}
+
+// recyclePair returns a fully-released pair to the pool. If a
+// straggler operation is still inside either end — a caller racing its
+// own end's Close/Abort, which the contract forbids but the valve
+// tolerates — the pair is orphaned to the garbage collector instead:
+// correctness over reuse.
+func (n *Network) recyclePair(p *connPair) {
+	if p.ends[0].ops.Load() != 0 || p.ends[1].ops.Load() != 0 {
+		return
+	}
+	for i := range p.ends {
+		c := &p.ends[i]
+		drainQ(c.recvQ)
+		if c.sendQ != nil {
+			drainQ(c.sendQ)
+		}
+		if c.des != nil {
+			c.des.drain()
+		}
+	}
+	n.pairPool.Put(p)
+}
+
+func drainQ(q chan []byte) {
+	for {
+		select {
+		case <-q:
+		default:
+			return
+		}
+	}
+}
+
 // newConnPair wires up both ends and starts their pumps; registering
 // the dialer end with the network enrolls the pair in the shared link
 // sweep (Network.sweepLinks). It returns (dialer end, listener end).
+// Pairs come from the network's pool: connection churn dominated the
+// allocation profile at scale, and the big pieces — the transmit and
+// receive queues, the admission semaphores, the reorder maps — are
+// engine-invariant and survive from one incarnation to the next.
 func newConnPair(n *Network, from, to ids.DeviceID, tech radio.Technology, port string) (*Conn, *Conn) {
 	seq := n.nextConnSeq(from, to)
-	a := &Conn{
-		net: n, local: from, remote: to, tech: tech, port: port, connSeq: seq,
-		recvQ:  make(chan []byte, sendQueueLen),
-		closed: make(chan struct{}),
+	p, _ := n.pairPool.Get().(*connPair)
+	fresh := p == nil
+	if fresh {
+		p = &connPair{}
 	}
-	b := &Conn{
-		net: n, local: to, remote: from, tech: tech, port: port, connSeq: seq,
-		recvQ:  make(chan []byte, sendQueueLen),
-		closed: make(chan struct{}),
-	}
+	a, b := &p.ends[0], &p.ends[1]
+	a.reset(n, p, from, to, tech, port, seq)
+	b.reset(n, p, to, from, tech, port, seq)
 	a.peer, b.peer = b, a
+	p.refs.Store(2) // one user hold per end
 	if n.sched != nil {
 		// Event engine: no pumps; Send schedules delivery events, and
 		// the admission semaphore replaces the transmit queue.
-		a.des, b.des = newDESConnState(), newDESConnState()
+		a.des, b.des = &p.des[0], &p.des[1]
+		a.des.reset(fresh)
+		b.des.reset(fresh)
 		n.trackConn(a)
 		return a, b
 	}
-	a.sendQ = make(chan []byte, sendQueueLen)
-	b.sendQ = make(chan []byte, sendQueueLen)
+	if fresh {
+		a.sendQ = make(chan []byte, sendQueueLen)
+		b.sendQ = make(chan []byte, sendQueueLen)
+	}
+	p.refs.Add(2) // one hold per pump
 	n.trackConn(a)
 	go a.pump()
 	go b.pump()
 	return a, b
+}
+
+// reset prepares one end for a new incarnation. The queues persist
+// across incarnations (drained at recycle) — they are the bulk of a
+// pair's allocation cost; the closed channel must be fresh, since the
+// previous incarnation's has fired.
+func (c *Conn) reset(n *Network, p *connPair, local, remote ids.DeviceID, tech radio.Technology, port string, seq uint64) {
+	c.net, c.pair = n, p
+	c.local, c.remote, c.tech, c.port, c.connSeq = local, remote, tech, port, seq
+	c.err = nil
+	c.closing = false
+	c.closed = make(chan struct{})
+	c.failed.Store(false)
+	c.released.Store(false)
+	if c.recvQ == nil {
+		c.recvQ = make(chan []byte, sendQueueLen)
+	}
 }
 
 // Local returns the device this end belongs to.
@@ -90,31 +195,7 @@ func (c *Conn) Port() string { return c.port }
 // Send enqueues a message for in-order delivery to the peer. It blocks
 // only if the transmit queue is full.
 func (c *Conn) Send(payload []byte) error {
-	if c.des != nil {
-		return c.desSend(payload, nil)
-	}
-	msg := make([]byte, len(payload))
-	copy(msg, payload)
-	c.mu.Lock()
-	if c.closing {
-		c.mu.Unlock()
-		return c.errOrClosed()
-	}
-	select {
-	case <-c.closed:
-		c.mu.Unlock()
-		return c.errOrClosed()
-	default:
-	}
-	c.pending.Add(1)
-	c.mu.Unlock()
-	select {
-	case c.sendQ <- msg:
-		return nil
-	case <-c.closed:
-		c.pending.Done()
-		return c.errOrClosed()
-	}
+	return c.send(payload, nil, nil)
 }
 
 // SendDeadline is Send with a deadline on queue admission: when the
@@ -124,8 +205,22 @@ func (c *Conn) Send(payload []byte) error {
 // modeled-clock timer here so one stalled reader cannot wedge a
 // serving goroutine.
 func (c *Conn) SendDeadline(payload []byte, deadline <-chan time.Time) error {
+	return c.send(payload, deadline, nil)
+}
+
+// SendCancel is Send with a cancellation channel on queue admission:
+// when cancel fires first the send gives up with ErrSendTimeout.
+// Pipelines use it so a peer that stops reading cannot park a relay
+// goroutine past its bridge's lifetime.
+func (c *Conn) SendCancel(payload []byte, cancel <-chan struct{}) error {
+	return c.send(payload, nil, cancel)
+}
+
+func (c *Conn) send(payload []byte, deadline <-chan time.Time, cancel <-chan struct{}) error {
+	c.ops.Add(1)
+	defer c.ops.Add(-1)
 	if c.des != nil {
-		return c.desSend(payload, deadline)
+		return c.desSend(payload, deadline, cancel)
 	}
 	msg := make([]byte, len(payload))
 	copy(msg, payload)
@@ -151,6 +246,9 @@ func (c *Conn) SendDeadline(payload []byte, deadline <-chan time.Time) error {
 	case <-deadline:
 		c.pending.Done()
 		return ErrSendTimeout
+	case <-cancel:
+		c.pending.Done()
+		return ErrSendTimeout
 	}
 }
 
@@ -158,6 +256,8 @@ func (c *Conn) SendDeadline(payload []byte, deadline <-chan time.Time) error {
 // the connection dies, or the context is done. Messages already
 // delivered before a link loss remain readable.
 func (c *Conn) Recv(ctx context.Context) ([]byte, error) {
+	c.ops.Add(1)
+	defer c.ops.Add(-1)
 	select {
 	case msg := <-c.recvQ:
 		return msg, nil
@@ -204,28 +304,47 @@ const closeFlushTimeout = 5 * time.Second
 // Close flushes messages already accepted by Send (so a server may
 // respond and close immediately, like shutdown(2) on TCP), then shuts
 // down both ends. Messages the peer has not yet read remain readable on
-// its side.
+// its side. Close also drops this end's user hold on the pair; using
+// the end afterwards is a contract violation. Close and Abort win the
+// release latch before touching the pair: a duplicate release from a
+// racing goroutine returns without reading state a recycled
+// incarnation may be rewriting.
 func (c *Conn) Close() error {
+	if !c.released.CompareAndSwap(false, true) {
+		return nil
+	}
 	c.mu.Lock()
 	c.closing = true
 	c.mu.Unlock()
-	waitWithTimeout(&c.pending, closeFlushTimeout)
+	c.waitFlush(closeFlushTimeout)
 	c.fail(ErrConnClosed)
 	c.peer.fail(ErrConnClosed)
+	c.unref()
 	return nil
 }
 
 // Abort tears both ends down immediately, discarding in-flight
-// messages.
+// messages, and drops this end's user hold on the pair. Duplicate
+// releases are no-ops (see Close).
 func (c *Conn) Abort() {
+	if !c.released.CompareAndSwap(false, true) {
+		return
+	}
 	c.failBoth(ErrConnClosed)
+	c.unref()
 }
 
-func waitWithTimeout(wg *sync.WaitGroup, d time.Duration) {
+// waitFlush waits for accepted sends to drain, bounded by d. The
+// waiting goroutine keeps a pair hold even past the timeout: it stays
+// parked on this incarnation's WaitGroup, which must not be recycled
+// under it.
+func (c *Conn) waitFlush(d time.Duration) {
+	c.pair.ref()
 	done := make(chan struct{})
 	go func() {
-		wg.Wait()
+		c.pending.Wait()
 		close(done)
+		c.unref()
 	}()
 	select {
 	case <-done:
@@ -241,18 +360,20 @@ func (c *Conn) errOrClosed() error {
 	return ErrConnClosed
 }
 
-// fail terminates this end with the given error (first error wins).
+// fail terminates this end with the given error (first caller wins;
+// later calls are no-ops).
 func (c *Conn) fail(err error) {
-	c.once.Do(func() {
-		c.mu.Lock()
-		c.err = err
-		c.mu.Unlock()
-		close(c.closed)
-		c.net.dropConn(c)
-		if c.des != nil {
-			c.desNotifyWaiter()
-		}
-	})
+	if !c.failed.CompareAndSwap(false, true) {
+		return
+	}
+	c.mu.Lock()
+	c.err = err
+	c.mu.Unlock()
+	close(c.closed)
+	c.net.dropConn(c)
+	if c.des != nil {
+		c.desNotifyWaiter()
+	}
 }
 
 // failBoth terminates both ends.
@@ -263,8 +384,10 @@ func (c *Conn) failBoth(err error) {
 
 // pump moves messages from this end's transmit queue to the peer's
 // receive queue, one at a time, charging the PHY transfer time; the
-// serial processing is what models the link's limited bandwidth.
+// serial processing is what models the link's limited bandwidth. The
+// goroutine holds one pair reference for its lifetime.
 func (c *Conn) pump() {
+	defer c.unref()
 	defer c.drainSendQ()
 	phy := c.net.env.PHY(c.tech)
 	var msgSeq uint64

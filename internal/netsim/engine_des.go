@@ -90,12 +90,34 @@ type desConnState struct {
 	waiter recvFn
 }
 
-func newDESConnState() *desConnState {
-	return &desConnState{
-		slots:    make(chan struct{}, sendQueueLen),
-		nextRecv: 1,
-		early:    make(map[uint64]*desMsg),
+// reset prepares this end's event state for a new pair incarnation.
+// The admission semaphore and reorder map are allocated once and
+// survive recycling; fresh marks a pair that has never been through
+// the pool.
+func (d *desConnState) reset(fresh bool) {
+	if fresh {
+		d.slots = make(chan struct{}, sendQueueLen)
+		d.early = make(map[uint64]*desMsg)
 	}
+	d.msgSeq = 0
+	d.dirFree = 0
+	d.nextRecv = 1
+	d.rbuf = d.rbuf[:0]
+	d.armed = false
+	d.waiter = nil
+}
+
+// drain empties the recyclable state at pair recycle time. No holder
+// is left (refs hit zero), so plain access is safe.
+func (d *desConnState) drain() {
+	for len(d.slots) > 0 {
+		<-d.slots
+	}
+	for k := range d.early {
+		delete(d.early, k)
+	}
+	d.rbuf = d.rbuf[:0]
+	d.waiter = nil
 }
 
 // desAirFree advances the (device, technology) airtime ledger: the
@@ -116,7 +138,7 @@ func (n *Network) desAirFree(dev ids.DeviceID, tech radio.Technology, now int64,
 // desSend is the event engine's Send/SendDeadline: admission against
 // the in-flight semaphore, an immediate fate draw, and one delivery
 // event at the instant the modeled transfer completes.
-func (c *Conn) desSend(payload []byte, deadline <-chan time.Time) error {
+func (c *Conn) desSend(payload []byte, deadline <-chan time.Time, cancel <-chan struct{}) error {
 	sched := c.net.sched
 	sched.Bump()
 	msg := make([]byte, len(payload))
@@ -146,6 +168,8 @@ func (c *Conn) desSend(payload []byte, deadline <-chan time.Time) error {
 		case <-c.closed:
 			return c.errOrClosed()
 		case <-deadline:
+			return ErrSendTimeout
+		case <-cancel:
 			return ErrSendTimeout
 		}
 	}
@@ -196,7 +220,9 @@ func (c *Conn) desLaunch(msg []byte, at func(d time.Duration, home uint64, fn fu
 
 	c.pending.Add(1)
 	m := &desMsg{seq: seq, payload: msg, fate: fate, plan: plan}
+	c.pair.ref() // the delivery event holds the pair until it runs
 	at(time.Duration(deliverAt-now), homeOf(c.remote), func(ctx *des.Ctx) {
+		defer c.unref()
 		c.desDeliver(ctx, m)
 	})
 }
@@ -254,7 +280,8 @@ func (c *Conn) desDeliver(ctx *des.Ctx, m *desMsg) {
 	fn, payload, ok := p.desPopWaiterLocked()
 	p.des.mu.Unlock()
 	if arm {
-		ctx.At(n.env.Scale().ToReal(desFlushRetry), homeOf(c.remote), p.desFlushEvent)
+		p.pair.ref()
+		ctx.At(n.env.Scale().ToReal(desFlushRetry), homeOf(c.remote), p.desFlushEventRef)
 	}
 	if ok {
 		fn(ctx, payload, nil)
@@ -301,7 +328,9 @@ func (c *Conn) desTeardown(ctx *des.Ctx, err error) {
 			continue
 		}
 		e, fn := ends[i], fn
+		e.pair.ref()
 		ctx.At(0, homeOf(e.local), func(ctx *des.Ctx) {
+			defer e.unref()
 			select {
 			case msg := <-e.recvQ:
 				fn(ctx, msg, nil)
@@ -325,7 +354,9 @@ func (c *Conn) desNotifyWaiter() {
 	if fn == nil {
 		return
 	}
+	c.pair.ref()
 	c.net.sched.At(0, homeOf(c.local), func(ctx *des.Ctx) {
+		defer c.unref()
 		select {
 		case msg := <-c.recvQ:
 			fn(ctx, msg, nil)
@@ -387,11 +418,20 @@ func (c *Conn) desFlushEvent(ctx *des.Ctx) {
 	fn, payload, ok := c.desPopWaiterLocked()
 	c.des.mu.Unlock()
 	if again {
-		ctx.At(c.net.env.Scale().ToReal(desFlushRetry), homeOf(c.local), c.desFlushEvent)
+		c.pair.ref()
+		ctx.At(c.net.env.Scale().ToReal(desFlushRetry), homeOf(c.local), c.desFlushEventRef)
 	}
 	if ok {
 		fn(ctx, payload, nil)
 	}
+}
+
+// desFlushEventRef runs desFlushEvent under the pair hold its
+// scheduling site took; every flush-retry arm pairs ref() with this
+// wrapper so a parked retry can never outlive its pair.
+func (c *Conn) desFlushEventRef(ctx *des.Ctx) {
+	defer c.unref()
+	c.desFlushEvent(ctx)
 }
 
 // desAbandon drops the in-hand undeliverable message plus everything
@@ -433,6 +473,10 @@ func (n *Network) desSweepEvent(ctx *des.Ctx) {
 	}
 	live := make([]*Conn, 0, len(n.conns))
 	for c := range n.conns {
+		// Holding the pair across the unlocked check below: a tracked
+		// conn always has its user holds outstanding, so the ref can
+		// never resurrect a recycled pair.
+		c.pair.ref()
 		live = append(live, c)
 	}
 	sortConnsDet(live)
@@ -442,6 +486,7 @@ func (n *Network) desSweepEvent(ctx *des.Ctx) {
 			n.counters.linkFailures.Add(1)
 			c.desTeardown(ctx, fmt.Errorf("%w: %s <-> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
 		}
+		c.unref()
 	}
 	ctx.At(n.sweepInterval(), sweepHome, n.desSweepEvent)
 }

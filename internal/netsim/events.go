@@ -98,6 +98,7 @@ func (n *Network) finishDialEvent(ctx *des.Ctx, from, to ids.DeviceID, tech radi
 		case l.incoming <- remote:
 		default:
 			local.Abort()
+			remote.releaseUser() // never handed to an acceptor
 			fn(ctx, nil, fmt.Errorf("%w: %s on %s (accept backlog full)", ErrNoListener, port, to))
 			return
 		}
@@ -143,6 +144,8 @@ func (c *Conn) SendEvent(ctx *des.Ctx, payload []byte) error {
 	if c.des == nil {
 		return ErrEventEngineOnly
 	}
+	c.ops.Add(1)
+	defer c.ops.Add(-1)
 	c.net.sched.Bump()
 	msg := make([]byte, len(payload))
 	copy(msg, payload)
@@ -177,6 +180,8 @@ func (c *Conn) RecvEvent(ctx *des.Ctx, fn recvFn) {
 		fn(ctx, nil, ErrEventEngineOnly)
 		return
 	}
+	c.ops.Add(1)
+	defer c.ops.Add(-1)
 	c.net.sched.Bump()
 	d := c.des
 	d.mu.Lock()
@@ -212,14 +217,19 @@ func (c *Conn) CloseEvent(ctx *des.Ctx) {
 		_ = c.Close()
 		return
 	}
+	if !c.released.CompareAndSwap(false, true) {
+		return // duplicate release (see Close)
+	}
 	c.mu.Lock()
 	c.closing = true
 	c.mu.Unlock()
+	// The user hold itself carries the flush chain until teardown.
 	c.desCloseFlush(ctx, 0)
 }
 
 // desCloseFlush reschedules itself while this end's sent messages are
-// still in flight, then tears the pair down.
+// still in flight, then tears the pair down and drops the user hold
+// carried through the chain.
 func (c *Conn) desCloseFlush(ctx *des.Ctx, tries int) {
 	c.net.sched.Bump()
 	if c.Alive() && len(c.des.slots) > 0 && tries < desCloseRetries {
@@ -229,4 +239,5 @@ func (c *Conn) desCloseFlush(ctx *des.Ctx, tries int) {
 		return
 	}
 	c.desTeardown(ctx, ErrConnClosed)
+	c.unref()
 }

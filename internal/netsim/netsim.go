@@ -96,6 +96,12 @@ type Network struct {
 	// txLocks, which serialize goroutines the event engine doesn't have.
 	airMu   sync.Mutex
 	airFree map[txKey]int64
+
+	// pairPool recycles connPair allocations (conn.go): at scale the
+	// dial/close churn of discovery rounds dominated the allocation
+	// profile, and a pair's queues are engine-invariant, so a released
+	// pair is reset rather than reallocated.
+	pairPool sync.Pool
 }
 
 type txKey struct {
@@ -242,6 +248,9 @@ func (n *Network) Close() {
 	n.listeners = make(map[portKey]*Listener)
 	live := make([]*Conn, 0, len(n.conns))
 	for c := range n.conns {
+		// Hold each pair across the unlocked teardown below; a tracked
+		// conn still has its user holds, so the ref is always live.
+		c.pair.ref()
 		live = append(live, c)
 	}
 	sortConnsDet(live)
@@ -252,6 +261,7 @@ func (n *Network) Close() {
 	// deregister itself.
 	for _, c := range live {
 		c.failBoth(ErrNetworkClosed)
+		c.unref()
 	}
 }
 
@@ -320,6 +330,10 @@ func (n *Network) sweepLinks() {
 		}
 		live := make([]*Conn, 0, len(n.conns))
 		for c := range n.conns {
+			// Hold the pair across the unlocked check below: a tracked
+			// conn always has its user holds outstanding, so the ref can
+			// never resurrect a recycled pair.
+			c.pair.ref()
 			live = append(live, c)
 		}
 		sortConnsDet(live)
@@ -331,6 +345,7 @@ func (n *Network) sweepLinks() {
 				n.counters.linkFailures.Add(1)
 				c.failBoth(fmt.Errorf("%w: %s <-> %s over %v", ErrLinkLost, c.local, c.remote, c.tech))
 			}
+			c.unref()
 		}
 	}
 }
@@ -451,9 +466,11 @@ func (n *Network) Dial(ctx context.Context, from, to ids.DeviceID, tech radio.Te
 		n.counters.connsEstablished.Add(1)
 	case <-l.done:
 		_ = local.Close()
+		remote.releaseUser() // never handed to an acceptor
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoListener, port, to)
 	case <-ctx.Done():
 		_ = local.Close()
+		remote.releaseUser() // never handed to an acceptor
 		return nil, ctx.Err()
 	}
 	return local, nil

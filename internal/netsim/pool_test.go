@@ -1,0 +1,118 @@
+package netsim_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/geo"
+	"repro/internal/ids"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/vtime"
+)
+
+// This file pins the conn-pair pool (conn.go): dial/close churn
+// dominated the allocation profile of the large discovery sweeps, so a
+// steady-state dial + request/reply + close cycle must not reallocate
+// the pair or its queues. The ceilings below have slack for the
+// per-cycle incidentals (fresh closed channels, payload copies, timer
+// and event bookkeeping) but sit far under the cost of one unpooled
+// pair: its two receive queues alone are ~12 KB, several allocations
+// each.
+
+// poolCeilingAllocs bounds average allocations per cycle; an unpooled
+// pair adds ~10 on top of a pooled cycle's incidentals.
+const poolCeilingAllocs = 60
+
+// buildPoolWorld places two devices in Bluetooth range and starts a
+// serial echo server on one of them.
+func buildPoolWorld(t *testing.T, useDES bool) (*netsim.Network, func()) {
+	t.Helper()
+	opts := []radio.Option{radio.WithScale(vtime.NewScale(1e-6))}
+	var sched *des.Scheduler
+	if useDES {
+		sched = des.NewScheduler(1, 2)
+		opts = append(opts, radio.WithClock(sched.Clock()))
+	}
+	env := radio.NewEnvironment(opts...)
+	for _, dev := range []string{"pool-a", "pool-b"} {
+		if err := env.Add(ids.DeviceID(dev), mobility.Static{At: geo.Pt(1, 1)}, radio.Bluetooth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var net *netsim.Network
+	stop := func() {}
+	if useDES {
+		net = netsim.NewDES(env, 1, sched)
+		sched.Start()
+		stop = sched.Stop
+	} else {
+		net = netsim.New(env, 1)
+	}
+	l, err := net.Listen(ids.DeviceID("pool-b"), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	go func() {
+		for {
+			c, err := l.Accept(ctx)
+			if err != nil {
+				return
+			}
+			if msg, err := c.Recv(ctx); err == nil {
+				_ = c.Send(msg)
+			}
+			_ = c.Close()
+		}
+	}()
+	cleanup := func() {
+		net.Close()
+		stop()
+	}
+	return net, cleanup
+}
+
+// TestConnPairAllocsPinned measures a full dial + request/reply +
+// close cycle on both engines: once the pool is warm, the per-cycle
+// allocation count must stay under the pooled ceiling.
+func TestConnPairAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates per sync event; the pin only means anything uninstrumented")
+	}
+	for _, useDES := range []bool{false, true} {
+		name := "goroutine"
+		if useDES {
+			name = "des"
+		}
+		t.Run(name, func(t *testing.T) {
+			net, cleanup := buildPoolWorld(t, useDES)
+			defer cleanup()
+			ctx := context.Background()
+			cycle := func() {
+				c, err := net.Dial(ctx, ids.DeviceID("pool-a"), ids.DeviceID("pool-b"), radio.Bluetooth, "echo")
+				if err != nil {
+					t.Fatalf("dial: %v", err)
+				}
+				if err := c.Send([]byte("ping")); err != nil {
+					t.Fatalf("send: %v", err)
+				}
+				if _, err := c.Recv(ctx); err != nil {
+					t.Fatalf("recv: %v", err)
+				}
+				_ = c.Close()
+			}
+			// Warm the pool (and let the first pair's pumps retire).
+			for i := 0; i < 32; i++ {
+				cycle()
+			}
+			avg := testing.AllocsPerRun(200, cycle)
+			if avg > poolCeilingAllocs {
+				t.Fatalf("dial cycle allocates %.1f objects on average, ceiling %d: conn-pair pooling regressed", avg, poolCeilingAllocs)
+			}
+			t.Logf("%s: %.1f allocs per dial cycle", name, avg)
+		})
+	}
+}

@@ -103,22 +103,29 @@ func (p *Proxy) bridge(ctx context.Context, inbound *Conn) {
 	p.relayed++
 	p.mu.Unlock()
 
-	done := make(chan struct{}, 2)
+	// Either direction failing cancels the other, and the deferred
+	// Closes run only after both pipes have fully exited — a pipe must
+	// never race its own conn's teardown.
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	var pipes sync.WaitGroup
 	pipe := func(src, dst *Conn) {
-		defer func() { done <- struct{}{} }()
+		defer pipes.Done()
+		defer pcancel()
 		for {
-			msg, err := src.Recv(ctx)
+			msg, err := src.Recv(pctx)
 			if err != nil {
 				return
 			}
-			if err := dst.Send(msg); err != nil {
+			if err := dst.SendCancel(msg, pctx.Done()); err != nil {
 				return
 			}
 		}
 	}
+	pipes.Add(2)
 	go pipe(inbound, outbound)
 	go pipe(outbound, inbound)
-	<-done // either direction failing tears the bridge down
+	pipes.Wait()
 }
 
 func splitPreamble(s string) (ids.DeviceID, string, bool) {

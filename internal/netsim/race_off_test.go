@@ -1,0 +1,7 @@
+//go:build !race
+
+package netsim_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its sync-event bookkeeping allocates, so allocation pins skip.
+const raceEnabled = false

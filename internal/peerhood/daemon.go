@@ -20,6 +20,11 @@ const sdpPort = "peerhood.sdp"
 // servicePortPrefix namespaces application service ports.
 const servicePortPrefix = "svc:"
 
+// ServicePort is the transport port a registered service listens on —
+// the daemon's port namespacing made visible for event-native callers
+// that dial with netsim's event API instead of through a plugin.
+func ServicePort(name ids.ServiceName) string { return servicePortPrefix + string(name) }
+
 // Defaults for the daemon's periodic work, in modeled time.
 const (
 	defaultDiscoveryInterval = 5 * time.Second

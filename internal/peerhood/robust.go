@@ -165,6 +165,13 @@ func (r *RobustConn) current(ctx context.Context) (*netsim.Conn, error) {
 	if r.conn != nil && r.conn.Alive() {
 		return r.conn, nil
 	}
+	if r.conn != nil {
+		// Dead session: drop our hold before replacing it, so the pair
+		// can recycle. We are its sole releaser — Close and poison both
+		// clear r.conn under the lock before releasing.
+		r.conn.Abort()
+		r.conn = nil
+	}
 	conn, err := r.daemon.Connect(ctx, r.dev, r.service)
 	if err != nil {
 		return nil, fmt.Errorf("peerhood: seamless reconnect to %s: %w", r.dev, err)
@@ -329,13 +336,16 @@ func (r *RobustConn) poison() {
 	}
 }
 
-// Close shuts the connection down.
+// Close shuts the connection down. It clears r.conn so no later
+// poison or upgrade can release the same session twice — each
+// *netsim.Conn gets exactly one Close/Abort from its one owner.
 func (r *RobustConn) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.closed = true
 	if r.conn != nil {
 		_ = r.conn.Close() // already failing over or shutting down; nothing to do with the error
+		r.conn = nil
 	}
 }
 

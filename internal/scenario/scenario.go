@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/community"
 	"repro/internal/des"
+	"repro/internal/dtn"
 	"repro/internal/geo"
 	"repro/internal/gossip"
 	"repro/internal/ids"
@@ -69,6 +70,8 @@ type Builder struct {
 	desWorkers int
 	useGossip  bool
 	gossipCfg  gossip.Config
+	useDTN     bool
+	dtnCfg     dtn.Config
 }
 
 // desDefaultShards is the event scheduler's shard count when WithDES
@@ -167,6 +170,22 @@ func (b *Builder) WithGossip(cfg gossip.Config) *Builder {
 	return b
 }
 
+// WithDTN attaches a store-carry-forward delivery engine to every
+// peer: a dtn.Node that takes custody of addressed messages, buffers
+// them across disconnection under the configured TTL and eviction
+// policy, and forwards on contact per the configured relay strategy.
+// The social strategy reads each peer's dynamic group views
+// (community.Client.Groups), so it composes with the same discovery
+// pipeline the rest of the deployment uses. Rounds are driven
+// explicitly (Peer.DTN.Round), so the engine works identically on the
+// goroutine and DES transports. The zero Config takes the package
+// defaults.
+func (b *Builder) WithDTN(cfg dtn.Config) *Builder {
+	b.useDTN = true
+	b.dtnCfg = cfg
+	return b
+}
+
 // AddPeer appends a participant.
 func (b *Builder) AddPeer(spec PeerSpec) *Builder {
 	b.peers = append(b.peers, spec)
@@ -182,6 +201,7 @@ type Peer struct {
 	Server *community.Server
 	Client *community.Client
 	Gossip *gossip.Node // nil unless built WithGossip
+	DTN    *dtn.Node    // nil unless built WithDTN
 }
 
 // Deployment is a running world.
@@ -351,7 +371,25 @@ func (b *Builder) buildPeer(d *Deployment, spec PeerSpec) (*Peer, error) {
 			return nil, err
 		}
 	}
-	return &Peer{Spec: spec, Daemon: daemon, Lib: lib, Store: store, Server: server, Client: client, Gossip: gnode}, nil
+	var dnode *dtn.Node
+	if b.useDTN {
+		env := d.Env
+		dnode, err = dtn.NewNode(dtn.Params{
+			Device:    dev,
+			Neighbors: func() []ids.DeviceID { return env.Neighbors(dev, radio.Bluetooth) },
+			Groups:    client.Groups,
+			Net:       d.Net,
+			Seed:      b.seed,
+			Config:    b.dtnCfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := dnode.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return &Peer{Spec: spec, Daemon: daemon, Lib: lib, Store: store, Server: server, Client: client, Gossip: gnode, DTN: dnode}, nil
 }
 
 // Peer returns a participant by member ID.
@@ -403,6 +441,9 @@ func (d *Deployment) StartAll() error {
 // Stop tears the whole deployment down.
 func (d *Deployment) Stop() {
 	for _, p := range d.peers {
+		if p.DTN != nil {
+			p.DTN.Stop()
+		}
 		if p.Gossip != nil {
 			p.Gossip.Stop()
 		}

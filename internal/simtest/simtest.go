@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/community"
 	"repro/internal/core"
+	"repro/internal/dtn"
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/gossip"
@@ -166,6 +167,34 @@ type Scenario struct {
 	// default. Observables are worker-invariant, so differential and
 	// chaos scenarios pass at any setting.
 	DESWorkers int
+
+	// DTN attaches the store-carry-forward delivery engine to every
+	// peer (scenario.Builder.WithDTN). Each peer originates a seeded
+	// batch of addressed messages at the start of the fault phase; DTN
+	// rounds are driven in sequential lockstep, under the active faults
+	// and again during every healing round. After healing, every
+	// message whose source and destination land in the same connected
+	// component of the frozen radio graph — and whose TTL has not run
+	// out — must be delivered, and every node's custody counters must
+	// balance.
+	DTN bool
+	// DTNSocial selects the social (group-encounter) relay strategy
+	// instead of epidemic spray.
+	DTNSocial bool
+	// DTNMessages is how many messages each peer originates (default 2).
+	DTNMessages int
+	// DTNTTL is the per-message TTL in rounds (default 64, comfortably
+	// past the fault sweeps plus the healing budget).
+	DTNTTL int
+	// DTNCopyBudget caps spray copies per message (package default when
+	// zero).
+	DTNCopyBudget int
+	// DTNBufferCap bounds each relay's volatile custody buffer (package
+	// default when zero); small values force the eviction policy to
+	// fire under load.
+	DTNBufferCap int
+	// DTNEviction picks the relay-buffer eviction policy.
+	DTNEviction dtn.EvictionPolicy
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -193,6 +222,12 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.StallFor <= 0 {
 		s.StallFor = defaultStallFor
+	}
+	if s.DTNMessages <= 0 {
+		s.DTNMessages = defaultDTNMessages
+	}
+	if s.DTNTTL <= 0 {
+		s.DTNTTL = defaultDTNTTL
 	}
 	if s.Name == "" {
 		s.Name = fmt.Sprintf("seed-%d", s.Seed)
@@ -247,6 +282,25 @@ type Result struct {
 	// records reconciled across the deployment.
 	Gossip gossip.Stats
 
+	// DTN sums every peer's dtn.Stats when the store-carry-forward
+	// engine is attached: custody accepted/delivered/expired/evicted,
+	// copies moved, exchange failures.
+	DTN dtn.Stats
+	// DTNDigest folds every node's custody trace digest in sorted
+	// member order — the byte-for-byte replay witness for a whole
+	// chaos run.
+	DTNDigest uint64
+	// DTNSent counts originated messages; DTNDelivered how many reached
+	// their destination; DTNRequired how many the reachability oracle
+	// demanded (same healed component, TTL not run out).
+	DTNSent      int
+	DTNDelivered int
+	DTNRequired  int
+	// DTNConverged reports whether every required message was delivered
+	// after healing, and in how many sweeps.
+	DTNConverged       bool
+	DTNRoundsToDeliver int
+
 	// Violations lists every invariant breach (empty on success).
 	Violations []string
 }
@@ -276,9 +330,21 @@ func Run(s Scenario) (*Result, error) {
 	}
 
 	// Fault phase: install the plan on both substrates and drive
-	// traffic through every client concurrently.
+	// traffic through every client concurrently. DTN messages are
+	// originated first — custody is taken before the chaos, carried
+	// through it.
 	dep.Net.SetFaults(plan)
 	env.SetInquiryFaults(plan)
+	var dtnMsgs []dtnMessage
+	if s.DTN {
+		setCrashedDTN(s, dep, true)
+		msgs, err := sendDTNTraffic(s, dep)
+		if err != nil {
+			return nil, fmt.Errorf("simtest: originating DTN traffic: %w", err)
+		}
+		dtnMsgs = msgs
+		res.DTNSent = len(dtnMsgs)
+	}
 	driveTraffic(ctx, s, dep, clock, res)
 
 	// Gossip rounds run under the active faults too, but strictly after
@@ -290,11 +356,25 @@ func Run(s Scenario) (*Result, error) {
 			driveGossipSweep(ctx, dep)
 		}
 	}
+	// DTN sweeps under fire: same sequential-lockstep discipline, so
+	// the custody trace is a pure function of the seed.
+	dtnSweeps := 0
+	if s.DTN {
+		for sweep := 0; sweep < dtnFaultSweeps; sweep++ {
+			driveDTNSweep(ctx, dep)
+			dtnSweeps++
+		}
+	}
 
 	// Heal: lift the plan entirely and freeze mobility, so the
 	// reconvergence oracle is computed over a static, fault-free world.
 	dep.Net.SetFaults(nil)
 	env.SetInquiryFaults(nil)
+	if s.DTN {
+		// Lifting the plan is the crashed peers' restart: volatile relay
+		// custody is gone, sources and delivered state persist.
+		restartCrashedDTN(s, dep)
+	}
 	if err := freezeMobility(dep); err != nil {
 		return nil, fmt.Errorf("simtest: freezing mobility: %w", err)
 	}
@@ -305,6 +385,10 @@ func Run(s Scenario) (*Result, error) {
 			fmt.Sprintf("group views did not reconverge to the oracle within %d rounds", s.ReconvergeRounds))
 	}
 
+	if s.DTN {
+		res.DTNConverged, res.DTNRoundsToDeliver = dtnConverge(ctx, s, dep, dtnMsgs, &dtnSweeps, res)
+	}
+
 	res.Faults = plan.Counters()
 	res.Events = plan.Events()
 	res.Net = dep.Net.Counters()
@@ -313,6 +397,15 @@ func Run(s Scenario) (*Result, error) {
 		res.Server.Add(dep.MustPeer(m).Server.Stats())
 		if g := dep.MustPeer(m).Gossip; g != nil {
 			res.Gossip.Add(g.Stats())
+		}
+		if n := dep.MustPeer(m).DTN; n != nil {
+			st := n.Stats()
+			res.DTN.Add(st)
+			if !st.CustodyBalanced() {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("peer %s: DTN custody counters unbalanced: %+v", m, st))
+			}
+			res.DTNDigest = res.DTNDigest*1099511628211 ^ n.TraceDigest()
 		}
 	}
 	return res, nil
@@ -334,6 +427,189 @@ func driveGossipSweep(ctx context.Context, dep *scenario.Deployment) {
 			g.Round(ctx)
 		}
 	}
+}
+
+// dtnFaultSweeps is how many sequential DTN rounds run while the
+// fault plan is active: enough for custody to spread onto relays (and
+// for copies to strand on links the faults then cut), before healing
+// hands delivery to the convergence loop.
+const dtnFaultSweeps = 4
+
+// Defaults for the DTN knobs left zero.
+const (
+	defaultDTNMessages = 2
+	// defaultDTNTTL comfortably outlasts the fault sweeps plus the
+	// healing budget, so matrix messages only expire when a scenario
+	// shortens it on purpose.
+	defaultDTNTTL = 64
+)
+
+// dtnMessage tracks one originated message through a chaos run.
+type dtnMessage struct {
+	ID        string
+	Src, Dst  ids.MemberID
+	TTL       int
+	SentSweep int
+}
+
+// driveDTNSweep runs one DTN round on every peer in sorted member
+// order, one at a time — the same lockstep discipline as gossip, so
+// contact order and fault draws replay exactly from the seed.
+func driveDTNSweep(ctx context.Context, dep *scenario.Deployment) {
+	for _, m := range dep.Members() {
+		if n := dep.MustPeer(m).DTN; n != nil {
+			n.Round(ctx)
+		}
+	}
+}
+
+// sendDTNTraffic originates each peer's seeded message batch. Sends
+// are local custody operations (the outbox takes the message), so they
+// succeed regardless of the active faults — carrying the message
+// through them is the engine's job.
+func sendDTNTraffic(s Scenario, dep *scenario.Deployment) ([]dtnMessage, error) {
+	members := dep.Members()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x64746e))
+	var out []dtnMessage
+	for i, m := range members {
+		peer := dep.MustPeer(m)
+		if peer.DTN == nil {
+			continue
+		}
+		for k := 0; k < s.DTNMessages; k++ {
+			dst := members[(i+1+rng.Intn(len(members)-1))%len(members)]
+			dstDev := dep.MustPeer(dst).Daemon.Device()
+			payload := []byte(fmt.Sprintf("dtn %s->%s #%d", m, dst, k))
+			id, err := peer.DTN.SendTTL(dstDev, payload, s.DTNTTL)
+			if err != nil {
+				// A crashed origin cannot accept local sends; that message
+				// simply never exists.
+				if s.CrashedPeers > 0 {
+					continue
+				}
+				return nil, err
+			}
+			out = append(out, dtnMessage{ID: id, Src: m, Dst: dst, TTL: s.DTNTTL})
+		}
+	}
+	return out, nil
+}
+
+// setCrashedDTN marks the crash-window peers' DTN nodes down while the
+// fault plan holds them crashed; the radio/transport fault plane
+// already makes them invisible, this keeps their local engine honest
+// (no rounds, no sends).
+func setCrashedDTN(s Scenario, dep *scenario.Deployment, down bool) {
+	members := dep.Members()
+	for i := 0; i < s.CrashedPeers && i < len(members); i++ {
+		if n := dep.MustPeer(members[len(members)-1-i]).DTN; n != nil {
+			n.SetDown(down)
+		}
+	}
+}
+
+// restartCrashedDTN is the crashed peers' reboot: volatile relay
+// custody and encounter memory are dropped, then the node comes back
+// up. Originated messages and delivered state survive, so post-heal
+// delivery of everything unexpired stays provable.
+func restartCrashedDTN(s Scenario, dep *scenario.Deployment) {
+	members := dep.Members()
+	for i := 0; i < s.CrashedPeers && i < len(members); i++ {
+		if n := dep.MustPeer(members[len(members)-1-i]).DTN; n != nil {
+			n.DropVolatile()
+			n.SetDown(false)
+		}
+	}
+}
+
+// dtnComponents computes connected components of the healed, frozen
+// radio graph — the analytic reachability oracle: a store-carry-
+// forward path exists between two members iff they share a component.
+func dtnComponents(dep *scenario.Deployment) map[ids.MemberID]int {
+	members := dep.Members()
+	byDevice := make(map[ids.DeviceID]ids.MemberID, len(members))
+	for _, m := range members {
+		byDevice[dep.MustPeer(m).Daemon.Device()] = m
+	}
+	comp := make(map[ids.MemberID]int, len(members))
+	next := 0
+	for _, m := range members {
+		if _, seen := comp[m]; seen {
+			continue
+		}
+		next++
+		queue := []ids.MemberID{m}
+		comp[m] = next
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			dev := dep.MustPeer(cur).Daemon.Device()
+			for _, nd := range dep.Env.Neighbors(dev, radio.Bluetooth) {
+				om, ok := byDevice[nd]
+				if !ok {
+					continue
+				}
+				if _, seen := comp[om]; !seen {
+					comp[om] = next
+					queue = append(queue, om)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// dtnConverge drives healing DTN sweeps until every required message —
+// source and destination in the same healed component, TTL not yet run
+// out — is delivered, or the round budget is spent. Undelivered
+// required messages are invariant breaches.
+func dtnConverge(ctx context.Context, s Scenario, dep *scenario.Deployment, msgs []dtnMessage, sweeps *int, res *Result) (bool, int) {
+	comp := dtnComponents(dep)
+	for round := 1; round <= s.ReconvergeRounds; round++ {
+		driveDTNSweep(ctx, dep)
+		*sweeps++
+		allDone := true
+		delivered := 0
+		for _, msg := range msgs {
+			if dep.MustPeer(msg.Dst).DTN.Consumed(msg.ID) {
+				delivered++
+				continue
+			}
+			if *sweeps-msg.SentSweep >= msg.TTL {
+				continue // expired everywhere: exempt by TTL policy
+			}
+			if comp[msg.Src] != comp[msg.Dst] {
+				continue // unreachable in the healed world: exempt
+			}
+			allDone = false
+		}
+		if allDone {
+			res.DTNDelivered = delivered
+			required := 0
+			for _, msg := range msgs {
+				if comp[msg.Src] == comp[msg.Dst] && *sweeps-msg.SentSweep < msg.TTL {
+					required++
+				}
+			}
+			res.DTNRequired = required
+			return true, round
+		}
+	}
+	delivered := 0
+	for _, msg := range msgs {
+		if dep.MustPeer(msg.Dst).DTN.Consumed(msg.ID) {
+			delivered++
+			continue
+		}
+		if *sweeps-msg.SentSweep >= msg.TTL || comp[msg.Src] != comp[msg.Dst] {
+			continue
+		}
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("DTN message %s (%s→%s) reachable and unexpired but undelivered after %d healing sweeps",
+				msg.ID, msg.Src, msg.Dst, s.ReconvergeRounds))
+	}
+	res.DTNDelivered = delivered
+	return false, s.ReconvergeRounds
 }
 
 // buildWorld assembles the deployment and the fault plan for a
@@ -368,6 +644,18 @@ func buildWorld(s Scenario) (*scenario.Deployment, *faults.Plan, error) {
 		// Hedging wants a primed latency window; a low sample gate lets
 		// the short chaos workloads reach it.
 		b.WithResilience(community.ResilienceOptions{Hedge: true, HedgeMinSamples: 8})
+	}
+	if s.DTN {
+		cfg := dtn.Config{
+			CopyBudget: s.DTNCopyBudget,
+			BufferCap:  s.DTNBufferCap,
+			TTLRounds:  s.DTNTTL,
+			Eviction:   s.DTNEviction,
+		}
+		if s.DTNSocial {
+			cfg.Strategy = dtn.Social
+		}
+		b.WithDTN(cfg)
 	}
 	if s.Gossip {
 		cfg := gossip.Config{DisableRumors: s.GossipAntiEntropyOnly}
@@ -721,6 +1009,54 @@ func GossipMatrix(n int, baseSeed int64) []Scenario {
 		out = append(out, s)
 	}
 	return out
+}
+
+// DTNMatrix generates n seeded scenarios with the store-carry-forward
+// engine running: loss × corruption × flaps × partitions ×
+// crash-restarts × relay strategy × eviction policy × tight buffers.
+// Every run must deliver every reachable unexpired message after
+// healing and keep custody counters balanced on every node. Social
+// scenarios keep churn off so the healed world is the fully-connected
+// circle (social relay guarantees direct-contact delivery there;
+// epidemic guarantees delivery on any connected graph).
+func DTNMatrix(n int, baseSeed int64) []Scenario {
+	losses := []float64{0, 0.05, 0.15, 0.3}
+	corrupts := []float64{0, 0.1}
+	flaps := []float64{0, 0.04}
+	evictions := []dtn.EvictionPolicy{dtn.EvictOldest, dtn.EvictLargest, dtn.EvictSocialTail}
+	out := make([]Scenario, 0, n)
+	for i := 0; len(out) < n; i++ {
+		social := i%2 == 1
+		s := Scenario{
+			Seed:         baseSeed + int64(i)*4013,
+			Peers:        4 + (i%3)*2, // 4, 6, 8
+			Loss:         losses[i%len(losses)],
+			Corrupt:      corrupts[(i/4)%len(corrupts)],
+			Flap:         flaps[(i/8)%len(flaps)],
+			Partition:    i%3 == 1,
+			Churn:        !social && i%5 == 2,
+			CrashedPeers: (i / 2) % 2,
+			DTN:          true,
+			DTNSocial:    social,
+			DTNEviction:  evictions[i%len(evictions)],
+		}
+		if i%4 == 2 {
+			// Tight relay buffers: eviction must fire and stay accounted.
+			s.DTNBufferCap = 2
+		}
+		s.Name = fmt.Sprintf("dtn-%02d-l%02.0f-c%02.0f-f%02.0f-p%d-cr%d-%s-%s-n%d",
+			i, s.Loss*100, s.Corrupt*100, s.Flap*100, b2i(s.Partition), s.CrashedPeers,
+			strategyTag(s.DTNSocial), s.DTNEviction, s.Peers)
+		out = append(out, s)
+	}
+	return out
+}
+
+func strategyTag(social bool) string {
+	if social {
+		return "social"
+	}
+	return "epidemic"
 }
 
 func b2i(b bool) int {
